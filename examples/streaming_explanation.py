@@ -1,0 +1,103 @@
+"""Streaming data explanation (the paper's Section 8.1 scenario).
+
+A stream of itemized records (modelled on FEC campaign disbursements)
+arrives with a fraction labelled *outliers* (top spending).  The task is
+to explain the outliers: which categorical attributes are most indicative
+of a record being an outlier, as measured by relative risk
+r = P(outlier | attribute) / P(outlier | no attribute)?
+
+This example contrasts the two approaches of Figs. 8-9 under the same
+32 KB budget:
+
+* a MacroBase-style heavy-hitters explainer (Space Saving on attribute
+  frequencies), which ranks frequent attributes; and
+* the paper's classifier-based explainer (AWM-Sketch logistic
+  regression on 1-sparse attribute encodings), whose weights are
+  log-odds — a direct analogue of log relative risk.
+
+Run:  python examples/streaming_explanation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AWMSketch
+from repro.apps.explanation import HeavyHitterExplainer, StreamingExplainer
+from repro.data.fec import FECLikeStream
+from repro.evaluation.metrics import pearson_correlation
+from repro.learning.schedules import ConstantSchedule
+
+BUDGET_BYTES = 32 * 1024
+N_ROWS = 30_000
+TOP_K = 64
+
+
+def main() -> None:
+    data = FECLikeStream(
+        n_fields=8,
+        values_per_field=1_000,
+        outlier_rate=0.2,
+        n_risky=60,
+        n_protective=60,
+        seed=7,
+    )
+
+    # 32 KB AWM: 2048-slot active set + 4096-wide depth-1 sketch.
+    classifier = AWMSketch(
+        width=4_096,
+        depth=1,
+        heap_capacity=2_048,
+        lambda_=1e-6,
+        learning_rate=ConstantSchedule(0.1),
+        seed=1,
+    )
+    # The intercept makes attribute weights log-odds ratios (0 for
+    # risk-neutral attributes) instead of absolute log-odds.
+    explainer = StreamingExplainer(classifier, intercept_id=data.d)
+    # Heavy-hitters baseline at the same budget: 32 KB / 12 B per slot.
+    heavy = HeavyHitterExplainer(BUDGET_BYTES // 12, mode="positive")
+
+    for attrs, label in data.rows(N_ROWS):
+        is_outlier = label == 1
+        explainer.observe(attrs, is_outlier)
+        heavy.observe(attrs, is_outlier)
+
+    # --- Fig. 8's comparison: the classifier surfaces attributes at the
+    # *extremes* of the relative-risk scale, while frequency-based
+    # retrieval wastes its budget on frequent-but-neutral attributes. ---
+    clf_top = [a for a, _ in explainer.top_attributes(TOP_K)]
+    hh_top = heavy.top_attributes(TOP_K)
+    clf_risks = data.true_relative_risks(clf_top)
+    hh_risks = data.true_relative_risks(hh_top)
+
+    def extreme_fraction(risks: np.ndarray) -> float:
+        return float(np.mean((risks > 2.0) | (risks < 0.5)))
+
+    print(f"Top-{TOP_K} attributes retrieved under a "
+          f"{BUDGET_BYTES // 1024} KB budget\n")
+    print(f"{'':>28} {'frac at risk extremes':>22}")
+    for name, risks in [("Heavy-Hitters (frequency)", hh_risks),
+                        ("AWM classifier (|weight|)", clf_risks)]:
+        print(f"{name:>28} {extreme_fraction(risks):>22.2f}")
+
+    # --- Fig. 9: weights track log relative risk ----------------------
+    frequent = [a for a in data.counts.all_attributes()
+                if data.counts.occurrences(a) >= 100]
+    weights = explainer.risk_scores(np.array(frequent))
+    log_risks = np.log(data.true_relative_risks(frequent))
+    corr = pearson_correlation(weights, log_risks)
+    print(f"\nPearson correlation between AWM weights and log relative "
+          f"risk over {len(frequent)} frequent attributes: {corr:.3f}")
+    print("(the paper reports 0.91 for the AWM-Sketch on the FEC data)")
+
+    print("\nMost outlier-indicative attributes (field:value, weight, "
+          "true relative risk):")
+    for a, w in explainer.top_attributes(10, by="risk"):
+        field, value = divmod(a, data.values_per_field)
+        risk = data.counts.relative_risk(a)
+        print(f"  field{field}:v{value:<6} w={w:+.2f} risk={risk:5.2f}")
+
+
+if __name__ == "__main__":
+    main()

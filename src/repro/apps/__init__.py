@@ -1,0 +1,28 @@
+"""Stream-processing applications built on the WM/AWM sketches (Section 8).
+
+Each application frames a streaming-analytics task as memory-constrained
+binary classification and reads the answer off the classifier's
+heavily-weighted features:
+
+* :mod:`~repro.apps.explanation` — streaming data explanation: which
+  attributes are most indicative of the outlier class (Figs. 8-9,
+  MacroBase-style relative risk).
+* :mod:`~repro.apps.deltoids` — relative deltoid detection: which items
+  differ most in relative frequency between two concurrent streams
+  (Fig. 10, vs. a paired Count-Min baseline).
+* :mod:`~repro.apps.pmi` — streaming pointwise mutual information: which
+  token pairs are most correlated, via the NCE/skip-gram reduction whose
+  weights converge to PMI (Table 3, Fig. 11).
+"""
+
+from repro.apps.deltoids import ClassifierDeltoid, PairedCountMinDeltoid
+from repro.apps.explanation import StreamingExplainer, HeavyHitterExplainer
+from repro.apps.pmi import StreamingPMI
+
+__all__ = [
+    "StreamingExplainer",
+    "HeavyHitterExplainer",
+    "ClassifierDeltoid",
+    "PairedCountMinDeltoid",
+    "StreamingPMI",
+]

@@ -1,0 +1,141 @@
+"""Relative deltoid detection over paired streams (Section 8.2).
+
+Task: two streams are observed concurrently (e.g. outbound vs inbound
+IP addresses); find the items whose occurrence ratio
+``phi(i) = n1(i) / n2(i)`` — or its reciprocal — is large.
+
+* :class:`ClassifierDeltoid` — the paper's approach: label stream-1
+  items +1 and stream-2 items -1, train a (sketched) logistic regressor
+  on the 1-sparse encodings, and read high-|weight| items as deltoids.
+  For lambda = 0 the weight of item i converges toward
+  ``log(p1(i) / p2(i))``, the log occurrence ratio.
+* :class:`PairedCountMinDeltoid` — the Cormode-Muthukrishnan-style
+  baseline: two Count-Min sketches (one per stream) with a heap of
+  candidate items ranked by estimated count ratio.  Fig. 10 shows the
+  AWM-based detector beating this baseline by >4x recall at equal
+  memory, and still beating it when the CM baseline gets 8x the budget.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.sparse import SparseExample
+from repro.heap.topk import TopKHeap
+from repro.learning.base import StreamingClassifier
+from repro.sketch.count_min import CountMinSketch
+
+
+class ClassifierDeltoid:
+    """Classifier-based relative deltoid detector.
+
+    Parameters
+    ----------
+    classifier:
+        Any streaming classifier; the paper uses a 32 KB AWM-Sketch
+        (which matched unconstrained LR on this task).
+    """
+
+    def __init__(self, classifier: StreamingClassifier):
+        self.classifier = classifier
+        self._one = np.ones(1, dtype=np.float64)
+
+    def observe(self, item: int, stream: int) -> None:
+        """Feed one item occurrence; ``stream`` is +1 (first) or -1."""
+        if stream not in (1, -1):
+            raise ValueError(f"stream must be +1 or -1, got {stream}")
+        self.classifier.update(
+            SparseExample(
+                np.array([item], dtype=np.int64), self._one.copy(), stream
+            )
+        )
+
+    def consume(self, pairs) -> None:
+        """Feed an iterable of (item, stream) pairs."""
+        for item, stream in pairs:
+            self.observe(item, stream)
+
+    def top_deltoids(self, k: int) -> list[tuple[int, float]]:
+        """The k items with the largest |weight| = |log-ratio estimate|."""
+        return self.classifier.top_weights(k)
+
+    def estimated_log_ratio(self, item: int) -> float:
+        """The estimated log occurrence ratio of one item."""
+        return self.classifier.estimate_weight(item)
+
+
+class PairedCountMinDeltoid:
+    """Paired Count-Min ratio estimation baseline.
+
+    Parameters
+    ----------
+    width, depth:
+        Per-stream Count-Min dimensions.
+    candidates:
+        Heap capacity for candidate deltoids (ranked by |log ratio| of
+        the sketch estimates, refreshed on every occurrence).
+    seed:
+        Hash seed (both sketches share it so the same item hits the same
+        buckets, making the ratio of estimates better behaved).
+    smoothing:
+        Added to both counts before the ratio (CM estimates can be zero
+        early on).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int = 2,
+        candidates: int = 2_048,
+        seed: int = 0,
+        smoothing: float = 1.0,
+    ):
+        self.cm_first = CountMinSketch(width, depth, seed=seed)
+        self.cm_second = CountMinSketch(width, depth, seed=seed)
+        self.heap = TopKHeap(candidates)
+        self.smoothing = smoothing
+
+    def observe(self, item: int, stream: int) -> None:
+        """Feed one item occurrence; ``stream`` is +1 (first) or -1."""
+        if stream == 1:
+            self.cm_first.update_one(item)
+        elif stream == -1:
+            self.cm_second.update_one(item)
+        else:
+            raise ValueError(f"stream must be +1 or -1, got {stream}")
+        ratio = self.estimated_log_ratio(item)
+        if (
+            item in self.heap
+            or not self.heap.is_full
+            or abs(ratio) > self.heap.min_priority()
+        ):
+            self.heap.push(item, ratio)
+
+    def consume(self, pairs) -> None:
+        """Feed an iterable of (item, stream) pairs."""
+        for item, stream in pairs:
+            self.observe(item, stream)
+
+    def estimated_log_ratio(self, item: int) -> float:
+        """log[(n1 + smoothing) / (n2 + smoothing)] from the sketches."""
+        n1 = self.cm_first.estimate_one(item)
+        n2 = self.cm_second.estimate_one(item)
+        return math.log((n1 + self.smoothing) / (n2 + self.smoothing))
+
+    def top_deltoids(self, k: int) -> list[tuple[int, float]]:
+        """The k tracked items with largest |log ratio| (refreshed)."""
+        entries = [
+            (item, self.estimated_log_ratio(item)) for item, _ in self.heap.items()
+        ]
+        entries.sort(key=lambda kv: abs(kv[1]), reverse=True)
+        return entries[:k]
+
+    @property
+    def memory_cost_bytes(self) -> int:
+        """Cost-model footprint: two CM tables + heap (id + ratio)."""
+        from repro.learning.base import CELL_BYTES
+
+        table_cells = 2 * self.cm_first.width * self.cm_first.depth
+        return CELL_BYTES * (table_cells + 2 * self.heap.capacity)

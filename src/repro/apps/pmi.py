@@ -1,0 +1,178 @@
+"""Streaming pointwise mutual information (Section 8.3).
+
+The estimator frames PMI estimation as binary classification over the
+space of token *pairs* (the skip-gram-with-negative-sampling / NCE
+reduction; Levy & Goldberg 2014):
+
+* with probability 1/2 (here: per true pair), sample a co-occurring pair
+  (u, v) from the corpus and label it +1;
+* otherwise sample u and v *independently* from the unigram distribution
+  and label the synthetic pair -1.
+
+With logistic loss and lambda = 0, the weight of pair (u, v) converges
+to ``log[p(u,v) / (p(u) p(v))]`` — exactly PMI(u, v).  The unigram
+distribution is approximated by a uniform reservoir over the token
+stream (May et al. 2017), and the pair weights live in an AWM-Sketch, so
+total memory stays tiny while the top-|S| pairs (by estimated PMI) are
+recoverable exactly from the active set.
+
+``negatives_per_pair`` mirrors the paper's "5 negative samples for every
+true sample"; a shift of ``log(negatives)`` is added back to estimates
+so they stay on the PMI scale (standard SGNS correction).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.awm_sketch import AWMSketch
+from repro.data.sparse import SparseExample
+from repro.learning.base import StreamingClassifier
+from repro.learning.schedules import ConstantSchedule
+from repro.sketch.reservoir import UniformReservoir
+
+
+class StreamingPMI:
+    """Streaming PMI estimation via a sketched NCE classifier.
+
+    Parameters
+    ----------
+    vocab:
+        Unigram vocabulary size (pair (u, v) gets feature id
+        ``u * vocab + v``).
+    classifier:
+        Pair-space classifier; default is the paper's configuration —
+        AWM-Sketch with heap 1024 and depth 1.
+    width:
+        Sketch width when the default classifier is constructed
+        (Fig. 11 sweeps 2**10 .. 2**18).
+    heap_capacity:
+        Active-set size for the default classifier (paper: 1024).
+    lambda_:
+        L2 strength; the paper notes lambda > 0 biases the estimate but
+        damps the variance of rare-pair estimates (Fig. 11 sweeps 1e-6 /
+        1e-7 / 1e-8).
+    negatives_per_pair:
+        Synthetic negatives per observed true pair (paper: 5).
+    reservoir_size:
+        Unigram reservoir capacity (paper: 4000).
+    learning_rate, seed:
+        Optimizer / randomness knobs.
+    """
+
+    def __init__(
+        self,
+        vocab: int,
+        classifier: StreamingClassifier | None = None,
+        width: int = 2**16,
+        heap_capacity: int = 1_024,
+        lambda_: float = 1e-7,
+        negatives_per_pair: int = 5,
+        reservoir_size: int = 4_000,
+        learning_rate: float = 0.1,
+        seed: int = 0,
+    ):
+        if vocab < 2:
+            raise ValueError(f"vocab must be >= 2, got {vocab}")
+        if negatives_per_pair < 1:
+            raise ValueError(
+                f"negatives_per_pair must be >= 1, got {negatives_per_pair}"
+            )
+        self.vocab = vocab
+        self.negatives_per_pair = negatives_per_pair
+        if classifier is None:
+            # A *constant* learning rate: pair features are 1-sparse, so
+            # a globally-decaying schedule would starve pairs that first
+            # appear late in the stream (rare, high-PMI pairs — exactly
+            # the ones we want).  Constant-step SGD converges to a noisy
+            # ball around the PMI values, which suffices for ranking.
+            classifier = AWMSketch(
+                width=width,
+                depth=1,
+                heap_capacity=heap_capacity,
+                lambda_=lambda_,
+                learning_rate=ConstantSchedule(learning_rate),
+                seed=seed,
+            )
+        self.classifier = classifier
+        self.reservoir = UniformReservoir(reservoir_size, seed=seed + 1)
+        self._one = np.ones(1, dtype=np.float64)
+        self.n_pairs = 0
+
+    # ------------------------------------------------------------------
+    def pair_id(self, u: int, v: int) -> int:
+        """Feature identifier of the ordered pair (u, v)."""
+        if not (0 <= u < self.vocab and 0 <= v < self.vocab):
+            raise ValueError(f"tokens ({u}, {v}) out of range [0, {self.vocab})")
+        return u * self.vocab + v
+
+    def unpair_id(self, pid: int) -> tuple[int, int]:
+        """Invert :meth:`pair_id`."""
+        return pid // self.vocab, pid % self.vocab
+
+    def observe_token(self, token: int) -> None:
+        """Feed one token into the unigram reservoir."""
+        self.reservoir.add(token)
+
+    def observe_pair(self, u: int, v: int) -> None:
+        """Feed one true co-occurring pair (and draw negatives)."""
+        self.observe_token(u)
+        self.observe_token(v)
+        self._train(self.pair_id(u, v), +1)
+        if len(self.reservoir) >= 2:
+            negatives = self.reservoir.sample(2 * self.negatives_per_pair)
+            for i in range(self.negatives_per_pair):
+                nu, nv = negatives[2 * i], negatives[2 * i + 1]
+                self._train(self.pair_id(int(nu), int(nv)), -1)
+        self.n_pairs += 1
+
+    def consume(self, pairs: Iterable[tuple[int, int]]) -> None:
+        """Feed an iterable of co-occurring (u, v) pairs."""
+        for u, v in pairs:
+            self.observe_pair(u, v)
+
+    def _train(self, pid: int, label: int) -> None:
+        self.classifier.update(
+            SparseExample(
+                np.array([pid], dtype=np.int64), self._one.copy(), label
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def _shift(self) -> float:
+        """SGNS correction: with n negatives per positive the logit
+        converges to PMI - log(n)."""
+        return math.log(self.negatives_per_pair)
+
+    def estimate_pmi(self, u: int, v: int) -> float:
+        """Estimated PMI of (u, v) from the classifier weight."""
+        return (
+            self.classifier.estimate_weight(self.pair_id(u, v)) + self._shift
+        )
+
+    def top_pairs(self, k: int) -> list[tuple[int, int, float]]:
+        """The k pairs with the largest estimated PMI.
+
+        Returns (u, v, estimated PMI) triples, descending.  Only
+        positively-correlated pairs are meaningful for PMI ranking, so
+        negative-weight entries are filtered.
+        """
+        # Scan the full active set: high-PMI pairs compete for heap rank
+        # against negatively-drifting never-co-occurring pairs, so a
+        # narrow top-|weight| scan can miss positive entries.
+        pool = getattr(self.classifier, "heap", None)
+        pool_size = pool.capacity if pool is not None else 4 * k
+        raw = self.classifier.top_weights(max(pool_size, 4 * k))
+        out = []
+        for pid, w in raw:
+            if w <= 0:
+                continue
+            u, v = self.unpair_id(pid)
+            out.append((u, v, w + self._shift))
+            if len(out) >= k:
+                break
+        return out

@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A small operational layer so the library can be driven without writing
+code — useful for smoke-testing an install, exploring the
+memory-accuracy trade-off, or generating the paper-style comparison on
+a chosen budget.
+
+Commands
+--------
+``compare``
+    Run all budgeted methods on a dataset preset and print recovery +
+    accuracy (the Fig. 3/6 view), e.g.::
+
+        python -m repro compare --dataset rcv1 --budget-kb 8 --examples 4000
+
+``configs``
+    Show the per-budget configuration search space and the default
+    layouts (the Table 2 view)::
+
+        python -m repro configs --budget-kb 8
+
+``theory``
+    Evaluate the Theorem 1/2 sizing for given parameters::
+
+        python -m repro theory --d 100000 --epsilon 0.1 --lambda 1e-5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.config import (
+    default_awm_config,
+    default_wm_config,
+    enumerate_sketch_configs,
+)
+from repro.core.theory import theorem1_sizing, theorem2_sample_size
+from repro.data.datasets import ALL_PRESETS
+from repro.evaluation.harness import RecoveryExperiment
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    preset = ALL_PRESETS.get(f"{args.dataset}_like")
+    if preset is None:
+        print(f"unknown dataset {args.dataset!r}; "
+              f"choose from rcv1, url, kdda", file=sys.stderr)
+        return 2
+    spec = preset(seed=args.seed)
+    print(f"dataset={spec.name} d={spec.stream.d:,} "
+          f"examples={args.examples:,} lambda={args.lambda_:g}")
+    examples = spec.stream.materialize(args.examples)
+    experiment = RecoveryExperiment(
+        examples, d=spec.stream.d, lambda_=args.lambda_, ks=(args.k,)
+    )
+    reference = experiment.reference_result()
+    print(f"\nunconstrained LR: error {reference.error_rate:.4f} "
+          f"({reference.memory_bytes / 1024:.0f} KB)\n")
+    results = experiment.run_budget(args.budget_kb * 1024, seed=args.seed)
+    print(f"{'method':>7} {'RelErr@' + str(args.k):>11} {'error':>8} "
+          f"{'KB':>6}")
+    for name, res in sorted(results.items(),
+                            key=lambda kv: kv[1].rel_err[args.k]):
+        print(f"{name:>7} {res.rel_err[args.k]:>11.3f} "
+              f"{res.error_rate:>8.4f} {res.memory_bytes / 1024:>6.1f}")
+    return 0
+
+
+def _cmd_configs(args: argparse.Namespace) -> int:
+    budget = args.budget_kb * 1024
+    awm = default_awm_config(budget)
+    wm = default_wm_config(budget)
+    print(f"budget: {args.budget_kb} KB ({budget // 4} cells)")
+    print(f"default AWM layout: |S|={awm.heap_capacity} "
+          f"width={awm.width} depth={awm.depth} ({awm.bytes} B)")
+    print(f"default WM layout:  |S|={wm.heap_capacity} "
+          f"width={wm.width} depth={wm.depth} ({wm.bytes} B)")
+    sweep = enumerate_sketch_configs(budget)
+    print(f"\nsearch space ({len(sweep)} configurations):")
+    for cfg in sweep:
+        print(f"  |S|={cfg.heap_capacity:>5} width={cfg.width:>6} "
+              f"depth={cfg.depth:>3}  ({cfg.bytes} B)")
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    sizing = theorem1_sizing(
+        args.d, epsilon=args.epsilon, delta=args.delta,
+        lambda_=args.lambda_,
+    )
+    t = theorem2_sample_size(
+        args.d, epsilon=args.epsilon, delta=args.delta,
+        lambda_=args.lambda_,
+    )
+    print(f"Theorem 1 sizing for d={args.d:,}, eps={args.epsilon}, "
+          f"delta={args.delta}, lambda={args.lambda_:g}:")
+    print(f"  k (cells) = {sizing.size:,}")
+    print(f"  s (depth) = {sizing.depth:,}")
+    print(f"  width     = {sizing.width:,}")
+    print(f"  memory    = {4 * sizing.size / 2**20:.2f} MB at 4 B/cell")
+    print(f"Theorem 2 minimum stream length: T >= {t:,}")
+    dense = 4 * args.d
+    print(f"(dense weights would use {dense / 2**20:.2f} MB)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Weight-Median Sketch reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser(
+        "compare", help="run all budgeted methods on a dataset preset"
+    )
+    compare.add_argument("--dataset", default="rcv1",
+                         choices=("rcv1", "url", "kdda"))
+    compare.add_argument("--budget-kb", type=int, default=8)
+    compare.add_argument("--examples", type=int, default=4_000)
+    compare.add_argument("--k", type=int, default=128)
+    compare.add_argument("--lambda", dest="lambda_", type=float,
+                         default=1e-6)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(func=_cmd_compare)
+
+    configs = sub.add_parser(
+        "configs", help="show per-budget sketch configurations"
+    )
+    configs.add_argument("--budget-kb", type=int, default=8)
+    configs.set_defaults(func=_cmd_configs)
+
+    theory = sub.add_parser(
+        "theory", help="evaluate Theorem 1/2 sizing"
+    )
+    theory.add_argument("--d", type=int, required=True)
+    theory.add_argument("--epsilon", type=float, default=0.1)
+    theory.add_argument("--delta", type=float, default=0.05)
+    theory.add_argument("--lambda", dest="lambda_", type=float,
+                        default=1e-5)
+    theory.set_defaults(func=_cmd_theory)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""The paper's primary contribution: WM-Sketch and AWM-Sketch.
+
+* :class:`~repro.core.wm_sketch.WMSketch` — Algorithm 1, the basic
+  Weight-Median Sketch (Count-Sketch projection + online gradient
+  descent on the compressed objective, median-of-rows weight recovery).
+* :class:`~repro.core.awm_sketch.AWMSketch` — Algorithm 2, the
+  Active-Set variant that stores the top-|S| weights exactly in a heap
+  and sketches only the tail.
+* :class:`~repro.core.multiclass.MulticlassSketch` — the Section 9
+  one-vs-rest / NCE extension.
+* :mod:`~repro.core.theory` — Theorem 1/2 sizing calculators.
+* :mod:`~repro.core.config` — the Section 7.1 memory cost model and the
+  per-budget configuration search space of Table 2.
+"""
+
+from repro.core.awm_sketch import AWMSketch
+from repro.core.config import (
+    PAPER_BUDGETS_KB,
+    SketchConfig,
+    budget_cells,
+    default_awm_config,
+    default_wm_config,
+    enumerate_sketch_configs,
+    feature_hashing_width,
+    probabilistic_truncation_capacity,
+    space_saving_capacity,
+    truncation_capacity,
+)
+from repro.core.multiclass import MulticlassSketch
+from repro.core.serialization import load_sketch, save_sketch
+from repro.core.theory import (
+    SketchSizing,
+    achievable_epsilon,
+    count_min_sizing,
+    count_sketch_sizing,
+    theorem1_sizing,
+    theorem2_sample_size,
+)
+from repro.core.wm_sketch import WMSketch
+
+__all__ = [
+    "WMSketch",
+    "AWMSketch",
+    "MulticlassSketch",
+    "save_sketch",
+    "load_sketch",
+    "SketchConfig",
+    "SketchSizing",
+    "PAPER_BUDGETS_KB",
+    "budget_cells",
+    "default_awm_config",
+    "default_wm_config",
+    "enumerate_sketch_configs",
+    "feature_hashing_width",
+    "probabilistic_truncation_capacity",
+    "space_saving_capacity",
+    "truncation_capacity",
+    "theorem1_sizing",
+    "theorem2_sample_size",
+    "achievable_epsilon",
+    "count_sketch_sizing",
+    "count_min_sizing",
+]

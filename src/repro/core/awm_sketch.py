@@ -1,0 +1,374 @@
+"""The Active-Set Weight-Median Sketch (Algorithm 2).
+
+The AWM-Sketch splits its budget between an *active set* — a min-heap of
+the top-|S| features whose weights are stored **exactly** — and a
+WM-style sketch that absorbs only the tail.  Per update on (x, y):
+
+1. The margin combines the exact active-set weights (for features of x
+   in S) with sketched estimates (for the rest):
+   ``tau = sum_{i in S} S[i] x_i + z^T R x_tail``.
+2. Active-set weights receive the ordinary OGD update (decay + gradient).
+3. Every tail feature i of x computes its *hypothetical* updated weight
+   ``w~ = Query(i) - eta y x_i loss'(y tau)``:
+
+   * if ``|w~|`` beats the smallest active-set magnitude, i is promoted
+     into the heap carrying ``w~`` exactly, and the evicted feature's
+     weight is folded back into the sketch (the sketch is credited with
+     ``S[i_min] - Query(i_min)``, so its estimate of the evictee is
+     brought up to date);
+   * otherwise the gradient increment is applied to the sketch.
+
+The effect (Section 9): features stored in the heap are not hashed at
+all, so they cannot collide with — and corrupt — the tail estimates;
+conversely erroneous promotions decay under L2 regularization and get
+evicted again.  The paper finds this variant dominates the basic
+WM-Sketch on both recovery and accuracy, with the best configuration
+giving *half* the budget to the heap and using a depth-1 sketch
+(Section 7.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.sparse import SparseExample
+from repro.hashing.family import HashFamily
+from repro.heap.topk import TopKHeap
+from repro.learning.base import CELL_BYTES, StreamingClassifier
+from repro.learning.losses import LogisticLoss, Loss
+from repro.learning.schedules import Schedule, as_schedule
+
+_RENORM_THRESHOLD = 1e-150
+
+
+class AWMSketch(StreamingClassifier):
+    """Active-Set Weight-Median Sketch.
+
+    Parameters
+    ----------
+    width, depth:
+        Sketch dimensions.  The paper's best configurations use
+        ``depth=1`` (a single hash table) with half the budget on the
+        heap; see :func:`repro.core.config.default_awm_config`.
+    heap_capacity:
+        Active-set size |S| (must be >= 1).
+    loss, lambda_, learning_rate, seed, hash_kind:
+        As for :class:`repro.core.wm_sketch.WMSketch`.
+    scalar_fast_path:
+        Use the all-scalar update for 1-sparse inputs (identical results
+        to the batch path, ~10x faster for the Section 8 applications).
+        Exposed so tests can verify the equivalence.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int = 1,
+        heap_capacity: int = 128,
+        loss: Loss | None = None,
+        lambda_: float = 1e-6,
+        learning_rate: Schedule | float = 0.1,
+        seed: int = 0,
+        hash_kind: str = "tabulation",
+        scalar_fast_path: bool = True,
+    ):
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if heap_capacity < 1:
+            raise ValueError(f"heap_capacity must be >= 1, got {heap_capacity}")
+        self.width = width
+        self.depth = depth
+        self.loss = loss if loss is not None else LogisticLoss()
+        self.lambda_ = lambda_
+        self.schedule = as_schedule(learning_rate)
+        self.family = HashFamily(width, depth, seed=seed, kind=hash_kind)
+        self.table = np.zeros((depth, width), dtype=np.float64)
+        self._scale = 1.0
+        self._sqrt_s = float(np.sqrt(depth))
+        self.heap = TopKHeap(heap_capacity)
+        self.t = 0
+        self.scalar_fast_path = scalar_fast_path
+        # Diagnostics: promotion/eviction churn (exposed for ablations).
+        self.n_promotions = 0
+
+    # ------------------------------------------------------------------
+    # Sketch-space helpers (tail features only)
+    # ------------------------------------------------------------------
+    def _sketch_margin(self, indices: np.ndarray, values: np.ndarray) -> float:
+        if indices.size == 0:
+            return 0.0
+        buckets, signs = self.family.all_rows(indices)
+        return self._margin_from_rows(buckets, signs, values)
+
+    def _margin_from_rows(
+        self, buckets: np.ndarray, signs: np.ndarray, values: np.ndarray
+    ) -> float:
+        total = 0.0
+        for j in range(self.depth):
+            total += float(self.table[j, buckets[j]] @ (signs[j] * values))
+        return self._scale * total / self._sqrt_s
+
+    def _sketch_estimate(self, indices: np.ndarray) -> np.ndarray:
+        if indices.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        buckets, signs = self.family.all_rows(indices)
+        return self._estimate_from_rows(buckets, signs)
+
+    def _estimate_from_rows(
+        self, buckets: np.ndarray, signs: np.ndarray
+    ) -> np.ndarray:
+        factor = self._sqrt_s * self._scale
+        if self.depth == 1:
+            return factor * (signs[0] * self.table[0, buckets[0]])
+        rows = np.empty(buckets.shape, dtype=np.float64)
+        for j in range(self.depth):
+            rows[j] = signs[j] * self.table[j, buckets[j]]
+        return factor * np.median(rows, axis=0)
+
+    def _sketch_add(self, index: int, delta: float) -> None:
+        """Add ``delta`` to the sketched weight of a single feature."""
+        key = np.array([index], dtype=np.int64)
+        coeff = delta / (self._sqrt_s * self._scale)
+        for j in range(self.depth):
+            bucket = self.family.buckets(key, j)[0]
+            sign = self.family.signs(key, j)[0]
+            self.table[j, bucket] += coeff * sign
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _split(self, x: SparseExample) -> tuple[np.ndarray, np.ndarray]:
+        """Boolean mask of x's features that are in the active set."""
+        in_heap = np.fromiter(
+            (idx in self.heap for idx in x.indices.tolist()),
+            dtype=bool,
+            count=x.indices.size,
+        )
+        return in_heap, ~in_heap
+
+    def predict_margin(self, x: SparseExample) -> float:
+        in_heap, in_sketch = self._split(x)
+        total = 0.0
+        for idx, val in zip(
+            x.indices[in_heap].tolist(), x.values[in_heap].tolist()
+        ):
+            total += self.heap.value(idx) * val
+        total += self._sketch_margin(x.indices[in_sketch], x.values[in_sketch])
+        return total
+
+    # ------------------------------------------------------------------
+    # Scalar fast path (1-sparse inputs: the Section 8 applications)
+    # ------------------------------------------------------------------
+    def _estimate_one(self, index: int) -> float:
+        """Scalar sketch estimate (median over rows) for one feature."""
+        vals = []
+        factor = self._sqrt_s * self._scale
+        for j in range(self.depth):
+            bucket, sign = self.family.bucket_sign_one(index, j)
+            vals.append(factor * sign * float(self.table[j, bucket]))
+        vals.sort()
+        mid = len(vals) // 2
+        if len(vals) % 2:
+            return vals[mid]
+        return 0.5 * (vals[mid - 1] + vals[mid])
+
+    def _update_one(self, idx: int, val: float, y: int) -> None:
+        """Algorithm 2 specialized to nnz(x) = 1, all-scalar arithmetic."""
+        in_heap = idx in self.heap
+        rows: list[tuple[int, float]] = []
+        if in_heap:
+            tau = self.heap.value(idx) * val
+        else:
+            # The margin uses the *linear* form z^T R x (sum over rows /
+            # sqrt(s)), exactly like the batch path — the median is only
+            # for recovery queries.
+            rows = [
+                self.family.bucket_sign_one(idx, j) for j in range(self.depth)
+            ]
+            linear = sum(
+                sign * float(self.table[j, bucket])
+                for j, (bucket, sign) in enumerate(rows)
+            )
+            tau = (self._scale * linear / self._sqrt_s) * val
+
+        g = self.loss.dloss(y * tau)
+        eta = self.schedule(self.t)
+        if self.lambda_ > 0.0:
+            decay = 1.0 - eta * self.lambda_
+            if decay <= 0.0:
+                raise ValueError(
+                    f"eta * lambda = {eta * self.lambda_} >= 1; decrease eta0"
+                )
+            self.heap.decay(decay)
+            self._scale *= decay
+            if self._scale < _RENORM_THRESHOLD:
+                self.table *= self._scale
+                self._scale = 1.0
+        step = eta * y * g
+
+        if in_heap:
+            self.heap.add_delta(idx, -step * val)
+        else:
+            # Query *after* the decay (Algorithm 2 decays z first); the
+            # stored rows make this a median over |depth| scalars.
+            factor = self._sqrt_s * self._scale
+            vals = sorted(
+                factor * sign * float(self.table[j, bucket])
+                for j, (bucket, sign) in enumerate(rows)
+            )
+            mid = len(vals) // 2
+            if len(vals) % 2:
+                query = vals[mid]
+            else:
+                query = 0.5 * (vals[mid - 1] + vals[mid])
+            candidate = query - step * val
+            if not self.heap.is_full:
+                self.heap.push(idx, candidate)
+                self.n_promotions += 1
+            else:
+                min_key, min_weight = self.heap.min_entry()
+                if abs(candidate) > abs(min_weight):
+                    self.heap.pop_min()
+                    self.heap.push(idx, candidate)
+                    self.n_promotions += 1
+                    self._sketch_add_one(
+                        min_key, min_weight - self._estimate_one(min_key)
+                    )
+                else:
+                    self._sketch_add_one(idx, -step * val)
+        self.t += 1
+
+    def _sketch_add_one(self, index: int, delta: float) -> None:
+        """Scalar version of :meth:`_sketch_add`."""
+        coeff = delta / (self._sqrt_s * self._scale)
+        for j in range(self.depth):
+            bucket, sign = self.family.bucket_sign_one(index, j)
+            self.table[j, bucket] += coeff * sign
+
+    # ------------------------------------------------------------------
+    # Learning (Algorithm 2)
+    # ------------------------------------------------------------------
+    def update(self, x: SparseExample) -> None:
+        if self.scalar_fast_path and x.indices.size == 1:
+            self._update_one(int(x.indices[0]), float(x.values[0]), x.label)
+            return
+        y = x.label
+        in_heap, in_sketch = self._split(x)
+        heap_idx = x.indices[in_heap]
+        heap_val = x.values[in_heap]
+        tail_idx = x.indices[in_sketch]
+        tail_val = x.values[in_sketch]
+
+        tau = 0.0
+        for idx, val in zip(heap_idx.tolist(), heap_val.tolist()):
+            tau += self.heap.value(idx) * val
+        if tail_idx.size:
+            # Hash the tail once; reuse for the margin, the queries and
+            # the batched gradient fold-in below.
+            tail_buckets, tail_signs = self.family.all_rows(tail_idx)
+            tau += self._margin_from_rows(tail_buckets, tail_signs, tail_val)
+
+        g = self.loss.dloss(y * tau)
+        eta = self.schedule(self.t)
+
+        # Regularization: decay both the heap and the sketch (S and z
+        # both scale by (1 - lambda eta) in Algorithm 2), lazily.
+        if self.lambda_ > 0.0:
+            decay = 1.0 - eta * self.lambda_
+            if decay <= 0.0:
+                raise ValueError(
+                    f"eta * lambda = {eta * self.lambda_} >= 1; decrease eta0"
+                )
+            self.heap.decay(decay)
+            self._scale *= decay
+            if self._scale < _RENORM_THRESHOLD:
+                self.table *= self._scale
+                self._scale = 1.0
+
+        step = eta * y * g
+
+        # Heap update: exact OGD step for active-set features.
+        for idx, val in zip(heap_idx.tolist(), heap_val.tolist()):
+            self.heap.add_delta(idx, -step * val)
+
+        # Tail features: promote or fold the gradient into the sketch.
+        if tail_idx.size:
+            queries = self._estimate_from_rows(tail_buckets, tail_signs)
+            stay = []  # positions whose gradient goes into the sketch
+            for pos, (idx, val, q) in enumerate(
+                zip(tail_idx.tolist(), tail_val.tolist(), queries.tolist())
+            ):
+                candidate = q - step * val
+                if not self.heap.is_full:
+                    # Free slot: admit directly.  Retiring the sketch's
+                    # stale estimate is deferred to eviction, the same
+                    # bookkeeping as the full case.
+                    self.heap.push(idx, candidate)
+                    self.n_promotions += 1
+                    continue
+                min_key, min_weight = self.heap.min_entry()
+                if abs(candidate) > abs(min_weight):
+                    # Promote idx; evict min and fold its exact weight
+                    # back into the sketch (credit the difference between
+                    # its true weight and the sketch's current estimate).
+                    self.heap.pop_min()
+                    self.heap.push(idx, candidate)
+                    self.n_promotions += 1
+                    evict_query = float(
+                        self._sketch_estimate(
+                            np.array([min_key], dtype=np.int64)
+                        )[0]
+                    )
+                    self._sketch_add(min_key, min_weight - evict_query)
+                else:
+                    stay.append(pos)
+            if stay:
+                # One np.add.at per row for all non-promoted features
+                # (Algorithm 2 applies these independently; batching only
+                # reorders within a single example).
+                coeff = (-step / (self._sqrt_s * self._scale)) * tail_val[stay]
+                for j in range(self.depth):
+                    np.add.at(
+                        self.table[j],
+                        tail_buckets[j, stay],
+                        coeff * tail_signs[j, stay],
+                    )
+        self.t += 1
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def estimate_weights(self, indices: np.ndarray) -> np.ndarray:
+        """Exact heap weights where available, sketch recovery otherwise."""
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        out = np.empty(indices.size, dtype=np.float64)
+        tail_positions = []
+        for pos, idx in enumerate(indices.tolist()):
+            if idx in self.heap:
+                out[pos] = self.heap.value(idx)
+            else:
+                tail_positions.append(pos)
+        if tail_positions:
+            tails = indices[tail_positions]
+            out[tail_positions] = self._sketch_estimate(tails)
+        return out
+
+    def top_weights(self, k: int) -> list[tuple[int, float]]:
+        """The active set *is* the top-K estimate (exact weights)."""
+        return self.heap.top(k)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total sketch cells (excluding the heap)."""
+        return self.width * self.depth
+
+    @property
+    def memory_cost_bytes(self) -> int:
+        return CELL_BYTES * (self.size + 2 * self.heap.capacity)
+
+    def sketch_state(self) -> np.ndarray:
+        """The current (scaled) sketch tail vector z as a flat array."""
+        return (self._scale * self.table).ravel()

@@ -1,0 +1,103 @@
+"""Multiclass extension of the WM/AWM sketches (Section 9).
+
+"Given M output classes, maintain M copies of the WM-Sketch.  In order to
+predict the output, we evaluate the output on each copy and return the
+maximum."  Training uses the standard one-vs-rest reduction: the sketch
+for the true class sees the example with label +1, every other sketch
+sees it with label -1.
+
+For large M the paper suggests noise-contrastive estimation; we provide
+an optional ``negative_samples`` knob that updates only the true class
+and a random subset of the others — the NCE-flavoured reduction — which
+brings the per-example cost from O(M) to O(1 + negatives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+
+from repro.data.sparse import SparseExample
+from repro.learning.base import CELL_BYTES
+
+
+class MulticlassSketch:
+    """One-vs-rest multiclass wrapper around any StreamingClassifier.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of output classes M (>= 2).
+    make_sketch:
+        Factory called once per class (receives the class index, so
+        callers can vary seeds) returning a fresh binary classifier.
+    negative_samples:
+        If > 0, each update trains the true class plus this many
+        uniformly-sampled other classes instead of all M (the
+        NCE-flavoured reduction suggested for large M).
+    seed:
+        Seed for negative sampling.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        make_sketch: Callable[[int], object],
+        negative_samples: int = 0,
+        seed: int = 0,
+    ):
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        if negative_samples < 0:
+            raise ValueError("negative_samples must be >= 0")
+        self.n_classes = n_classes
+        self.sketches = [make_sketch(m) for m in range(n_classes)]
+        self.negative_samples = negative_samples
+        self._rng = np.random.Generator(np.random.PCG64(seed))
+        self.t = 0
+
+    # ------------------------------------------------------------------
+    def margins(self, x: SparseExample) -> np.ndarray:
+        """Per-class margins (scores)."""
+        return np.array(
+            [s.predict_margin(x) for s in self.sketches], dtype=np.float64
+        )
+
+    def predict(self, x: SparseExample) -> int:
+        """The argmax-margin class."""
+        return int(np.argmax(self.margins(x)))
+
+    def update(self, x: SparseExample, label: int) -> None:
+        """One one-vs-rest (or negatively-sampled) training step.
+
+        ``label`` is the true class index in [0, M).
+        """
+        if not 0 <= label < self.n_classes:
+            raise ValueError(f"label {label} out of range [0, {self.n_classes})")
+        positive = replace(x, label=1)
+        negative = replace(x, label=-1)
+        self.sketches[label].update(positive)
+        if self.negative_samples == 0:
+            others = (m for m in range(self.n_classes) if m != label)
+        else:
+            n = min(self.negative_samples, self.n_classes - 1)
+            choices = set()
+            while len(choices) < n:
+                m = int(self._rng.integers(0, self.n_classes))
+                if m != label:
+                    choices.add(m)
+            others = iter(choices)
+        for m in others:
+            self.sketches[m].update(negative)
+        self.t += 1
+
+    def top_weights(self, class_index: int, k: int) -> list[tuple[int, float]]:
+        """Top-k features for one class's sketch."""
+        return self.sketches[class_index].top_weights(k)
+
+    @property
+    def memory_cost_bytes(self) -> int:
+        """Sum of per-class footprints (plus nothing shared)."""
+        return sum(s.memory_cost_bytes for s in self.sketches)

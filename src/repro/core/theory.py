@@ -1,0 +1,191 @@
+"""Sketch sizing from the theoretical analysis (Theorems 1 and 2).
+
+Theorem 1 (batch recovery): for a beta-strongly-smooth loss, inputs with
+``max_t ||x_t||_1 = gamma``, and L2 strength ``lambda``, taking
+
+.. math::
+
+    k = (C_1 / \\epsilon^4) \\log^3(d/\\delta)
+        \\max\\{1, \\beta^2 \\gamma^4 / \\lambda^2\\}
+
+    s = (C_2 / \\epsilon^2) \\log^2(d/\\delta)
+        \\max\\{1, \\beta \\gamma^2 / \\lambda\\}
+
+guarantees ``||w* - w_est||_inf <= eps ||w*||_1`` with probability
+1 - delta.  Theorem 2 adds a sample-size requirement ``T`` for the
+single-pass online setting (in expectation over stream orderings).
+
+The constants C_i are not given by the analysis; the calculator exposes
+them as parameters (default 1.0, which reproduces the *scaling* — the
+practically-relevant output — rather than literal cell counts).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SketchSizing:
+    """The (k, s, width) triple prescribed by Theorem 1."""
+
+    size: int  # k — total sketch cells
+    depth: int  # s — number of rows
+    width: int  # k / s — buckets per row
+    epsilon: float
+    delta: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for logging / tabulation)."""
+        return {
+            "k": self.size,
+            "s": self.depth,
+            "width": self.width,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+        }
+
+
+def _regularity_factor(beta: float, gamma: float, lambda_: float) -> float:
+    """max{1, beta * gamma^2 / lambda} — Theorem 1's conditioning term."""
+    if lambda_ <= 0:
+        raise ValueError(f"lambda_ must be positive, got {lambda_}")
+    return max(1.0, beta * gamma * gamma / lambda_)
+
+
+def theorem1_sizing(
+    d: int,
+    epsilon: float,
+    delta: float = 0.05,
+    beta: float = 1.0,
+    gamma: float = 1.0,
+    lambda_: float = 1e-6,
+    c1: float = 1.0,
+    c2: float = 1.0,
+) -> SketchSizing:
+    """Sketch size/depth satisfying Theorem 1's recovery guarantee.
+
+    Parameters
+    ----------
+    d:
+        Feature dimension.
+    epsilon:
+        Target recovery error as a fraction of ``||w*||_1``.
+    delta:
+        Failure probability over the hash draw.
+    beta:
+        Strong-smoothness constant of the loss (1 for logistic and
+        smoothed hinge).
+    gamma:
+        Bound on ``||x_t||_1`` (1 for L1-normalized inputs).
+    lambda_:
+        L2-regularization strength.
+    c1, c2:
+        The unspecified constants of the theorem.
+
+    Returns
+    -------
+    SketchSizing
+        With ``size`` rounded up to a multiple of ``depth`` so the array
+        is rectangular, and ``width = size // depth``.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if d < 2:
+        raise ValueError(f"d must be >= 2, got {d}")
+    log_term = math.log(d / delta)
+    reg = _regularity_factor(beta, gamma, lambda_)
+    k = c1 / epsilon**4 * log_term**3 * reg * reg
+    s = c2 / epsilon**2 * log_term**2 * reg
+    depth = max(1, math.ceil(s))
+    size = max(depth, math.ceil(k))
+    # Round up so width * depth == size exactly.
+    width = math.ceil(size / depth)
+    return SketchSizing(
+        size=width * depth, depth=depth, width=width, epsilon=epsilon, delta=delta
+    )
+
+
+def theorem2_sample_size(
+    d: int,
+    epsilon: float,
+    delta: float = 0.05,
+    beta: float = 1.0,
+    gamma: float = 1.0,
+    lambda_: float = 1e-6,
+    lipschitz: float = 1.0,
+    w_star_l1: float = 1.0,
+    w_star_l2: float = 1.0,
+    c3: float = 1.0,
+) -> int:
+    """Minimum stream length T for Theorem 2's online guarantee.
+
+    ``T >= (C_3 / eps^4) * zeta * log^2(d/delta) * max{1, beta gamma^2 / lambda}``
+    with ``zeta = (1/lambda^2) (D_2 / ||w*||_1)^2 (G + (1+gamma) H)^2`` and
+    ``G <= H (1 + gamma) + lambda D`` where ``D = D_2 + eps D_1``.
+    """
+    if w_star_l1 <= 0 or w_star_l2 <= 0:
+        raise ValueError("w* norm bounds must be positive")
+    log_term = math.log(d / delta)
+    reg = _regularity_factor(beta, gamma, lambda_)
+    big_d = w_star_l2 + epsilon * w_star_l1
+    grad_bound = lipschitz * (1.0 + gamma) + lambda_ * big_d
+    zeta = (
+        (1.0 / lambda_**2)
+        * (w_star_l2 / w_star_l1) ** 2
+        * (grad_bound + (1.0 + gamma) * lipschitz) ** 2
+    )
+    t = c3 / epsilon**4 * zeta * log_term**2 * reg
+    return max(1, math.ceil(t))
+
+
+def achievable_epsilon(
+    d: int,
+    size: int,
+    depth: int,
+    delta: float = 0.05,
+    beta: float = 1.0,
+    gamma: float = 1.0,
+    lambda_: float = 1e-6,
+    c1: float = 1.0,
+    c2: float = 1.0,
+) -> float:
+    """Invert Theorem 1: the epsilon achievable with a given (k, s).
+
+    Returns the larger (weaker) of the two epsilons implied by the k- and
+    s-equations, since both constraints must hold.
+    """
+    if size < 1 or depth < 1:
+        raise ValueError("size and depth must be >= 1")
+    log_term = math.log(d / delta)
+    reg = _regularity_factor(beta, gamma, lambda_)
+    eps_from_k = (c1 * log_term**3 * reg * reg / size) ** 0.25
+    eps_from_s = (c2 * log_term**2 * reg / depth) ** 0.5
+    return max(eps_from_k, eps_from_s)
+
+
+def count_sketch_sizing(d: int, epsilon: float, delta: float = 0.05) -> SketchSizing:
+    """Classic Count-Sketch sizing for frequency estimation (Lemma 1):
+    width Theta(1/eps^2), depth Theta(log(d/delta))."""
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    width = math.ceil(1.0 / epsilon**2)
+    depth = max(1, math.ceil(math.log(d / delta)))
+    return SketchSizing(
+        size=width * depth, depth=depth, width=width, epsilon=epsilon, delta=delta
+    )
+
+
+def count_min_sizing(d: int, epsilon: float, delta: float = 0.05) -> SketchSizing:
+    """Count-Min sizing (Section 6.1's comparison table): width
+    Theta(1/eps), depth Theta(log(d/delta))."""
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    width = math.ceil(1.0 / epsilon)
+    depth = max(1, math.ceil(math.log(d / delta)))
+    return SketchSizing(
+        size=width * depth, depth=depth, width=width, epsilon=epsilon, delta=delta
+    )

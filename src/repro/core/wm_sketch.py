@@ -1,0 +1,238 @@
+"""The Weight-Median Sketch (Algorithm 1).
+
+The WM-Sketch maintains a Count-Sketch-shaped array ``z`` (depth ``s``,
+width ``k/s``) that holds a randomly-projected linear classifier.  The
+projection is ``R = A / sqrt(s)`` where ``A`` is the Count-Sketch matrix
+implicitly defined by per-row bucket hashes ``h_j`` and sign hashes
+``sigma_j`` — the sparse Johnson-Lindenstrauss transform of Kane & Nelson
+(2014), which is what makes the recovery analysis (Theorem 1) go through.
+
+Update (online gradient descent on the compressed loss):
+
+.. math::
+
+    z \\leftarrow (1 - \\lambda \\eta_t) z
+        - \\eta_t \\, y \\, \\ell'(y z^T R x) \\, R x
+
+Query (Count-Sketch recovery on ``sqrt(s) z``):
+
+.. math::
+
+    \\hat w_i = \\mathrm{median}_j \\{ \\sqrt{s} \\,
+        \\sigma_j(i) \\, z_{j, h_j(i)} \\}
+
+The L2 decay is applied lazily through a global scale ``alpha``
+(Section 5.1, "Efficient Regularization"), giving O(s * nnz(x)) updates.
+
+For the evaluation's top-K queries, the class can *passively* maintain a
+heap of the heaviest estimated weights over features it has seen — the
+same construction heavy-hitters sketches use.  Unlike the AWM-Sketch's
+active set, this heap never feeds back into the learning updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.sparse import SparseExample
+from repro.hashing.family import HashFamily
+from repro.heap.topk import TopKHeap
+from repro.learning.base import CELL_BYTES, StreamingClassifier
+from repro.learning.losses import LogisticLoss, Loss
+from repro.learning.schedules import Schedule, as_schedule
+
+_RENORM_THRESHOLD = 1e-150
+
+
+class WMSketch(StreamingClassifier):
+    """Weight-Median Sketch: a sketched online linear classifier.
+
+    Parameters
+    ----------
+    width:
+        Buckets per row (``k / s`` in the paper's notation).
+    depth:
+        Number of rows ``s``.
+    loss:
+        Margin loss defining the model (default: logistic regression).
+    lambda_:
+        L2-regularization strength (Eq. 1); Theorem 1's sketch sizes
+        scale as 1/lambda, and Fig. 5 shows recovery error falling as
+        lambda grows.
+    learning_rate:
+        Schedule or float eta0 (paper default 0.1).
+    seed:
+        Hash-family seed (the randomness the guarantee is over).
+    heap_capacity:
+        If > 0, passively track the top features by estimated weight so
+        ``top_weights`` is O(K log K) instead of requiring a candidate
+        scan.  Charged 2 cells (id + weight) per slot.
+    l1:
+        Optional elastic-net-style l1 shrinkage applied to sketch
+        estimates at query time (soft threshold); Section 6.1's "Weight
+        Sparsity" remark.  0 disables.
+    hash_kind:
+        "tabulation" (default) or "polynomial" hash family.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        loss: Loss | None = None,
+        lambda_: float = 1e-6,
+        learning_rate: Schedule | float = 0.1,
+        seed: int = 0,
+        heap_capacity: int = 128,
+        l1: float = 0.0,
+        hash_kind: str = "tabulation",
+    ):
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if lambda_ < 0:
+            raise ValueError(f"lambda_ must be >= 0, got {lambda_}")
+        if l1 < 0:
+            raise ValueError(f"l1 must be >= 0, got {l1}")
+        self.width = width
+        self.depth = depth
+        self.loss = loss if loss is not None else LogisticLoss()
+        self.lambda_ = lambda_
+        self.l1 = l1
+        self.schedule = as_schedule(learning_rate)
+        self.family = HashFamily(width, depth, seed=seed, kind=hash_kind)
+        self.table = np.zeros((depth, width), dtype=np.float64)
+        self._scale = 1.0  # the global alpha of Section 5.1
+        self._sqrt_s = float(np.sqrt(depth))
+        self.t = 0
+        self.heap: TopKHeap | None = (
+            TopKHeap(heap_capacity) if heap_capacity > 0 else None
+        )
+
+    # ------------------------------------------------------------------
+    # Sketch-space projection helpers
+    # ------------------------------------------------------------------
+    def _rows(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(buckets, signs), each of shape (depth, nnz)."""
+        return self.family.all_rows(indices)
+
+    def _margin_from_rows(
+        self, buckets: np.ndarray, signs: np.ndarray, values: np.ndarray
+    ) -> float:
+        """z^T R x given precomputed per-row buckets and signs."""
+        total = 0.0
+        for j in range(self.depth):
+            total += float(self.table[j, buckets[j]] @ (signs[j] * values))
+        return self._scale * total / self._sqrt_s
+
+    def predict_margin(self, x: SparseExample) -> float:
+        buckets, signs = self._rows(x.indices)
+        return self._margin_from_rows(buckets, signs, x.values)
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def update(self, x: SparseExample) -> None:
+        y = x.label
+        buckets, signs = self._rows(x.indices)
+        tau = self._margin_from_rows(buckets, signs, x.values)
+        g = self.loss.dloss(y * tau)
+        eta = self.schedule(self.t)
+        if self.lambda_ > 0.0:
+            decay = 1.0 - eta * self.lambda_
+            if decay <= 0.0:
+                raise ValueError(
+                    f"eta * lambda = {eta * self.lambda_} >= 1; decrease eta0"
+                )
+            self._scale *= decay
+            if self._scale < _RENORM_THRESHOLD:
+                self.table *= self._scale
+                self._scale = 1.0
+        # z <- z - eta * y * g * R x   (R = A / sqrt(s)), done on the raw
+        # table so the stored state is z / scale.
+        coeff = -eta * y * g / (self._sqrt_s * self._scale)
+        for j in range(self.depth):
+            np.add.at(self.table[j], buckets[j], coeff * signs[j] * x.values)
+        self.t += 1
+        if self.heap is not None:
+            # Passive heavy-weight tracking: only touch the heap when the
+            # estimate could change its contents (member refresh, free
+            # slot, or beating the current minimum).
+            estimates = self._estimate_from_rows(buckets, signs)
+            for idx, w in zip(x.indices.tolist(), estimates.tolist()):
+                if (
+                    idx in self.heap
+                    or not self.heap.is_full
+                    or abs(w) > self.heap.min_priority()
+                ):
+                    self.heap.push(int(idx), w)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _estimate_from_rows(
+        self, buckets: np.ndarray, signs: np.ndarray
+    ) -> np.ndarray:
+        if self.depth == 1:
+            est = self._scale * (signs[0] * self.table[0, buckets[0]])
+        else:
+            rows = np.empty(buckets.shape, dtype=np.float64)
+            for j in range(self.depth):
+                rows[j] = signs[j] * self.table[j, buckets[j]]
+            est = self._sqrt_s * self._scale * np.median(rows, axis=0)
+        if self.l1 > 0.0:
+            est = np.sign(est) * np.maximum(np.abs(est) - self.l1, 0.0)
+        return est
+
+    def estimate_weights(self, indices: np.ndarray) -> np.ndarray:
+        """Count-Sketch recovery: median over rows of sqrt(s)*alpha*sigma*z."""
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        buckets, signs = self._rows(indices)
+        return self._estimate_from_rows(buckets, signs)
+
+    def top_weights(self, k: int) -> list[tuple[int, float]]:
+        """Top-k features among the passively tracked heap.
+
+        Estimates are refreshed against the current sketch state before
+        ranking, since heap snapshots can be stale.
+        """
+        if self.heap is None:
+            raise RuntimeError(
+                "construct with heap_capacity > 0 (or query "
+                "estimate_weights over a candidate set) for top_weights"
+            )
+        candidates = np.array([i for i, _ in self.heap.items()], dtype=np.int64)
+        if candidates.size == 0:
+            return []
+        est = self.estimate_weights(candidates)
+        order = np.argsort(-np.abs(est))
+        return [(int(candidates[i]), float(est[i])) for i in order[:k]]
+
+    def top_weights_from_candidates(
+        self, candidates: np.ndarray, k: int
+    ) -> list[tuple[int, float]]:
+        """Top-k estimated weights over an explicit candidate feature set."""
+        candidates = np.atleast_1d(np.asarray(candidates, dtype=np.int64))
+        est = self.estimate_weights(candidates)
+        if k < candidates.size:
+            part = np.argpartition(-np.abs(est), k)[:k]
+        else:
+            part = np.arange(candidates.size)
+        order = part[np.argsort(-np.abs(est[part]))]
+        return [(int(candidates[i]), float(est[i])) for i in order[:k]]
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total sketch cells k = width * depth."""
+        return self.width * self.depth
+
+    @property
+    def memory_cost_bytes(self) -> int:
+        heap_cells = 2 * self.heap.capacity if self.heap is not None else 0
+        return CELL_BYTES * (self.size + heap_cells)
+
+    def sketch_state(self) -> np.ndarray:
+        """The current (scaled) sketch vector z as a flat array."""
+        return (self._scale * self.table).ravel()

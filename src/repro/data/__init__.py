@@ -1,0 +1,36 @@
+"""Data substrate: sparse examples and synthetic stream generators.
+
+The paper evaluates on six datasets (Table 1).  None of them can be
+downloaded in this offline environment, so each is replaced by a
+parametric generator that reproduces the statistical properties the
+algorithms are sensitive to — feature-frequency skew, sparsity of the
+discriminative signal, correlation (or anti-correlation) between feature
+frequency and feature weight, and dimension much larger than the memory
+budget.  See DESIGN.md Section 3 for the substitution rationale, and
+:mod:`repro.data.datasets` for the per-dataset knobs.
+
+Contents
+--------
+* :class:`~repro.data.sparse.SparseExample` — the (indices, values,
+  label) triple flowing through every stream.
+* :mod:`~repro.data.synthetic` — the core Zipfian sparse-classification
+  stream generator.
+* :mod:`~repro.data.datasets` — RCV1-, URL- and KDDA-flavoured presets.
+* :mod:`~repro.data.fec` — FEC-disbursements-like categorical outlier
+  data (streaming explanation, Figs. 8-9).
+* :mod:`~repro.data.network` — paired packet streams with planted
+  relative deltoids (Fig. 10).
+* :mod:`~repro.data.text` — Zipfian corpus with planted collocations
+  (Table 3, Fig. 11).
+"""
+
+from repro.data.sparse import SparseExample, dense_to_sparse, sparse_dot
+from repro.data.synthetic import SyntheticStream, zipf_probabilities
+
+__all__ = [
+    "SparseExample",
+    "SyntheticStream",
+    "dense_to_sparse",
+    "sparse_dot",
+    "zipf_probabilities",
+]

@@ -1,0 +1,192 @@
+"""Zipfian text corpus with planted collocations (Section 8.3).
+
+The streaming-PMI experiment needs a token stream whose bigram
+distribution contains (a) very frequent pairs with PMI near zero (e.g.
+", the" in the paper's Table 3 right panel), and (b) rarer pairs with
+high PMI (collocations like "prime minister", "los angeles").
+
+The generator produces a unigram-Zipf token stream and, with probability
+``collocation_rate``, emits a planted collocation pair (two dedicated
+tokens in sequence) instead of an independent token.  Because planted
+pairs co-occur far more often than independence predicts, their PMI is
+high; head-of-Zipf token pairs co-occur often but at close to the
+product of their unigram rates, so their PMI is near zero — exactly the
+contrast of Table 3.
+
+Exact unigram and within-window bigram counts are tracked so that exact
+PMIs (the reference values in Table 3 / Fig. 11) can be computed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from math import log
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.synthetic import zipf_probabilities
+
+
+def pair_id(u: int, v: int, vocab: int) -> int:
+    """Stable feature identifier for the ordered token pair (u, v)."""
+    return u * vocab + v
+
+
+def unpair_id(pid: int, vocab: int) -> tuple[int, int]:
+    """Invert :func:`pair_id`."""
+    return pid // vocab, pid % vocab
+
+
+@dataclass
+class CooccurrenceCounts:
+    """Exact unigram / bigram counts over a sliding window."""
+
+    unigrams: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    bigrams: dict[tuple[int, int], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    n_tokens: int = 0
+    n_pairs: int = 0
+
+    def pmi(self, u: int, v: int, smoothing: float = 0.0) -> float:
+        """Exact PMI(u, v) = log [ p(u,v) / (p(u) p(v)) ] from counts.
+
+        Returns -inf if the pair was never observed (with smoothing=0).
+        """
+        c_uv = self.bigrams.get((u, v), 0) + smoothing
+        if c_uv == 0 or self.n_pairs == 0:
+            return float("-inf")
+        c_u = self.unigrams.get(u, 0) + smoothing
+        c_v = self.unigrams.get(v, 0) + smoothing
+        if c_u == 0 or c_v == 0:
+            return float("-inf")
+        p_uv = c_uv / self.n_pairs
+        p_u = c_u / self.n_tokens
+        p_v = c_v / self.n_tokens
+        return log(p_uv / (p_u * p_v))
+
+    def pair_frequency(self, u: int, v: int) -> float:
+        """Empirical within-window pair frequency p(u, v)."""
+        if self.n_pairs == 0:
+            return 0.0
+        return self.bigrams.get((u, v), 0) / self.n_pairs
+
+
+class CollocationCorpus:
+    """Synthetic token stream with planted high-PMI collocations.
+
+    Parameters
+    ----------
+    vocab:
+        Unigram vocabulary size.
+    n_collocations:
+        Number of planted collocation pairs.  Each consumes two dedicated
+        mid-frequency tokens.
+    collocation_rate:
+        Probability that the next emission is a collocation pair rather
+        than an independent Zipf token.
+    window:
+        Sliding co-occurrence window size (the paper uses 5-6 tokens).
+    skew:
+        Zipf exponent of the background unigram law.
+    seed:
+        Reproducibility seed.
+    """
+
+    def __init__(
+        self,
+        vocab: int = 5_000,
+        n_collocations: int = 50,
+        collocation_rate: float = 0.05,
+        window: int = 5,
+        skew: float = 1.05,
+        seed: int = 0,
+    ):
+        if vocab < 10:
+            raise ValueError(f"vocab must be >= 10, got {vocab}")
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if not 0 <= collocation_rate < 1:
+            raise ValueError(
+                f"collocation_rate must be in [0,1), got {collocation_rate}"
+            )
+        self.vocab = vocab
+        self.window = window
+        self.collocation_rate = collocation_rate
+        self.seed = seed
+
+        root = np.random.SeedSequence(seed)
+        setup = np.random.Generator(np.random.PCG64(root.spawn(1)[0]))
+        self._probs = zipf_probabilities(vocab, skew)
+
+        # Dedicate mid-frequency tokens (ranks 10%-60%) to collocations.
+        lo = int(0.10 * vocab)
+        hi = max(int(0.60 * vocab), lo + 2 * n_collocations)
+        hi = min(hi, vocab)
+        # Clamp to the available band for small vocabularies.
+        n_collocations = min(n_collocations, (hi - lo) // 2)
+        picks = setup.choice(
+            np.arange(lo, hi), size=2 * n_collocations, replace=False
+        )
+        self.collocations = [
+            (int(picks[2 * i]), int(picks[2 * i + 1]))
+            for i in range(n_collocations)
+        ]
+        # Collocations themselves follow a Zipf usage law: some planted
+        # pairs are frequent (lower PMI: their tokens are common), some
+        # rare (higher PMI) — giving Fig. 11 its frequency/PMI gradient
+        # across sketch widths.
+        if n_collocations > 0:
+            self._collocation_probs = zipf_probabilities(n_collocations, 1.0)
+        else:
+            self._collocation_probs = None
+
+        self.counts = CooccurrenceCounts()
+
+    # ------------------------------------------------------------------
+    def tokens(self, n: int, seed_offset: int = 0) -> Iterator[int]:
+        """Yield approximately ``n`` tokens (collocations emit in pairs)."""
+        rng = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence((self.seed, 131_071 + seed_offset)))
+        )
+        emitted = 0
+        n_colloc = len(self.collocations)
+        while emitted < n:
+            if n_colloc and rng.random() < self.collocation_rate:
+                pick = int(rng.choice(n_colloc, p=self._collocation_probs))
+                u, v = self.collocations[pick]
+                yield u
+                yield v
+                emitted += 2
+            else:
+                yield int(rng.choice(self.vocab, p=self._probs))
+                emitted += 1
+
+    def pairs(
+        self, n_tokens: int, seed_offset: int = 0, count: bool = True
+    ) -> Iterator[tuple[int, int]]:
+        """Yield ordered within-window co-occurrence pairs.
+
+        For each new token v and each of the ``window - 1`` preceding
+        tokens u, yields (u, v).  With ``count=True`` (default), exact
+        unigram/bigram counts are accumulated in :attr:`counts`.
+        """
+        history: list[int] = []
+        for token in self.tokens(n_tokens, seed_offset=seed_offset):
+            if count:
+                self.counts.unigrams[token] += 1
+                self.counts.n_tokens += 1
+            for prev in history:
+                if count:
+                    self.counts.bigrams[(prev, token)] += 1
+                    self.counts.n_pairs += 1
+                yield prev, token
+            history.append(token)
+            if len(history) >= self.window:
+                history.pop(0)
+
+    def exact_pmi(self, u: int, v: int) -> float:
+        """Exact PMI from the accumulated counts."""
+        return self.counts.pmi(u, v)

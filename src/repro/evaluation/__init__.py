@@ -1,0 +1,35 @@
+"""Evaluation harness: metrics and experiment drivers.
+
+* :mod:`~repro.evaluation.metrics` — the RelErr recovery metric of
+  Section 7.2, recall@threshold (Fig. 10), Pearson correlation (Fig. 9)
+  and supporting statistics.
+* :mod:`~repro.evaluation.harness` — method registry + drivers that run
+  every budgeted method over a shared stream and report recovery and
+  online classification error (the machinery behind Figs. 3-7).
+* :mod:`~repro.evaluation.runtime` — wall-clock measurement normalized
+  to the unconstrained baseline (Fig. 7).
+"""
+
+from repro.evaluation.harness import (
+    MethodResult,
+    RecoveryExperiment,
+    make_budgeted_methods,
+)
+from repro.evaluation.metrics import (
+    online_error_rate,
+    pearson_correlation,
+    recall_at_threshold,
+    relative_error,
+    top_k_vector,
+)
+
+__all__ = [
+    "relative_error",
+    "top_k_vector",
+    "recall_at_threshold",
+    "pearson_correlation",
+    "online_error_rate",
+    "RecoveryExperiment",
+    "MethodResult",
+    "make_budgeted_methods",
+]

@@ -1,0 +1,139 @@
+"""Evaluation metrics.
+
+The central one is the paper's relative L2 recovery error (Section 7.2):
+
+.. math::
+
+    \\mathrm{RelErr}(w^K, w^*) =
+        \\frac{\\|w^K - w^*\\|_2}{\\|w^K_* - w^*\\|_2}
+
+where ``w^K`` is the K-sparse vector of a method's estimated top-K
+weights (estimated values at estimated positions), ``w*`` the reference
+uncompressed model, and ``w^K_*`` the true top-K of ``w*``.  RelErr >= 1
+always, with 1 meaning the method's top-K is exactly the optimal
+K-sparse approximation of ``w*``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def top_k_vector(
+    d: int, entries: list[tuple[int, float]], k: int | None = None
+) -> np.ndarray:
+    """Materialize a K-sparse estimate as a dense length-``d`` vector.
+
+    Parameters
+    ----------
+    d:
+        Ambient dimension.
+    entries:
+        (index, weight) pairs, highest magnitude first.
+    k:
+        Keep only the first ``k`` entries (default: all).
+    """
+    out = np.zeros(d, dtype=np.float64)
+    if k is not None:
+        entries = entries[:k]
+    for idx, w in entries:
+        if not 0 <= idx < d:
+            raise IndexError(f"feature id {idx} out of range [0, {d})")
+        out[idx] = w
+    return out
+
+
+def true_top_k(w_star: np.ndarray, k: int) -> np.ndarray:
+    """The optimal K-sparse approximation of ``w_star`` (true top-K)."""
+    w_star = np.asarray(w_star, dtype=np.float64)
+    out = np.zeros_like(w_star)
+    if k >= w_star.size:
+        return w_star.copy()
+    idx = np.argpartition(-np.abs(w_star), k)[:k]
+    out[idx] = w_star[idx]
+    return out
+
+
+def relative_error(
+    estimated: list[tuple[int, float]] | np.ndarray,
+    w_star: np.ndarray,
+    k: int,
+) -> float:
+    """The paper's RelErr metric for a method's top-K estimate.
+
+    ``estimated`` may be (index, weight) pairs (sorted by magnitude,
+    descending) or an already-dense K-sparse vector.
+    """
+    w_star = np.asarray(w_star, dtype=np.float64)
+    if isinstance(estimated, np.ndarray):
+        w_k = estimated
+    else:
+        w_k = top_k_vector(w_star.size, estimated, k)
+    reference = true_top_k(w_star, k)
+    denom = float(np.linalg.norm(reference - w_star))
+    num = float(np.linalg.norm(w_k - w_star))
+    if denom == 0.0:
+        # w* itself is K-sparse: perfect recovery gives 0/0 -> 1.
+        return 1.0 if num == 0.0 else math.inf
+    return num / denom
+
+
+def recall_at_threshold(
+    retrieved: set[int] | list[int], relevant: set[int] | list[int]
+) -> float:
+    """|retrieved ∩ relevant| / |relevant| (1.0 when nothing is relevant).
+
+    Fig. 10 reports this for "IP addresses with relative occurrence ratio
+    above the given threshold".
+    """
+    relevant = set(relevant)
+    if not relevant:
+        return 1.0
+    return len(set(retrieved) & relevant) / len(relevant)
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson's r between two samples (Fig. 9 reports 0.95 / 0.91)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise ValueError("need at least two points for a correlation")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = float(np.sqrt((xc**2).sum() * (yc**2).sum()))
+    if denom == 0.0:
+        return 0.0
+    return float((xc * yc).sum() / denom)
+
+
+def online_error_rate(mistakes: int, n: int) -> float:
+    """Cumulative mistakes / examples (Section 7.3's metric)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return mistakes / n
+
+
+def f1_score(retrieved: set[int], relevant: set[int]) -> float:
+    """F1 of a retrieved set vs. the relevant set (auxiliary metric)."""
+    retrieved, relevant = set(retrieved), set(relevant)
+    if not retrieved or not relevant:
+        return 0.0
+    tp = len(retrieved & relevant)
+    if tp == 0:
+        return 0.0
+    precision = tp / len(retrieved)
+    recall = tp / len(relevant)
+    return 2 * precision * recall / (precision + recall)
+
+
+def median(values) -> float:
+    """Median of a non-empty sequence (used for run aggregation;
+    the paper's plots show medians over 10 trials)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("median of empty sequence")
+    return float(np.median(arr))

@@ -1,0 +1,73 @@
+"""Runtime measurement normalized to the unconstrained baseline (Fig. 7).
+
+Fig. 7 reports each method's wall-clock for a full pass over RCV1 as a
+multiple of memory-unconstrained logistic regression (weights in a flat
+array + a K=128 heap).  The paper's absolute numbers come from optimized
+C++ on a Xeon E5-2690; ours come from Python — but the *normalized*
+ratios are comparable because numerator and denominator share the
+substrate (DESIGN.md Section 3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.data.sparse import SparseExample
+from repro.learning.base import StreamingClassifier
+
+
+@dataclass
+class TimingResult:
+    """Wall-clock of one method over one pass."""
+
+    name: str
+    seconds: float
+    n_examples: int
+
+    @property
+    def us_per_example(self) -> float:
+        """Microseconds per processed example."""
+        return 1e6 * self.seconds / max(self.n_examples, 1)
+
+
+def time_pass(
+    name: str,
+    classifier: StreamingClassifier,
+    examples: Sequence[SparseExample],
+    with_prediction: bool = True,
+) -> TimingResult:
+    """Time a full predict-then-update pass (the Fig. 7 workload)."""
+    start = time.perf_counter()
+    if with_prediction:
+        for ex in examples:
+            classifier.predict_margin(ex)
+            classifier.update(ex)
+    else:
+        for ex in examples:
+            classifier.update(ex)
+    elapsed = time.perf_counter() - start
+    return TimingResult(name=name, seconds=elapsed, n_examples=len(examples))
+
+
+def normalized_runtimes(
+    factories: dict[str, Callable[[], StreamingClassifier]],
+    baseline_factory: Callable[[], StreamingClassifier],
+    examples: Sequence[SparseExample],
+    repeats: int = 1,
+) -> dict[str, float]:
+    """Each method's best-of-``repeats`` runtime divided by the baseline's.
+
+    Best-of-N damps scheduler noise, which matters because the Python
+    substrate's absolute times are small for CI-sized streams.
+    """
+    def best_time(factory: Callable[[], StreamingClassifier]) -> float:
+        return min(
+            time_pass("x", factory(), examples).seconds for _ in range(repeats)
+        )
+
+    base = best_time(baseline_factory)
+    if base <= 0:
+        raise RuntimeError("baseline measured at zero seconds; enlarge stream")
+    return {name: best_time(f) / base for name, f in factories.items()}

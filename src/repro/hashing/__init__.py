@@ -1,0 +1,38 @@
+"""Hash-function substrate for the sketching data structures.
+
+The sketches in :mod:`repro.sketch` and :mod:`repro.core` all need families
+of pairwise (or better) independent hash functions mapping feature
+identifiers to buckets and to random signs.  Following Appendix B of the
+paper, the default implementation is 3-wise independent *tabulation
+hashing* (:class:`~repro.hashing.tabulation.TabulationHash`), which is both
+fast (four byte-table lookups, fully vectorizable with NumPy) and
+empirically indistinguishable from the O(log(d/delta))-wise independent
+hashes the analysis assumes.
+
+Also provided:
+
+* :class:`~repro.hashing.universal.PolynomialHash` — k-wise independent
+  polynomial hashing over the Mersenne prime 2^61 - 1 (Carter & Wegman),
+  for callers that want provable k-independence.
+* :func:`~repro.hashing.murmur.murmur3_32` — MurmurHash3 (x86, 32-bit) for
+  hashing byte strings (e.g. token pairs in the PMI application), exactly
+  as the reference implementation of the paper does.
+* :class:`~repro.hashing.family.HashFamily` — the row-indexed
+  (bucket, sign) interface consumed by every sketch.
+"""
+
+from repro.hashing.family import HashFamily, SignedBuckets
+from repro.hashing.murmur import murmur3_32, murmur3_string, fmix32, fmix64
+from repro.hashing.tabulation import TabulationHash
+from repro.hashing.universal import PolynomialHash
+
+__all__ = [
+    "HashFamily",
+    "SignedBuckets",
+    "TabulationHash",
+    "PolynomialHash",
+    "murmur3_32",
+    "murmur3_string",
+    "fmix32",
+    "fmix64",
+]

@@ -1,0 +1,128 @@
+"""MurmurHash3 and integer finalizers.
+
+The paper's reference implementation hashes strings to 32-bit identifiers
+with MurmurHash3 before hashing those identifiers again into sketch
+buckets (Section 8.3).  This module provides a pure-Python MurmurHash3
+(x86 32-bit variant) for byte strings, plus the Murmur *finalizers*
+(``fmix32`` / ``fmix64``) which are high-quality integer mixers used as
+building blocks elsewhere in :mod:`repro.hashing`.
+
+All integer arithmetic is done modulo 2**32 / 2**64 explicitly, so the
+functions are exact ports of the C++ reference implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _rotl32(x: int, r: int) -> int:
+    """Rotate the 32-bit integer ``x`` left by ``r`` bits."""
+    x &= _MASK32
+    return ((x << r) | (x >> (32 - r))) & _MASK32
+
+
+def fmix32(h: int) -> int:
+    """MurmurHash3 32-bit finalizer (avalanche mixer).
+
+    Maps a 32-bit integer to a 32-bit integer such that every input bit
+    affects every output bit with probability ~1/2.
+    """
+    h &= _MASK32
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+def fmix64(h: int) -> int:
+    """MurmurHash3 / SplitMix64 64-bit finalizer (avalanche mixer)."""
+    h &= _MASK64
+    h ^= h >> 33
+    h = (h * 0xFF51AFD7ED558CCD) & _MASK64
+    h ^= h >> 33
+    h = (h * 0xC4CEB9FE1A85EC53) & _MASK64
+    h ^= h >> 33
+    return h
+
+
+def murmur3_32(data: bytes, seed: int = 0) -> int:
+    """MurmurHash3 (x86, 32-bit) of a byte string.
+
+    Exact port of the reference ``MurmurHash3_x86_32``.  Returns an
+    unsigned 32-bit integer.
+
+    Parameters
+    ----------
+    data:
+        The bytes to hash.
+    seed:
+        32-bit seed value.
+    """
+    c1 = 0xCC9E2D51
+    c2 = 0x1B873593
+    h1 = seed & _MASK32
+    length = len(data)
+    n_blocks = length // 4
+
+    for block in range(n_blocks):
+        k1 = int.from_bytes(data[4 * block : 4 * block + 4], "little")
+        k1 = (k1 * c1) & _MASK32
+        k1 = _rotl32(k1, 15)
+        k1 = (k1 * c2) & _MASK32
+        h1 ^= k1
+        h1 = _rotl32(h1, 13)
+        h1 = (h1 * 5 + 0xE6546B64) & _MASK32
+
+    # Tail (remaining 0-3 bytes).
+    tail = data[4 * n_blocks :]
+    k1 = 0
+    if len(tail) >= 3:
+        k1 ^= tail[2] << 16
+    if len(tail) >= 2:
+        k1 ^= tail[1] << 8
+    if len(tail) >= 1:
+        k1 ^= tail[0]
+        k1 = (k1 * c1) & _MASK32
+        k1 = _rotl32(k1, 15)
+        k1 = (k1 * c2) & _MASK32
+        h1 ^= k1
+
+    h1 ^= length
+    return fmix32(h1)
+
+
+def murmur3_string(text: str, seed: int = 0) -> int:
+    """MurmurHash3 (x86, 32-bit) of a text string encoded as UTF-8."""
+    return murmur3_32(text.encode("utf-8"), seed=seed)
+
+
+def fmix64_array(keys: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized ``fmix64`` over an array of integer keys.
+
+    Parameters
+    ----------
+    keys:
+        Integer array (any integer dtype); interpreted as unsigned 64-bit.
+    seed:
+        Mixed into the keys before finalization so that different seeds
+        yield independent-looking hash functions.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint64`` array of hashed values, same shape as ``keys``.
+    """
+    h = keys.astype(np.uint64, copy=True)
+    h ^= np.uint64(fmix64(seed ^ 0x9E3779B97F4A7C15))
+    h ^= h >> np.uint64(33)
+    h *= np.uint64(0xFF51AFD7ED558CCD)
+    h ^= h >> np.uint64(33)
+    h *= np.uint64(0xC4CEB9FE1A85EC53)
+    h ^= h >> np.uint64(33)
+    return h

@@ -1,0 +1,78 @@
+"""k-wise independent polynomial hashing over a Mersenne prime.
+
+Carter & Wegman (1977) universal hashing: a degree-(k-1) polynomial with
+random coefficients over GF(p), p = 2**61 - 1, is exactly k-wise
+independent.  The theoretical analysis of the WM-Sketch assumes
+O(log(d/delta))-wise independence; this class provides it for users who
+want the guarantees verbatim (the default tabulation hash trades that for
+speed, per Appendix B).
+
+Arithmetic uses Python integers via ``object``-dtype only when necessary;
+the common path keeps everything in unsigned 128-bit emulation with
+NumPy ``uint64`` pairs.  For simplicity and correctness we evaluate the
+polynomial with Python-int arithmetic vectorized through ``np.vectorize``
+-free loops over *coefficients* (degree is small), with values held as
+Python ints only at the final reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MERSENNE_61 = (1 << 61) - 1
+
+
+def _mod_mersenne61(x: np.ndarray) -> np.ndarray:
+    """Reduce object-dtype integers modulo 2**61 - 1 (fast Mersenne trick)."""
+    x = (x & MERSENNE_61) + (x >> 61)
+    return np.where(x >= MERSENNE_61, x - MERSENNE_61, x)
+
+
+class PolynomialHash:
+    """A k-wise independent hash function family member.
+
+    Parameters
+    ----------
+    independence:
+        The k in k-wise independence; the polynomial has this many random
+        coefficients.  Must be >= 2.
+    seed:
+        Seed for drawing the coefficients.
+    """
+
+    def __init__(self, independence: int = 4, seed: int | np.random.SeedSequence = 0):
+        if independence < 2:
+            raise ValueError(f"independence must be >= 2, got {independence}")
+        self.independence = independence
+        if isinstance(seed, np.random.SeedSequence):
+            seq = seed
+        else:
+            seq = np.random.SeedSequence(seed)
+        rng = np.random.Generator(np.random.PCG64(seq))
+        coeffs = rng.integers(0, MERSENNE_61, size=independence, dtype=np.int64)
+        # The leading coefficient must be nonzero for full independence.
+        while coeffs[-1] == 0:
+            coeffs[-1] = rng.integers(1, MERSENNE_61, dtype=np.int64)
+        self._coeffs = [int(c) for c in coeffs]
+
+    def hash(self, keys: np.ndarray | int) -> np.ndarray:
+        """Hash keys to uniform values in ``[0, 2**61 - 1)``.
+
+        Evaluates the random polynomial at each key by Horner's rule with
+        exact arithmetic (object dtype), then reduces mod 2**61 - 1.
+        """
+        k = np.asarray(keys)
+        x = _mod_mersenne61(k.astype(object))
+        acc = np.full(k.shape, self._coeffs[-1], dtype=object)
+        for c in reversed(self._coeffs[:-1]):
+            acc = _mod_mersenne61(acc * x + c)
+        return acc
+
+    def bucket(self, keys: np.ndarray | int, n_buckets: int) -> np.ndarray:
+        """Hash keys into ``[0, n_buckets)``."""
+        return (self.hash(keys) % n_buckets).astype(np.int64)
+
+    def sign(self, keys: np.ndarray | int) -> np.ndarray:
+        """Hash keys to signs in {-1.0, +1.0} using the hash parity."""
+        bit = (self.hash(keys) & 1).astype(np.int64)
+        return (2 * bit - 1).astype(np.float64)

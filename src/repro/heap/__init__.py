@@ -1,0 +1,14 @@
+"""Indexed min-heap for tracking top-K items by magnitude.
+
+Both the WM-Sketch (passively) and the AWM-Sketch (as its active set)
+track the K heaviest model weights alongside the sketch, exactly as
+heavy-hitters sketches pair a Count-Sketch with a heap of the most
+frequent items (Charikar et al. 2002).  :class:`~repro.heap.topk.TopKHeap`
+supports O(log K) insert / update / evict with an index map for O(1)
+membership tests, plus a uniform *scale* factor so that the lazy
+L2-regularization trick (Section 5.1) also applies to heap entries.
+"""
+
+from repro.heap.topk import TopKHeap
+
+__all__ = ["TopKHeap"]

@@ -1,0 +1,140 @@
+"""The common interface of all memory-budgeted streaming classifiers.
+
+Every method in the paper's evaluation — WM-Sketch, AWM-Sketch, the
+truncation baselines, the frequent-feature baselines, feature hashing and
+the unconstrained reference — implements :class:`StreamingClassifier`:
+
+* ``update(example)`` — one online-gradient step on a labelled example;
+* ``predict_margin(example)`` — the current model's raw score ``w . x``;
+* ``estimate_weights(indices)`` — point estimates of individual weights
+  of the (conceptual) uncompressed model;
+* ``top_weights(k)`` — the k heaviest (feature, weight) estimates;
+* ``memory_cost_bytes`` — the method's footprint under the paper's cost
+  model (Section 7.1: 4 bytes per feature identifier, feature weight,
+  or auxiliary value).
+
+:func:`run_stream` drives a classifier over a stream with
+progressive-validation error accounting (predict-then-update, Blum et
+al. 1999), which is exactly the "online classification error rate" of
+Section 7.3.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.sparse import SparseExample
+
+#: Bytes charged per feature identifier, weight, or auxiliary value
+#: (Section 7.1's memory cost model).
+CELL_BYTES = 4
+
+
+class StreamingClassifier(ABC):
+    """Abstract base for online linear classifiers over sparse streams."""
+
+    #: Number of updates performed so far.
+    t: int = 0
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def predict_margin(self, x: SparseExample) -> float:
+        """The raw score ``w . x`` of the current model."""
+
+    @abstractmethod
+    def update(self, x: SparseExample) -> None:
+        """One online learning step on a labelled example."""
+
+    @abstractmethod
+    def estimate_weights(self, indices: np.ndarray) -> np.ndarray:
+        """Point estimates of the given features' weights."""
+
+    @abstractmethod
+    def top_weights(self, k: int) -> list[tuple[int, float]]:
+        """The ``k`` heaviest (feature id, estimated weight) pairs,
+        sorted by descending magnitude."""
+
+    @property
+    @abstractmethod
+    def memory_cost_bytes(self) -> int:
+        """Footprint under the 4-bytes-per-cell cost model."""
+
+    # ------------------------------------------------------------------
+    # Derived conveniences
+    # ------------------------------------------------------------------
+    def predict(self, x: SparseExample) -> int:
+        """The predicted label sign(w . x) in {-1, +1}.
+
+        Ties (margin exactly 0) resolve to +1, matching the paper's
+        ``sign`` convention (+1 for non-negative inner product).
+        """
+        return 1 if self.predict_margin(x) >= 0.0 else -1
+
+    def estimate_weight(self, index: int) -> float:
+        """Point estimate of a single feature's weight."""
+        return float(
+            self.estimate_weights(np.asarray([index], dtype=np.int64))[0]
+        )
+
+    def fit(self, stream: Iterable[SparseExample]) -> "StreamingClassifier":
+        """Consume a stream (single pass) without error accounting."""
+        for example in stream:
+            self.update(example)
+        return self
+
+
+@dataclass
+class OnlineErrorTracker:
+    """Progressive-validation error accounting.
+
+    Records, for each observed example, whether the prediction made
+    *before* the model update was correct; the online error rate is the
+    cumulative mistake count over iterations (Section 7.3).
+    """
+
+    mistakes: int = 0
+    n: int = 0
+    #: Cumulative error after each step (recorded at ``checkpoint_every``
+    #: intervals as (t, error) pairs for learning-curve plots).
+    curve: list[tuple[int, float]] = field(default_factory=list)
+    checkpoint_every: int = 1000
+
+    def record(self, predicted: int, actual: int) -> None:
+        """Record one prediction/label pair."""
+        self.n += 1
+        if predicted != actual:
+            self.mistakes += 1
+        if self.checkpoint_every and self.n % self.checkpoint_every == 0:
+            self.curve.append((self.n, self.error_rate))
+
+    @property
+    def error_rate(self) -> float:
+        """Cumulative mistakes / examples seen (0.0 before any example)."""
+        if self.n == 0:
+            return 0.0
+        return self.mistakes / self.n
+
+
+def run_stream(
+    classifier: StreamingClassifier,
+    stream: Iterable[SparseExample],
+    tracker: OnlineErrorTracker | None = None,
+) -> OnlineErrorTracker:
+    """Drive ``classifier`` over ``stream`` with predict-then-update.
+
+    Returns the (possibly caller-provided) tracker holding the online
+    error rate.
+    """
+    if tracker is None:
+        tracker = OnlineErrorTracker()
+    for example in stream:
+        prediction = classifier.predict(example)
+        tracker.record(prediction, example.label)
+        classifier.update(example)
+    return tracker

@@ -1,0 +1,133 @@
+"""The feature-hashing ("hashing trick") baseline.
+
+Shi et al. 2009 / Weinberger et al. 2009: train on features hashed into a
+fixed-size table with random signs (the signed variant makes the inner
+product an unbiased estimate of the original).  This is the ``Hash`` line
+in Figs. 3-7.
+
+Feature hashing stores *no* feature identifiers, so its entire budget
+goes to weights — but colliding features can never be disambiguated,
+which is why its recovery error is poor (Fig. 3) even though its
+classification accuracy is strong.  Weight estimates are produced by
+querying the single table at the feature's hashed position (depth-1
+Count-Sketch-style query).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.sparse import SparseExample
+from repro.hashing.family import HashFamily
+from repro.learning.base import CELL_BYTES, StreamingClassifier
+from repro.learning.losses import LogisticLoss, Loss
+from repro.learning.schedules import Schedule, as_schedule
+
+_RENORM_THRESHOLD = 1e-150
+
+
+class FeatureHashing(StreamingClassifier):
+    """Signed feature hashing into a single weight table.
+
+    Parameters
+    ----------
+    width:
+        Hash-table size in weights (all of the memory budget).
+    loss, lambda_, learning_rate:
+        As for every learner (Eq. 1 objective, lazy L2 decay).
+    seed:
+        Hash-function seed.
+    signed:
+        Use random sign flips (the unbiased "hash kernel"); disable for
+        the plain unsigned variant (ablation).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        loss: Loss | None = None,
+        lambda_: float = 1e-6,
+        learning_rate: Schedule | float = 0.1,
+        seed: int = 0,
+        signed: bool = True,
+    ):
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.width = width
+        self.loss = loss if loss is not None else LogisticLoss()
+        self.lambda_ = lambda_
+        self.schedule = as_schedule(learning_rate)
+        self.signed = signed
+        self.family = HashFamily(width, depth=1, seed=seed)
+        self.table = np.zeros(width, dtype=np.float64)
+        self._scale = 1.0
+        self.t = 0
+
+    # ------------------------------------------------------------------
+    def _hashed(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        buckets = self.family.buckets(indices, 0)
+        if self.signed:
+            signs = self.family.signs(indices, 0)
+        else:
+            signs = np.ones(buckets.shape, dtype=np.float64)
+        return buckets, signs
+
+    def predict_margin(self, x: SparseExample) -> float:
+        buckets, signs = self._hashed(x.indices)
+        return self._scale * float(self.table[buckets] @ (signs * x.values))
+
+    def update(self, x: SparseExample) -> None:
+        y = x.label
+        buckets, signs = self._hashed(x.indices)
+        tau = self._scale * float(self.table[buckets] @ (signs * x.values))
+        g = self.loss.dloss(y * tau)
+        eta = self.schedule(self.t)
+        if self.lambda_ > 0.0:
+            self._scale *= 1.0 - eta * self.lambda_
+            if self._scale < _RENORM_THRESHOLD:
+                self.table *= self._scale
+                self._scale = 1.0
+        np.add.at(
+            self.table, buckets, -(eta * y * g / self._scale) * signs * x.values
+        )
+        self.t += 1
+
+    # ------------------------------------------------------------------
+    def estimate_weights(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        buckets, signs = self._hashed(indices)
+        return self._scale * signs * self.table[buckets]
+
+    def top_weights(self, k: int) -> list[tuple[int, float]]:
+        """Feature hashing cannot enumerate features — only buckets.
+
+        Raises
+        ------
+        NotImplementedError
+            Callers that evaluate recovery for this baseline must supply
+            a candidate set and use :meth:`top_weights_from_candidates`
+            (the paper's recovery evaluation queries candidate features
+            post hoc; identifiers are never stored by the method itself).
+        """
+        raise NotImplementedError(
+            "feature hashing stores no identifiers; use "
+            "top_weights_from_candidates(candidates, k)"
+        )
+
+    def top_weights_from_candidates(
+        self, candidates: np.ndarray, k: int
+    ) -> list[tuple[int, float]]:
+        """Top-k estimated weights among an externally-supplied candidate
+        feature set (used by the recovery-error harness)."""
+        candidates = np.atleast_1d(np.asarray(candidates, dtype=np.int64))
+        est = self.estimate_weights(candidates)
+        if k < candidates.size:
+            part = np.argpartition(-np.abs(est), k)[:k]
+        else:
+            part = np.arange(candidates.size)
+        order = part[np.argsort(-np.abs(est[part]))]
+        return [(int(candidates[i]), float(est[i])) for i in order[:k]]
+
+    @property
+    def memory_cost_bytes(self) -> int:
+        return CELL_BYTES * self.width

@@ -1,0 +1,172 @@
+"""Frequent-features baselines: learn weights only for frequent features.
+
+The paper's heavy-hitters-based baselines pick *which* features get
+explicit weights by tracking feature occurrence frequency, on the theory
+that frequent features matter most.  (Sections 7.2-7.3 show this heuristic
+is unreliable: frequent features need not be discriminative.)
+
+* :class:`SpaceSavingFrequent` ("SS" in the figures) tracks the
+  most frequent features with a Space Saving summary; only currently
+  tracked features hold weights.  When Space Saving evicts a feature,
+  its learned weight is discarded and the replacement starts at zero.
+* :class:`CountMinFrequent` ("CM") estimates all frequencies in a
+  Count-Min sketch and keeps explicit weights for the features whose
+  estimated counts are in the current top-K (heap-maintained).  The
+  paper reports Space Saving consistently beats this baseline, which is
+  why most figures omit it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.sparse import SparseExample
+from repro.heap.topk import TopKHeap
+from repro.learning.base import CELL_BYTES, StreamingClassifier
+from repro.learning.losses import LogisticLoss, Loss
+from repro.learning.schedules import Schedule, as_schedule
+from repro.sketch.count_min import CountMinSketch
+from repro.sketch.space_saving import SpaceSaving
+
+_RENORM_THRESHOLD = 1e-150
+
+
+class _FrequentBase(StreamingClassifier):
+    """Shared weight-map-with-lazy-decay machinery."""
+
+    def __init__(
+        self,
+        loss: Loss | None,
+        lambda_: float,
+        learning_rate: Schedule | float,
+    ):
+        self.loss = loss if loss is not None else LogisticLoss()
+        self.lambda_ = lambda_
+        self.schedule = as_schedule(learning_rate)
+        self.t = 0
+        self._weights: dict[int, float] = {}  # raw (multiply by scale)
+        self._scale = 1.0
+
+    def _decay(self, eta: float) -> None:
+        if self.lambda_ > 0.0:
+            self._scale *= 1.0 - eta * self.lambda_
+            if self._scale < _RENORM_THRESHOLD:
+                for idx in self._weights:
+                    self._weights[idx] *= self._scale
+                self._scale = 1.0
+
+    def predict_margin(self, x: SparseExample) -> float:
+        total = 0.0
+        for idx, val in zip(x.indices.tolist(), x.values.tolist()):
+            w = self._weights.get(idx)
+            if w is not None:
+                total += w * self._scale * val
+        return total
+
+    def _gradient_step(self, x: SparseExample, tracked_only: bool = True) -> None:
+        """One OGD step applied to tracked features of ``x``."""
+        y = x.label
+        tau = self.predict_margin(x)
+        g = self.loss.dloss(y * tau)
+        eta = self.schedule(self.t)
+        self._decay(eta)
+        step = eta * y * g / self._scale
+        for idx, val in zip(x.indices.tolist(), x.values.tolist()):
+            if idx in self._weights:
+                self._weights[idx] -= step * val
+        self.t += 1
+
+    def estimate_weights(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        return np.array(
+            [self._weights.get(int(i), 0.0) * self._scale for i in indices],
+            dtype=np.float64,
+        )
+
+    def top_weights(self, k: int) -> list[tuple[int, float]]:
+        entries = [(i, w * self._scale) for i, w in self._weights.items()]
+        entries.sort(key=lambda kv: abs(kv[1]), reverse=True)
+        return entries[:k]
+
+
+class SpaceSavingFrequent(_FrequentBase):
+    """Space Saving feature selection + per-feature weights.
+
+    Parameters
+    ----------
+    capacity:
+        Space Saving slots.  Cost model: 3 cells per slot (id + count +
+        weight).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        loss: Loss | None = None,
+        lambda_: float = 1e-6,
+        learning_rate: Schedule | float = 0.1,
+    ):
+        super().__init__(loss, lambda_, learning_rate)
+        self.capacity = capacity
+        self.summary = SpaceSaving(capacity)
+
+    def update(self, x: SparseExample) -> None:
+        # Phase 1: frequency tracking; evicted features lose their weights.
+        for idx, val in zip(x.indices.tolist(), x.values.tolist()):
+            evicted = self.summary.update(idx, abs(val) if val != 0 else 1.0)
+            if evicted is not None:
+                self._weights.pop(evicted, None)
+            if idx in self.summary and idx not in self._weights:
+                self._weights[idx] = 0.0
+        # Phase 2: gradient step on the tracked features.
+        self._gradient_step(x)
+
+    @property
+    def memory_cost_bytes(self) -> int:
+        return CELL_BYTES * 3 * self.capacity
+
+
+class CountMinFrequent(_FrequentBase):
+    """Count-Min frequency estimation + top-K-by-count active weights.
+
+    Parameters
+    ----------
+    heap_capacity:
+        Number of features holding explicit weights (2 cells each:
+        id + weight; the heap's count copy adds 1 aux cell each).
+    width, depth:
+        Count-Min sketch dimensions (width * depth aux cells).
+    """
+
+    def __init__(
+        self,
+        heap_capacity: int,
+        width: int,
+        depth: int = 2,
+        loss: Loss | None = None,
+        lambda_: float = 1e-6,
+        learning_rate: Schedule | float = 0.1,
+        seed: int = 0,
+        conservative: bool = False,
+    ):
+        super().__init__(loss, lambda_, learning_rate)
+        self.heap_capacity = heap_capacity
+        self.cm = CountMinSketch(width, depth, seed=seed, conservative=conservative)
+        # Min-heap of active features keyed by estimated count.
+        self._count_heap = TopKHeap(heap_capacity)
+
+    def update(self, x: SparseExample) -> None:
+        self.cm.update(x.indices, np.abs(x.values) + (x.values == 0))
+        counts = self.cm.estimate(x.indices)
+        for idx, est in zip(x.indices.tolist(), counts.tolist()):
+            evicted = self._count_heap.push(int(idx), est)
+            if evicted is not None and evicted[0] != idx:
+                self._weights.pop(evicted[0], None)
+            if idx in self._count_heap and idx not in self._weights:
+                self._weights[idx] = 0.0
+        self._gradient_step(x)
+
+    @property
+    def memory_cost_bytes(self) -> int:
+        sketch_cells = self.cm.width * self.cm.depth
+        return CELL_BYTES * (sketch_cells + 3 * self.heap_capacity)

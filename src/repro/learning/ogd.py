@@ -1,0 +1,119 @@
+"""The memory-unconstrained online logistic regression reference.
+
+This is the ``LR`` line in Figs. 6-10: plain online gradient descent on
+the L2-regularized loss (Eq. 1) with a dense weight vector of dimension
+``d``.  It is both
+
+* the *reference model* whose weights define ``w*`` in the RelErr
+  recovery metric (Section 7.2), and
+* the *runtime baseline* of Fig. 7 (weights in a flat array, heaviest
+  K = 128 features tracked with a min-heap).
+
+L2 weight decay uses the same global-scale trick as the sketches
+(Section 5.1), so an update costs O(nnz(x)) rather than O(d).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.sparse import SparseExample
+from repro.heap.topk import TopKHeap
+from repro.learning.base import CELL_BYTES, StreamingClassifier
+from repro.learning.losses import LogisticLoss, Loss
+from repro.learning.schedules import Schedule, as_schedule
+
+_RENORM_THRESHOLD = 1e-150
+
+
+class UncompressedClassifier(StreamingClassifier):
+    """Dense-weight online linear classifier (no memory budget).
+
+    Parameters
+    ----------
+    d:
+        Feature dimension (weights array size).
+    loss:
+        Margin loss; defaults to logistic regression.
+    lambda_:
+        L2-regularization strength (the lambda of Eq. 1).
+    learning_rate:
+        A :class:`~repro.learning.schedules.Schedule` or a float eta0
+        (shorthand for the inverse-sqrt schedule with that eta0).
+    track_top:
+        Capacity of the min-heap tracking the heaviest weights (the paper
+        uses K = 128 for its runtime experiments).  0 disables tracking;
+        ``top_weights`` then sorts the dense array directly.
+    """
+
+    def __init__(
+        self,
+        d: int,
+        loss: Loss | None = None,
+        lambda_: float = 1e-6,
+        learning_rate: Schedule | float = 0.1,
+        track_top: int = 128,
+    ):
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        if lambda_ < 0:
+            raise ValueError(f"lambda_ must be >= 0, got {lambda_}")
+        self.d = d
+        self.loss = loss if loss is not None else LogisticLoss()
+        self.lambda_ = lambda_
+        self.schedule = as_schedule(learning_rate)
+        self.t = 0
+        self._raw = np.zeros(d, dtype=np.float64)
+        self._scale = 1.0
+        self.heap: TopKHeap | None = TopKHeap(track_top) if track_top > 0 else None
+
+    # ------------------------------------------------------------------
+    def predict_margin(self, x: SparseExample) -> float:
+        return self._scale * float(self._raw[x.indices] @ x.values)
+
+    def update(self, x: SparseExample) -> None:
+        y = x.label
+        tau = self.predict_margin(x)
+        g = self.loss.dloss(y * tau)
+        eta = self.schedule(self.t)
+        if self.lambda_ > 0.0:
+            decay = 1.0 - eta * self.lambda_
+            if decay <= 0.0:
+                raise ValueError(
+                    f"eta * lambda = {eta * self.lambda_} >= 1; decrease eta0"
+                )
+            self._scale *= decay
+            if self._scale < _RENORM_THRESHOLD:
+                self._raw *= self._scale
+                self._scale = 1.0
+        self._raw[x.indices] -= (eta * y * g / self._scale) * x.values
+        self.t += 1
+        if self.heap is not None:
+            new_weights = self._scale * self._raw[x.indices]
+            for idx, w in zip(x.indices.tolist(), new_weights.tolist()):
+                self.heap.push(int(idx), w)
+
+    # ------------------------------------------------------------------
+    def estimate_weights(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        return self._scale * self._raw[indices]
+
+    def dense_weights(self) -> np.ndarray:
+        """The full weight vector (this *is* w* for recovery evaluation)."""
+        return self._scale * self._raw
+
+    def top_weights(self, k: int) -> list[tuple[int, float]]:
+        # The dense array is authoritative; the heap only tracks a
+        # superset approximation for runtime parity with the paper.
+        w = self.dense_weights()
+        if k >= self.d:
+            order = np.argsort(-np.abs(w))
+        else:
+            cand = np.argpartition(-np.abs(w), k)[:k]
+            order = cand[np.argsort(-np.abs(w[cand]))]
+        return [(int(i), float(w[i])) for i in order[:k]]
+
+    @property
+    def memory_cost_bytes(self) -> int:
+        heap_cells = 2 * self.heap.capacity if self.heap is not None else 0
+        return CELL_BYTES * (self.d + heap_cells)

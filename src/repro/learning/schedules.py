@@ -1,0 +1,74 @@
+"""Learning-rate schedules for online gradient descent.
+
+The paper uses an initial learning rate ``eta_0 = 0.1`` across all
+experiments (Section 7.1) with OGD.  The classic choices are provided;
+all are callables ``schedule(t) -> eta_t`` with ``t`` counted from 0.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+
+class Schedule(ABC):
+    """A learning-rate schedule: ``eta_t = schedule(t)``."""
+
+    @abstractmethod
+    def __call__(self, t: int) -> float:
+        """The learning rate for step ``t`` (0-indexed)."""
+
+
+class ConstantSchedule(Schedule):
+    """eta_t = eta0."""
+
+    def __init__(self, eta0: float = 0.1):
+        if eta0 <= 0:
+            raise ValueError(f"eta0 must be positive, got {eta0}")
+        self.eta0 = eta0
+
+    def __call__(self, t: int) -> float:
+        return self.eta0
+
+
+class InverseSqrtSchedule(Schedule):
+    """eta_t = eta0 / sqrt(1 + t) — the standard OGD rate for convex losses.
+
+    This is the default across the library, matching the O(1/sqrt(T))
+    regret bound invoked in the proof of Theorem 2 (Zinkevich 2003).
+    """
+
+    def __init__(self, eta0: float = 0.1):
+        if eta0 <= 0:
+            raise ValueError(f"eta0 must be positive, got {eta0}")
+        self.eta0 = eta0
+
+    def __call__(self, t: int) -> float:
+        return self.eta0 / math.sqrt(1.0 + t)
+
+
+class InverseSchedule(Schedule):
+    """eta_t = eta0 / (1 + eta0 * lambda * t) — the rate for strongly
+    convex objectives (Pegasos-style; Shalev-Shwartz et al. 2011)."""
+
+    def __init__(self, eta0: float = 0.1, lambda_: float = 1e-5):
+        if eta0 <= 0:
+            raise ValueError(f"eta0 must be positive, got {eta0}")
+        if lambda_ <= 0:
+            raise ValueError(f"lambda_ must be positive, got {lambda_}")
+        self.eta0 = eta0
+        self.lambda_ = lambda_
+
+    def __call__(self, t: int) -> float:
+        return self.eta0 / (1.0 + self.eta0 * self.lambda_ * t)
+
+
+def as_schedule(value: "Schedule | float") -> Schedule:
+    """Coerce a bare float into an :class:`InverseSqrtSchedule`.
+
+    Lets every learner accept ``learning_rate=0.1`` as shorthand for the
+    paper's default schedule.
+    """
+    if isinstance(value, Schedule):
+        return value
+    return InverseSqrtSchedule(float(value))

@@ -1,0 +1,221 @@
+"""Truncation baselines: Algorithms 3 and 4 of the paper.
+
+Both maintain at most ``capacity`` explicit (feature, weight) pairs and
+drop everything else after each update:
+
+* :class:`SimpleTruncation` (Algorithm 3) keeps the top-``capacity``
+  entries *by weight magnitude* — a deterministic hard threshold.
+* :class:`ProbabilisticTruncation` (Algorithm 4) keeps a *weighted
+  reservoir sample*: each entry carries an A-Res key
+  ``u ** (1 / |weight|)`` re-keyed whenever its weight changes, and the
+  top-``capacity`` entries by key survive.  Randomization lets
+  lower-weight features occasionally persist, which the paper shows can
+  beat both Simple Truncation and frequency-based selection on datasets
+  where the discriminative features are not the most frequent (URL,
+  Fig. 3).
+
+Implementation notes
+--------------------
+The A-Res key of feature ``i`` is ``W_i = u_i ** (1 / m_i)`` with
+``m_i = |weight_i|``, i.e. ``log W_i = log(u_i) / m_i``.  Writing
+``c_i = -log u_i > 0`` (fixed at insertion), keeping the *largest* keys
+is keeping the *smallest* ``c_i / m_i``.  Two consequences exploited
+here:
+
+* re-keying after a weight change (Algorithm 4's
+  ``W[i] <- W[i] ** |S_t[i] / S_{t+1}[i]|``) is just using the new
+  ``m_i`` in ``c_i / m_i``;
+* the uniform weight decay ``(1 - eta * lambda)`` rescales every ``m_i``
+  equally, multiplying every ``c_i / m_i`` by the same constant — the
+  *ordering* is unchanged, so lazy global scaling applies to reservoir
+  keys exactly as it does to weights.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.sparse import SparseExample
+from repro.heap.topk import TopKHeap
+from repro.learning.base import CELL_BYTES, StreamingClassifier
+from repro.learning.losses import LogisticLoss, Loss
+from repro.learning.schedules import Schedule, as_schedule
+
+_TINY = 1e-300
+
+
+class _TruncationBase(StreamingClassifier):
+    """Shared machinery: sparse weight map with lazy L2 via a heap scale."""
+
+    def __init__(
+        self,
+        capacity: int,
+        loss: Loss | None,
+        lambda_: float,
+        learning_rate: Schedule | float,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.loss = loss if loss is not None else LogisticLoss()
+        self.lambda_ = lambda_
+        self.schedule = as_schedule(learning_rate)
+        self.t = 0
+
+    def estimate_weights(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        return np.array(
+            [self._weight_of(int(i)) for i in indices], dtype=np.float64
+        )
+
+    def _weight_of(self, index: int) -> float:
+        raise NotImplementedError
+
+
+class SimpleTruncation(_TruncationBase):
+    """Algorithm 3: OGD on a weight map truncated to top-K by magnitude.
+
+    Parameters
+    ----------
+    capacity:
+        Number of retained (feature, weight) pairs; the cost model
+        charges 2 cells (id + weight) per slot.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        loss: Loss | None = None,
+        lambda_: float = 1e-6,
+        learning_rate: Schedule | float = 0.1,
+    ):
+        super().__init__(capacity, loss, lambda_, learning_rate)
+        # Min-heap by |weight|: pushing every touched feature and letting
+        # the heap evict minima implements truncation to the top-K of the
+        # union (old entries + updated entries).
+        self._heap = TopKHeap(capacity)
+
+    def predict_margin(self, x: SparseExample) -> float:
+        total = 0.0
+        for idx, val in zip(x.indices.tolist(), x.values.tolist()):
+            total += self._heap.get(idx) * val
+        return total
+
+    def update(self, x: SparseExample) -> None:
+        y = x.label
+        tau = self.predict_margin(x)
+        g = self.loss.dloss(y * tau)
+        eta = self.schedule(self.t)
+        if self.lambda_ > 0.0:
+            self._heap.decay(1.0 - eta * self.lambda_)
+        step = eta * y * g
+        for idx, val in zip(x.indices.tolist(), x.values.tolist()):
+            new_w = self._heap.get(idx) - step * val
+            self._heap.push(idx, new_w)
+        self.t += 1
+
+    def _weight_of(self, index: int) -> float:
+        return self._heap.get(index)
+
+    def top_weights(self, k: int) -> list[tuple[int, float]]:
+        return self._heap.top(k)
+
+    @property
+    def memory_cost_bytes(self) -> int:
+        return CELL_BYTES * 2 * self.capacity
+
+
+class ProbabilisticTruncation(_TruncationBase):
+    """Algorithm 4: OGD on a weight map kept as a weighted reservoir.
+
+    Parameters
+    ----------
+    capacity:
+        Number of retained entries; the cost model charges 3 cells per
+        slot (id + weight + reservoir key).
+    seed:
+        Seed for the reservoir randomness.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        loss: Loss | None = None,
+        lambda_: float = 1e-6,
+        learning_rate: Schedule | float = 0.1,
+        seed: int = 0,
+    ):
+        super().__init__(capacity, loss, lambda_, learning_rate)
+        self._rng = np.random.Generator(np.random.PCG64(seed))
+        # Per-feature state for retained features.
+        self._weights: dict[int, float] = {}  # raw weights (x scale)
+        self._cost: dict[int, float] = {}  # c_i = -log u_i, fixed at insert
+        self._scale = 1.0
+        # Min-heap of retained features storing the ratio c_i / m_i with
+        # *negated* priority: the minimum priority is the largest ratio,
+        # i.e. the smallest reservoir key — evicting it is exactly A-Res
+        # retention of the top-``capacity`` keys.
+        self._heap = TopKHeap(capacity, priority=lambda v: -v)
+
+    # ------------------------------------------------------------------
+    def _ratio(self, idx: int) -> float:
+        """c_i / |raw weight| (the negated heap value)."""
+        m = abs(self._weights[idx])
+        return self._cost[idx] / max(m, _TINY)
+
+    def predict_margin(self, x: SparseExample) -> float:
+        total = 0.0
+        for idx, val in zip(x.indices.tolist(), x.values.tolist()):
+            w = self._weights.get(idx)
+            if w is not None:
+                total += w * self._scale * val
+        return total
+
+    def update(self, x: SparseExample) -> None:
+        y = x.label
+        tau = self.predict_margin(x)
+        g = self.loss.dloss(y * tau)
+        eta = self.schedule(self.t)
+        if self.lambda_ > 0.0:
+            # Uniform decay: rescales all |m_i| equally; reservoir-key
+            # ordering is preserved, so only the scale changes.
+            self._scale *= 1.0 - eta * self.lambda_
+            if self._scale < 1e-150:
+                for idx in self._weights:
+                    self._weights[idx] *= self._scale
+                self._scale = 1.0
+        step = eta * y * g
+        for idx, val in zip(x.indices.tolist(), x.values.tolist()):
+            raw_delta = -step * val / self._scale
+            if idx in self._weights:
+                self._weights[idx] += raw_delta
+                # Re-key: new ratio with the updated weight.
+                self._heap.push(idx, self._ratio(idx))
+            else:
+                u = max(float(self._rng.random()), _TINY)
+                cost = -math.log(u)
+                self._weights[idx] = raw_delta
+                self._cost[idx] = cost
+                evicted = self._heap.push(idx, self._ratio(idx))
+                if evicted is not None:
+                    gone = evicted[0]
+                    del self._weights[gone]
+                    del self._cost[gone]
+        self.t += 1
+
+    def _weight_of(self, index: int) -> float:
+        w = self._weights.get(index)
+        return 0.0 if w is None else w * self._scale
+
+    def top_weights(self, k: int) -> list[tuple[int, float]]:
+        entries = [
+            (idx, raw * self._scale) for idx, raw in self._weights.items()
+        ]
+        entries.sort(key=lambda kv: abs(kv[1]), reverse=True)
+        return entries[:k]
+
+    @property
+    def memory_cost_bytes(self) -> int:
+        return CELL_BYTES * 3 * self.capacity

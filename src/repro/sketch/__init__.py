@@ -1,0 +1,31 @@
+"""Classical streaming-sketch substrate.
+
+These are the frequency-oriented data structures the paper builds on and
+compares against:
+
+* :class:`~repro.sketch.count_sketch.CountSketch` — Charikar et al. 2002;
+  the projection shape reused by the WM-Sketch (Lemma 1 recovery).
+* :class:`~repro.sketch.count_min.CountMinSketch` — Cormode &
+  Muthukrishnan 2005; used in the paired-CM relative-deltoid baseline
+  (Fig. 10) and the Count-Min Frequent Features baseline.
+* :class:`~repro.sketch.space_saving.SpaceSaving` — Metwally et al. 2005;
+  the counter-based heavy-hitter algorithm behind the Space Saving
+  Frequent Features baseline and the MacroBase-style explainer.
+* :class:`~repro.sketch.reservoir.UniformReservoir` /
+  :class:`~repro.sketch.reservoir.WeightedReservoir` — reservoir samplers
+  used by Probabilistic Truncation (Algorithm 4) and the PMI unigram
+  sampler (Section 8.3).
+"""
+
+from repro.sketch.count_min import CountMinSketch
+from repro.sketch.count_sketch import CountSketch
+from repro.sketch.reservoir import UniformReservoir, WeightedReservoir
+from repro.sketch.space_saving import SpaceSaving
+
+__all__ = [
+    "CountSketch",
+    "CountMinSketch",
+    "SpaceSaving",
+    "UniformReservoir",
+    "WeightedReservoir",
+]

@@ -1,0 +1,161 @@
+"""The Count-Min Sketch of Cormode & Muthukrishnan (2005).
+
+Width ``w``, depth ``s``: each key hashes to one bucket per row (no
+signs); the point estimate is the *minimum* across rows, which for
+non-negative streams is a one-sided overestimate:
+``v_i <= est_i <= v_i + eps * ||v||_1`` with width Theta(1/eps) and depth
+Theta(log(d/delta)).
+
+Used here for (a) the Count-Min Frequent Features classifier baseline and
+(b) the paired-Count-Min relative-deltoid baseline of Fig. 10 (Cormode &
+Muthukrishnan 2005a estimate per-item ratios from two CM sketches).
+
+The ``conservative`` flag enables conservative update (Estan & Varghese),
+an ablation the library offers beyond the paper: only buckets that equal
+the current minimum estimate are raised, reducing overestimation for
+skewed streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.family import HashFamily
+from repro.heap.topk import TopKHeap
+
+
+class CountMinSketch:
+    """Count-Min sketch for non-negative frequency estimation.
+
+    Parameters
+    ----------
+    width:
+        Buckets per row.
+    depth:
+        Number of rows.
+    seed:
+        Seed for the hash family.
+    conservative:
+        Enable conservative update (only meaningful for scalar,
+        non-negative increments).
+    track_heavy:
+        If > 0, maintain a heap of the keys with the largest estimated
+        counts.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        seed: int = 0,
+        conservative: bool = False,
+        track_heavy: int = 0,
+    ):
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.conservative = conservative
+        self.family = HashFamily(width, depth, seed=seed)
+        self.table = np.zeros((depth, width), dtype=np.float64)
+        self.total = 0.0
+        self.heavy: TopKHeap | None = TopKHeap(track_heavy) if track_heavy > 0 else None
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update_one(self, key: int, delta: float = 1.0) -> None:
+        """Scalar fast path: add ``delta`` to one key's count.
+
+        Equivalent to ``update(key, delta)`` for non-conservative
+        sketches, with no NumPy per-call overhead (used by the paired-CM
+        deltoid baseline, which updates one address per packet).
+        """
+        if delta < 0:
+            raise ValueError("Count-Min requires non-negative increments")
+        if self.conservative:
+            self.update(key, delta)
+            return
+        self.total += delta
+        for j in range(self.depth):
+            bucket, _ = self.family.bucket_sign_one(key, j)
+            self.table[j, bucket] += delta
+        if self.heavy is not None:
+            self.heavy.push(int(key), self.estimate_one(key))
+
+    def update(self, keys: np.ndarray | int, deltas: np.ndarray | float = 1.0) -> None:
+        """Add non-negative ``deltas`` to the counts of ``keys``."""
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        deltas = np.broadcast_to(
+            np.asarray(deltas, dtype=np.float64), keys.shape
+        ).copy()
+        if np.any(deltas < 0):
+            raise ValueError("Count-Min requires non-negative increments")
+        self.total += float(deltas.sum())
+        if self.conservative:
+            self._conservative_update(keys, deltas)
+        else:
+            for j in range(self.depth):
+                buckets = self.family.buckets(keys, j)
+                np.add.at(self.table[j], buckets, deltas)
+        if self.heavy is not None:
+            for key, est in zip(keys.tolist(), self.estimate(keys).tolist()):
+                self.heavy.push(int(key), est)
+
+    def _conservative_update(self, keys: np.ndarray, deltas: np.ndarray) -> None:
+        """Raise each key's buckets only up to (current estimate + delta)."""
+        all_buckets = np.empty((self.depth, keys.size), dtype=np.int64)
+        for j in range(self.depth):
+            all_buckets[j] = self.family.buckets(keys, j)
+        # Process keys one by one: conservative update is inherently
+        # sequential (each update depends on the current estimate).
+        for t in range(keys.size):
+            cols = all_buckets[:, t]
+            current = self.table[np.arange(self.depth), cols]
+            target = current.min() + deltas[t]
+            np.maximum(current, target, out=current)
+            self.table[np.arange(self.depth), cols] = current
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def estimate(self, keys: np.ndarray | int) -> np.ndarray:
+        """Min-of-rows (one-sided) count estimates for ``keys``."""
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        rows = np.empty((self.depth, keys.size), dtype=np.float64)
+        for j in range(self.depth):
+            buckets = self.family.buckets(keys, j)
+            rows[j] = self.table[j, buckets]
+        return rows.min(axis=0)
+
+    def estimate_one(self, key: int) -> float:
+        """Count estimate for a single key (scalar fast path)."""
+        best = np.inf
+        for j in range(self.depth):
+            bucket, _ = self.family.bucket_sign_one(key, j)
+            value = self.table[j, bucket]
+            if value < best:
+                best = value
+        return float(best)
+
+    def heavy_hitters(self, k: int | None = None) -> list[tuple[int, float]]:
+        """Top tracked keys by estimated count, descending."""
+        if self.heavy is None:
+            raise RuntimeError("construct with track_heavy > 0 to use heavy_hitters")
+        out = self.heavy.top(k)
+        return [(key, self.estimate_one(key)) for key, _ in out]
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Merge a sketch with identical (width, depth, seed) parameters."""
+        if (self.width, self.depth, self.family.seed) != (
+            other.width,
+            other.depth,
+            other.family.seed,
+        ):
+            raise ValueError("can only merge sketches with identical parameters")
+        if self.conservative or other.conservative:
+            raise ValueError("conservative-update sketches are not mergeable")
+        self.table += other.table
+        self.total += other.total

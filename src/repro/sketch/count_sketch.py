@@ -1,0 +1,156 @@
+"""The Count-Sketch of Charikar, Chen & Farach-Colton (2002).
+
+A Count-Sketch of width ``w`` and depth ``s`` maintains an ``s x w`` array
+of counters.  Each key ``i`` hashes to one bucket per row (``h_j(i)``)
+with a random sign (``sigma_j(i)``); increments are added to all ``s``
+assigned buckets after sign-flipping, and the point estimate of a key is
+the *median* across rows of the sign-corrected bucket values.
+
+Lemma 1 (recovery guarantee): with width Theta(1/eps^2) and depth
+Theta(log(d/delta)), the estimate vector satisfies
+``max_i |x_i - est_i| <= eps * ||x||_2`` with probability 1 - delta.
+
+This class is the direct substrate of the WM-Sketch: the WM-Sketch uses
+the same array shape and the same query rule, but replaces the count
+increments with sketched gradient-descent updates (Section 5.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.family import HashFamily
+from repro.heap.topk import TopKHeap
+
+
+class CountSketch:
+    """Count-Sketch for approximate point queries over a count vector.
+
+    Parameters
+    ----------
+    width:
+        Buckets per row.
+    depth:
+        Number of rows (each with an independent hash pair).
+    seed:
+        Seed for the hash family.
+    track_heavy:
+        If > 0, maintain a heap of this capacity holding the keys with
+        the largest estimated magnitude seen so far (the standard
+        Count-Sketch + heap construction for heavy hitters).
+    hash_kind:
+        Forwarded to :class:`repro.hashing.family.HashFamily`.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        seed: int = 0,
+        track_heavy: int = 0,
+        hash_kind: str = "tabulation",
+    ):
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.family = HashFamily(width, depth, seed=seed, kind=hash_kind)
+        self.table = np.zeros((depth, width), dtype=np.float64)
+        self.heavy: TopKHeap | None = TopKHeap(track_heavy) if track_heavy > 0 else None
+        self._total_updates = 0
+
+    @property
+    def size(self) -> int:
+        """Total number of counters (width * depth)."""
+        return self.width * self.depth
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update(self, keys: np.ndarray | int, deltas: np.ndarray | float = 1.0) -> None:
+        """Add ``deltas`` to the sketched counts of ``keys``.
+
+        Parameters
+        ----------
+        keys:
+            Key or array of keys.
+        deltas:
+            Scalar or per-key increments (default +1 per key, the classic
+            frequent-items update).
+        """
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        deltas = np.broadcast_to(np.asarray(deltas, dtype=np.float64), keys.shape)
+        for j in range(self.depth):
+            buckets = self.family.buckets(keys, j)
+            signs = self.family.signs(keys, j)
+            np.add.at(self.table[j], buckets, signs * deltas)
+        self._total_updates += keys.size
+        if self.heavy is not None:
+            for key, est in zip(keys.tolist(), self.estimate(keys).tolist()):
+                self.heavy.push(int(key), est)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def estimate(self, keys: np.ndarray | int) -> np.ndarray:
+        """Median-of-rows point estimates for ``keys``.
+
+        Returns a float64 array of the same length as ``keys`` (scalars
+        are promoted to length-1 arrays).
+        """
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        rows = np.empty((self.depth, keys.size), dtype=np.float64)
+        for j in range(self.depth):
+            buckets = self.family.buckets(keys, j)
+            signs = self.family.signs(keys, j)
+            rows[j] = signs * self.table[j, buckets]
+        return np.median(rows, axis=0)
+
+    def estimate_one(self, key: int) -> float:
+        """Point estimate for a single key."""
+        return float(self.estimate(key)[0])
+
+    def heavy_hitters(self, k: int | None = None) -> list[tuple[int, float]]:
+        """Top tracked keys by estimated magnitude, descending.
+
+        Requires ``track_heavy > 0`` at construction.
+        """
+        if self.heavy is None:
+            raise RuntimeError("construct with track_heavy > 0 to use heavy_hitters")
+        out = self.heavy.top(k)
+        # Refresh estimates (heap values may be stale snapshots).
+        return [(key, self.estimate_one(key)) for key, _ in out]
+
+    # ------------------------------------------------------------------
+    # Linear-map view (used by theory tests)
+    # ------------------------------------------------------------------
+    def project(self, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Apply the (unscaled) Count-Sketch matrix A to a sparse vector.
+
+        Returns the flattened ``depth * width`` image ``A x`` without
+        mutating the sketch state.  Used to check linearity properties.
+        """
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        values = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        out = np.zeros((self.depth, self.width), dtype=np.float64)
+        for j in range(self.depth):
+            buckets = self.family.buckets(indices, j)
+            signs = self.family.signs(indices, j)
+            np.add.at(out[j], buckets, signs * values)
+        return out.ravel()
+
+    def merge(self, other: "CountSketch") -> None:
+        """Merge another sketch built with identical (width, depth, seed).
+
+        Count-Sketches are linear, so merging is elementwise addition.
+        """
+        if (self.width, self.depth, self.family.seed) != (
+            other.width,
+            other.depth,
+            other.family.seed,
+        ):
+            raise ValueError("can only merge sketches with identical parameters")
+        self.table += other.table
+        self._total_updates += other._total_updates

@@ -1,0 +1,104 @@
+"""The Misra-Gries (Frequent) heavy-hitters summary.
+
+The counter-based alternative to Space Saving cited by the paper's
+related work (Demaine et al. 2002; Karp et al. 2003): keep at most
+``capacity`` counters; increment a tracked item's counter, start a new
+counter if a slot is free, otherwise *decrement every counter* and drop
+the zeros.
+
+Guarantee: with ``capacity = 1/eps`` counters, each estimate
+undercounts by at most ``eps * N`` (a one-sided *lower* bound — the
+mirror image of Space Saving's upper bound), and every item with
+frequency above ``N / (capacity + 1)`` survives.
+
+Provided for completeness of the counter-algorithm family and used by
+the ablation tests to cross-check the Space Saving baseline: on
+identical streams the two algorithms must agree on the set of
+high-frequency items.
+"""
+
+from __future__ import annotations
+
+
+class MisraGries:
+    """Misra-Gries summary with at most ``capacity`` counters.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of simultaneously tracked items (the cost model
+        charges 2 cells per slot: id + count).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._counts: dict[int, float] = {}
+        self.total = 0.0
+        #: Cumulative amount removed by global decrements; the true
+        #: count of item i lies in [count(i), count(i) + decremented].
+        self.decremented = 0.0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._counts
+
+    def update(self, item: int, weight: float = 1.0) -> None:
+        """Observe ``item`` with multiplicity ``weight``."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self.total += weight
+        counts = self._counts
+        if item in counts:
+            counts[item] += weight
+            return
+        if len(counts) < self.capacity:
+            counts[item] = weight
+            return
+        # Decrement-all step: reduce every counter by the smallest of
+        # (weight, current minimum); repeat until the new item either
+        # claims a freed slot or its weight is absorbed.
+        remaining = weight
+        while remaining > 0:
+            min_count = min(counts.values())
+            dec = min(min_count, remaining)
+            self.decremented += dec
+            remaining -= dec
+            for key in list(counts):
+                counts[key] -= dec
+                if counts[key] <= 1e-12:
+                    del counts[key]
+            if remaining > 0 and len(counts) < self.capacity:
+                counts[item] = remaining
+                self.decremented -= 0.0  # item admitted with leftovers
+                break
+
+    def count(self, item: int) -> float:
+        """Lower-bound estimate of the item's true count (0 if untracked)."""
+        return self._counts.get(item, 0.0)
+
+    def upper_bound(self, item: int) -> float:
+        """Upper bound: lower bound plus total global decrements."""
+        return self.count(item) + self.decremented
+
+    def items(self) -> list[tuple[int, float]]:
+        """All tracked (item, lower-bound count) pairs."""
+        return list(self._counts.items())
+
+    def top(self, k: int | None = None) -> list[tuple[int, float]]:
+        """The ``k`` highest-count pairs, descending."""
+        ranked = sorted(self._counts.items(), key=lambda kv: -kv[1])
+        return ranked if k is None else ranked[:k]
+
+    def heavy_hitters(self, phi: float) -> list[tuple[int, float]]:
+        """Items whose *upper bound* clears ``phi * total`` — no false
+        negatives among true phi-heavy-hitters."""
+        threshold = phi * self.total
+        return [
+            (item, count)
+            for item, count in self.top()
+            if count + self.decremented > threshold
+        ]

@@ -1,0 +1,154 @@
+"""Reservoir sampling.
+
+Two variants are needed by the paper's methods:
+
+* :class:`UniformReservoir` — classic Algorithm R.  Used by the streaming
+  PMI estimator (Section 8.3) to approximate sampling from the unigram
+  distribution: a uniform reservoir over the token stream is, at any
+  time, an unbiased sample of the empirical unigram distribution.
+* :class:`WeightedReservoir` — the A-Res scheme of Efraimidis &
+  Spirakis: item ``i`` with weight ``w_i`` gets key ``u_i**(1/w_i)`` and
+  the top-K keys are kept, yielding a sample where inclusion probability
+  is proportional to weight.  Probabilistic Truncation (Algorithm 4)
+  applies exactly this keying to model weights, with the paper's
+  re-keying rule ``W[i] <- W[i]**(w_old / w_new)`` when a weight changes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.heap.topk import TopKHeap
+
+
+class UniformReservoir:
+    """Uniform random sample of fixed capacity over a stream (Algorithm R).
+
+    Parameters
+    ----------
+    capacity:
+        Sample size.
+    seed:
+        Seed for the internal RNG.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rng = np.random.Generator(np.random.PCG64(seed))
+        self._items: list = []
+        self.n_seen = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, item) -> None:
+        """Observe one stream element."""
+        self.n_seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        j = int(self._rng.integers(0, self.n_seen))
+        if j < self.capacity:
+            self._items[j] = item
+
+    def extend(self, items: Iterable) -> None:
+        """Observe a sequence of stream elements."""
+        for item in items:
+            self.add(item)
+
+    def sample(self, n: int = 1) -> list:
+        """Draw ``n`` items uniformly (with replacement) from the reservoir."""
+        if not self._items:
+            raise RuntimeError("cannot sample from an empty reservoir")
+        idx = self._rng.integers(0, len(self._items), size=n)
+        return [self._items[i] for i in idx]
+
+    def contents(self) -> list:
+        """A copy of the current reservoir contents."""
+        return list(self._items)
+
+
+class WeightedReservoir:
+    """Weighted reservoir sample (A-Res keys, top-K by key).
+
+    Each inserted item receives key ``u ** (1 / w)`` with
+    ``u ~ Uniform(0, 1)``; the reservoir retains the ``capacity`` largest
+    keys.  Larger weights give keys closer to 1 and hence higher
+    retention probability.
+
+    This class additionally supports the *re-keying* rule used by
+    Probabilistic Truncation (Algorithm 4): when a retained item's weight
+    changes from ``w_old`` to ``w_new``, its key is raised to the power
+    ``w_old / w_new``, preserving the A-Res distribution.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rng = np.random.Generator(np.random.PCG64(seed))
+        # Min-heap over keys (keys are in (0, 1), priority = identity).
+        self._heap = TopKHeap(capacity, priority=lambda v: v)
+        self.n_seen = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._heap
+
+    def offer(self, item: int, weight: float) -> int | None:
+        """Offer ``item`` with positive ``weight``; maybe admit it.
+
+        Returns the identifier evicted to make room (or the offered item
+        itself if it was not admitted), ``None`` if admitted without
+        eviction or if the item was already present (in which case it is
+        re-keyed as if freshly offered — callers wanting the Algorithm 4
+        semantics should use :meth:`rekey` for weight changes instead).
+        """
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self.n_seen += 1
+        u = float(self._rng.random())
+        # Guard against u == 0.0 (log undefined / key 0).
+        u = max(u, np.finfo(float).tiny)
+        key = u ** (1.0 / weight)
+        evicted = self._heap.push(item, key)
+        if evicted is None:
+            return None
+        return evicted[0]
+
+    def rekey(self, item: int, w_old: float, w_new: float) -> None:
+        """Adjust a retained item's key after its weight changes.
+
+        Applies ``key <- key ** (w_old / w_new)`` (Algorithm 4's
+        ``W[i] <- W[i] ** |S_t[i] / S_{t+1}[i]|``).
+        """
+        if item not in self._heap:
+            raise KeyError(item)
+        if w_old <= 0 or w_new <= 0:
+            raise ValueError("weights must be positive for rekeying")
+        key = self._heap.value(item)
+        self._heap.push(item, key ** (w_old / w_new))
+
+    def key(self, item: int) -> float:
+        """The current A-Res key of a retained item."""
+        return self._heap.value(item)
+
+    def remove(self, item: int) -> None:
+        """Drop a retained item."""
+        self._heap.remove(item)
+
+    def items(self) -> list[int]:
+        """Identifiers currently retained, arbitrary order."""
+        return [k for k, _ in self._heap.items()]
+
+    def min_key(self) -> float:
+        """Smallest retained key (the eviction threshold when full)."""
+        if len(self._heap) == 0:
+            return 0.0
+        return self._heap.min_priority()

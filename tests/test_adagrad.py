@@ -1,0 +1,120 @@
+"""Tests for the per-feature learning-rate extension (Section 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.sparse import SparseExample
+from repro.learning.adagrad import AdaGradAWMSketch, AdaGradFeatureHashing
+
+
+def _ex(indices, values, label):
+    return SparseExample(
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(values, dtype=np.float64),
+        label,
+    )
+
+
+class TestAdaGradFeatureHashing:
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            AdaGradFeatureHashing(0)
+
+    def test_memory_doubles_plain_hashing(self):
+        clf = AdaGradFeatureHashing(256)
+        assert clf.memory_cost_bytes == 4 * 512  # weight + accumulator
+
+    def test_learns(self):
+        clf = AdaGradFeatureHashing(256, lambda_=0.0, eta0=0.5, seed=0)
+        rng = np.random.default_rng(0)
+        for _ in range(400):
+            if rng.random() < 0.5:
+                clf.update(_ex([0], [1.0], 1))
+            else:
+                clf.update(_ex([1], [1.0], -1))
+        assert clf.predict(_ex([0], [1.0], 1)) == 1
+        assert clf.predict(_ex([1], [1.0], -1)) == -1
+
+    def test_accumulator_grows_only_for_touched_buckets(self):
+        clf = AdaGradFeatureHashing(256, lambda_=0.0, seed=1)
+        clf.update(_ex([7], [1.0], 1))
+        assert np.count_nonzero(clf.accumulator) == 1
+
+    def test_effective_rate_decreases_per_feature(self):
+        """A frequently-seen feature takes smaller steps later."""
+        clf = AdaGradFeatureHashing(512, lambda_=0.0, eta0=0.5, seed=2)
+        clf.update(_ex([3], [1.0], 1))
+        w1 = clf.estimate_weights(np.array([3]))[0]
+        for _ in range(50):
+            clf.update(_ex([3], [1.0], 1))
+        w_before = clf.estimate_weights(np.array([3]))[0]
+        clf.update(_ex([3], [1.0], 1))
+        w_after = clf.estimate_weights(np.array([3]))[0]
+        assert abs(w_after - w_before) < abs(w1)  # later step << first step
+
+    def test_rare_feature_keeps_large_rate(self):
+        """The point of per-feature rates: a feature arriving late still
+        takes near-full-size first steps (a global schedule would have
+        decayed to nothing)."""
+        clf = AdaGradFeatureHashing(2**14, lambda_=0.0, eta0=0.5, seed=3)
+        for _ in range(2_000):
+            clf.update(_ex([1], [1.0], 1))
+        clf.update(_ex([9_999], [1.0], -1))
+        first_step = abs(clf.estimate_weights(np.array([9_999]))[0])
+        # First step magnitude = eta0 * |g| / sqrt(1 + g^2) with
+        # g = dloss(0) = -0.5: 0.5 * 0.5 / sqrt(1.25) ~ 0.224 — nearly
+        # the full eta0-sized step despite 2000 prior stream updates.
+        assert first_step == pytest.approx(0.2236, rel=0.05)
+
+    def test_candidate_recovery(self):
+        clf = AdaGradFeatureHashing(2**12, lambda_=0.0, eta0=0.5, seed=4)
+        for _ in range(100):
+            clf.update(_ex([5], [1.0], 1))
+        top = clf.top_weights_from_candidates(np.arange(20), 1)
+        assert top[0][0] == 5
+
+    def test_top_weights_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            AdaGradFeatureHashing(16).top_weights(2)
+
+
+class TestAdaGradAWMSketch:
+    def test_memory_includes_accumulators(self):
+        clf = AdaGradAWMSketch(width=256, heap_capacity=64)
+        # sketch 256 + heap 128 + accumulators 256 cells.
+        assert clf.memory_cost_bytes == 4 * (256 + 128 + 256)
+
+    def test_learns(self):
+        clf = AdaGradAWMSketch(width=256, heap_capacity=16, lambda_=1e-6,
+                               learning_rate=0.5, seed=0)
+        rng = np.random.default_rng(1)
+        for _ in range(400):
+            if rng.random() < 0.5:
+                clf.update(_ex([0, 1], [1.0, 1.0], 1))
+            else:
+                clf.update(_ex([2, 3], [1.0, 1.0], -1))
+        assert clf.predict(_ex([0, 1], [1.0, 1.0], 1)) == 1
+        assert clf.predict(_ex([2, 3], [1.0, 1.0], -1)) == -1
+
+    def test_promotion_still_works(self):
+        clf = AdaGradAWMSketch(width=128, heap_capacity=2, lambda_=0.0,
+                               learning_rate=0.5, seed=1)
+        for i in range(5):
+            for _ in range(3):
+                clf.update(_ex([i], [1.0], 1))
+        assert len(clf.heap) == 2
+        assert clf.n_promotions >= 2
+
+    def test_late_feature_learnable(self):
+        """Late-arriving features still learn quickly — the motivation
+        for per-feature rates in the streaming setting."""
+        clf = AdaGradAWMSketch(width=1_024, heap_capacity=64, lambda_=0.0,
+                               learning_rate=0.5, seed=2)
+        for _ in range(3_000):
+            clf.update(_ex([1], [1.0], 1))
+        for _ in range(10):
+            clf.update(_ex([777], [1.0], -1))
+        est = clf.estimate_weights(np.array([777]))[0]
+        assert est < -0.5  # substantial weight after only 10 updates

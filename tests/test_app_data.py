@@ -1,0 +1,196 @@
+"""Tests for the application-specific data generators (FEC, network, text)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.fec import AttributeCounts, FECLikeStream
+from repro.data.network import PacketTrace
+from repro.data.text import CollocationCorpus, pair_id, unpair_id
+
+
+class TestAttributeCounts:
+    def test_relative_risk_neutral(self):
+        c = AttributeCounts()
+        # Attribute 1 appears equally in both classes -> risk ~ 1.
+        for _ in range(50):
+            c.record(np.array([1]), 1)
+            c.record(np.array([1]), -1)
+            c.record(np.array([2]), 1)
+            c.record(np.array([2]), -1)
+        assert c.relative_risk(1) == pytest.approx(1.0, abs=0.1)
+
+    def test_relative_risk_high(self):
+        c = AttributeCounts()
+        for _ in range(50):
+            c.record(np.array([1]), 1)  # attribute 1 only with outliers
+            c.record(np.array([2]), -1)
+        assert c.relative_risk(1) > 5.0
+
+    def test_occurrences(self):
+        c = AttributeCounts()
+        c.record(np.array([3, 4]), 1)
+        c.record(np.array([3]), -1)
+        assert c.occurrences(3) == 2
+        assert c.occurrences(4) == 1
+        assert set(c.all_attributes()) == {3, 4}
+
+
+class TestFECLikeStream:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            FECLikeStream(n_fields=0)
+        with pytest.raises(ValueError):
+            FECLikeStream(outlier_rate=0.0)
+
+    def test_rows_shape(self):
+        gen = FECLikeStream(n_fields=5, values_per_field=100, seed=0)
+        rows = list(gen.rows(50))
+        assert len(rows) == 50
+        for attrs, label in rows:
+            assert attrs.shape == (5,)
+            assert label in (-1, 1)
+            # Attribute ids live in disjoint per-field ranges.
+            fields = attrs // 100
+            assert np.array_equal(fields, np.arange(5))
+
+    def test_outlier_rate_near_target(self):
+        gen = FECLikeStream(outlier_rate=0.2, n_risky=0, n_protective=0,
+                            seed=1)
+        labels = [label for _, label in gen.rows(2_000)]
+        rate = np.mean([l == 1 for l in labels])
+        assert rate == pytest.approx(0.2, abs=0.05)
+
+    def test_risky_attributes_have_high_relative_risk(self):
+        gen = FECLikeStream(seed=2)
+        list(gen.rows(8_000))
+        risks = gen.true_relative_risks(gen.risky_attributes)
+        observed = np.array(
+            [gen.counts.occurrences(int(a)) for a in gen.risky_attributes]
+        )
+        seen = observed >= 30
+        assert seen.sum() >= 5
+        assert np.median(risks[seen]) > 1.5
+
+    def test_protective_attributes_low_risk(self):
+        gen = FECLikeStream(seed=3)
+        list(gen.rows(8_000))
+        risks = gen.true_relative_risks(gen.protective_attributes)
+        observed = np.array(
+            [gen.counts.occurrences(int(a)) for a in gen.protective_attributes]
+        )
+        seen = observed >= 30
+        assert seen.sum() >= 5
+        assert np.median(risks[seen]) < 0.8
+
+    def test_examples_are_one_sparse(self):
+        gen = FECLikeStream(n_fields=4, seed=4)
+        for ex in gen.examples(10):
+            assert ex.nnz == 1
+
+
+class TestPacketTrace:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PacketTrace(n_addresses=1)
+        with pytest.raises(ValueError):
+            PacketTrace(ratio=1.0)
+
+    def test_packet_shape(self):
+        trace = PacketTrace(n_addresses=1_000, n_deltoids=10, seed=0)
+        pkts = list(trace.packets(500))
+        assert len(pkts) == 500
+        for addr, direction in pkts:
+            assert 0 <= addr < 1_000
+            assert direction in (-1, 1)
+
+    def test_directions_balanced(self):
+        trace = PacketTrace(n_addresses=1_000, seed=1)
+        dirs = [d for _, d in trace.packets(4_000)]
+        assert abs(np.mean(dirs)) < 0.1
+
+    def test_deltoids_have_extreme_ratios(self):
+        trace = PacketTrace(n_addresses=2_000, n_deltoids=20, ratio=64.0,
+                            seed=2)
+        list(trace.packets(60_000))
+        log_ratios = np.array(
+            [abs(np.log(trace.counts.ratio(int(a))))
+             for a in trace.deltoid_addresses]
+        )
+        # Most planted deltoids show a strong measured tilt.
+        assert np.median(log_ratios) > np.log(8)
+
+    def test_examples_encoding(self):
+        trace = PacketTrace(n_addresses=500, seed=3)
+        for ex in trace.examples(20):
+            assert ex.nnz == 1
+            assert ex.label in (-1, 1)
+
+    def test_addresses_above_threshold(self):
+        trace = PacketTrace(n_addresses=1_000, n_deltoids=10, ratio=128.0,
+                            seed=4)
+        list(trace.packets(30_000))
+        found = trace.counts.addresses_above(np.log(16))
+        assert len(found) >= 5
+
+
+class TestCollocationCorpus:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CollocationCorpus(vocab=5)
+        with pytest.raises(ValueError):
+            CollocationCorpus(window=1)
+        with pytest.raises(ValueError):
+            CollocationCorpus(collocation_rate=1.0)
+
+    def test_pair_id_roundtrip(self):
+        assert unpair_id(pair_id(12, 34, 1000), 1000) == (12, 34)
+
+    def test_tokens_in_vocab(self):
+        corpus = CollocationCorpus(vocab=100, seed=0)
+        toks = list(corpus.tokens(500))
+        assert all(0 <= t < 100 for t in toks)
+        assert len(toks) >= 500
+
+    def test_pairs_window_semantics(self):
+        corpus = CollocationCorpus(vocab=50, window=3, collocation_rate=0.0,
+                                   seed=1)
+        pairs = list(corpus.pairs(10))
+        # Window 3: each token pairs with at most 2 predecessors.
+        assert len(pairs) <= 2 * (corpus.counts.n_tokens)
+        assert corpus.counts.n_pairs == len(pairs)
+
+    def test_collocations_have_high_pmi(self):
+        corpus = CollocationCorpus(vocab=500, n_collocations=10,
+                                   collocation_rate=0.1, seed=2)
+        list(corpus.pairs(40_000))
+        pmis = [corpus.exact_pmi(u, v) for u, v in corpus.collocations]
+        finite = [p for p in pmis if np.isfinite(p)]
+        assert len(finite) >= 8
+        assert np.median(finite) > 2.0
+
+    def test_frequent_pairs_have_low_pmi(self):
+        """Head-of-Zipf pairs co-occur often but near-independently."""
+        corpus = CollocationCorpus(vocab=500, n_collocations=10,
+                                   collocation_rate=0.05, seed=3)
+        list(corpus.pairs(40_000))
+        top_pairs = sorted(
+            corpus.counts.bigrams.items(), key=lambda kv: -kv[1]
+        )[:10]
+        colloc = set(corpus.collocations)
+        background = [
+            corpus.exact_pmi(u, v)
+            for (u, v), _ in top_pairs
+            if (u, v) not in colloc
+        ]
+        colloc_pmis = [corpus.exact_pmi(u, v) for u, v in corpus.collocations
+                       if np.isfinite(corpus.exact_pmi(u, v))]
+        assert np.median(background) < np.median(colloc_pmis)
+
+    def test_pmi_unseen_pair(self):
+        corpus = CollocationCorpus(vocab=100, seed=4)
+        list(corpus.pairs(100))
+        assert corpus.exact_pmi(98, 99) == float("-inf") or np.isfinite(
+            corpus.exact_pmi(98, 99)
+        )

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.dataset == "rcv1"
+        assert args.budget_kb == 8
+        assert args.lambda_ == 1e-6
+
+    def test_theory_requires_d(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["theory"])
+
+
+class TestCommands:
+    def test_configs_output(self, capsys):
+        assert main(["configs", "--budget-kb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "|S|=512" in out
+        assert "depth=1" in out
+        assert "search space" in out
+
+    def test_theory_output(self, capsys):
+        code = main(["theory", "--d", "10000", "--epsilon", "0.3",
+                     "--lambda", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1 sizing" in out
+        assert "Theorem 2 minimum stream length" in out
+
+    def test_compare_small_run(self, capsys):
+        code = main([
+            "compare", "--dataset", "rcv1", "--budget-kb", "4",
+            "--examples", "400", "--k", "16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "unconstrained LR" in out
+        assert "AWM" in out and "Hash" in out
+
+    def test_compare_rejects_unknown_dataset(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["compare", "--dataset", "nonsense"])

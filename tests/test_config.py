@@ -1,0 +1,112 @@
+"""Tests for the memory cost model and configuration enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    PAPER_BUDGETS_KB,
+    SketchConfig,
+    budget_cells,
+    count_min_frequent_sizes,
+    default_awm_config,
+    default_wm_config,
+    enumerate_sketch_configs,
+    feature_hashing_width,
+    probabilistic_truncation_capacity,
+    space_saving_capacity,
+    truncation_capacity,
+)
+
+
+class TestBudgetCells:
+    def test_basic(self):
+        assert budget_cells(8 * 1024) == 2048
+
+    def test_rejects_sub_cell_budget(self):
+        with pytest.raises(ValueError):
+            budget_cells(3)
+
+
+class TestSketchConfig:
+    def test_cells_and_bytes(self):
+        cfg = SketchConfig(heap_capacity=128, width=256, depth=2)
+        assert cfg.cells == 256 * 2 + 256
+        assert cfg.bytes == 4 * cfg.cells
+
+    def test_fits(self):
+        cfg = SketchConfig(heap_capacity=128, width=256, depth=2)
+        assert cfg.fits(4 * 1024)
+        assert not cfg.fits(1024)
+
+
+class TestDefaults:
+    @pytest.mark.parametrize("kb", PAPER_BUDGETS_KB)
+    def test_awm_default_fits_budget(self, kb):
+        cfg = default_awm_config(kb * 1024)
+        assert cfg.bytes <= kb * 1024
+        assert cfg.depth == 1
+
+    def test_awm_matches_table2_at_8kb(self):
+        """Table 2 AWM row at 8 KB: |S| = 512, width = 1024, depth = 1."""
+        cfg = default_awm_config(8 * 1024)
+        assert cfg.heap_capacity == 512
+        assert cfg.width == 1024
+        assert cfg.depth == 1
+
+    def test_awm_matches_table2_at_32kb(self):
+        """Table 2 AWM row at 32 KB: |S| = 2048, width = 4096, depth = 1."""
+        cfg = default_awm_config(32 * 1024)
+        assert cfg.heap_capacity == 2048
+        assert cfg.width == 4096
+
+    @pytest.mark.parametrize("kb", PAPER_BUDGETS_KB)
+    def test_wm_default_fits_budget(self, kb):
+        cfg = default_wm_config(kb * 1024)
+        assert cfg.bytes <= kb * 1024
+        assert cfg.heap_capacity <= 128
+
+    def test_wm_depth_grows_with_budget(self):
+        d2 = default_wm_config(2 * 1024).depth
+        d32 = default_wm_config(32 * 1024).depth
+        assert d32 > d2
+
+
+class TestEnumeration:
+    def test_all_configs_fit(self):
+        for cfg in enumerate_sketch_configs(8 * 1024):
+            assert cfg.fits(8 * 1024)
+
+    def test_widths_and_heaps_are_powers_of_two(self):
+        for cfg in enumerate_sketch_configs(8 * 1024):
+            assert cfg.width & (cfg.width - 1) == 0
+            assert cfg.heap_capacity & (cfg.heap_capacity - 1) == 0
+
+    def test_nonempty_for_paper_budgets(self):
+        for kb in PAPER_BUDGETS_KB:
+            assert enumerate_sketch_configs(kb * 1024)
+
+    def test_depth_respects_cap(self):
+        for cfg in enumerate_sketch_configs(32 * 1024, max_depth=8):
+            assert cfg.depth <= 8
+
+
+class TestBaselineCapacities:
+    def test_truncation(self):
+        # 8 KB = 2048 cells; 2 cells per slot.
+        assert truncation_capacity(8 * 1024) == 1024
+
+    def test_probabilistic_truncation(self):
+        assert probabilistic_truncation_capacity(8 * 1024) == 682
+
+    def test_space_saving(self):
+        assert space_saving_capacity(8 * 1024) == 682
+
+    def test_feature_hashing(self):
+        assert feature_hashing_width(8 * 1024) == 2048
+        assert feature_hashing_width(8 * 1024 + 4, power_of_two=False) == 2049
+
+    def test_count_min_frequent(self):
+        heap, width, depth = count_min_frequent_sizes(8 * 1024)
+        assert 3 * heap + width * depth <= 2048
+        assert width & (width - 1) == 0

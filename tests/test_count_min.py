@@ -1,0 +1,130 @@
+"""Tests for the Count-Min sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sketch.count_min import CountMinSketch
+
+
+class TestBasics:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0, 2)
+        with pytest.raises(ValueError):
+            CountMinSketch(8, 0)
+
+    def test_rejects_negative_updates(self):
+        cm = CountMinSketch(16, 2)
+        with pytest.raises(ValueError):
+            cm.update(1, -1.0)
+
+    def test_exact_when_sparse(self):
+        cm = CountMinSketch(1024, 4, seed=0)
+        cm.update(3, 5.0)
+        cm.update(7, 2.0)
+        assert cm.estimate_one(3) == pytest.approx(5.0)
+        assert cm.estimate_one(7) == pytest.approx(2.0)
+
+    def test_total_tracked(self):
+        cm = CountMinSketch(64, 2)
+        cm.update(np.array([1, 2, 3]), np.array([1.0, 2.0, 3.0]))
+        assert cm.total == 6.0
+
+
+class TestOverestimation:
+    """The defining CM property: estimates never undercount."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=200),
+                st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    def test_never_underestimates(self, updates):
+        cm = CountMinSketch(32, 3, seed=4)
+        true: dict[int, float] = {}
+        for key, delta in updates:
+            cm.update(key, delta)
+            true[key] = true.get(key, 0.0) + delta
+        for key, count in true.items():
+            assert cm.estimate_one(key) >= count - 1e-9
+
+    def test_l1_error_bound(self):
+        """est - true <= e/width * ||v||_1 w.h.p. (check a loose multiple)."""
+        rng = np.random.default_rng(0)
+        width, depth = 256, 5
+        cm = CountMinSketch(width, depth, seed=1)
+        keys = rng.integers(0, 50_000, size=20_000)
+        for k in keys:
+            cm.update(int(k))
+        true = {}
+        for k in keys.tolist():
+            true[k] = true.get(k, 0) + 1
+        total = len(keys)
+        bound = 3.0 * total / width
+        over = [cm.estimate_one(k) - c for k, c in list(true.items())[:500]]
+        assert max(over) <= bound
+
+
+class TestConservativeUpdate:
+    def test_conservative_never_underestimates(self):
+        cm = CountMinSketch(16, 2, seed=2, conservative=True)
+        rng = np.random.default_rng(1)
+        true: dict[int, int] = {}
+        for _ in range(500):
+            k = int(rng.integers(0, 100))
+            cm.update(k)
+            true[k] = true.get(k, 0) + 1
+        for k, c in true.items():
+            assert cm.estimate_one(k) >= c
+
+    def test_conservative_at_most_standard(self):
+        """Conservative updates give estimates <= standard CM estimates."""
+        std = CountMinSketch(16, 2, seed=3)
+        con = CountMinSketch(16, 2, seed=3, conservative=True)
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 200, size=1_000)
+        for k in keys:
+            std.update(int(k))
+            con.update(int(k))
+        sample = np.unique(keys)[:100]
+        assert np.all(con.estimate(sample) <= std.estimate(sample) + 1e-9)
+
+    def test_conservative_not_mergeable(self):
+        a = CountMinSketch(16, 2, seed=1, conservative=True)
+        b = CountMinSketch(16, 2, seed=1, conservative=True)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestMergeAndHeavy:
+    def test_merge_equals_union(self):
+        a = CountMinSketch(64, 3, seed=5)
+        b = CountMinSketch(64, 3, seed=5)
+        u = CountMinSketch(64, 3, seed=5)
+        a.update(np.array([1, 2]), 2.0)
+        b.update(np.array([2, 3]), 3.0)
+        u.update(np.array([1, 2]), 2.0)
+        u.update(np.array([2, 3]), 3.0)
+        a.merge(b)
+        assert np.allclose(a.table, u.table)
+        assert a.total == u.total
+
+    def test_heavy_tracking(self):
+        cm = CountMinSketch(512, 4, seed=6, track_heavy=4)
+        for _ in range(100):
+            cm.update(11)
+        for _ in range(50):
+            cm.update(22)
+        for k in range(200):
+            cm.update(1000 + k)
+        top = cm.heavy_hitters(2)
+        assert [k for k, _ in top] == [11, 22]

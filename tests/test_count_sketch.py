@@ -1,0 +1,139 @@
+"""Tests for the Count-Sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.count_sketch import CountSketch
+
+
+class TestConstruction:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            CountSketch(0, 1)
+        with pytest.raises(ValueError):
+            CountSketch(8, 0)
+
+    def test_size(self):
+        assert CountSketch(64, 3).size == 192
+
+
+class TestPointEstimates:
+    def test_single_item_exact_when_no_collision(self):
+        cs = CountSketch(256, 5, seed=0)
+        cs.update(42, 7.0)
+        assert cs.estimate_one(42) == pytest.approx(7.0)
+
+    def test_batch_updates_accumulate(self):
+        cs = CountSketch(256, 5, seed=0)
+        for _ in range(10):
+            cs.update(np.array([1, 2]), np.array([1.0, -2.0]))
+        assert cs.estimate_one(1) == pytest.approx(10.0)
+        assert cs.estimate_one(2) == pytest.approx(-20.0)
+
+    def test_unseen_key_estimates_near_zero(self):
+        cs = CountSketch(512, 5, seed=1)
+        cs.update(np.arange(20), np.ones(20))
+        # An unseen key collides with at most a few counts; median damps it.
+        assert abs(cs.estimate_one(10_000)) <= 1.0
+
+    def test_negative_updates(self):
+        cs = CountSketch(128, 3, seed=2)
+        cs.update(5, 10.0)
+        cs.update(5, -4.0)
+        assert cs.estimate_one(5) == pytest.approx(6.0)
+
+    def test_heavy_hitter_recovery(self):
+        """The classic use: find items much more frequent than the rest."""
+        rng = np.random.default_rng(0)
+        cs = CountSketch(1024, 5, seed=3, track_heavy=8)
+        heavy = {7: 500, 13: 300}
+        stream = [7] * heavy[7] + [13] * heavy[13] + list(
+            rng.integers(100, 10_000, size=2_000)
+        )
+        rng.shuffle(stream)
+        for item in stream:
+            cs.update(int(item))
+        top = dict(cs.heavy_hitters(2))
+        assert set(top) == {7, 13}
+        assert top[7] == pytest.approx(500, abs=50)
+        assert top[13] == pytest.approx(300, abs=50)
+
+    def test_heavy_hitters_requires_tracking(self):
+        cs = CountSketch(64, 2)
+        with pytest.raises(RuntimeError):
+            cs.heavy_hitters()
+
+
+class TestRecoveryGuarantee:
+    def test_lemma1_error_bound(self):
+        """||x - x_cs||_inf <= eps ||x||_2 with width ~ 1/eps^2.
+
+        With width 1024, eps ~ sqrt(c/1024); we check a comfortable
+        multiple over many keys on a moderately skewed vector.
+        """
+        rng = np.random.default_rng(7)
+        d = 5_000
+        x = np.zeros(d)
+        hot = rng.choice(d, size=50, replace=False)
+        x[hot] = rng.normal(0, 10, size=50)
+        cold = rng.choice(d, size=500, replace=False)
+        x[cold] += rng.normal(0, 0.5, size=500)
+
+        cs = CountSketch(1024, 7, seed=11)
+        idx = np.flatnonzero(x)
+        cs.update(idx, x[idx])
+        est = cs.estimate(np.arange(d))
+        err = np.abs(est - x).max()
+        eps = np.sqrt(8.0 / 1024)
+        assert err <= eps * np.linalg.norm(x)
+
+    def test_error_decreases_with_width(self):
+        rng = np.random.default_rng(8)
+        d = 2_000
+        x = rng.normal(0, 1, size=d)
+        errors = []
+        for width in (64, 256, 1024):
+            cs = CountSketch(width, 5, seed=2)
+            cs.update(np.arange(d), x)
+            est = cs.estimate(np.arange(d))
+            errors.append(float(np.abs(est - x).mean()))
+        assert errors[0] > errors[1] > errors[2]
+
+
+class TestLinearity:
+    def test_project_is_linear(self):
+        cs = CountSketch(64, 3, seed=5)
+        idx = np.array([1, 5, 9])
+        v1 = np.array([1.0, 2.0, 3.0])
+        v2 = np.array([-1.0, 0.5, 4.0])
+        p1 = cs.project(idx, v1)
+        p2 = cs.project(idx, v2)
+        p_sum = cs.project(idx, v1 + v2)
+        assert np.allclose(p1 + p2, p_sum)
+
+    def test_merge_equals_union_stream(self):
+        a = CountSketch(128, 3, seed=9)
+        b = CountSketch(128, 3, seed=9)
+        combined = CountSketch(128, 3, seed=9)
+        a.update(np.array([1, 2, 3]), np.array([1.0, 2.0, 3.0]))
+        b.update(np.array([3, 4]), np.array([5.0, -1.0]))
+        combined.update(np.array([1, 2, 3]), np.array([1.0, 2.0, 3.0]))
+        combined.update(np.array([3, 4]), np.array([5.0, -1.0]))
+        a.merge(b)
+        assert np.allclose(a.table, combined.table)
+
+    def test_merge_rejects_mismatched(self):
+        a = CountSketch(128, 3, seed=9)
+        b = CountSketch(128, 3, seed=10)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_update_then_project_consistency(self):
+        """Incremental updates equal one projection of the total vector."""
+        cs = CountSketch(64, 4, seed=1)
+        cs.update(np.array([3, 8]), np.array([2.0, -1.0]))
+        cs.update(np.array([3]), np.array([1.5]))
+        expected = cs.project(np.array([3, 8]), np.array([3.5, -1.0]))
+        assert np.allclose(cs.table.ravel(), expected)

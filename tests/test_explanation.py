@@ -1,0 +1,124 @@
+"""Tests for streaming explanation (Section 8.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.explanation import HeavyHitterExplainer, StreamingExplainer
+from repro.core.awm_sketch import AWMSketch
+from repro.data.fec import FECLikeStream
+from repro.evaluation.metrics import pearson_correlation
+from repro.learning.ogd import UncompressedClassifier
+from repro.learning.schedules import ConstantSchedule
+
+
+def _awm(d_unused=None, seed=0):
+    # Constant learning rate: attribute encodings are 1-sparse, and a
+    # globally-decaying schedule starves attributes appearing late.
+    return AWMSketch(width=2_048, depth=1, heap_capacity=1_024,
+                     lambda_=1e-6, learning_rate=ConstantSchedule(0.2),
+                     seed=seed)
+
+
+class TestStreamingExplainer:
+    def test_observe_counts_rows(self):
+        exp = StreamingExplainer(_awm())
+        exp.observe(np.array([1, 2, 3]), is_outlier=True)
+        assert exp.n_rows == 1
+        assert exp.classifier.t == 3  # one 1-sparse example per attribute
+
+    def test_risky_attribute_gets_positive_weight(self):
+        exp = StreamingExplainer(_awm())
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            # Attribute 5 strongly associated with outliers.
+            exp.observe(np.array([5]), is_outlier=True)
+            exp.observe(np.array([9]), is_outlier=rng.random() < 0.2)
+        scores = exp.risk_scores(np.array([5, 9]))
+        assert scores[0] > 0
+        assert scores[0] > scores[1]
+
+    def test_top_attributes_surface_planted_risks(self):
+        gen = FECLikeStream(n_fields=4, values_per_field=300, n_risky=10,
+                            n_protective=10, risk_boost=2.5, seed=1)
+        exp = StreamingExplainer(_awm(seed=1))
+        for attrs, label in gen.rows(4_000):
+            exp.observe(attrs, label == 1)
+        # Rank by signed weight: risky attributes are the most
+        # outlier-indicative (neutral ones sit at logit(base rate) < 0).
+        top = {a for a, w in exp.top_attributes(40, by="risk") if w > 0}
+        planted = set(int(a) for a in gen.risky_attributes)
+        # Count only planted attributes that actually occurred enough.
+        frequent_planted = {
+            a for a in planted if gen.counts.occurrences(a) >= 40
+        }
+        assert frequent_planted, "generator produced no frequent planted attrs"
+        hit = len(top & frequent_planted) / len(frequent_planted)
+        assert hit >= 0.5
+
+    def test_weights_correlate_with_relative_risk(self):
+        """The Fig. 9 property, miniaturized: classifier weights track
+        log relative risk."""
+        gen = FECLikeStream(n_fields=4, values_per_field=300, n_risky=15,
+                            n_protective=15, risk_boost=2.0, seed=2)
+        exp = StreamingExplainer(
+            UncompressedClassifier(
+                gen.d, lambda_=1e-6, learning_rate=ConstantSchedule(0.2)
+            )
+        )
+        for attrs, label in gen.rows(6_000):
+            exp.observe(attrs, label == 1)
+        attrs = [a for a in gen.counts.all_attributes()
+                 if gen.counts.occurrences(a) >= 50]
+        weights = exp.risk_scores(np.array(attrs))
+        risks = np.log(gen.true_relative_risks(attrs))
+        assert pearson_correlation(weights, risks) > 0.5
+
+
+class TestHeavyHitterExplainer:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            HeavyHitterExplainer(8, mode="weird")
+
+    def test_positive_mode_tracks_outlier_frequent(self):
+        exp = HeavyHitterExplainer(4, mode="positive")
+        for _ in range(50):
+            exp.observe(np.array([1]), True)
+            exp.observe(np.array([2]), False)
+        top = exp.top_attributes(4)
+        assert 1 in top
+        assert 2 not in top  # inlier-only attribute not in positive summary
+
+    def test_both_mode_merges(self):
+        exp = HeavyHitterExplainer(4, mode="both")
+        for _ in range(50):
+            exp.observe(np.array([1]), True)
+            exp.observe(np.array([2]), False)
+        top = exp.top_attributes(4)
+        assert 1 in top and 2 in top
+
+    def test_estimated_relative_risk(self):
+        exp = HeavyHitterExplainer(8)
+        for _ in range(40):
+            exp.observe(np.array([1]), True)   # attr 1 only outliers
+            exp.observe(np.array([2]), False)  # attr 2 only inliers
+        assert exp.estimated_relative_risk(1) > 1.5
+        assert exp.estimated_relative_risk(2) < 1.0
+
+    def test_frequent_neutral_attributes_waste_budget(self):
+        """Fig. 8's message: top-frequency attributes can be risk-neutral,
+        while the classifier surfaces the risky ones."""
+        gen = FECLikeStream(n_fields=4, values_per_field=300, n_risky=10,
+                            n_protective=10, risk_boost=2.5, seed=3)
+        hh = HeavyHitterExplainer(64, mode="positive")
+        clf = StreamingExplainer(_awm(seed=3))
+        for attrs, label in gen.rows(5_000):
+            hh.observe(attrs, label == 1)
+            clf.observe(attrs, label == 1)
+        hh_top = hh.top_attributes(30)
+        clf_top = [a for a, w in clf.top_attributes(30) if w > 0]
+        hh_risks = gen.true_relative_risks(hh_top)
+        clf_risks = gen.true_relative_risks(clf_top)
+        # The classifier's positively-weighted picks skew to higher risk.
+        assert np.median(clf_risks) > np.median(hh_risks)

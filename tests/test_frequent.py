@@ -1,0 +1,114 @@
+"""Tests for the frequent-features baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.sparse import SparseExample
+from repro.learning.frequent import CountMinFrequent, SpaceSavingFrequent
+from repro.learning.schedules import ConstantSchedule
+
+
+def _ex(indices, values, label):
+    return SparseExample(
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(values, dtype=np.float64),
+        label,
+    )
+
+
+class TestSpaceSavingFrequent:
+    def test_memory_cost(self):
+        assert SpaceSavingFrequent(100).memory_cost_bytes == 4 * 300
+
+    def test_learns_on_frequent_features(self):
+        clf = SpaceSavingFrequent(
+            8, lambda_=0.0, learning_rate=ConstantSchedule(0.5)
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(400):
+            if rng.random() < 0.5:
+                clf.update(_ex([0], [1.0], 1))
+            else:
+                clf.update(_ex([1], [1.0], -1))
+        assert clf.predict(_ex([0], [1.0], 1)) == 1
+        assert clf.predict(_ex([1], [1.0], -1)) == -1
+        top = dict(clf.top_weights(2))
+        assert top[0] > 0 > top[1]
+
+    def test_eviction_discards_weight(self):
+        clf = SpaceSavingFrequent(
+            2, lambda_=0.0, learning_rate=ConstantSchedule(0.5)
+        )
+        clf.update(_ex([0], [1.0], 1))
+        clf.update(_ex([1], [1.0], 1))
+        # Feature 2 evicts the min-count feature; its weight restarts at 0
+        # and the evicted feature's weight is dropped.
+        clf.update(_ex([2], [1.0], 1))
+        tracked = {i for i, _ in clf.top_weights(10)}
+        assert len(tracked) <= 2
+        assert 2 in tracked
+
+    def test_frequency_weight_mismatch(self):
+        """The paper's core criticism: frequent-but-neutral features crowd
+        out rare-but-discriminative ones — every time the frequent feature
+        returns, the rare feature is evicted and its weight is reset."""
+        clf = SpaceSavingFrequent(
+            1, lambda_=0.0, learning_rate=ConstantSchedule(0.5)
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            # Feature 0: frequent, random label (neutral).
+            clf.update(_ex([0], [1.0], 1 if rng.random() < 0.5 else -1))
+            # Feature 1: perfectly predictive but interleaved -> with
+            # capacity 1 it keeps getting evicted by feature 0.
+            clf.update(_ex([1], [1.0], 1))
+        clf.update(_ex([0], [1.0], 1))  # final arrival evicts feature 1
+        assert clf.estimate_weight(1) == 0.0
+        # A single uninterrupted step is all feature 1 ever accumulates,
+        # so its tracked weight never exceeds one gradient step (0.25).
+        clf.update(_ex([1], [1.0], 1))
+        assert abs(clf.estimate_weight(1)) <= 0.25 + 1e-9
+
+    def test_untracked_weight_is_zero(self):
+        clf = SpaceSavingFrequent(2, lambda_=0.0)
+        clf.update(_ex([0], [1.0], 1))
+        assert clf.estimate_weight(42) == 0.0
+
+
+class TestCountMinFrequent:
+    def test_memory_cost(self):
+        clf = CountMinFrequent(10, width=64, depth=2)
+        assert clf.memory_cost_bytes == 4 * (64 * 2 + 30)
+
+    def test_learns(self):
+        clf = CountMinFrequent(
+            8, width=256, depth=2, lambda_=0.0, learning_rate=ConstantSchedule(0.5)
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(400):
+            if rng.random() < 0.5:
+                clf.update(_ex([0], [1.0], 1))
+            else:
+                clf.update(_ex([1], [1.0], -1))
+        assert clf.predict(_ex([0], [1.0], 1)) == 1
+        assert clf.predict(_ex([1], [1.0], -1)) == -1
+
+    def test_heap_tracks_most_frequent(self):
+        clf = CountMinFrequent(2, width=512, depth=3, lambda_=0.0, seed=1)
+        for _ in range(50):
+            clf.update(_ex([7], [1.0], 1))
+        for _ in range(30):
+            clf.update(_ex([8], [1.0], 1))
+        for i in range(20):
+            clf.update(_ex([100 + i], [1.0], 1))
+        tracked = {i for i, _ in clf.top_weights(10)}
+        assert 7 in tracked and 8 in tracked
+
+    def test_conservative_variant(self):
+        clf = CountMinFrequent(
+            4, width=64, depth=2, conservative=True, lambda_=0.0
+        )
+        clf.update(_ex([0, 1], [1.0, 1.0], 1))
+        assert clf.cm.estimate_one(0) >= 1.0

@@ -1,0 +1,108 @@
+"""Tests for the evaluation harness and runtime measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PAPER_BUDGETS_KB
+from repro.data.synthetic import SyntheticStream
+from repro.evaluation.harness import (
+    MethodResult,
+    RecoveryExperiment,
+    make_budgeted_methods,
+)
+from repro.evaluation.runtime import normalized_runtimes, time_pass
+from repro.learning.ogd import UncompressedClassifier
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    stream = SyntheticStream(d=1_500, n_signal=60, avg_nnz=15, seed=11)
+    examples = stream.materialize(1_200)
+    return RecoveryExperiment(examples, d=1_500, lambda_=1e-6, ks=(8, 32))
+
+
+class TestMakeBudgetedMethods:
+    @pytest.mark.parametrize("kb", PAPER_BUDGETS_KB)
+    def test_all_methods_fit_budget(self, kb):
+        methods = make_budgeted_methods(kb * 1024)
+        assert set(methods) == {"Trun", "PTrun", "SS", "Hash", "WM", "AWM"}
+        for name, clf in methods.items():
+            assert clf.memory_cost_bytes <= kb * 1024, name
+
+    def test_include_filter(self):
+        methods = make_budgeted_methods(8 * 1024, include=("AWM", "Hash"))
+        assert set(methods) == {"AWM", "Hash"}
+
+    def test_cm_method(self):
+        methods = make_budgeted_methods(8 * 1024, include=("CM",))
+        assert methods["CM"].memory_cost_bytes <= 8 * 1024
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            make_budgeted_methods(8 * 1024, include=("Nope",))
+
+
+class TestRecoveryExperiment:
+    def test_rejects_empty_stream(self):
+        with pytest.raises(ValueError):
+            RecoveryExperiment([], d=10)
+
+    def test_reference_cached(self, experiment):
+        a = experiment.reference()
+        b = experiment.reference()
+        assert a is b
+
+    def test_reference_result_relerr_is_one(self, experiment):
+        """The reference's own top-K is by definition optimal."""
+        res = experiment.reference_result()
+        for k, err in res.rel_err.items():
+            assert err == pytest.approx(1.0)
+
+    def test_observed_features_cover_stream(self, experiment):
+        observed = set(experiment.observed_features.tolist())
+        for ex in experiment.examples[:50]:
+            assert set(ex.indices.tolist()) <= observed
+
+    def test_run_budget_produces_results(self, experiment):
+        results = experiment.run_budget(8 * 1024, include=("Trun", "AWM"))
+        assert set(results) == {"Trun", "AWM"}
+        for result in results.values():
+            assert isinstance(result, MethodResult)
+            assert 0.0 <= result.error_rate <= 1.0
+            assert result.rel_err[8] >= 1.0 - 1e-9
+            assert result.runtime_s > 0
+
+    def test_hash_recovery_via_candidates(self, experiment):
+        results = experiment.run_budget(8 * 1024, include=("Hash",))
+        assert np.isfinite(results["Hash"].rel_err[8])
+
+    def test_normalized_runtime(self):
+        r = MethodResult(name="x", runtime_s=2.0)
+        assert r.normalized_runtime(1.0) == 2.0
+        with pytest.raises(ValueError):
+            r.normalized_runtime(0.0)
+
+
+class TestRuntimeMeasurement:
+    def test_time_pass(self):
+        stream = SyntheticStream(d=200, n_signal=10, avg_nnz=5, seed=0)
+        examples = stream.materialize(100)
+        clf = UncompressedClassifier(200)
+        result = time_pass("LR", clf, examples)
+        assert result.seconds > 0
+        assert result.n_examples == 100
+        assert result.us_per_example > 0
+
+    def test_normalized_runtimes(self):
+        stream = SyntheticStream(d=200, n_signal=10, avg_nnz=5, seed=0)
+        examples = stream.materialize(150)
+        out = normalized_runtimes(
+            {"LR2": lambda: UncompressedClassifier(200)},
+            lambda: UncompressedClassifier(200),
+            examples,
+            repeats=2,
+        )
+        # Same method vs itself: ratio near 1 (generous CI tolerance).
+        assert 0.3 < out["LR2"] < 3.0

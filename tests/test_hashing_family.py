@@ -1,0 +1,94 @@
+"""Tests for the row-indexed HashFamily."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.family import HashFamily
+
+
+class TestConstruction:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            HashFamily(0, 1)
+        with pytest.raises(ValueError):
+            HashFamily(4, 0)
+        with pytest.raises(ValueError):
+            HashFamily(4, 1, kind="nonsense")
+
+    def test_reproducible(self):
+        keys = np.arange(500, dtype=np.int64)
+        a = HashFamily(64, 3, seed=5)
+        b = HashFamily(64, 3, seed=5)
+        for j in range(3):
+            assert np.array_equal(a.buckets(keys, j), b.buckets(keys, j))
+            assert np.array_equal(a.signs(keys, j), b.signs(keys, j))
+
+    def test_rows_differ(self):
+        keys = np.arange(500, dtype=np.int64)
+        fam = HashFamily(64, 4, seed=5)
+        b0 = fam.buckets(keys, 0)
+        assert any(
+            not np.array_equal(b0, fam.buckets(keys, j)) for j in range(1, 4)
+        )
+
+    def test_seeds_differ(self):
+        keys = np.arange(500, dtype=np.int64)
+        a = HashFamily(64, 2, seed=1)
+        b = HashFamily(64, 2, seed=2)
+        assert not np.array_equal(a.buckets(keys, 0), b.buckets(keys, 0))
+
+
+class TestDerivedHashes:
+    def test_bucket_range_pow2(self):
+        fam = HashFamily(128, 2, seed=0)
+        b = fam.buckets(np.arange(10_000), 0)
+        assert b.min() >= 0 and b.max() < 128
+
+    def test_bucket_range_non_pow2(self):
+        fam = HashFamily(100, 2, seed=0)
+        b = fam.buckets(np.arange(10_000), 1)
+        assert b.min() >= 0 and b.max() < 100
+
+    def test_signs_are_pm_one(self):
+        fam = HashFamily(64, 2, seed=0)
+        s = fam.signs(np.arange(10_000), 0)
+        assert set(np.unique(s)) == {-1.0, 1.0}
+        assert abs(s.mean()) < 0.05
+
+    def test_signed_buckets_consistent(self):
+        fam = HashFamily(64, 2, seed=0)
+        keys = np.arange(100)
+        sb = fam.signed_buckets(keys, 1)
+        assert np.array_equal(sb.buckets, fam.buckets(keys, 1))
+        assert np.array_equal(sb.signs, fam.signs(keys, 1))
+
+    def test_all_rows_matches_per_row(self):
+        fam = HashFamily(32, 5, seed=3)
+        keys = np.arange(50)
+        buckets, signs = fam.all_rows(keys)
+        assert buckets.shape == (5, 50)
+        for j in range(5):
+            assert np.array_equal(buckets[j], fam.buckets(keys, j))
+            assert np.array_equal(signs[j], fam.signs(keys, j))
+
+    def test_sign_bucket_joint_balance(self):
+        """Signs should be balanced *within* each bucket (the derived
+        sign bit must not correlate with the bucket bits)."""
+        fam = HashFamily(16, 1, seed=7)
+        keys = np.arange(40_000)
+        b = fam.buckets(keys, 0)
+        s = fam.signs(keys, 0)
+        for bucket in range(16):
+            mask = b == bucket
+            assert abs(s[mask].mean()) < 0.1
+
+    def test_polynomial_kind(self):
+        fam = HashFamily(32, 2, seed=1, kind="polynomial")
+        b = fam.buckets(np.arange(1000), 0)
+        s = fam.signs(np.arange(1000), 0)
+        assert b.min() >= 0 and b.max() < 32
+        assert set(np.unique(s)) == {-1.0, 1.0}
+        # Signs not constant (bit 45 must be live for 61-bit hashes).
+        assert 0.2 < float((s > 0).mean()) < 0.8

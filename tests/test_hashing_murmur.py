@@ -1,0 +1,102 @@
+"""Tests for MurmurHash3 and the integer finalizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.murmur import (
+    fmix32,
+    fmix64,
+    fmix64_array,
+    murmur3_32,
+    murmur3_string,
+)
+
+
+class TestMurmur3Reference:
+    """Exactness against the reference C++ implementation's test vectors."""
+
+    # Known-good vectors for MurmurHash3_x86_32 (widely published).
+    VECTORS = [
+        (b"", 0, 0),
+        (b"", 1, 0x514E28B7),
+        (b"", 0xFFFFFFFF, 0x81F16F39),
+        (b"a", 0, 0x3C2569B2),
+        (b"abc", 0, 0xB3DD93FA),
+        (b"Hello, world!", 0, 0xC0363E43),
+        (b"The quick brown fox jumps over the lazy dog", 0, 0x2E4FF723),
+        (b"aaaa", 0x9747B28C, 0x5A97808A),
+        (b"abcd", 0, 0x43ED676A),
+    ]
+
+    @pytest.mark.parametrize("data,seed,expected", VECTORS)
+    def test_reference_vectors(self, data, seed, expected):
+        assert murmur3_32(data, seed=seed) == expected
+
+    def test_string_wrapper_utf8(self):
+        assert murmur3_string("abc") == murmur3_32("abc".encode("utf-8"))
+        # Non-ASCII round-trips through UTF-8.
+        assert murmur3_string("héllo") == murmur3_32("héllo".encode("utf-8"))
+
+
+class TestFinalizers:
+    def test_fmix32_fixed_point_zero(self):
+        assert fmix32(0) == 0
+
+    def test_fmix64_fixed_point_zero(self):
+        assert fmix64(0) == 0
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_fmix32_stays_32_bit(self, x):
+        assert 0 <= fmix32(x) < 2**32
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_fmix64_stays_64_bit(self, x):
+        assert 0 <= fmix64(x) < 2**64
+
+    @given(
+        st.integers(min_value=1, max_value=2**32 - 1),
+        st.integers(min_value=1, max_value=2**32 - 1),
+    )
+    def test_fmix32_injective_on_samples(self, a, b):
+        # fmix32 is a bijection on 32-bit ints.
+        if a != b:
+            assert fmix32(a) != fmix32(b)
+
+    def test_fmix32_avalanche(self):
+        """Flipping one input bit flips ~half the output bits on average."""
+        rng = np.random.default_rng(0)
+        flips = []
+        for _ in range(200):
+            x = int(rng.integers(0, 2**32))
+            bit = int(rng.integers(0, 32))
+            diff = fmix32(x) ^ fmix32(x ^ (1 << bit))
+            flips.append(bin(diff).count("1"))
+        mean_flips = np.mean(flips)
+        assert 12 < mean_flips < 20  # ideal is 16
+
+
+class TestFmix64Array:
+    def test_matches_scalar(self):
+        keys = np.array([0, 1, 2, 12345, 2**40], dtype=np.uint64)
+        out = fmix64_array(keys, seed=0)
+        # The array version mixes in a seed constant, so compare against
+        # the same construction applied scalar-wise.
+        expected = np.array(
+            [fmix64(int(k) ^ fmix64(0 ^ 0x9E3779B97F4A7C15)) for k in keys],
+            dtype=np.uint64,
+        )
+        assert np.array_equal(out, expected)
+
+    def test_seed_changes_output(self):
+        keys = np.arange(100, dtype=np.uint64)
+        a = fmix64_array(keys, seed=1)
+        b = fmix64_array(keys, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_shape_preserved(self):
+        keys = np.arange(12, dtype=np.uint64).reshape(3, 4)
+        assert fmix64_array(keys).shape == (3, 4)

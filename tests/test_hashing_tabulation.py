@@ -1,0 +1,100 @@
+"""Tests for tabulation hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.tabulation import TabulationHash
+
+
+class TestConstruction:
+    def test_rejects_bad_key_bits(self):
+        with pytest.raises(ValueError):
+            TabulationHash(key_bits=16)
+
+    def test_same_seed_same_function(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        a = TabulationHash(seed=42).hash(keys)
+        b = TabulationHash(seed=42).hash(keys)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_different_function(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        a = TabulationHash(seed=1).hash(keys)
+        b = TabulationHash(seed=2).hash(keys)
+        assert not np.array_equal(a, b)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        h = TabulationHash(seed=seq)
+        assert h.hash(np.array([1, 2, 3])).shape == (3,)
+
+
+class TestDistribution:
+    def test_buckets_roughly_uniform(self):
+        h = TabulationHash(seed=0)
+        n, m = 50_000, 64
+        buckets = h.bucket(np.arange(n, dtype=np.uint64), m)
+        counts = np.bincount(buckets, minlength=m)
+        expected = n / m
+        # Chi-square-ish sanity: all bucket loads within 20% of uniform.
+        assert counts.min() > 0.8 * expected
+        assert counts.max() < 1.2 * expected
+
+    def test_signs_roughly_balanced(self):
+        h = TabulationHash(seed=3)
+        signs = h.sign(np.arange(50_000, dtype=np.uint64))
+        assert set(np.unique(signs)) == {-1.0, 1.0}
+        assert abs(signs.mean()) < 0.02
+
+    def test_pairwise_sign_products_balanced(self):
+        """For i != j, E[sigma(i) sigma(j)] ~ 0 (pairwise independence)."""
+        h = TabulationHash(seed=9)
+        signs = h.sign(np.arange(60_000, dtype=np.uint64))
+        # Overlapping pairs of consecutive keys share table entries, so
+        # the products are correlated; allow a generous tolerance.
+        prod = signs[:-1] * signs[1:]
+        assert abs(prod.mean()) < 0.06
+
+    def test_32_bit_variant_consistent(self):
+        h = TabulationHash(seed=5, key_bits=32)
+        keys = np.array([0, 1, 2**31, 2**32 - 1], dtype=np.uint64)
+        out = h.hash(keys)
+        assert out.dtype == np.uint64
+        assert len(set(out.tolist())) == 4  # distinct on these inputs
+
+    def test_32_bit_ignores_high_bits(self):
+        h = TabulationHash(seed=5, key_bits=32)
+        lo = h.hash(np.array([123], dtype=np.uint64))
+        hi = h.hash(np.array([123 + 2**32], dtype=np.uint64))
+        assert np.array_equal(lo, hi)
+
+    def test_64_bit_uses_high_bits(self):
+        h = TabulationHash(seed=5, key_bits=64)
+        lo = h.hash(np.array([123], dtype=np.uint64))
+        hi = h.hash(np.array([123 + 2**32], dtype=np.uint64))
+        assert not np.array_equal(lo, hi)
+
+
+class TestBucketing:
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_buckets_in_range(self, m):
+        h = TabulationHash(seed=11)
+        buckets = h.bucket(np.arange(200, dtype=np.uint64), m)
+        assert buckets.min() >= 0
+        assert buckets.max() < m
+
+    def test_power_of_two_matches_modulo(self):
+        """The bitmask fast path agrees with modulo for powers of two."""
+        h = TabulationHash(seed=13)
+        keys = np.arange(5_000, dtype=np.uint64)
+        raw = h.hash(keys)
+        assert np.array_equal(h.bucket(keys, 256), (raw % 256).astype(np.int64))
+
+    def test_scalar_input(self):
+        h = TabulationHash(seed=1)
+        assert h.bucket(7, 32).shape == ()
+        assert h.sign(7).shape == ()

@@ -1,0 +1,183 @@
+"""Tests for the indexed top-K min-heap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.heap.topk import TopKHeap
+
+
+class TestBasics:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            TopKHeap(0)
+
+    def test_push_and_value(self):
+        h = TopKHeap(4)
+        h.push(1, 2.0)
+        h.push(2, -3.0)
+        assert h.value(1) == 2.0
+        assert h.value(2) == -3.0
+        assert len(h) == 2
+        assert 1 in h and 2 in h and 3 not in h
+
+    def test_get_default(self):
+        h = TopKHeap(2)
+        assert h.get(9) == 0.0
+        assert h.get(9, default=5.0) == 5.0
+
+    def test_value_raises_for_missing(self):
+        h = TopKHeap(2)
+        with pytest.raises(KeyError):
+            h.value(1)
+
+    def test_min_entry_by_magnitude(self):
+        h = TopKHeap(4)
+        h.push(1, -5.0)
+        h.push(2, 1.0)
+        h.push(3, 3.0)
+        key, value = h.min_entry()
+        assert key == 2 and value == 1.0
+        assert h.min_priority() == 1.0
+
+    def test_min_on_empty_raises(self):
+        h = TopKHeap(2)
+        with pytest.raises(IndexError):
+            h.min_entry()
+        with pytest.raises(IndexError):
+            h.pop_min()
+
+
+class TestEviction:
+    def test_eviction_of_minimum(self):
+        h = TopKHeap(2)
+        h.push(1, 1.0)
+        h.push(2, 2.0)
+        evicted = h.push(3, 5.0)
+        assert evicted == (1, 1.0)
+        assert 1 not in h and 3 in h
+
+    def test_rejection_of_weak_candidate(self):
+        h = TopKHeap(2)
+        h.push(1, 2.0)
+        h.push(2, 3.0)
+        evicted = h.push(3, 1.0)  # weaker than the min -> not admitted
+        assert evicted == (3, 1.0)
+        assert 3 not in h and len(h) == 2
+
+    def test_update_existing_never_evicts(self):
+        h = TopKHeap(2)
+        h.push(1, 2.0)
+        h.push(2, 3.0)
+        assert h.push(1, 0.5) is None  # update, even if smaller
+        assert h.value(1) == 0.5
+
+    def test_top_sorted_by_magnitude(self):
+        h = TopKHeap(5)
+        for key, v in [(1, 1.0), (2, -9.0), (3, 4.0), (4, -2.0)]:
+            h.push(key, v)
+        top = h.top(3)
+        assert [k for k, _ in top] == [2, 3, 4]
+        assert top[0][1] == -9.0
+
+    def test_pop_min_drains_in_order(self):
+        h = TopKHeap(8)
+        values = [5.0, -1.0, 3.0, -4.0, 2.0]
+        for i, v in enumerate(values):
+            h.push(i, v)
+        drained = []
+        while len(h):
+            drained.append(abs(h.pop_min()[1]))
+        assert drained == sorted(drained)
+
+
+class TestDeltasAndRemoval:
+    def test_add_delta(self):
+        h = TopKHeap(3)
+        h.push(1, 2.0)
+        h.add_delta(1, -5.0)
+        assert h.value(1) == -3.0
+        h.check_invariants()
+
+    def test_add_delta_missing_raises(self):
+        h = TopKHeap(3)
+        with pytest.raises(KeyError):
+            h.add_delta(1, 1.0)
+
+    def test_remove(self):
+        h = TopKHeap(4)
+        h.push(1, 1.0)
+        h.push(2, 2.0)
+        h.push(3, 3.0)
+        assert h.remove(2) == 2.0
+        assert 2 not in h and len(h) == 2
+        h.check_invariants()
+
+    def test_clear(self):
+        h = TopKHeap(4)
+        h.push(1, 1.0)
+        h.decay(0.5)
+        h.clear()
+        assert len(h) == 0 and h.scale == 1.0
+
+
+class TestDecay:
+    def test_decay_scales_all_values(self):
+        h = TopKHeap(4)
+        h.push(1, 2.0)
+        h.push(2, -4.0)
+        h.decay(0.5)
+        assert h.value(1) == pytest.approx(1.0)
+        assert h.value(2) == pytest.approx(-2.0)
+
+    def test_decay_preserves_order(self):
+        h = TopKHeap(4)
+        h.push(1, 1.0)
+        h.push(2, 3.0)
+        h.decay(0.9)
+        assert h.min_entry()[0] == 1
+        h.check_invariants()
+
+    def test_decay_rejects_non_positive(self):
+        h = TopKHeap(2)
+        with pytest.raises(ValueError):
+            h.decay(0.0)
+        with pytest.raises(ValueError):
+            h.decay(-1.0)
+
+    def test_underflow_renormalization(self):
+        h = TopKHeap(2)
+        h.push(1, 1.0)
+        for _ in range(200):
+            h.decay(1e-2)
+        # Scale folded in; value is tiny but finite and consistent.
+        assert h.value(1) >= 0.0
+        assert np.isfinite(h.value(1))
+        h.check_invariants()
+
+    def test_push_interacts_with_scale(self):
+        h = TopKHeap(2)
+        h.push(1, 4.0)
+        h.decay(0.5)
+        h.push(2, 3.0)  # true value, should not be divided wrongly
+        assert h.value(2) == pytest.approx(3.0)
+        assert h.value(1) == pytest.approx(2.0)
+        assert h.min_entry()[0] == 1
+
+
+class TestCustomPriority:
+    def test_identity_priority(self):
+        h = TopKHeap(2, priority=lambda v: v)
+        h.push(1, -10.0)  # very negative = lowest priority
+        h.push(2, 1.0)
+        evicted = h.push(3, 5.0)
+        assert evicted == (1, -10.0)
+
+    def test_negated_priority(self):
+        # Keep the *smallest* values (used by the A-Res reservoir).
+        h = TopKHeap(2, priority=lambda v: -v)
+        h.push(1, 10.0)
+        h.push(2, 1.0)
+        evicted = h.push(3, 0.5)
+        assert evicted == (1, 10.0)

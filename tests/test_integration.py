@@ -1,0 +1,88 @@
+"""Integration tests: the paper's qualitative claims at miniature scale.
+
+These run the full pipeline (data generator -> harness -> metrics) on
+small streams and assert the *shape* of the paper's results — who wins,
+roughly by how much — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import rcv1_like
+from repro.evaluation.harness import RecoveryExperiment
+
+
+@pytest.fixture(scope="module")
+def rcv1_experiment():
+    spec = rcv1_like(scale=0.05, seed=3)
+    examples = spec.stream.materialize(4_000)
+    exp = RecoveryExperiment(
+        examples, d=spec.stream.d, lambda_=1e-6, ks=(16, 64, 128)
+    )
+    exp.results_8kb = exp.run_budget(8 * 1024)
+    return exp
+
+
+class TestRecoveryOrdering:
+    def test_awm_best_recovery(self, rcv1_experiment):
+        """Fig. 3's headline: AWM achieves the lowest recovery error."""
+        res = rcv1_experiment.results_8kb
+        for k in (16, 64, 128):
+            competitors = [
+                res[m].rel_err[k] for m in ("PTrun", "Hash", "WM")
+            ]
+            assert res["AWM"].rel_err[k] <= min(competitors) + 0.05
+
+    def test_hash_poor_recovery(self, rcv1_experiment):
+        """Feature hashing cannot disambiguate collisions: its recovery
+        error is among the worst."""
+        res = rcv1_experiment.results_8kb
+        assert res["Hash"].rel_err[128] > res["AWM"].rel_err[128]
+
+    def test_all_relerr_at_least_one(self, rcv1_experiment):
+        for result in rcv1_experiment.results_8kb.values():
+            for err in result.rel_err.values():
+                assert err >= 1.0 - 1e-9
+
+
+class TestClassificationOrdering:
+    def test_awm_competitive_with_reference(self, rcv1_experiment):
+        """Fig. 6: the AWM-Sketch's online error approaches the
+        unconstrained model's."""
+        res = rcv1_experiment.results_8kb
+        ref = rcv1_experiment.reference_result()
+        assert res["AWM"].error_rate <= ref.error_rate + 0.05
+
+    def test_awm_at_least_as_good_as_feature_hashing(self, rcv1_experiment):
+        """Section 7.3: AWM consistently edges out feature hashing."""
+        res = rcv1_experiment.results_8kb
+        assert res["AWM"].error_rate <= res["Hash"].error_rate + 0.01
+
+    def test_methods_all_beat_chance(self, rcv1_experiment):
+        for name, result in rcv1_experiment.results_8kb.items():
+            assert result.error_rate < 0.5, name
+
+
+class TestBudgetScaling:
+    def test_awm_recovery_improves_with_budget(self):
+        """Fig. 4: more memory -> better recovery for the AWM-Sketch."""
+        spec = rcv1_like(scale=0.05, seed=7)
+        examples = spec.stream.materialize(3_000)
+        exp = RecoveryExperiment(examples, d=spec.stream.d, ks=(64,))
+        errs = []
+        for kb in (2, 8, 32):
+            res = exp.run_budget(kb * 1024, include=("AWM",))
+            errs.append(res["AWM"].rel_err[64])
+        assert errs[2] <= errs[0] + 1e-9
+        assert errs[2] <= errs[1] + 0.02
+
+
+class TestMemoryAccounting:
+    def test_methods_within_one_percent_of_budget_usage(self, rcv1_experiment):
+        """Configured methods should actually *use* most of the budget
+        (we are benchmarking memory-accuracy trade-offs, not handicaps)."""
+        for name, result in rcv1_experiment.results_8kb.items():
+            assert result.memory_bytes <= 8 * 1024
+            assert result.memory_bytes >= 0.6 * 8 * 1024, name

@@ -1,0 +1,124 @@
+"""Tests for margin losses: values, derivatives, convexity, smoothness."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.learning.losses import (
+    HingeLoss,
+    LogisticLoss,
+    SmoothedHingeLoss,
+    SquaredLoss,
+)
+
+ALL_LOSSES = [LogisticLoss(), SmoothedHingeLoss(), HingeLoss(), SquaredLoss()]
+SMOOTH_LOSSES = [LogisticLoss(), SmoothedHingeLoss(), SquaredLoss()]
+
+taus = st.floats(min_value=-30, max_value=30, allow_nan=False)
+
+
+class TestValues:
+    def test_logistic_at_zero(self):
+        assert LogisticLoss().value(0.0) == pytest.approx(math.log(2))
+
+    def test_logistic_large_margin_vanishes(self):
+        assert LogisticLoss().value(50.0) < 1e-20
+
+    def test_logistic_stable_for_large_negative(self):
+        # Must not overflow: loss(tau) ~ -tau for very negative tau.
+        loss = LogisticLoss()
+        assert loss.value(-700.0) == pytest.approx(700.0, rel=1e-6)
+
+    def test_smoothed_hinge_regions(self):
+        loss = SmoothedHingeLoss(gamma=1.0)
+        assert loss.value(2.0) == 0.0
+        assert loss.value(1.0) == 0.0
+        assert loss.value(0.5) == pytest.approx(0.125)
+        assert loss.value(-1.0) == pytest.approx(1.5)
+
+    def test_hinge(self):
+        loss = HingeLoss()
+        assert loss.value(2.0) == 0.0
+        assert loss.value(0.0) == 1.0
+        assert loss.value(-1.0) == 2.0
+
+    def test_squared(self):
+        assert SquaredLoss().value(1.0) == 0.0
+        assert SquaredLoss().value(0.0) == 0.5
+
+    def test_smoothed_hinge_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            SmoothedHingeLoss(gamma=0.0)
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("loss", SMOOTH_LOSSES, ids=lambda l: type(l).__name__)
+    @given(tau=taus)
+    def test_derivative_matches_numeric(self, loss, tau):
+        h = 1e-6
+        numeric = (loss.value(tau + h) - loss.value(tau - h)) / (2 * h)
+        assert loss.dloss(tau) == pytest.approx(numeric, abs=1e-4)
+
+    @pytest.mark.parametrize("loss", ALL_LOSSES, ids=lambda l: type(l).__name__)
+    @given(tau=taus)
+    def test_derivative_nonpositive_below_zero(self, loss, tau):
+        # All these losses are non-increasing until their flat region.
+        if tau < 0:
+            assert loss.dloss(tau) <= 0.0
+
+    def test_logistic_derivative_bounded(self):
+        loss = LogisticLoss()
+        for tau in np.linspace(-50, 50, 201):
+            assert abs(loss.dloss(tau)) <= loss.lipschitz + 1e-12
+
+    def test_smoothed_hinge_derivative_bounded(self):
+        loss = SmoothedHingeLoss()
+        for tau in np.linspace(-50, 50, 201):
+            assert abs(loss.dloss(tau)) <= 1.0 + 1e-12
+
+
+class TestConvexityAndSmoothness:
+    @pytest.mark.parametrize("loss", ALL_LOSSES, ids=lambda l: type(l).__name__)
+    @given(a=taus, b=taus)
+    def test_midpoint_convexity(self, loss, a, b):
+        mid = loss.value((a + b) / 2)
+        assert mid <= (loss.value(a) + loss.value(b)) / 2 + 1e-9
+
+    @pytest.mark.parametrize("loss", SMOOTH_LOSSES, ids=lambda l: type(l).__name__)
+    @given(a=taus, b=taus)
+    def test_strong_smoothness_inequality(self, loss, a, b):
+        """f(y) <= f(x) + (y-x) f'(x) + (beta/2)(y-x)^2."""
+        beta = loss.smoothness
+        lhs = loss.value(b)
+        rhs = (
+            loss.value(a)
+            + (b - a) * loss.dloss(a)
+            + 0.5 * beta * (b - a) ** 2
+        )
+        assert lhs <= rhs + 1e-7 * max(1.0, abs(rhs))
+
+    def test_hinge_not_smooth(self):
+        assert HingeLoss().smoothness == math.inf
+
+    def test_paper_constants(self):
+        """beta = 1 for logistic and smoothed hinge (Section 6.1)."""
+        assert LogisticLoss().smoothness == 1.0
+        assert SmoothedHingeLoss().smoothness == 1.0
+        assert LogisticLoss().lipschitz == 1.0
+
+
+class TestProbabilisticReading:
+    def test_logistic_probability(self):
+        loss = LogisticLoss()
+        assert loss.predict_probability(0.0) == pytest.approx(0.5)
+        assert loss.predict_probability(100.0) == pytest.approx(1.0)
+        assert loss.predict_probability(-100.0) == pytest.approx(0.0, abs=1e-20)
+
+    def test_others_not_probabilistic(self):
+        with pytest.raises(NotImplementedError):
+            HingeLoss().predict_probability(0.0)

@@ -1,0 +1,137 @@
+"""Tests for evaluation metrics, especially the RelErr recovery metric."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    f1_score,
+    median,
+    online_error_rate,
+    pearson_correlation,
+    recall_at_threshold,
+    relative_error,
+    top_k_vector,
+    true_top_k,
+)
+
+
+class TestTopKVector:
+    def test_materializes(self):
+        v = top_k_vector(5, [(1, 2.0), (3, -1.0)])
+        assert v.tolist() == [0.0, 2.0, 0.0, -1.0, 0.0]
+
+    def test_truncates_to_k(self):
+        v = top_k_vector(5, [(1, 2.0), (3, -1.0)], k=1)
+        assert v.tolist() == [0.0, 2.0, 0.0, 0.0, 0.0]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(IndexError):
+            top_k_vector(3, [(5, 1.0)])
+
+
+class TestTrueTopK:
+    def test_selects_by_magnitude(self):
+        w = np.array([1.0, -5.0, 3.0, 0.5])
+        out = true_top_k(w, 2)
+        assert out.tolist() == [0.0, -5.0, 3.0, 0.0]
+
+    def test_k_geq_d(self):
+        w = np.array([1.0, 2.0])
+        assert np.array_equal(true_top_k(w, 5), w)
+
+
+class TestRelativeError:
+    def test_perfect_recovery_is_one(self):
+        w = np.array([5.0, 0.0, -3.0, 1.0, 0.0])
+        perfect = [(0, 5.0), (2, -3.0)]
+        assert relative_error(perfect, w, 2) == pytest.approx(1.0)
+
+    def test_wrong_support_worse_than_one(self):
+        w = np.array([5.0, 0.0, -3.0, 1.0, 0.0])
+        wrong = [(1, 5.0), (4, -3.0)]
+        assert relative_error(wrong, w, 2) > 1.0
+
+    def test_wrong_values_worse_than_one(self):
+        w = np.array([5.0, 0.0, -3.0])
+        noisy = [(0, 3.0), (2, -1.0)]
+        assert relative_error(noisy, w, 2) > 1.0
+
+    def test_sparse_w_star_perfect(self):
+        """When w* is itself K-sparse, perfect recovery yields 1 (0/0)."""
+        w = np.array([2.0, 0.0, 0.0])
+        assert relative_error([(0, 2.0)], w, 1) == 1.0
+
+    def test_sparse_w_star_imperfect(self):
+        w = np.array([2.0, 0.0, 0.0])
+        assert relative_error([(1, 2.0)], w, 1) == math.inf
+
+    def test_accepts_dense_vector(self):
+        w = np.array([5.0, 0.0, -3.0, 1.0, 0.0])
+        dense = np.array([5.0, 0.0, -3.0, 0.0, 0.0])
+        assert relative_error(dense, w, 2) == pytest.approx(1.0)
+
+    @given(
+        st.integers(min_value=3, max_value=30),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_relerr_at_least_one(self, d, k, seed):
+        """Property: any K-sparse estimate has RelErr >= 1 (the true
+        top-K is the optimal K-sparse approximation)."""
+        rng = np.random.default_rng(seed)
+        w = rng.normal(0, 1, size=d)
+        k = min(k, d - 1)
+        idx = rng.choice(d, size=k, replace=False)
+        estimate = [(int(i), float(rng.normal())) for i in idx]
+        assert relative_error(estimate, w, k) >= 1.0 - 1e-12
+
+
+class TestRecallAndCorrelation:
+    def test_recall(self):
+        assert recall_at_threshold({1, 2}, {1, 2, 3, 4}) == 0.5
+        assert recall_at_threshold([], set()) == 1.0
+        assert recall_at_threshold({9}, {1}) == 0.0
+
+    def test_pearson_perfect(self):
+        x = np.arange(10, dtype=float)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_pearson_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=5_000)
+        y = rng.normal(size=5_000)
+        assert abs(pearson_correlation(x, y)) < 0.05
+
+    def test_pearson_degenerate(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_pearson_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            pearson_correlation(np.ones(1), np.ones(1))
+
+    def test_f1(self):
+        assert f1_score({1, 2}, {1, 2}) == 1.0
+        assert f1_score({1}, {2}) == 0.0
+        assert f1_score(set(), {1}) == 0.0
+        assert f1_score({1, 2, 3, 4}, {1, 2}) == pytest.approx(2 / 3)
+
+
+class TestScalars:
+    def test_online_error_rate(self):
+        assert online_error_rate(5, 100) == 0.05
+        with pytest.raises(ValueError):
+            online_error_rate(1, 0)
+
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        with pytest.raises(ValueError):
+            median([])

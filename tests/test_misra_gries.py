@@ -1,0 +1,132 @@
+"""Tests for the Misra-Gries summary (and cross-checks vs Space Saving)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sketch.misra_gries import MisraGries
+from repro.sketch.space_saving import SpaceSaving
+
+
+class TestBasics:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MisraGries(0)
+
+    def test_rejects_non_positive_weight(self):
+        mg = MisraGries(4)
+        with pytest.raises(ValueError):
+            mg.update(1, 0.0)
+
+    def test_exact_under_capacity(self):
+        mg = MisraGries(4)
+        for item, n in [(1, 3), (2, 2)]:
+            for _ in range(n):
+                mg.update(item)
+        assert mg.count(1) == 3
+        assert mg.count(2) == 2
+        assert mg.decremented == 0.0
+
+    def test_decrement_on_overflow(self):
+        mg = MisraGries(2)
+        mg.update(1)
+        mg.update(2)
+        mg.update(3)  # decrements everyone; 3 not admitted
+        assert len(mg) == 0 or 3 not in mg
+        assert mg.decremented > 0
+
+
+class TestGuarantees:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=25), min_size=1,
+                 max_size=300),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_counts_never_overestimate(self, stream, capacity):
+        """Misra-Gries estimates are lower bounds (mirror of SS)."""
+        mg = MisraGries(capacity)
+        true: dict[int, int] = {}
+        for item in stream:
+            mg.update(item)
+            true[item] = true.get(item, 0) + 1
+        for item, count in mg.items():
+            assert count <= true.get(item, 0) + 1e-9
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=25), min_size=1,
+                 max_size=300),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_undercount_bounded(self, stream, capacity):
+        """true - estimate <= N / (capacity + 1)."""
+        mg = MisraGries(capacity)
+        true: dict[int, int] = {}
+        for item in stream:
+            mg.update(item)
+            true[item] = true.get(item, 0) + 1
+        bound = len(stream) / (capacity + 1)
+        for item, count in true.items():
+            assert count - mg.count(item) <= bound + 1e-9
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=25), min_size=5,
+                 max_size=300),
+        st.integers(min_value=2, max_value=10),
+    )
+    def test_upper_bound_valid(self, stream, capacity):
+        mg = MisraGries(capacity)
+        true: dict[int, int] = {}
+        for item in stream:
+            mg.update(item)
+            true[item] = true.get(item, 0) + 1
+        for item, count in true.items():
+            assert mg.upper_bound(item) >= count - 1e-9
+
+    def test_heavy_hitters_no_false_negatives(self):
+        rng = np.random.default_rng(0)
+        stream = ([7] * 300 + [8] * 200
+                  + rng.integers(100, 1_000, size=500).tolist())
+        rng.shuffle(stream)
+        mg = MisraGries(20)
+        for item in stream:
+            mg.update(int(item))
+        hh = {i for i, _ in mg.heavy_hitters(0.15)}
+        assert 7 in hh and 8 in hh
+
+
+class TestCrossCheckWithSpaceSaving:
+    def test_same_head_on_zipf_stream(self):
+        """Both counter algorithms must retain the true head items."""
+        rng = np.random.default_rng(1)
+        probs = 1.0 / np.arange(1, 501) ** 1.3
+        probs /= probs.sum()
+        stream = rng.choice(500, size=10_000, p=probs)
+        mg = MisraGries(64)
+        ss = SpaceSaving(64)
+        for item in stream:
+            mg.update(int(item))
+            ss.update(int(item))
+        true_head = set(np.argsort(-np.bincount(stream))[:10].tolist())
+        mg_tracked = {i for i, _ in mg.top(64)}
+        ss_tracked = {i for i, _ in ss.top(64)}
+        assert true_head <= mg_tracked
+        assert true_head <= ss_tracked
+
+    def test_bounds_bracket_truth(self):
+        """SS upper bounds and MG lower bounds must bracket true counts."""
+        rng = np.random.default_rng(2)
+        stream = rng.integers(0, 50, size=2_000)
+        mg = MisraGries(16)
+        ss = SpaceSaving(16)
+        true: dict[int, int] = {}
+        for item in stream.tolist():
+            mg.update(item)
+            ss.update(item)
+            true[item] = true.get(item, 0) + 1
+        for item, count in true.items():
+            assert mg.count(item) <= count + 1e-9
+            if item in ss:
+                assert ss.count(item) >= count - 1e-9

@@ -1,0 +1,94 @@
+"""Tests for the multiclass WM/AWM extension (Section 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.awm_sketch import AWMSketch
+from repro.core.multiclass import MulticlassSketch
+from repro.data.sparse import SparseExample
+
+
+def _ex(indices, values, label=1):
+    return SparseExample(
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(values, dtype=np.float64),
+        label,
+    )
+
+
+def _make(seed_base=0, **kwargs):
+    def factory(m):
+        return AWMSketch(
+            width=128,
+            depth=1,
+            heap_capacity=16,
+            lambda_=1e-6,
+            learning_rate=0.5,
+            seed=seed_base + m,
+            **kwargs,
+        )
+
+    return factory
+
+
+class TestConstruction:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            MulticlassSketch(1, _make())
+        with pytest.raises(ValueError):
+            MulticlassSketch(3, _make(), negative_samples=-1)
+
+    def test_one_sketch_per_class(self):
+        mc = MulticlassSketch(4, _make())
+        assert len(mc.sketches) == 4
+        assert mc.memory_cost_bytes == 4 * mc.sketches[0].memory_cost_bytes
+
+
+class TestLearning:
+    def test_learns_three_classes(self):
+        """Class m is signalled by feature m; the wrapper must learn it."""
+        mc = MulticlassSketch(3, _make())
+        rng = np.random.default_rng(0)
+        for _ in range(600):
+            label = int(rng.integers(0, 3))
+            mc.update(_ex([label, 10 + int(rng.integers(0, 5))], [1.0, 1.0]),
+                      label)
+        for label in range(3):
+            assert mc.predict(_ex([label], [1.0])) == label
+
+    def test_rejects_out_of_range_label(self):
+        mc = MulticlassSketch(3, _make())
+        with pytest.raises(ValueError):
+            mc.update(_ex([0], [1.0]), 3)
+
+    def test_margins_shape(self):
+        mc = MulticlassSketch(5, _make())
+        assert mc.margins(_ex([1], [1.0])).shape == (5,)
+
+    def test_negative_sampling_updates_fewer_sketches(self):
+        mc = MulticlassSketch(10, _make(), negative_samples=2, seed=1)
+        mc.update(_ex([3], [1.0]), 0)
+        updated = sum(1 for s in mc.sketches if s.t > 0)
+        assert updated == 3  # the true class + 2 negatives
+
+    def test_negative_sampling_still_learns(self):
+        mc = MulticlassSketch(4, _make(), negative_samples=2, seed=2)
+        rng = np.random.default_rng(3)
+        for _ in range(800):
+            label = int(rng.integers(0, 4))
+            mc.update(_ex([label], [1.0]), label)
+        correct = sum(mc.predict(_ex([m], [1.0])) == m for m in range(4))
+        assert correct >= 3
+
+    def test_top_weights_per_class(self):
+        mc = MulticlassSketch(2, _make())
+        for _ in range(50):
+            mc.update(_ex([7], [1.0]), 0)
+        top0 = mc.top_weights(0, 1)
+        assert top0[0][0] == 7
+        assert top0[0][1] > 0
+        # Class 1 saw feature 7 only as a negative.
+        top1 = dict(mc.top_weights(1, 5))
+        assert top1.get(7, 0.0) < 0

@@ -1,0 +1,157 @@
+"""Tests for the unconstrained online logistic regression reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.sparse import SparseExample
+from repro.learning.base import OnlineErrorTracker, run_stream
+from repro.learning.losses import LogisticLoss, SquaredLoss
+from repro.learning.ogd import UncompressedClassifier
+from repro.learning.schedules import ConstantSchedule
+
+
+def _ex(indices, values, label):
+    return SparseExample(
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(values, dtype=np.float64),
+        label,
+    )
+
+
+class TestBasics:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            UncompressedClassifier(0)
+        with pytest.raises(ValueError):
+            UncompressedClassifier(4, lambda_=-1.0)
+
+    def test_initial_prediction_is_positive_class(self):
+        clf = UncompressedClassifier(10)
+        assert clf.predict(_ex([1], [1.0], 1)) == 1  # sign(0) -> +1
+
+    def test_single_update_moves_margin_toward_label(self):
+        clf = UncompressedClassifier(10, lambda_=0.0)
+        x = _ex([2, 3], [1.0, 1.0], 1)
+        before = clf.predict_margin(x)
+        clf.update(x)
+        assert clf.predict_margin(x) > before
+
+    def test_negative_label_moves_margin_down(self):
+        clf = UncompressedClassifier(10, lambda_=0.0)
+        x = _ex([2], [1.0], -1)
+        clf.update(x)
+        assert clf.predict_margin(x) < 0
+
+    def test_memory_cost(self):
+        clf = UncompressedClassifier(100, track_top=16)
+        assert clf.memory_cost_bytes == 4 * (100 + 32)
+
+
+class TestLearning:
+    def test_learns_separable_problem(self):
+        """Features 0/1 vote +, features 2/3 vote -; the model must learn."""
+        rng = np.random.default_rng(0)
+        clf = UncompressedClassifier(4, lambda_=1e-6, learning_rate=0.5)
+        for _ in range(500):
+            if rng.random() < 0.5:
+                clf.update(_ex([0, 1], [1.0, 1.0], 1))
+            else:
+                clf.update(_ex([2, 3], [1.0, 1.0], -1))
+        w = clf.dense_weights()
+        assert w[0] > 0 and w[1] > 0
+        assert w[2] < 0 and w[3] < 0
+        assert clf.predict(_ex([0, 1], [1.0, 1.0], 1)) == 1
+        assert clf.predict(_ex([2, 3], [1.0, 1.0], -1)) == -1
+
+    def test_matches_manual_ogd(self):
+        """One update equals the hand-computed OGD step."""
+        clf = UncompressedClassifier(
+            3, lambda_=0.1, learning_rate=ConstantSchedule(0.5)
+        )
+        x = _ex([0, 2], [1.0, 2.0], 1)
+        clf.update(x)
+        # tau = 0; dloss(0) = -0.5 (logistic); decay = 1 - 0.5*0.1 = 0.95.
+        # w = 0*0.95 - 0.5*1*(-0.5)*x = 0.25 * x
+        w = clf.dense_weights()
+        assert w[0] == pytest.approx(0.25)
+        assert w[1] == 0.0
+        assert w[2] == pytest.approx(0.5)
+
+    def test_l2_decay_shrinks_weights(self):
+        clf = UncompressedClassifier(
+            2, lambda_=0.5, learning_rate=ConstantSchedule(0.1)
+        )
+        clf.update(_ex([0], [1.0], 1))
+        w_before = clf.dense_weights()[0]
+        # Updates on a disjoint feature still decay feature 0.
+        for _ in range(50):
+            clf.update(_ex([1], [1.0], 1))
+        assert abs(clf.dense_weights()[0]) < abs(w_before)
+
+    def test_scale_underflow_renormalizes(self):
+        clf = UncompressedClassifier(
+            2, lambda_=0.9, learning_rate=ConstantSchedule(1.0)
+        )
+        for _ in range(5_000):
+            clf.update(_ex([0], [1.0], 1))
+        w = clf.dense_weights()
+        assert np.all(np.isfinite(w))
+
+    def test_eta_lambda_guard(self):
+        clf = UncompressedClassifier(
+            2, lambda_=2.0, learning_rate=ConstantSchedule(1.0)
+        )
+        with pytest.raises(ValueError):
+            clf.update(_ex([0], [1.0], 1))
+
+    def test_custom_loss(self):
+        clf = UncompressedClassifier(2, loss=SquaredLoss(), lambda_=0.0)
+        x = _ex([0], [1.0], 1)
+        clf.update(x)
+        # squared loss: dloss(0) = -1, eta0=0.1 -> w0 = 0.1
+        assert clf.dense_weights()[0] == pytest.approx(0.1)
+
+
+class TestTopWeights:
+    def test_top_weights_sorted(self):
+        clf = UncompressedClassifier(10, lambda_=0.0)
+        clf._raw[:] = np.array([0, 5, -3, 1, 0, 0, -9, 0, 2, 0], dtype=float)
+        top = clf.top_weights(3)
+        assert [i for i, _ in top] == [6, 1, 2]
+        assert top[0][1] == -9.0
+
+    def test_top_weights_k_exceeds_d(self):
+        clf = UncompressedClassifier(3, lambda_=0.0)
+        assert len(clf.top_weights(10)) == 3
+
+    def test_estimate_weights_exact(self):
+        clf = UncompressedClassifier(5, lambda_=0.0)
+        clf._raw[:] = np.arange(5, dtype=float)
+        est = clf.estimate_weights(np.array([0, 4]))
+        assert est.tolist() == [0.0, 4.0]
+
+
+class TestRunStream:
+    def test_progressive_validation(self):
+        stream = [_ex([0], [1.0], 1) for _ in range(20)]
+        clf = UncompressedClassifier(2, lambda_=0.0)
+        tracker = run_stream(clf, stream)
+        # First prediction is sign(0) = +1, correct; all subsequent too.
+        assert tracker.error_rate == 0.0
+        assert tracker.n == 20
+
+    def test_tracker_counts_mistakes(self):
+        tracker = OnlineErrorTracker(checkpoint_every=0)
+        tracker.record(1, -1)
+        tracker.record(1, 1)
+        assert tracker.mistakes == 1
+        assert tracker.error_rate == 0.5
+
+    def test_tracker_curve_checkpoints(self):
+        tracker = OnlineErrorTracker(checkpoint_every=2)
+        for i in range(6):
+            tracker.record(1, 1)
+        assert len(tracker.curve) == 3
+        assert tracker.curve[-1] == (6, 0.0)

@@ -1,0 +1,103 @@
+"""Tests for streaming PMI estimation (Section 8.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.pmi import StreamingPMI
+from repro.data.text import CollocationCorpus
+
+
+class TestBasics:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            StreamingPMI(vocab=1)
+        with pytest.raises(ValueError):
+            StreamingPMI(vocab=10, negatives_per_pair=0)
+
+    def test_pair_id_roundtrip(self):
+        est = StreamingPMI(vocab=100, width=256, heap_capacity=16)
+        assert est.unpair_id(est.pair_id(12, 34)) == (12, 34)
+
+    def test_pair_id_range_check(self):
+        est = StreamingPMI(vocab=10, width=64, heap_capacity=4)
+        with pytest.raises(ValueError):
+            est.pair_id(10, 0)
+
+    def test_negatives_drawn_per_pair(self):
+        est = StreamingPMI(vocab=50, width=256, heap_capacity=16,
+                           negatives_per_pair=3, reservoir_size=100, seed=0)
+        # Prime the reservoir so negatives can be drawn.
+        for t in range(20):
+            est.observe_token(t % 50)
+        est.observe_pair(1, 2)
+        # 1 positive + 3 negatives = 4 classifier updates.
+        assert est.classifier.t == 4
+
+
+class TestPMIConvergence:
+    def test_correlated_pair_gets_high_estimate(self):
+        """A pair emitted far above independence converges to high PMI."""
+        rng = np.random.default_rng(0)
+        est = StreamingPMI(vocab=100, width=4_096, heap_capacity=64,
+                           lambda_=0.0, negatives_per_pair=5,
+                           reservoir_size=500, learning_rate=0.3, seed=1)
+        for _ in range(2_000):
+            if rng.random() < 0.5:
+                est.observe_pair(3, 4)  # planted collocation
+            else:
+                u, v = rng.integers(0, 100, size=2)
+                est.observe_pair(int(u), int(v))
+        # Pair (3,4) occurs with p ~ 0.5 while p(3) p(4) ~ 0.25 * 0.25.
+        assert est.estimate_pmi(3, 4) > 1.0
+        # An unseen random pair should estimate low/near-zero.
+        assert est.estimate_pmi(97, 98) < est.estimate_pmi(3, 4)
+
+    def test_top_pairs_surface_collocations(self):
+        # Vocabulary must be large enough that individual *negative*
+        # pairs are rare (as in the paper's 605K-unigram corpus);
+        # otherwise frequently-resampled negative pairs drift to large
+        # negative weights and crowd the active set.
+        corpus = CollocationCorpus(vocab=2_000, n_collocations=8,
+                                   collocation_rate=0.05, window=3, seed=2)
+        est = StreamingPMI(vocab=2_000, width=2**14, heap_capacity=128,
+                           lambda_=1e-8, negatives_per_pair=5,
+                           reservoir_size=1_000, learning_rate=0.3, seed=2)
+        est.consume(corpus.pairs(30_000))
+        top = est.top_pairs(30)
+        assert top, "no positive pairs retrieved"
+        retrieved = {(u, v) for u, v, _ in top}
+        planted = set(corpus.collocations)
+        assert len(retrieved & planted) >= len(planted) // 2
+
+    def test_estimates_track_exact_pmi(self):
+        """Table 3's property: estimated PMI correlates with exact PMI
+        for the retrieved pairs."""
+        corpus = CollocationCorpus(vocab=2_000, n_collocations=8,
+                                   collocation_rate=0.05, window=3, seed=4)
+        est = StreamingPMI(vocab=2_000, width=2**14, heap_capacity=128,
+                           lambda_=1e-8, negatives_per_pair=5,
+                           reservoir_size=1_000, learning_rate=0.3, seed=4)
+        est.consume(corpus.pairs(30_000))
+        errors = []
+        for u, v, estimated in est.top_pairs(10):
+            exact = corpus.exact_pmi(u, v)
+            if np.isfinite(exact):
+                errors.append(abs(estimated - exact))
+        assert errors
+        assert np.median(errors) < 2.0
+
+    def test_regularization_damps_estimates(self):
+        def run(lambda_):
+            rng = np.random.default_rng(5)
+            est = StreamingPMI(vocab=50, width=1_024, heap_capacity=32,
+                               lambda_=lambda_, negatives_per_pair=5,
+                               reservoir_size=200, learning_rate=0.3, seed=5)
+            for _ in range(800):
+                est.observe_pair(1, 2)
+                u, v = rng.integers(0, 50, size=2)
+                est.observe_pair(int(u), int(v))
+            return est.estimate_pmi(1, 2)
+
+        assert run(1e-2) < run(0.0)

@@ -1,0 +1,132 @@
+"""Tests for uniform and weighted reservoir sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.reservoir import UniformReservoir, WeightedReservoir
+
+
+class TestUniformReservoir:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            UniformReservoir(0)
+
+    def test_fills_to_capacity(self):
+        r = UniformReservoir(5, seed=0)
+        r.extend(range(3))
+        assert len(r) == 3
+        r.extend(range(3, 20))
+        assert len(r) == 5
+        assert r.n_seen == 20
+
+    def test_contents_are_stream_elements(self):
+        r = UniformReservoir(10, seed=1)
+        r.extend(range(100))
+        assert all(0 <= x < 100 for x in r.contents())
+
+    def test_sample_requires_nonempty(self):
+        r = UniformReservoir(4, seed=0)
+        with pytest.raises(RuntimeError):
+            r.sample()
+
+    def test_sample_size(self):
+        r = UniformReservoir(4, seed=0)
+        r.extend(range(10))
+        assert len(r.sample(7)) == 7
+
+    def test_inclusion_probability_uniform(self):
+        """Each stream element ends up retained w.p. ~ capacity/n."""
+        capacity, n, trials = 10, 100, 400
+        hits = np.zeros(n)
+        for t in range(trials):
+            r = UniformReservoir(capacity, seed=t)
+            r.extend(range(n))
+            for x in r.contents():
+                hits[x] += 1
+        rates = hits / trials
+        expected = capacity / n
+        # Mean inclusion is exact; per-element rates concentrate.
+        assert rates.mean() == pytest.approx(expected, rel=1e-9)
+        assert np.all(np.abs(rates - expected) < 6 * np.sqrt(expected / trials))
+
+    def test_reservoir_approximates_frequency_distribution(self):
+        """Sampling from the reservoir ~ sampling from the empirical
+        unigram distribution (the property the PMI app relies on)."""
+        rng = np.random.default_rng(3)
+        stream = rng.choice([0, 1, 2], size=20_000, p=[0.6, 0.3, 0.1])
+        r = UniformReservoir(2_000, seed=4)
+        r.extend(stream.tolist())
+        contents = np.array(r.contents())
+        freq = np.bincount(contents, minlength=3) / len(contents)
+        assert freq[0] == pytest.approx(0.6, abs=0.05)
+        assert freq[1] == pytest.approx(0.3, abs=0.05)
+        assert freq[2] == pytest.approx(0.1, abs=0.04)
+
+
+class TestWeightedReservoir:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            WeightedReservoir(0)
+
+    def test_rejects_non_positive_weight(self):
+        r = WeightedReservoir(4, seed=0)
+        with pytest.raises(ValueError):
+            r.offer(1, 0.0)
+
+    def test_under_capacity_admits_everything(self):
+        r = WeightedReservoir(5, seed=0)
+        for i in range(5):
+            assert r.offer(i, 1.0) is None
+        assert len(r) == 5
+
+    def test_eviction_when_full(self):
+        r = WeightedReservoir(2, seed=0)
+        r.offer(1, 1.0)
+        r.offer(2, 1.0)
+        out = r.offer(3, 1000.0)  # huge weight -> key near 1, admitted
+        assert out in (1, 2)
+        assert 3 in r
+
+    def test_high_weight_items_retained(self):
+        """Items with much larger weight survive with high probability."""
+        retained_heavy = 0
+        trials = 60
+        for t in range(trials):
+            r = WeightedReservoir(5, seed=t)
+            r.offer(0, 100.0)  # the heavy item
+            for i in range(1, 101):
+                r.offer(i, 1.0)
+            if 0 in r:
+                retained_heavy += 1
+        # P(retain) is far above the uniform 5/101 ~ 5%.
+        assert retained_heavy / trials > 0.5
+
+    def test_rekey_requires_membership(self):
+        r = WeightedReservoir(2, seed=0)
+        with pytest.raises(KeyError):
+            r.rekey(1, 1.0, 2.0)
+
+    def test_rekey_monotonicity(self):
+        """Raising an item's weight raises its key (keys are in (0,1))."""
+        r = WeightedReservoir(2, seed=1)
+        r.offer(1, 1.0)
+        before = r.key(1)
+        r.rekey(1, 1.0, 10.0)  # weight x10 -> key = key**(1/10) > key
+        assert r.key(1) > before
+
+    def test_rekey_rejects_bad_weights(self):
+        r = WeightedReservoir(2, seed=1)
+        r.offer(1, 1.0)
+        with pytest.raises(ValueError):
+            r.rekey(1, 0.0, 1.0)
+
+    def test_remove(self):
+        r = WeightedReservoir(3, seed=2)
+        r.offer(1, 1.0)
+        r.remove(1)
+        assert 1 not in r and len(r) == 0
+
+    def test_min_key_empty(self):
+        assert WeightedReservoir(2, seed=0).min_key() == 0.0

@@ -1,0 +1,66 @@
+"""Tests for learning-rate schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.learning.schedules import (
+    ConstantSchedule,
+    InverseSchedule,
+    InverseSqrtSchedule,
+    as_schedule,
+)
+
+
+class TestConstant:
+    def test_constant(self):
+        s = ConstantSchedule(0.3)
+        assert s(0) == 0.3
+        assert s(10_000) == 0.3
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+
+
+class TestInverseSqrt:
+    def test_initial_rate(self):
+        assert InverseSqrtSchedule(0.1)(0) == pytest.approx(0.1)
+
+    def test_decreasing(self):
+        s = InverseSqrtSchedule(0.1)
+        rates = [s(t) for t in range(100)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_sqrt_scaling(self):
+        s = InverseSqrtSchedule(1.0)
+        assert s(3) == pytest.approx(0.5)  # 1/sqrt(4)
+        assert s(99) == pytest.approx(0.1)  # 1/sqrt(100)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            InverseSqrtSchedule(-0.1)
+
+
+class TestInverse:
+    def test_pegasos_form(self):
+        s = InverseSchedule(eta0=1.0, lambda_=0.1)
+        assert s(0) == pytest.approx(1.0)
+        assert s(10) == pytest.approx(1.0 / 2.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            InverseSchedule(eta0=0.0)
+        with pytest.raises(ValueError):
+            InverseSchedule(eta0=0.1, lambda_=0.0)
+
+
+class TestCoercion:
+    def test_float_becomes_inverse_sqrt(self):
+        s = as_schedule(0.2)
+        assert isinstance(s, InverseSqrtSchedule)
+        assert s(0) == pytest.approx(0.2)
+
+    def test_schedule_passes_through(self):
+        s = ConstantSchedule(0.5)
+        assert as_schedule(s) is s

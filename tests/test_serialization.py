@@ -1,0 +1,119 @@
+"""Tests for sketch serialization (checkpoint / resume)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.awm_sketch import AWMSketch
+from repro.core.serialization import (
+    from_bytes,
+    load_sketch,
+    roundtrip_bytes,
+    save_sketch,
+)
+from repro.core.wm_sketch import WMSketch
+from repro.data.sparse import SparseExample
+from repro.learning.losses import Loss, SmoothedHingeLoss
+from repro.learning.schedules import ConstantSchedule
+
+
+def _train(clf, n=300, seed=0, universe=500):
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        nnz = int(rng.integers(1, 4))
+        idx = rng.choice(universe, size=nnz, replace=False).astype(np.int64)
+        y = 1 if rng.random() < 0.6 else -1
+        clf.update(SparseExample(idx, np.ones(nnz), y))
+    return clf
+
+
+class TestRoundtrip:
+    def test_awm_roundtrip_preserves_estimates(self):
+        clf = _train(AWMSketch(width=128, depth=2, heap_capacity=16,
+                               lambda_=1e-4, seed=3))
+        restored = from_bytes(roundtrip_bytes(clf))
+        probe = np.arange(0, 500, 7, dtype=np.int64)
+        assert np.allclose(
+            clf.estimate_weights(probe), restored.estimate_weights(probe)
+        )
+        assert sorted(clf.heap.items()) == pytest.approx(
+            sorted(restored.heap.items())
+        )
+        assert restored.t == clf.t
+        assert restored.n_promotions == clf.n_promotions
+
+    def test_wm_roundtrip_preserves_estimates(self):
+        clf = _train(WMSketch(width=64, depth=3, heap_capacity=8,
+                              lambda_=1e-5, l1=0.01, seed=5))
+        restored = from_bytes(roundtrip_bytes(clf))
+        probe = np.arange(0, 500, 11, dtype=np.int64)
+        assert np.allclose(
+            clf.estimate_weights(probe), restored.estimate_weights(probe)
+        )
+        assert restored.l1 == clf.l1
+
+    def test_resume_training_matches_uninterrupted(self):
+        """Checkpoint mid-stream, restore, finish: identical final state
+        to an uninterrupted run."""
+        a = AWMSketch(width=128, depth=1, heap_capacity=8, lambda_=1e-4,
+                      learning_rate=ConstantSchedule(0.2), seed=1)
+        b = AWMSketch(width=128, depth=1, heap_capacity=8, lambda_=1e-4,
+                      learning_rate=ConstantSchedule(0.2), seed=1)
+        rng = np.random.default_rng(2)
+        stream = [
+            SparseExample(
+                np.array([int(rng.integers(0, 200))], dtype=np.int64),
+                np.ones(1),
+                1 if rng.random() < 0.5 else -1,
+            )
+            for _ in range(400)
+        ]
+        for ex in stream[:200]:
+            a.update(ex)
+            b.update(ex)
+        resumed = from_bytes(roundtrip_bytes(a))
+        for ex in stream[200:]:
+            resumed.update(ex)
+            b.update(ex)
+        assert np.allclose(resumed.sketch_state(), b.sketch_state())
+        probe = np.arange(200, dtype=np.int64)
+        assert np.allclose(
+            resumed.estimate_weights(probe), b.estimate_weights(probe)
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        clf = _train(AWMSketch(width=64, depth=1, heap_capacity=4, seed=0))
+        path = tmp_path / "sketch.npz"
+        save_sketch(clf, str(path))
+        restored = load_sketch(str(path))
+        assert np.allclose(clf.sketch_state(), restored.sketch_state())
+
+    def test_custom_loss_preserved(self):
+        clf = _train(
+            AWMSketch(width=64, depth=1, heap_capacity=4,
+                      loss=SmoothedHingeLoss(), seed=0)
+        )
+        restored = from_bytes(roundtrip_bytes(clf))
+        assert isinstance(restored.loss, SmoothedHingeLoss)
+
+
+class TestErrors:
+    def test_unserializable_loss_rejected(self):
+        class WeirdLoss(Loss):
+            def value(self, tau):
+                return 0.0
+
+            def dloss(self, tau):
+                return 0.0
+
+        clf = AWMSketch(width=16, depth=1, heap_capacity=2, loss=WeirdLoss())
+        with pytest.raises(ValueError):
+            roundtrip_bytes(clf)
+
+    def test_non_sketch_rejected(self):
+        from repro.core.serialization import save_sketch as save
+        import io
+
+        with pytest.raises((TypeError, AttributeError)):
+            save(object(), io.BytesIO())

@@ -1,0 +1,153 @@
+"""Tests for the Space Saving heavy-hitters summary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sketch.space_saving import SpaceSaving
+
+
+class TestBasics:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+    def test_rejects_non_positive_weight(self):
+        ss = SpaceSaving(4)
+        with pytest.raises(ValueError):
+            ss.update(1, 0.0)
+
+    def test_tracks_under_capacity_exactly(self):
+        ss = SpaceSaving(8)
+        for item, n in [(1, 5), (2, 3), (3, 1)]:
+            for _ in range(n):
+                ss.update(item)
+        assert ss.count(1) == 5
+        assert ss.count(2) == 3
+        assert ss.count(3) == 1
+        assert ss.count(99) == 0
+        assert len(ss) == 3
+
+    def test_eviction_inherits_min_count(self):
+        ss = SpaceSaving(2)
+        ss.update(1)
+        ss.update(1)
+        ss.update(2)
+        evicted = ss.update(3)  # replaces item 2 (count 1) -> count 2
+        assert evicted == 2
+        assert ss.count(3) == 2.0
+        assert 2 not in ss
+
+    def test_total(self):
+        ss = SpaceSaving(2)
+        for i in range(10):
+            ss.update(i % 3)
+        assert ss.total == 10
+
+
+class TestGuarantees:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=300),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_counts_never_underestimate_tracked(self, stream, capacity):
+        """For tracked items: true count <= estimate <= true + N/capacity."""
+        ss = SpaceSaving(capacity)
+        true: dict[int, int] = {}
+        for item in stream:
+            ss.update(item)
+            true[item] = true.get(item, 0) + 1
+        n = len(stream)
+        for item, count in ss.items():
+            assert count >= true.get(item, 0)
+            assert count <= true.get(item, 0) + n / capacity + 1e-9
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=10, max_size=300),
+        st.integers(min_value=2, max_value=12),
+    )
+    def test_frequent_items_always_tracked(self, stream, capacity):
+        """Every item with frequency > N/capacity must be tracked."""
+        ss = SpaceSaving(capacity)
+        true: dict[int, int] = {}
+        for item in stream:
+            ss.update(item)
+            true[item] = true.get(item, 0) + 1
+        threshold = len(stream) / capacity
+        for item, count in true.items():
+            if count > threshold:
+                assert item in ss
+
+    def test_error_tracking(self):
+        ss = SpaceSaving(2, track_error=True)
+        ss.update(1)
+        ss.update(1)
+        ss.update(2)
+        ss.update(3)  # inherits count 1 from evicted item 2
+        assert ss.error(3) == 1.0
+        assert ss.error(1) == 0.0
+
+    def test_error_requires_flag(self):
+        ss = SpaceSaving(2)
+        with pytest.raises(RuntimeError):
+            ss.error(1)
+
+
+class TestQueries:
+    def test_top_order(self):
+        ss = SpaceSaving(8)
+        counts = {1: 10, 2: 7, 3: 3}
+        for item, n in counts.items():
+            for _ in range(n):
+                ss.update(item)
+        top = ss.top(2)
+        assert [i for i, _ in top] == [1, 2]
+
+    def test_heavy_hitters_threshold(self):
+        ss = SpaceSaving(8)
+        for _ in range(60):
+            ss.update(1)
+        for _ in range(30):
+            ss.update(2)
+        for _ in range(10):
+            ss.update(3)
+        hh = ss.heavy_hitters(0.25)
+        assert [i for i, _ in hh] == [1, 2]
+
+    def test_upper_bound_untracked(self):
+        ss = SpaceSaving(2)
+        for _ in range(5):
+            ss.update(1)
+        for _ in range(3):
+            ss.update(2)
+        # Untracked item: bounded by current min count.
+        assert ss.upper_bound(999) == 3.0
+        assert ss.upper_bound(1) == 5.0
+
+    def test_min_count_before_full(self):
+        ss = SpaceSaving(4)
+        ss.update(1)
+        assert ss.min_count() == 0.0
+
+    def test_weighted_updates(self):
+        ss = SpaceSaving(4)
+        ss.update(1, weight=2.5)
+        ss.update(1, weight=0.5)
+        assert ss.count(1) == pytest.approx(3.0)
+
+    def test_zipf_stream_recall(self):
+        """On a skewed stream, the true head items are all retained."""
+        rng = np.random.default_rng(0)
+        ranks = np.arange(1, 1001)
+        probs = 1.0 / ranks**1.2
+        probs /= probs.sum()
+        stream = rng.choice(1000, size=20_000, p=probs)
+        ss = SpaceSaving(100)
+        for item in stream:
+            ss.update(int(item))
+        top_true = set(np.argsort(-np.bincount(stream, minlength=1000))[:20])
+        tracked = {i for i, _ in ss.items()}
+        assert len(top_true & tracked) >= 18  # near-perfect recall

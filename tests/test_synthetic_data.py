@@ -1,0 +1,134 @@
+"""Tests for the synthetic stream generators (core + dataset presets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import kdda_like, rcv1_like, url_like
+from repro.data.synthetic import SyntheticStream, zipf_probabilities
+
+
+class TestZipfProbabilities:
+    def test_normalized(self):
+        p = zipf_probabilities(1000, 1.1)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p > 0)
+
+    def test_monotone_decreasing(self):
+        p = zipf_probabilities(100, 1.2)
+        assert np.all(np.diff(p) < 0)
+
+    def test_skew_controls_head_mass(self):
+        flat = zipf_probabilities(1000, 0.5)
+        steep = zipf_probabilities(1000, 2.0)
+        assert steep[:10].sum() > flat[:10].sum()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0)
+
+
+class TestSyntheticStream:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SyntheticStream(d=1)
+        with pytest.raises(ValueError):
+            SyntheticStream(d=100, n_signal=0)
+        with pytest.raises(ValueError):
+            SyntheticStream(d=100, avg_nnz=0.5)
+        with pytest.raises(ValueError):
+            SyntheticStream(d=100, signal_rank_range=(0.5, 0.4))
+
+    def test_reproducible(self):
+        a = SyntheticStream(d=200, n_signal=10, seed=3).materialize(50)
+        b = SyntheticStream(d=200, n_signal=10, seed=3).materialize(50)
+        for xa, xb in zip(a, b):
+            assert np.array_equal(xa.indices, xb.indices)
+            assert xa.label == xb.label
+
+    def test_seed_offset_gives_independent_substream(self):
+        s = SyntheticStream(d=200, n_signal=10, seed=3)
+        a = s.materialize(50)
+        b = s.materialize(50, seed_offset=1)
+        assert any(
+            not np.array_equal(xa.indices, xb.indices) for xa, xb in zip(a, b)
+        )
+
+    def test_example_shape(self):
+        s = SyntheticStream(d=500, n_signal=20, avg_nnz=10, seed=0)
+        for ex in s.examples(100):
+            assert ex.label in (-1, 1)
+            assert ex.nnz >= 1
+            assert len(set(ex.indices.tolist())) == ex.nnz  # distinct ids
+            assert np.all((0 <= ex.indices) & (ex.indices < 500))
+
+    def test_avg_nnz_tracks_parameter(self):
+        s = SyntheticStream(d=5_000, n_signal=20, avg_nnz=25.0, seed=1)
+        s.materialize(400)
+        # Dedup shrinks nnz slightly below the Poisson mean.
+        assert 15 < s.stats.avg_nnz <= 26
+
+    def test_true_weights_sparse(self):
+        s = SyntheticStream(d=1_000, n_signal=50, seed=2)
+        assert np.count_nonzero(s.true_weights) == 50
+
+    def test_labels_correlate_with_signal(self):
+        """Examples whose signal margin is positive skew positive."""
+        s = SyntheticStream(d=500, n_signal=30, avg_nnz=15, label_noise=0.0,
+                            seed=4)
+        agree = total = 0
+        for ex in s.examples(500):
+            margin = s.true_weights[ex.indices] @ ex.values
+            if abs(margin) > 1.0:
+                total += 1
+                if np.sign(margin) == ex.label:
+                    agree += 1
+        assert total > 20
+        assert agree / total > 0.75
+
+    def test_label_noise_flips(self):
+        noisy = SyntheticStream(d=500, n_signal=30, label_noise=0.5, seed=5)
+        pos = sum(ex.label == 1 for ex in noisy.examples(400))
+        assert 100 < pos < 300  # heavy noise drives toward 50/50
+
+    def test_summary(self):
+        s = SyntheticStream(d=1_000, n_signal=10)
+        info = s.summary()
+        assert info["d"] == 1_000
+        assert info["dense_space_mb"] == pytest.approx(4_000 / 2**20)
+
+
+class TestDatasetPresets:
+    @pytest.mark.parametrize("preset", [rcv1_like, url_like, kdda_like])
+    def test_presets_generate(self, preset):
+        spec = preset(seed=1)
+        examples = list(spec.examples(20))
+        assert len(examples) == 20
+        assert all(ex.label in (-1, 1) for ex in examples)
+
+    def test_scale_controls_dimension(self):
+        small = rcv1_like(scale=0.05)
+        large = rcv1_like(scale=0.5)
+        assert large.stream.d > small.stream.d
+
+    def test_url_signal_in_mid_tail(self):
+        """URL's planted signal must avoid the frequency head, decoupling
+        frequency from discriminativeness (DESIGN.md)."""
+        spec = url_like(scale=0.01, seed=0)
+        stream = spec.stream
+        # Planted spikes stand out from the dense Laplace background.
+        signal_ids = np.flatnonzero(np.abs(stream.true_weights) > 1.0)
+        signal_freq_ranks = np.argsort(-stream.id_probs)
+        rank_of = np.empty(stream.d, dtype=int)
+        rank_of[signal_freq_ranks] = np.arange(stream.d)
+        # No signal feature sits in the top-1% most frequent.
+        assert rank_of[signal_ids].min() >= 0.01 * stream.d
+
+    def test_rcv1_signal_in_head(self):
+        spec = rcv1_like(scale=0.1, seed=0)
+        stream = spec.stream
+        signal_ids = np.flatnonzero(stream.true_weights)
+        signal_mass = stream.id_probs[signal_ids].sum()
+        # Head-planted signal carries substantial probability mass.
+        assert signal_mass > 0.05

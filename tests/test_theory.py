@@ -1,0 +1,126 @@
+"""Tests for the Theorem 1/2 sizing calculators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.theory import (
+    achievable_epsilon,
+    count_min_sizing,
+    count_sketch_sizing,
+    theorem1_sizing,
+    theorem2_sample_size,
+)
+
+
+class TestTheorem1:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            theorem1_sizing(100, epsilon=0.0)
+        with pytest.raises(ValueError):
+            theorem1_sizing(100, epsilon=0.5, delta=1.5)
+        with pytest.raises(ValueError):
+            theorem1_sizing(1, epsilon=0.5)
+        with pytest.raises(ValueError):
+            theorem1_sizing(100, epsilon=0.5, lambda_=0.0)
+
+    def test_shape_consistency(self):
+        s = theorem1_sizing(10_000, epsilon=0.3, lambda_=0.1)
+        assert s.size == s.width * s.depth
+        assert s.depth >= 1 and s.width >= 1
+
+    def test_size_grows_as_eps_to_minus_4(self):
+        a = theorem1_sizing(10_000, epsilon=0.4, lambda_=1.0, gamma=1.0)
+        b = theorem1_sizing(10_000, epsilon=0.2, lambda_=1.0, gamma=1.0)
+        # Halving eps multiplies k by ~16 (and s by ~4).
+        assert b.size == pytest.approx(16 * a.size, rel=0.1)
+        assert b.depth == pytest.approx(4 * a.depth, rel=0.15)
+
+    def test_size_sublinear_in_dimension(self):
+        """The headline: k is polylog in d (Section 6.1)."""
+        small = theorem1_sizing(10**4, epsilon=0.3, lambda_=1.0)
+        big = theorem1_sizing(10**8, epsilon=0.3, lambda_=1.0)
+        # d grew 10^4x; the sketch only by the log^3 ratio (< 30x here).
+        assert big.size / small.size < (8 / 4) ** 3 + 1
+        assert big.size < 10**8  # massively sub-linear
+
+    def test_lambda_dependence(self):
+        """Smaller lambda -> larger sketch (inverse scaling)."""
+        weak = theorem1_sizing(10_000, epsilon=0.3, lambda_=1e-4)
+        strong = theorem1_sizing(10_000, epsilon=0.3, lambda_=1e-2)
+        assert weak.size > strong.size
+        assert weak.depth >= strong.depth
+
+    def test_regularity_factor_floor(self):
+        """Once beta gamma^2/lambda <= 1 the factor saturates at 1."""
+        a = theorem1_sizing(10_000, epsilon=0.3, lambda_=10.0)
+        b = theorem1_sizing(10_000, epsilon=0.3, lambda_=1000.0)
+        assert a.size == b.size
+
+
+class TestTheorem2:
+    def test_sample_size_positive(self):
+        t = theorem2_sample_size(10_000, epsilon=0.3, lambda_=0.1)
+        assert t >= 1
+
+    def test_sample_size_grows_with_precision(self):
+        loose = theorem2_sample_size(10_000, epsilon=0.4, lambda_=0.1)
+        tight = theorem2_sample_size(10_000, epsilon=0.1, lambda_=0.1)
+        assert tight > loose
+
+    def test_rejects_bad_norms(self):
+        with pytest.raises(ValueError):
+            theorem2_sample_size(100, epsilon=0.3, w_star_l1=0.0)
+
+
+class TestInversion:
+    def test_achievable_epsilon_roundtrip(self):
+        """Sizing for eps then inverting returns roughly eps."""
+        eps = 0.35
+        s = theorem1_sizing(10_000, epsilon=eps, lambda_=1.0)
+        back = achievable_epsilon(
+            10_000, size=s.size, depth=s.depth, lambda_=1.0
+        )
+        assert back == pytest.approx(eps, rel=0.1)
+
+    def test_monotone_in_size(self):
+        # Both constraints must improve: grow size *and* depth together
+        # (with fixed depth the s-equation caps the achievable epsilon).
+        small = achievable_epsilon(10_000, size=2**10, depth=4, lambda_=1.0)
+        large = achievable_epsilon(10_000, size=2**16, depth=64, lambda_=1.0)
+        assert large < small
+
+    def test_depth_constraint_binds(self):
+        """With a huge table but shallow depth, epsilon is limited by the
+        s-equation — growing only k does not help."""
+        a = achievable_epsilon(10_000, size=2**14, depth=4, lambda_=1.0)
+        b = achievable_epsilon(10_000, size=2**20, depth=4, lambda_=1.0)
+        assert a == b
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            achievable_epsilon(100, size=0, depth=1)
+
+
+class TestClassicSizings:
+    def test_count_sketch_quadratic_in_inverse_eps(self):
+        a = count_sketch_sizing(10_000, epsilon=0.1)
+        assert a.width == 100
+
+    def test_count_min_linear_in_inverse_eps(self):
+        a = count_min_sizing(10_000, epsilon=0.1)
+        assert a.width == 10
+
+    def test_comparison_section_6_1(self):
+        """CM needs Theta(1/eps) width, CS Theta(1/eps^2): at equal eps,
+        the Count-Min sketch is smaller (its guarantee is l1-, not
+        l2-relative)."""
+        cs = count_sketch_sizing(10_000, epsilon=0.05)
+        cm = count_min_sizing(10_000, epsilon=0.05)
+        assert cm.size < cs.size
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            count_sketch_sizing(100, epsilon=1.5)
+        with pytest.raises(ValueError):
+            count_min_sizing(100, epsilon=0.0)

@@ -1,0 +1,144 @@
+"""Tests for the truncation baselines (Algorithms 3 and 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.sparse import SparseExample
+from repro.learning.schedules import ConstantSchedule
+from repro.learning.truncation import ProbabilisticTruncation, SimpleTruncation
+
+
+def _ex(indices, values, label):
+    return SparseExample(
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(values, dtype=np.float64),
+        label,
+    )
+
+
+class TestSimpleTruncation:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            SimpleTruncation(0)
+
+    def test_memory_cost(self):
+        assert SimpleTruncation(100).memory_cost_bytes == 4 * 200
+
+    def test_retains_at_most_capacity(self):
+        clf = SimpleTruncation(3, lambda_=0.0)
+        for i in range(10):
+            clf.update(_ex([i], [1.0], 1))
+        assert len(clf.top_weights(100)) <= 3
+
+    def test_keeps_heaviest(self):
+        """Features trained more often develop bigger weights and survive."""
+        clf = SimpleTruncation(2, lambda_=0.0, learning_rate=ConstantSchedule(0.1))
+        rng = np.random.default_rng(0)
+        # Features 0 and 1 appear constantly; 2..19 appear once each.
+        schedule = [0, 1] * 50 + list(range(2, 20))
+        rng.shuffle(schedule)
+        for i in schedule:
+            clf.update(_ex([i], [1.0], 1))
+        kept = {i for i, _ in clf.top_weights(2)}
+        assert kept == {0, 1}
+
+    def test_truncation_loses_slowly_built_weight(self):
+        """The known failure mode: an informative but rare feature gets
+        evicted and its accumulated weight is permanently lost."""
+        clf = SimpleTruncation(1, lambda_=0.0, learning_rate=ConstantSchedule(0.1))
+        clf.update(_ex([7], [1.0], 1))  # rare feature gets one update
+        w7 = clf.estimate_weight(7)
+        assert w7 > 0.0
+        # A feature with a larger single-step gradient displaces it.
+        clf.update(_ex([3], [2.0], 1))
+        assert clf.estimate_weight(7) == 0.0  # evicted, weight lost
+        # Even when 7 returns, it restarts from zero rather than w7.
+        clf.update(_ex([7], [1.0], 1))
+        assert clf.estimate_weight(7) <= w7 + 1e-12
+
+    def test_prediction_uses_only_tracked(self):
+        clf = SimpleTruncation(1, lambda_=0.0)
+        clf.update(_ex([0], [1.0], 1))
+        # Margin for an untracked feature is 0.
+        assert clf.predict_margin(_ex([99], [1.0], 1)) == 0.0
+
+    def test_l2_decay(self):
+        clf = SimpleTruncation(
+            4, lambda_=0.5, learning_rate=ConstantSchedule(0.1)
+        )
+        clf.update(_ex([0], [1.0], 1))
+        w0 = clf.estimate_weight(0)
+        for _ in range(30):
+            clf.update(_ex([1], [1.0], 1))
+        assert abs(clf.estimate_weight(0)) < abs(w0)
+
+    def test_estimate_weights_batch(self):
+        clf = SimpleTruncation(4, lambda_=0.0)
+        clf.update(_ex([2], [1.0], 1))
+        est = clf.estimate_weights(np.array([2, 3]))
+        assert est[0] != 0.0 and est[1] == 0.0
+
+
+class TestProbabilisticTruncation:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ProbabilisticTruncation(0)
+
+    def test_memory_cost_includes_reservoir_keys(self):
+        assert ProbabilisticTruncation(100).memory_cost_bytes == 4 * 300
+
+    def test_capacity_respected(self):
+        clf = ProbabilisticTruncation(5, lambda_=0.0, seed=0)
+        for i in range(50):
+            clf.update(_ex([i], [1.0], 1))
+        assert len(clf.top_weights(100)) <= 5
+
+    def test_high_weight_features_usually_survive(self):
+        """A feature with much larger weight survives with probability
+        far above uniform."""
+        survivals = 0
+        trials = 30
+        for t in range(trials):
+            clf = ProbabilisticTruncation(
+                5, lambda_=0.0, learning_rate=ConstantSchedule(0.5), seed=t
+            )
+            for _ in range(30):
+                clf.update(_ex([0], [1.0], 1))  # heavy feature
+            for i in range(1, 60):
+                clf.update(_ex([i], [1.0], 1))  # 59 light features
+            if clf.estimate_weight(0) != 0.0:
+                survivals += 1
+        assert survivals / trials > 0.6
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            clf = ProbabilisticTruncation(4, lambda_=0.0, seed=seed)
+            rng = np.random.default_rng(9)
+            for _ in range(100):
+                clf.update(_ex([int(rng.integers(0, 20))], [1.0], 1))
+            return sorted(clf.top_weights(4))
+
+        assert run(3) == run(3)
+
+    def test_learning_works(self):
+        clf = ProbabilisticTruncation(
+            8, lambda_=0.0, learning_rate=ConstantSchedule(0.5), seed=1
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(400):
+            if rng.random() < 0.5:
+                clf.update(_ex([0], [1.0], 1))
+            else:
+                clf.update(_ex([1], [1.0], -1))
+        assert clf.predict(_ex([0], [1.0], 1)) == 1
+        assert clf.predict(_ex([1], [1.0], -1)) == -1
+
+    def test_decay_underflow_safe(self):
+        clf = ProbabilisticTruncation(
+            4, lambda_=0.9, learning_rate=ConstantSchedule(1.0), seed=2
+        )
+        for _ in range(3_000):
+            clf.update(_ex([0], [1.0], 1))
+        assert np.isfinite(clf.estimate_weight(0))

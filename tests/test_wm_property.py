@@ -1,0 +1,128 @@
+"""Property-based tests for WM/AWM sketch invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.awm_sketch import AWMSketch
+from repro.core.wm_sketch import WMSketch
+from repro.data.sparse import SparseExample
+from repro.learning.losses import Loss
+from repro.learning.schedules import ConstantSchedule
+
+
+class _UnitGradientLoss(Loss):
+    """loss'(tau) = -1 everywhere (the frequency-estimation reduction)."""
+
+    smoothness = 0.0
+    lipschitz = 1.0
+
+    def value(self, tau):
+        return -tau
+
+    def dloss(self, tau):
+        return -1.0
+
+
+examples_strategy = st.lists(
+    st.tuples(
+        st.lists(
+            st.integers(min_value=0, max_value=300),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        ),
+        st.sampled_from([-1, 1]),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _to_example(indices, label):
+    idx = np.asarray(sorted(indices), dtype=np.int64)
+    return SparseExample(idx, np.ones(idx.size), label)
+
+
+@given(examples_strategy, st.integers(min_value=0, max_value=2**31 - 1))
+def test_wm_state_is_linear_in_updates(stream, seed):
+    """With unit gradients and no regularization, the sketch state after
+    a stream equals the sum of per-example projections — order never
+    matters (the Count-Sketch linearity the analysis leans on)."""
+    def run(order):
+        clf = WMSketch(64, 2, loss=_UnitGradientLoss(), lambda_=0.0,
+                       learning_rate=ConstantSchedule(0.5), seed=seed,
+                       heap_capacity=0)
+        for indices, label in order:
+            clf.update(_to_example(indices, label))
+        return clf.sketch_state()
+
+    forward = run(stream)
+    backward = run(list(reversed(stream)))
+    assert np.allclose(forward, backward, atol=1e-9)
+
+
+@given(examples_strategy, st.integers(min_value=0, max_value=2**31 - 1))
+def test_wm_determinism(stream, seed):
+    """Same seed + same stream -> bit-identical state and estimates."""
+    def run():
+        clf = WMSketch(32, 3, lambda_=1e-5, seed=seed, heap_capacity=4)
+        for indices, label in stream:
+            clf.update(_to_example(indices, label))
+        return clf
+
+    a, b = run(), run()
+    assert np.array_equal(a.sketch_state(), b.sketch_state())
+    probe = np.arange(0, 300, 17, dtype=np.int64)
+    assert np.array_equal(a.estimate_weights(probe),
+                          b.estimate_weights(probe))
+
+
+@given(examples_strategy)
+@settings(max_examples=15)
+def test_wm_estimates_scale_with_learning_rate(stream):
+    """With unit gradients, doubling the constant learning rate doubles
+    every weight estimate (homogeneity of the update rule)."""
+    def run(eta):
+        clf = WMSketch(64, 2, loss=_UnitGradientLoss(), lambda_=0.0,
+                       learning_rate=ConstantSchedule(eta), seed=9,
+                       heap_capacity=0)
+        for indices, label in stream:
+            clf.update(_to_example(indices, label))
+        return clf.estimate_weights(np.arange(0, 300, 13, dtype=np.int64))
+
+    single = run(0.25)
+    double = run(0.5)
+    assert np.allclose(2.0 * single, double, atol=1e-9)
+
+
+@given(examples_strategy, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=15)
+def test_awm_memory_cost_invariant(stream, seed):
+    """The reported memory cost never changes as the sketch learns
+    (fixed-budget structures must not grow)."""
+    clf = AWMSketch(width=64, depth=1, heap_capacity=8, lambda_=1e-5,
+                    seed=seed)
+    before = clf.memory_cost_bytes
+    for indices, label in stream:
+        clf.update(_to_example(indices, label))
+    assert clf.memory_cost_bytes == before
+    assert len(clf.heap) <= clf.heap.capacity
+
+
+@given(examples_strategy)
+@settings(max_examples=15)
+def test_awm_heap_holds_largest_estimates(stream):
+    """Every active-set member's |weight| is >= the sketch estimate of
+    any non-member that was ever observed... within the tolerance of
+    promotion timing: we assert the weaker invariant that the heap is
+    never empty after updates and its minimum is finite."""
+    clf = AWMSketch(width=64, depth=1, heap_capacity=4, lambda_=0.0,
+                    learning_rate=ConstantSchedule(0.3), seed=2)
+    for indices, label in stream:
+        clf.update(_to_example(indices, label))
+    assert len(clf.heap) >= 1
+    assert np.isfinite(clf.heap.min_priority())
+    clf.heap.check_invariants()

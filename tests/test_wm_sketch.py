@@ -1,0 +1,235 @@
+"""Tests for the Weight-Median Sketch (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.wm_sketch import WMSketch
+from repro.data.sparse import SparseExample
+from repro.learning.losses import Loss, LogisticLoss
+from repro.learning.ogd import UncompressedClassifier
+from repro.learning.schedules import ConstantSchedule
+from repro.sketch.count_sketch import CountSketch
+
+
+def _ex(indices, values, label):
+    return SparseExample(
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(values, dtype=np.float64),
+        label,
+    )
+
+
+class _UnitGradientLoss(Loss):
+    """loss'(tau) = -1 everywhere: reduces WM updates to count updates."""
+
+    smoothness = 0.0
+    lipschitz = 1.0
+
+    def value(self, tau: float) -> float:
+        return -tau
+
+    def dloss(self, tau: float) -> float:
+        return -1.0
+
+
+class TestConstruction:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            WMSketch(0, 1)
+        with pytest.raises(ValueError):
+            WMSketch(8, 0)
+        with pytest.raises(ValueError):
+            WMSketch(8, 1, lambda_=-1.0)
+        with pytest.raises(ValueError):
+            WMSketch(8, 1, l1=-0.5)
+
+    def test_size_and_memory(self):
+        clf = WMSketch(128, 4, heap_capacity=16)
+        assert clf.size == 512
+        assert clf.memory_cost_bytes == 4 * (512 + 32)
+
+    def test_no_heap(self):
+        clf = WMSketch(64, 2, heap_capacity=0)
+        assert clf.memory_cost_bytes == 4 * 128
+        with pytest.raises(RuntimeError):
+            clf.top_weights(5)
+
+
+class TestCountSketchReduction:
+    """Section 5.1: with unit gradients the WM update *is* the
+    Count-Sketch update scaled by -eta_t * y_t / sqrt(s)."""
+
+    def test_frequency_estimation_special_case(self):
+        eta = 0.5
+        depth, width, seed = 3, 256, 11
+        wm = WMSketch(
+            width,
+            depth,
+            loss=_UnitGradientLoss(),
+            lambda_=0.0,
+            learning_rate=ConstantSchedule(eta),
+            seed=seed,
+            heap_capacity=0,
+        )
+        cs = CountSketch(width, depth, seed=seed)
+        rng = np.random.default_rng(0)
+        items = rng.integers(0, 1_000, size=500)
+        for item in items:
+            wm.update(_ex([int(item)], [1.0], 1))
+            cs.update(int(item))
+        # Weight estimate = eta * count estimate.
+        probe = np.unique(items)[:50]
+        wm_est = wm.estimate_weights(probe)
+        cs_est = cs.estimate(probe)
+        assert np.allclose(wm_est, eta * cs_est, atol=1e-9)
+
+    def test_sketch_state_is_scaled_projection(self):
+        """After unit-gradient updates, z = eta * R x_total."""
+        eta, depth, width, seed = 0.25, 2, 64, 3
+        wm = WMSketch(
+            width,
+            depth,
+            loss=_UnitGradientLoss(),
+            lambda_=0.0,
+            learning_rate=ConstantSchedule(eta),
+            seed=seed,
+            heap_capacity=0,
+        )
+        cs = CountSketch(width, depth, seed=seed)
+        wm.update(_ex([4, 9], [1.0, 2.0], 1))
+        wm.update(_ex([4], [1.0], 1))
+        projection = cs.project(np.array([4, 9]), np.array([2.0, 2.0]))
+        # z = eta / sqrt(s) * A x_total.
+        assert np.allclose(
+            wm.sketch_state(), eta / np.sqrt(depth) * projection
+        )
+
+
+class TestLearning:
+    def test_learns_separable_problem(self):
+        rng = np.random.default_rng(1)
+        clf = WMSketch(256, 2, lambda_=1e-6, learning_rate=0.5, seed=0)
+        for _ in range(600):
+            if rng.random() < 0.5:
+                clf.update(_ex([0, 1], [1.0, 1.0], 1))
+            else:
+                clf.update(_ex([2, 3], [1.0, 1.0], -1))
+        assert clf.predict(_ex([0, 1], [1.0, 1.0], 1)) == 1
+        assert clf.predict(_ex([2, 3], [1.0, 1.0], -1)) == -1
+        est = clf.estimate_weights(np.arange(4))
+        assert est[0] > 0 and est[1] > 0 and est[2] < 0 and est[3] < 0
+
+    def test_matches_uncompressed_at_huge_width(self):
+        """With width >> #features (no collisions) and depth 1, the
+        WM-Sketch is exactly feature hashing without collisions, i.e.
+        OGD itself: weights match the dense model to machine precision."""
+        d = 20
+        dense = UncompressedClassifier(
+            d, lambda_=1e-3, learning_rate=ConstantSchedule(0.2)
+        )
+        wm = WMSketch(
+            2**16,
+            1,
+            lambda_=1e-3,
+            learning_rate=ConstantSchedule(0.2),
+            seed=5,
+            heap_capacity=0,
+        )
+        rng = np.random.default_rng(4)
+        for _ in range(300):
+            nnz = int(rng.integers(1, 5))
+            idx = rng.choice(d, size=nnz, replace=False)
+            vals = rng.normal(0, 1, size=nnz)
+            y = 1 if rng.random() < 0.5 else -1
+            dense.update(_ex(idx, vals, y))
+            wm.update(_ex(idx, vals, y))
+        assert np.allclose(
+            wm.estimate_weights(np.arange(d)),
+            dense.dense_weights(),
+            atol=1e-8,
+        )
+
+    def test_regularization_shrinks_estimates(self):
+        def final_norm(lambda_):
+            clf = WMSketch(
+                128, 2, lambda_=lambda_, learning_rate=ConstantSchedule(0.1), seed=2
+            )
+            for _ in range(300):
+                clf.update(_ex([1], [1.0], 1))
+            return abs(clf.estimate_weights(np.array([1]))[0])
+
+        assert final_norm(1e-1) < final_norm(1e-3) < final_norm(0.0)
+
+    def test_eta_lambda_guard(self):
+        clf = WMSketch(16, 1, lambda_=2.0, learning_rate=ConstantSchedule(1.0))
+        with pytest.raises(ValueError):
+            clf.update(_ex([0], [1.0], 1))
+
+    def test_scale_underflow_safe(self):
+        clf = WMSketch(
+            16, 1, lambda_=0.9, learning_rate=ConstantSchedule(1.0), heap_capacity=0
+        )
+        for _ in range(3_000):
+            clf.update(_ex([0], [1.0], 1))
+        assert np.all(np.isfinite(clf.sketch_state()))
+
+
+class TestRecovery:
+    def test_heavy_weights_recovered(self):
+        """Plant a few strongly-predictive features among noise; the
+        sketch's top-K must find them."""
+        rng = np.random.default_rng(7)
+        d = 2_000
+        hot = [10, 20, 30]
+        clf = WMSketch(512, 4, lambda_=1e-5, learning_rate=0.5, seed=1,
+                       heap_capacity=32)
+        for _ in range(1_500):
+            idx = [int(rng.integers(0, d)) for _ in range(4)]
+            h = hot[int(rng.integers(0, 3))]
+            idx.append(h)
+            y = 1  # hot features always push +1
+            clf.update(_ex(sorted(set(idx)), np.ones(len(set(idx))), y))
+        top = [i for i, _ in clf.top_weights(3)]
+        assert set(top) == set(hot)
+
+    def test_top_weights_from_candidates(self):
+        clf = WMSketch(256, 3, lambda_=0.0, learning_rate=0.5, seed=1,
+                       heap_capacity=0)
+        for _ in range(50):
+            clf.update(_ex([5], [1.0], 1))
+        top = clf.top_weights_from_candidates(np.arange(10), 1)
+        assert top[0][0] == 5
+
+    def test_l1_soft_threshold(self):
+        clf = WMSketch(64, 2, lambda_=0.0, l1=10.0, heap_capacity=0)
+        clf.update(_ex([1], [1.0], 1))
+        # Small weights are zeroed by the soft threshold.
+        assert clf.estimate_weights(np.array([1]))[0] == 0.0
+
+    def test_median_estimator_odd_depth(self):
+        """With depth 3 the median kills single-row collisions."""
+        clf = WMSketch(512, 3, lambda_=0.0, learning_rate=ConstantSchedule(1.0),
+                       seed=9, heap_capacity=0)
+        clf.update(_ex([1], [1.0], 1))
+        # Unseen keys should mostly estimate exactly 0 (majority of rows
+        # read empty buckets).
+        est = clf.estimate_weights(np.arange(100, 400))
+        assert (est == 0.0).mean() > 0.9
+
+
+class TestDeterminism:
+    def test_same_seed_same_model(self):
+        def run(seed):
+            clf = WMSketch(64, 2, seed=seed, heap_capacity=8)
+            rng = np.random.default_rng(0)
+            for _ in range(100):
+                clf.update(
+                    _ex([int(rng.integers(0, 50))], [1.0],
+                        1 if rng.random() < 0.5 else -1)
+                )
+            return clf.sketch_state()
+
+        assert np.array_equal(run(4), run(4))
+        assert not np.array_equal(run(4), run(5))
