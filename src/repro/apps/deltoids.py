@@ -19,9 +19,11 @@ IP addresses); find the items whose occurrence ratio
 from __future__ import annotations
 
 import math
+from itertools import islice
 
 import numpy as np
 
+from repro.data.batch import SparseBatch
 from repro.data.sparse import SparseExample
 from repro.heap.topk import TopKHeap
 from repro.learning.base import StreamingClassifier
@@ -52,10 +54,29 @@ class ClassifierDeltoid:
             )
         )
 
-    def consume(self, pairs) -> None:
-        """Feed an iterable of (item, stream) pairs."""
-        for item, stream in pairs:
-            self.observe(item, stream)
+    def consume(self, pairs, batch_size: int | None = None) -> None:
+        """Feed an iterable of (item, stream) pairs.
+
+        With ``batch_size`` set, windows of pairs are packed directly
+        into CSR :class:`~repro.data.batch.SparseBatch` objects (1-sparse
+        rows built array-at-a-time, skipping per-pair ``SparseExample``
+        construction) and consumed via the classifier's batched engine;
+        the final state matches per-pair :meth:`observe` calls.
+        """
+        if batch_size is None:
+            for item, stream in pairs:
+                self.observe(item, stream)
+            return
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        it = iter(pairs)
+        while True:
+            window = list(islice(it, batch_size))
+            if not window:
+                return
+            items = np.array([p[0] for p in window], dtype=np.int64)
+            labels = np.array([p[1] for p in window], dtype=np.int64)
+            self.classifier.fit_batch(SparseBatch.from_pairs(items, labels))
 
     def top_deltoids(self, k: int) -> list[tuple[int, float]]:
         """The k items with the largest |weight| = |log-ratio estimate|."""

@@ -77,10 +77,18 @@ class StreamingExplainer:
             self.classifier.update(example)
         self.n_rows += 1
 
-    def consume(self, examples: Iterable[SparseExample]) -> None:
-        """Feed pre-encoded 1-sparse examples directly."""
-        for ex in examples:
-            self.classifier.update(ex)
+    def consume(
+        self,
+        examples: Iterable[SparseExample],
+        batch_size: int | None = None,
+    ) -> None:
+        """Feed pre-encoded 1-sparse examples directly.
+
+        With ``batch_size`` set, the stream is driven through the
+        classifier's batched engine (``fit_batch``) — identical final
+        state, amortized hashing.
+        """
+        self.classifier.fit(examples, batch_size=batch_size)
 
     def top_attributes(
         self, k: int, by: str = "magnitude"

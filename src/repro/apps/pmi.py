@@ -29,6 +29,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.awm_sketch import AWMSketch
+from repro.data.batch import SparseBatch
 from repro.data.sparse import SparseExample
 from repro.learning.base import StreamingClassifier
 from repro.learning.schedules import ConstantSchedule
@@ -117,27 +118,68 @@ class StreamingPMI:
         """Feed one token into the unigram reservoir."""
         self.reservoir.add(token)
 
-    def observe_pair(self, u: int, v: int) -> None:
-        """Feed one true co-occurring pair (and draw negatives)."""
+    def _pair_examples(self, u: int, v: int) -> list[tuple[int, int]]:
+        """Reservoir bookkeeping for one true pair; returns the training
+        (pair id, label) sequence it induces (one positive, then the
+        sampled negatives)."""
         self.observe_token(u)
         self.observe_token(v)
-        self._train(self.pair_id(u, v), +1)
+        out = [(self.pair_id(u, v), +1)]
         if len(self.reservoir) >= 2:
             negatives = self.reservoir.sample(2 * self.negatives_per_pair)
             for i in range(self.negatives_per_pair):
                 nu, nv = negatives[2 * i], negatives[2 * i + 1]
-                self._train(self.pair_id(int(nu), int(nv)), -1)
+                out.append((self.pair_id(int(nu), int(nv)), -1))
         self.n_pairs += 1
+        return out
 
-    def consume(self, pairs: Iterable[tuple[int, int]]) -> None:
-        """Feed an iterable of co-occurring (u, v) pairs."""
+    def observe_pair(self, u: int, v: int) -> None:
+        """Feed one true co-occurring pair (and draw negatives)."""
+        for pid, label in self._pair_examples(u, v):
+            self._train(pid, label)
+
+    def consume(
+        self,
+        pairs: Iterable[tuple[int, int]],
+        batch_size: int | None = None,
+    ) -> None:
+        """Feed an iterable of co-occurring (u, v) pairs.
+
+        With ``batch_size`` set, the induced training examples
+        (positives and negatives, in their sampling order) are packed
+        into CSR batches of roughly that many examples and consumed via
+        the classifier's batched engine.  Reservoir updates and negative
+        sampling stay per-pair, so the training sequence — and therefore
+        the final state — matches per-pair :meth:`observe_pair` calls.
+        """
+        if batch_size is None:
+            for u, v in pairs:
+                self.observe_pair(u, v)
+            return
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        pending: list[tuple[int, int]] = []
         for u, v in pairs:
-            self.observe_pair(u, v)
+            pending.extend(self._pair_examples(u, v))
+            if len(pending) >= batch_size:
+                self._train_batch(pending)
+                pending = []
+        if pending:
+            self._train_batch(pending)
 
     def _train(self, pid: int, label: int) -> None:
         self.classifier.update(
             SparseExample(
                 np.array([pid], dtype=np.int64), self._one.copy(), label
+            )
+        )
+
+    def _train_batch(self, examples: list[tuple[int, int]]) -> None:
+        """Train on 1-sparse (pair id, label) rows as one CSR batch."""
+        self.classifier.fit_batch(
+            SparseBatch.from_pairs(
+                np.array([pid for pid, _ in examples], dtype=np.int64),
+                np.array([label for _, label in examples], dtype=np.int64),
             )
         )
 

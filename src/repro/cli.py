@@ -48,11 +48,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
               f"choose from rcv1, url, kdda", file=sys.stderr)
         return 2
     spec = preset(seed=args.seed)
+    batch_size = args.batch_size if args.batch_size > 0 else None
     print(f"dataset={spec.name} d={spec.stream.d:,} "
-          f"examples={args.examples:,} lambda={args.lambda_:g}")
+          f"examples={args.examples:,} lambda={args.lambda_:g} "
+          f"batch_size={batch_size or 'off (per-example)'}")
     examples = spec.stream.materialize(args.examples)
     experiment = RecoveryExperiment(
-        examples, d=spec.stream.d, lambda_=args.lambda_, ks=(args.k,)
+        examples,
+        d=spec.stream.d,
+        lambda_=args.lambda_,
+        ks=(args.k,),
+        batch_size=batch_size,
     )
     reference = experiment.reference_result()
     print(f"\nunconstrained LR: error {reference.error_rate:.4f} "
@@ -124,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--lambda", dest="lambda_", type=float,
                          default=1e-6)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--batch-size", type=int, default=256,
+        help="mini-batch size for the batched streaming engine "
+             "(0 = per-example updates; results are identical either "
+             "way, batching is faster)",
+    )
     compare.set_defaults(func=_cmd_compare)
 
     configs = sub.add_parser(

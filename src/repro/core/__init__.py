@@ -14,6 +14,7 @@
 """
 
 from repro.core.awm_sketch import AWMSketch
+from repro.core.sketch_table import ScaledSketchTable
 from repro.core.config import (
     PAPER_BUDGETS_KB,
     SketchConfig,
@@ -41,6 +42,7 @@ from repro.core.wm_sketch import WMSketch
 __all__ = [
     "WMSketch",
     "AWMSketch",
+    "ScaledSketchTable",
     "MulticlassSketch",
     "save_sketch",
     "load_sketch",

@@ -25,23 +25,32 @@ evicted again.  The paper finds this variant dominates the basic
 WM-Sketch on both recovery and accuracy, with the best configuration
 giving *half* the budget to the heap and using a depth-1 sketch
 (Section 7.3).
+
+The table / scale / margin / recovery machinery is shared with the
+WM-Sketch through :class:`~repro.core.sketch_table.ScaledSketchTable`.
+:meth:`AWMSketch.fit_batch` hashes a whole batch's index set once
+(deduplicated, vectorized) and replays Algorithm 2 per example over the
+precomputed rows — state-identical to per-example :meth:`update` calls.
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from repro.core.sketch_table import _RENORM_THRESHOLD, ScaledSketchTable
+from repro.data.batch import SparseBatch
 from repro.data.sparse import SparseExample
-from repro.hashing.family import HashFamily
 from repro.heap.topk import TopKHeap
-from repro.learning.base import CELL_BYTES, StreamingClassifier
-from repro.learning.losses import LogisticLoss, Loss
-from repro.learning.schedules import Schedule, as_schedule
+from repro.learning.base import CELL_BYTES
+from repro.learning.losses import Loss
+from repro.learning.schedules import Schedule
 
-_RENORM_THRESHOLD = 1e-150
+__all__ = ["AWMSketch", "_RENORM_THRESHOLD"]
 
 
-class AWMSketch(StreamingClassifier):
+class AWMSketch(ScaledSketchTable):
     """Active-Set Weight-Median Sketch.
 
     Parameters
@@ -72,23 +81,18 @@ class AWMSketch(StreamingClassifier):
         hash_kind: str = "tabulation",
         scalar_fast_path: bool = True,
     ):
-        if width < 1:
-            raise ValueError(f"width must be >= 1, got {width}")
-        if depth < 1:
-            raise ValueError(f"depth must be >= 1, got {depth}")
         if heap_capacity < 1:
             raise ValueError(f"heap_capacity must be >= 1, got {heap_capacity}")
-        self.width = width
-        self.depth = depth
-        self.loss = loss if loss is not None else LogisticLoss()
-        self.lambda_ = lambda_
-        self.schedule = as_schedule(learning_rate)
-        self.family = HashFamily(width, depth, seed=seed, kind=hash_kind)
-        self.table = np.zeros((depth, width), dtype=np.float64)
-        self._scale = 1.0
-        self._sqrt_s = float(np.sqrt(depth))
+        super().__init__(
+            width,
+            depth,
+            loss=loss,
+            lambda_=lambda_,
+            learning_rate=learning_rate,
+            seed=seed,
+            hash_kind=hash_kind,
+        )
         self.heap = TopKHeap(heap_capacity)
-        self.t = 0
         self.scalar_fast_path = scalar_fast_path
         # Diagnostics: promotion/eviction churn (exposed for ablations).
         self.n_promotions = 0
@@ -101,31 +105,6 @@ class AWMSketch(StreamingClassifier):
             return 0.0
         buckets, signs = self.family.all_rows(indices)
         return self._margin_from_rows(buckets, signs, values)
-
-    def _margin_from_rows(
-        self, buckets: np.ndarray, signs: np.ndarray, values: np.ndarray
-    ) -> float:
-        total = 0.0
-        for j in range(self.depth):
-            total += float(self.table[j, buckets[j]] @ (signs[j] * values))
-        return self._scale * total / self._sqrt_s
-
-    def _sketch_estimate(self, indices: np.ndarray) -> np.ndarray:
-        if indices.size == 0:
-            return np.zeros(0, dtype=np.float64)
-        buckets, signs = self.family.all_rows(indices)
-        return self._estimate_from_rows(buckets, signs)
-
-    def _estimate_from_rows(
-        self, buckets: np.ndarray, signs: np.ndarray
-    ) -> np.ndarray:
-        factor = self._sqrt_s * self._scale
-        if self.depth == 1:
-            return factor * (signs[0] * self.table[0, buckets[0]])
-        rows = np.empty(buckets.shape, dtype=np.float64)
-        for j in range(self.depth):
-            rows[j] = signs[j] * self.table[j, buckets[j]]
-        return factor * np.median(rows, axis=0)
 
     def _sketch_add(self, index: int, delta: float) -> None:
         """Add ``delta`` to the sketched weight of a single feature."""
@@ -141,12 +120,16 @@ class AWMSketch(StreamingClassifier):
     # ------------------------------------------------------------------
     def _split(self, x: SparseExample) -> tuple[np.ndarray, np.ndarray]:
         """Boolean mask of x's features that are in the active set."""
-        in_heap = np.fromiter(
-            (idx in self.heap for idx in x.indices.tolist()),
-            dtype=bool,
-            count=x.indices.size,
-        )
+        in_heap = self._membership(x.indices)
         return in_heap, ~in_heap
+
+    def _membership(self, indices: np.ndarray) -> np.ndarray:
+        """Boolean mask of which indices are currently in the active set."""
+        return np.fromiter(
+            (idx in self.heap for idx in indices.tolist()),
+            dtype=bool,
+            count=indices.size,
+        )
 
     def predict_margin(self, x: SparseExample) -> float:
         in_heap, in_sketch = self._split(x)
@@ -174,8 +157,11 @@ class AWMSketch(StreamingClassifier):
             return vals[mid]
         return 0.5 * (vals[mid - 1] + vals[mid])
 
-    def _update_one(self, idx: int, val: float, y: int) -> None:
-        """Algorithm 2 specialized to nnz(x) = 1, all-scalar arithmetic."""
+    def _update_one(self, idx: int, val: float, y: int) -> float:
+        """Algorithm 2 specialized to nnz(x) = 1, all-scalar arithmetic.
+
+        Returns the pre-update margin (for progressive validation).
+        """
         in_heap = idx in self.heap
         rows: list[tuple[int, float]] = []
         if in_heap:
@@ -183,29 +169,26 @@ class AWMSketch(StreamingClassifier):
         else:
             # The margin uses the *linear* form z^T R x (sum over rows /
             # sqrt(s)), exactly like the batch path — the median is only
-            # for recovery queries.
+            # for recovery queries.  The float association mirrors
+            # :meth:`~repro.core.sketch_table.ScaledSketchTable.
+            # _margin_from_products` (table-value times sign*value
+            # product, fsum, then scale/sqrt(s)) so the returned margin
+            # is bit-identical to :meth:`predict_margin`.
             rows = [
                 self.family.bucket_sign_one(idx, j) for j in range(self.depth)
             ]
-            linear = sum(
-                sign * float(self.table[j, bucket])
+            total = math.fsum(
+                float(self.table[j, bucket]) * (sign * val)
                 for j, (bucket, sign) in enumerate(rows)
             )
-            tau = (self._scale * linear / self._sqrt_s) * val
+            tau = self._scale * total / self._sqrt_s
 
         g = self.loss.dloss(y * tau)
         eta = self.schedule(self.t)
         if self.lambda_ > 0.0:
-            decay = 1.0 - eta * self.lambda_
-            if decay <= 0.0:
-                raise ValueError(
-                    f"eta * lambda = {eta * self.lambda_} >= 1; decrease eta0"
-                )
+            decay = self._decay_factor(eta)
             self.heap.decay(decay)
-            self._scale *= decay
-            if self._scale < _RENORM_THRESHOLD:
-                self.table *= self._scale
-                self._scale = 1.0
+            self._decay_scale(decay)
         step = eta * y * g
 
         if in_heap:
@@ -239,6 +222,7 @@ class AWMSketch(StreamingClassifier):
                 else:
                     self._sketch_add_one(idx, -step * val)
         self.t += 1
+        return tau
 
     def _sketch_add_one(self, index: int, delta: float) -> None:
         """Scalar version of :meth:`_sketch_add`."""
@@ -254,20 +238,43 @@ class AWMSketch(StreamingClassifier):
         if self.scalar_fast_path and x.indices.size == 1:
             self._update_one(int(x.indices[0]), float(x.values[0]), x.label)
             return
-        y = x.label
-        in_heap, in_sketch = self._split(x)
-        heap_idx = x.indices[in_heap]
-        heap_val = x.values[in_heap]
-        tail_idx = x.indices[in_sketch]
-        tail_val = x.values[in_sketch]
+        self._update_example(x.indices, x.values, x.label)
+
+    def _update_example(
+        self,
+        indices: np.ndarray,
+        values: np.ndarray,
+        y: int,
+        buckets: np.ndarray | None = None,
+        signs: np.ndarray | None = None,
+    ) -> float:
+        """One Algorithm 2 step; returns the pre-update margin.
+
+        ``buckets`` / ``signs`` may carry pre-hashed rows for *all* of
+        ``indices`` (shape ``(depth, nnz)``), as produced by the batched
+        hashing front-end; tail columns are then selected instead of
+        re-hashed.  Hash functions are pure, so the two paths see the
+        same rows and produce bit-identical state.
+        """
+        in_heap = self._membership(indices)
+        in_sketch = ~in_heap
+        heap_idx = indices[in_heap]
+        heap_val = values[in_heap]
+        tail_idx = indices[in_sketch]
+        tail_val = values[in_sketch]
 
         tau = 0.0
         for idx, val in zip(heap_idx.tolist(), heap_val.tolist()):
             tau += self.heap.value(idx) * val
         if tail_idx.size:
-            # Hash the tail once; reuse for the margin, the queries and
-            # the batched gradient fold-in below.
-            tail_buckets, tail_signs = self.family.all_rows(tail_idx)
+            # Hash the tail once (or select from the batch-hashed rows);
+            # reuse for the margin, the queries and the batched gradient
+            # fold-in below.
+            if buckets is None:
+                tail_buckets, tail_signs = self.family.all_rows(tail_idx)
+            else:
+                tail_buckets = buckets[:, in_sketch]
+                tail_signs = signs[:, in_sketch]
             tau += self._margin_from_rows(tail_buckets, tail_signs, tail_val)
 
         g = self.loss.dloss(y * tau)
@@ -276,16 +283,9 @@ class AWMSketch(StreamingClassifier):
         # Regularization: decay both the heap and the sketch (S and z
         # both scale by (1 - lambda eta) in Algorithm 2), lazily.
         if self.lambda_ > 0.0:
-            decay = 1.0 - eta * self.lambda_
-            if decay <= 0.0:
-                raise ValueError(
-                    f"eta * lambda = {eta * self.lambda_} >= 1; decrease eta0"
-                )
+            decay = self._decay_factor(eta)
             self.heap.decay(decay)
-            self._scale *= decay
-            if self._scale < _RENORM_THRESHOLD:
-                self.table *= self._scale
-                self._scale = 1.0
+            self._decay_scale(decay)
 
         step = eta * y * g
 
@@ -325,17 +325,57 @@ class AWMSketch(StreamingClassifier):
                 else:
                     stay.append(pos)
             if stay:
-                # One np.add.at per row for all non-promoted features
-                # (Algorithm 2 applies these independently; batching only
-                # reorders within a single example).
+                # One scatter for all non-promoted features (Algorithm 2
+                # applies these independently; batching only reorders
+                # within a single example).
                 coeff = (-step / (self._sqrt_s * self._scale)) * tail_val[stay]
-                for j in range(self.depth):
-                    np.add.at(
-                        self.table[j],
-                        tail_buckets[j, stay],
-                        coeff * tail_signs[j, stay],
-                    )
+                self._scatter_add(
+                    tail_buckets[:, stay], coeff * tail_signs[:, stay]
+                )
         self.t += 1
+        return tau
+
+    def fit_batch(self, batch: SparseBatch) -> np.ndarray:
+        """Mini-batch Algorithm 2: hash the batch once, replay in order.
+
+        All of the batch's indices are hashed in one deduplicated
+        vectorized call; each example then runs the ordinary sequential
+        Algorithm 2 step over views of the precomputed rows (1-sparse
+        examples keep using the scalar fast path, exactly as
+        :meth:`update` would).  Returns the pre-update margins.
+        """
+        n = len(batch)
+        margins = np.empty(n, dtype=np.float64)
+        if n == 0:
+            return margins
+        # Hash lazily: all-1-sparse batches (the Section 8 application
+        # workloads) go entirely through the scalar fast path, which
+        # hashes per key itself — pre-hashing the batch would be pure
+        # waste.  The first multi-sparse example triggers the one
+        # vectorized dedup hash for the whole batch.
+        buckets = signs = None
+        indptr = batch.indptr.tolist()
+        labels = batch.labels.tolist()
+        indices = batch.indices
+        values = batch.values
+        for i in range(n):
+            lo, hi = indptr[i], indptr[i + 1]
+            y = labels[i]
+            if self.scalar_fast_path and hi - lo == 1:
+                margins[i] = self._update_one(
+                    int(indices[lo]), float(values[lo]), y
+                )
+                continue
+            if buckets is None:
+                buckets, signs = self._batch_hasher.rows(indices)
+            margins[i] = self._update_example(
+                indices[lo:hi],
+                values[lo:hi],
+                y,
+                buckets=buckets[:, lo:hi],
+                signs=signs[:, lo:hi],
+            )
+        return margins
 
     # ------------------------------------------------------------------
     # Recovery
@@ -361,14 +401,5 @@ class AWMSketch(StreamingClassifier):
 
     # ------------------------------------------------------------------
     @property
-    def size(self) -> int:
-        """Total sketch cells (excluding the heap)."""
-        return self.width * self.depth
-
-    @property
     def memory_cost_bytes(self) -> int:
         return CELL_BYTES * (self.size + 2 * self.heap.capacity)
-
-    def sketch_state(self) -> np.ndarray:
-        """The current (scaled) sketch tail vector z as a flat array."""
-        return (self._scale * self.table).ravel()

@@ -13,6 +13,9 @@ Contents
 --------
 * :class:`~repro.data.sparse.SparseExample` — the (indices, values,
   label) triple flowing through every stream.
+* :class:`~repro.data.batch.SparseBatch` /
+  :func:`~repro.data.batch.iter_batches` — CSR mini-batches for the
+  batched streaming engine.
 * :mod:`~repro.data.synthetic` — the core Zipfian sparse-classification
   stream generator.
 * :mod:`~repro.data.datasets` — RCV1-, URL- and KDDA-flavoured presets.
@@ -24,11 +27,14 @@ Contents
   (Table 3, Fig. 11).
 """
 
+from repro.data.batch import SparseBatch, iter_batches
 from repro.data.sparse import SparseExample, dense_to_sparse, sparse_dot
 from repro.data.synthetic import SyntheticStream, zipf_probabilities
 
 __all__ = [
     "SparseExample",
+    "SparseBatch",
+    "iter_batches",
     "SyntheticStream",
     "dense_to_sparse",
     "sparse_dot",

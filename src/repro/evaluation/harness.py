@@ -141,6 +141,12 @@ class RecoveryExperiment:
         shares eta0 = 0.1).
     ks:
         The K grid for RelErr curves (the paper plots K <= 128).
+    batch_size:
+        If set, every method (and the reference) is driven through the
+        batched streaming engine (``fit_stream``) with this mini-batch
+        size instead of the per-example predict-then-update loop.  The
+        batched kernels replay the per-example sequence exactly, so
+        results are identical — only the wall-clock changes.
     """
 
     def __init__(
@@ -150,17 +156,35 @@ class RecoveryExperiment:
         lambda_: float = 1e-6,
         learning_rate: float = 0.1,
         ks: Sequence[int] = (8, 16, 32, 64, 128),
+        batch_size: int | None = None,
     ):
         self.examples = list(examples)
         if not self.examples:
             raise ValueError("empty example stream")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.d = d
         self.lambda_ = lambda_
         self.learning_rate = learning_rate
         self.ks = tuple(ks)
+        self.batch_size = batch_size
         self._observed: np.ndarray | None = None
         self._reference: UncompressedClassifier | None = None
         self._reference_runtime: float = float("nan")
+
+    def _drive(
+        self, clf: StreamingClassifier, tracker: OnlineErrorTracker
+    ) -> None:
+        """One predict-then-update pass over the shared stream."""
+        if self.batch_size is None:
+            for ex in self.examples:
+                prediction = clf.predict(ex)
+                tracker.record(prediction, ex.label)
+                clf.update(ex)
+        else:
+            clf.fit_stream(
+                self.examples, batch_size=self.batch_size, tracker=tracker
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -185,10 +209,7 @@ class RecoveryExperiment:
             )
             tracker = OnlineErrorTracker(checkpoint_every=0)
             start = time.perf_counter()
-            for ex in self.examples:
-                prediction = clf.predict(ex)
-                tracker.record(prediction, ex.label)
-                clf.update(ex)
+            self._drive(clf, tracker)
             self._reference_runtime = time.perf_counter() - start
             self._reference_error = tracker.error_rate
             self._reference = clf
@@ -225,10 +246,7 @@ class RecoveryExperiment:
         """Single pass + metrics for one method."""
         tracker = OnlineErrorTracker(checkpoint_every=0)
         start = time.perf_counter()
-        for ex in self.examples:
-            prediction = clf.predict(ex)
-            tracker.record(prediction, ex.label)
-            clf.update(ex)
+        self._drive(clf, tracker)
         runtime = time.perf_counter() - start
         w_star = self.reference().dense_weights()
         result = MethodResult(

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro.data.batch import SparseBatch, iter_batches
 from repro.data.sparse import SparseExample
 from repro.learning.base import StreamingClassifier
 
@@ -31,14 +32,46 @@ class TimingResult:
         """Microseconds per processed example."""
         return 1e6 * self.seconds / max(self.n_examples, 1)
 
+    @property
+    def examples_per_second(self) -> float:
+        """Throughput over the timed pass."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.n_examples / self.seconds
+
 
 def time_pass(
     name: str,
     classifier: StreamingClassifier,
     examples: Sequence[SparseExample],
     with_prediction: bool = True,
+    batch_size: int | None = None,
 ) -> TimingResult:
-    """Time a full predict-then-update pass (the Fig. 7 workload)."""
+    """Time a full predict-then-update pass (the Fig. 7 workload).
+
+    With ``batch_size`` set, the pass is driven through ``fit_batch``
+    over pre-built :class:`SparseBatch` windows (batch construction is
+    excluded from the clock — a streaming deployment receives batches
+    natively; :mod:`benchmarks.bench_update_throughput` reports the
+    construction-inclusive number separately).  ``fit_batch`` returns
+    each example's pre-update margin, so the batched pass does the same
+    predict-then-update work as the per-example loop.
+    """
+    if batch_size is not None:
+        if not with_prediction:
+            raise ValueError(
+                "batch_size and with_prediction=False cannot be combined: "
+                "fit_batch always computes the pre-update margins, so an "
+                "update-only batched pass does not exist"
+            )
+        batches = list(iter_batches(examples, batch_size))
+        start = time.perf_counter()
+        for b in batches:
+            classifier.fit_batch(b)
+        elapsed = time.perf_counter() - start
+        return TimingResult(
+            name=name, seconds=elapsed, n_examples=len(examples)
+        )
     start = time.perf_counter()
     if with_prediction:
         for ex in examples:
@@ -56,15 +89,21 @@ def normalized_runtimes(
     baseline_factory: Callable[[], StreamingClassifier],
     examples: Sequence[SparseExample],
     repeats: int = 1,
+    batch_size: int | None = None,
 ) -> dict[str, float]:
     """Each method's best-of-``repeats`` runtime divided by the baseline's.
 
     Best-of-N damps scheduler noise, which matters because the Python
-    substrate's absolute times are small for CI-sized streams.
+    substrate's absolute times are small for CI-sized streams.  With
+    ``batch_size`` set, every method (baseline included) runs through
+    the batched engine.
     """
     def best_time(factory: Callable[[], StreamingClassifier]) -> float:
         return min(
-            time_pass("x", factory(), examples).seconds for _ in range(repeats)
+            time_pass(
+                "x", factory(), examples, batch_size=batch_size
+            ).seconds
+            for _ in range(repeats)
         )
 
     base = best_time(baseline_factory)

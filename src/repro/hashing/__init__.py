@@ -21,6 +21,7 @@ Also provided:
   (bucket, sign) interface consumed by every sketch.
 """
 
+from repro.hashing.batch import BatchHasher
 from repro.hashing.family import HashFamily, SignedBuckets
 from repro.hashing.murmur import murmur3_32, murmur3_string, fmix32, fmix64
 from repro.hashing.tabulation import TabulationHash
@@ -29,6 +30,7 @@ from repro.hashing.universal import PolynomialHash
 __all__ = [
     "HashFamily",
     "SignedBuckets",
+    "BatchHasher",
     "TabulationHash",
     "PolynomialHash",
     "murmur3_32",

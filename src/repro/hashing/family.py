@@ -112,9 +112,9 @@ class HashFamily:
     def bucket_sign_one(self, key: int, row: int) -> tuple[int, float]:
         """(bucket, sign) for a single key with no NumPy overhead.
 
-        Only available for tabulation families (the scalar hot path of
-        the 1-sparse applications); polynomial families fall back to the
-        vector implementation.
+        Both hash kinds provide a ``hash_one`` scalar evaluation that is
+        bit-identical to their vectorized path (the scalar hot path of
+        the 1-sparse applications depends on that agreement).
         """
         h = self._hashes[row]
         if hasattr(h, "hash_one"):

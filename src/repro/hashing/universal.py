@@ -28,6 +28,16 @@ def _mod_mersenne61(x: np.ndarray) -> np.ndarray:
     return np.where(x >= MERSENNE_61, x - MERSENNE_61, x)
 
 
+def _mod_mersenne61_int(x: int) -> int:
+    """Scalar (exact Python-int) twin of :func:`_mod_mersenne61`.
+
+    Must perform the *same* reduction steps so scalar and vectorized
+    evaluations of one polynomial agree bit-for-bit.
+    """
+    x = (x & MERSENNE_61) + (x >> 61)
+    return x - MERSENNE_61 if x >= MERSENNE_61 else x
+
+
 class PolynomialHash:
     """A k-wise independent hash function family member.
 
@@ -62,10 +72,24 @@ class PolynomialHash:
         exact arithmetic (object dtype), then reduces mod 2**61 - 1.
         """
         k = np.asarray(keys)
+        if k.ndim == 0:
+            # 0-d inputs must not take the array path: NumPy collapses
+            # 0-d object results to int64 scalars mid-Horner, which
+            # silently overflows and yields a *different* hash than the
+            # vectorized evaluation of the same key.
+            return np.asarray(self.hash_one(int(k)), dtype=object)
         x = _mod_mersenne61(k.astype(object))
         acc = np.full(k.shape, self._coeffs[-1], dtype=object)
         for c in reversed(self._coeffs[:-1]):
             acc = _mod_mersenne61(acc * x + c)
+        return acc
+
+    def hash_one(self, key: int) -> int:
+        """Scalar fast path; bit-identical to the vectorized :meth:`hash`."""
+        x = _mod_mersenne61_int(int(key))
+        acc = self._coeffs[-1]
+        for c in reversed(self._coeffs[:-1]):
+            acc = _mod_mersenne61_int(acc * x + c)
         return acc
 
     def bucket(self, keys: np.ndarray | int, n_buckets: int) -> np.ndarray:

@@ -61,6 +61,15 @@ class TopKHeap:
     def __contains__(self, key: int) -> bool:
         return key in self._pos
 
+    def has_any(self, keys: list[int]) -> bool:
+        """Whether any of ``keys`` is currently stored (hot-path helper:
+        one call instead of a membership probe per key)."""
+        pos = self._pos
+        for key in keys:
+            if key in pos:
+                return True
+        return False
+
     def __iter__(self) -> Iterator[int]:
         return iter(list(self._keys))
 
@@ -255,9 +264,14 @@ class TopKHeap:
         self._pos[self._keys[j]] = j
 
     def _sift_up(self, idx: int) -> int:
+        # Hot path: locals + inlined priority (identical arithmetic to
+        # ``_prio_at``; this only removes Python call frames).
+        raw = self._raw
+        scale = self._scale
+        prio = self._priority
         while idx > 0:
             parent = (idx - 1) // 2
-            if self._prio_at(idx) < self._prio_at(parent):
+            if prio(raw[idx] * scale) < prio(raw[parent] * scale):
                 self._swap(idx, parent)
                 idx = parent
             else:
@@ -265,14 +279,21 @@ class TopKHeap:
         return idx
 
     def _sift_down(self, idx: int) -> int:
+        raw = self._raw
+        scale = self._scale
+        prio = self._priority
         n = len(self._keys)
         while True:
             left = 2 * idx + 1
             right = left + 1
             smallest = idx
-            if left < n and self._prio_at(left) < self._prio_at(smallest):
-                smallest = left
-            if right < n and self._prio_at(right) < self._prio_at(smallest):
+            p_small = prio(raw[smallest] * scale)
+            if left < n:
+                p_left = prio(raw[left] * scale)
+                if p_left < p_small:
+                    smallest = left
+                    p_small = p_left
+            if right < n and prio(raw[right] * scale) < p_small:
                 smallest = right
             if smallest == idx:
                 return idx

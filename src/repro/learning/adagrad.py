@@ -30,6 +30,7 @@ import math
 import numpy as np
 
 from repro.core.awm_sketch import AWMSketch
+from repro.data.batch import SparseBatch
 from repro.data.sparse import SparseExample
 from repro.hashing.family import HashFamily
 from repro.learning.base import CELL_BYTES, StreamingClassifier
@@ -202,6 +203,11 @@ class AdaGradAWMSketch(AWMSketch):
                 else:
                     self._sketch_add(idx, -eta * y * g * val)
         self.t += 1
+
+    def fit_batch(self, batch: SparseBatch) -> np.ndarray:
+        """Per-example fallback: the AdaGrad update rule differs from
+        Algorithm 2, so the AWM batched kernel must not be inherited."""
+        return StreamingClassifier.fit_batch(self, batch)
 
     @property
     def memory_cost_bytes(self) -> int:

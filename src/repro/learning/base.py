@@ -17,6 +17,19 @@ the unconstrained reference — implements :class:`StreamingClassifier`:
 progressive-validation error accounting (predict-then-update, Blum et
 al. 1999), which is exactly the "online classification error rate" of
 Section 7.3.
+
+Batched streaming
+-----------------
+``fit_batch`` / ``predict_batch`` / ``fit_stream`` form the batched
+engine: a classifier consumes :class:`~repro.data.batch.SparseBatch`
+windows instead of one example at a time, which lets vectorized
+implementations hash and gather whole batches at once.  The contract is
+*sequential equivalence*: ``fit_batch`` must leave the classifier in the
+same state as updating on the batch's examples in order, and must return
+the pre-update margins (what ``predict_margin`` would have said just
+before each example's own update) so progressive validation comes for
+free.  The defaults here implement that contract by plain iteration;
+hot classifiers override ``fit_batch`` with vectorized kernels.
 """
 
 from __future__ import annotations
@@ -27,6 +40,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.data.batch import SparseBatch, iter_batches
 from repro.data.sparse import SparseExample
 
 #: Bytes charged per feature identifier, weight, or auxiliary value
@@ -82,11 +96,80 @@ class StreamingClassifier(ABC):
             self.estimate_weights(np.asarray([index], dtype=np.int64))[0]
         )
 
-    def fit(self, stream: Iterable[SparseExample]) -> "StreamingClassifier":
-        """Consume a stream (single pass) without error accounting."""
-        for example in stream:
-            self.update(example)
+    def fit(
+        self,
+        stream: Iterable[SparseExample],
+        batch_size: int | None = None,
+    ) -> "StreamingClassifier":
+        """Consume a stream (single pass) without error accounting.
+
+        With ``batch_size`` set, the stream is chunked into
+        :class:`~repro.data.batch.SparseBatch` windows and driven through
+        :meth:`fit_batch` — same final state, fewer Python-level
+        per-example round trips for classifiers with vectorized kernels.
+        """
+        if batch_size is None:
+            for example in stream:
+                self.update(example)
+        else:
+            for batch in iter_batches(stream, batch_size):
+                self.fit_batch(batch)
         return self
+
+    # ------------------------------------------------------------------
+    # Batched streaming engine
+    # ------------------------------------------------------------------
+    def predict_batch(self, batch: SparseBatch) -> np.ndarray:
+        """Margins ``w . x`` for every example of a batch (read-only).
+
+        The default delegates to :meth:`predict_margin` per example;
+        vectorized classifiers override it.
+        """
+        margins = np.empty(len(batch), dtype=np.float64)
+        for i, ex in enumerate(batch):
+            margins[i] = self.predict_margin(ex)
+        return margins
+
+    def fit_batch(self, batch: SparseBatch) -> np.ndarray:
+        """Update on every example of a batch, in stream order.
+
+        Returns
+        -------
+        numpy.ndarray
+            The *pre-update* margin of each example — the prediction the
+            model would have made immediately before that example's own
+            update, exactly as in predict-then-update driving.
+
+        The default implementation iterates; it is the reference
+        semantics that every vectorized override must reproduce (state
+        and margins alike).
+        """
+        margins = np.empty(len(batch), dtype=np.float64)
+        for i, ex in enumerate(batch):
+            margins[i] = self.predict_margin(ex)
+            self.update(ex)
+        return margins
+
+    def fit_stream(
+        self,
+        stream: Iterable[SparseExample],
+        batch_size: int = 256,
+        tracker: "OnlineErrorTracker | None" = None,
+    ) -> "OnlineErrorTracker":
+        """Batched predict-then-update pass with progressive validation.
+
+        The batched analogue of :func:`run_stream`: the stream is chunked
+        into batches, each batch is consumed by :meth:`fit_batch`, and
+        the returned pre-update margins feed the error tracker — so the
+        progressive-validation error equals the per-example path's.
+        """
+        if tracker is None:
+            tracker = OnlineErrorTracker()
+        for batch in iter_batches(stream, batch_size):
+            margins = self.fit_batch(batch)
+            for m, y in zip(margins.tolist(), batch.labels.tolist()):
+                tracker.record(1 if m >= 0.0 else -1, y)
+        return tracker
 
 
 @dataclass

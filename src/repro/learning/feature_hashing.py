@@ -15,9 +15,13 @@ Count-Sketch-style query).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from repro.data.batch import SparseBatch
 from repro.data.sparse import SparseExample
+from repro.hashing.batch import BatchHasher
 from repro.hashing.family import HashFamily
 from repro.learning.base import CELL_BYTES, StreamingClassifier
 from repro.learning.losses import LogisticLoss, Loss
@@ -59,6 +63,7 @@ class FeatureHashing(StreamingClassifier):
         self.schedule = as_schedule(learning_rate)
         self.signed = signed
         self.family = HashFamily(width, depth=1, seed=seed)
+        self._batch_hasher = BatchHasher(self.family)
         self.table = np.zeros(width, dtype=np.float64)
         self._scale = 1.0
         self.t = 0
@@ -74,12 +79,18 @@ class FeatureHashing(StreamingClassifier):
 
     def predict_margin(self, x: SparseExample) -> float:
         buckets, signs = self._hashed(x.indices)
-        return self._scale * float(self.table[buckets] @ (signs * x.values))
+        # Exactly-rounded fsum rather than BLAS dot / SIMD sum: the
+        # reduction is then independent of buffer layout, keeping
+        # per-example and batched (CSR-view) driving bit-identical.
+        return self._scale * math.fsum(
+            (self.table[buckets] * (signs * x.values)).tolist()
+        )
 
     def update(self, x: SparseExample) -> None:
         y = x.label
         buckets, signs = self._hashed(x.indices)
-        tau = self._scale * float(self.table[buckets] @ (signs * x.values))
+        sign_values = signs * x.values
+        tau = self._scale * math.fsum((self.table[buckets] * sign_values).tolist())
         g = self.loss.dloss(y * tau)
         eta = self.schedule(self.t)
         if self.lambda_ > 0.0:
@@ -88,9 +99,48 @@ class FeatureHashing(StreamingClassifier):
                 self.table *= self._scale
                 self._scale = 1.0
         np.add.at(
-            self.table, buckets, -(eta * y * g / self._scale) * signs * x.values
+            self.table, buckets, -(eta * y * g / self._scale) * sign_values
         )
         self.t += 1
+
+    def fit_batch(self, batch: SparseBatch) -> np.ndarray:
+        """Mini-batch updates with one (deduplicated) hash per batch.
+
+        The whole batch's feature set is hashed in a single vectorized
+        call; the per-example gradient sequence is then replayed over
+        array views — bit-identical state to per-example updates.
+        Returns the pre-update margins.
+        """
+        n = len(batch)
+        margins = np.empty(n, dtype=np.float64)
+        if n == 0:
+            return margins
+        all_buckets, all_signs = self._batch_hasher.rows(batch.indices)
+        buckets = all_buckets[0]
+        if self.signed:
+            sign_values = all_signs[0] * batch.values
+        else:
+            sign_values = batch.values
+        indptr = batch.indptr.tolist()
+        labels = batch.labels.tolist()
+        table = self.table
+        for i in range(n):
+            lo, hi = indptr[i], indptr[i + 1]
+            b = buckets[lo:hi]
+            sv = sign_values[lo:hi]
+            tau = self._scale * math.fsum((table[b] * sv).tolist())
+            margins[i] = tau
+            y = labels[i]
+            g = self.loss.dloss(y * tau)
+            eta = self.schedule(self.t)
+            if self.lambda_ > 0.0:
+                self._scale *= 1.0 - eta * self.lambda_
+                if self._scale < _RENORM_THRESHOLD:
+                    table *= self._scale
+                    self._scale = 1.0
+            np.add.at(table, b, -(eta * y * g / self._scale) * sv)
+            self.t += 1
+        return margins
 
     # ------------------------------------------------------------------
     def estimate_weights(self, indices: np.ndarray) -> np.ndarray:

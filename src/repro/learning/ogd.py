@@ -15,8 +15,11 @@ L2 weight decay uses the same global-scale trick as the sketches
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from repro.data.batch import SparseBatch
 from repro.data.sparse import SparseExample
 from repro.heap.topk import TopKHeap
 from repro.learning.base import CELL_BYTES, StreamingClassifier
@@ -69,11 +72,21 @@ class UncompressedClassifier(StreamingClassifier):
 
     # ------------------------------------------------------------------
     def predict_margin(self, x: SparseExample) -> float:
-        return self._scale * float(self._raw[x.indices] @ x.values)
+        # Exactly-rounded fsum rather than BLAS dot / SIMD sum: the
+        # reduction is then independent of buffer layout, so per-example
+        # and batched (CSR-view) driving produce bit-identical margins.
+        return self._scale * math.fsum(
+            (self._raw[x.indices] * x.values).tolist()
+        )
 
     def update(self, x: SparseExample) -> None:
-        y = x.label
-        tau = self.predict_margin(x)
+        self._update_arrays(x.indices, x.values, x.label)
+
+    def _update_arrays(
+        self, indices: np.ndarray, values: np.ndarray, y: int
+    ) -> float:
+        """One OGD step on raw arrays; returns the pre-update margin."""
+        tau = self._scale * math.fsum((self._raw[indices] * values).tolist())
         g = self.loss.dloss(y * tau)
         eta = self.schedule(self.t)
         if self.lambda_ > 0.0:
@@ -86,12 +99,32 @@ class UncompressedClassifier(StreamingClassifier):
             if self._scale < _RENORM_THRESHOLD:
                 self._raw *= self._scale
                 self._scale = 1.0
-        self._raw[x.indices] -= (eta * y * g / self._scale) * x.values
+        self._raw[indices] -= (eta * y * g / self._scale) * values
         self.t += 1
         if self.heap is not None:
-            new_weights = self._scale * self._raw[x.indices]
-            for idx, w in zip(x.indices.tolist(), new_weights.tolist()):
+            new_weights = self._scale * self._raw[indices]
+            for idx, w in zip(indices.tolist(), new_weights.tolist()):
                 self.heap.push(int(idx), w)
+        return tau
+
+    def fit_batch(self, batch: SparseBatch) -> np.ndarray:
+        """Mini-batch OGD: replay the sequence over CSR slices.
+
+        No hashing to amortize here; the win over the default path is
+        computing each example's margin once (shared by the gradient and
+        the returned prediction) and skipping per-example object
+        plumbing.  State is bit-identical to per-example updates.
+        """
+        n = len(batch)
+        margins = np.empty(n, dtype=np.float64)
+        indptr = batch.indptr.tolist()
+        labels = batch.labels.tolist()
+        for i in range(n):
+            lo, hi = indptr[i], indptr[i + 1]
+            margins[i] = self._update_arrays(
+                batch.indices[lo:hi], batch.values[lo:hi], labels[i]
+            )
+        return margins
 
     # ------------------------------------------------------------------
     def estimate_weights(self, indices: np.ndarray) -> np.ndarray:

@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 
 class Schedule(ABC):
     """A learning-rate schedule: ``eta_t = schedule(t)``."""
@@ -17,6 +19,16 @@ class Schedule(ABC):
     @abstractmethod
     def __call__(self, t: int) -> float:
         """The learning rate for step ``t`` (0-indexed)."""
+
+    def many(self, t0: int, n: int) -> list[float]:
+        """``[schedule(t0), ..., schedule(t0 + n - 1)]`` in one call.
+
+        Batched update kernels precompute a window of learning rates;
+        overrides must return *bit-identical* floats to per-``t`` calls
+        (IEEE ``sqrt`` and division are exactly rounded, so vectorized
+        NumPy evaluation qualifies).
+        """
+        return [self(t) for t in range(t0, t0 + n)]
 
 
 class ConstantSchedule(Schedule):
@@ -29,6 +41,9 @@ class ConstantSchedule(Schedule):
 
     def __call__(self, t: int) -> float:
         return self.eta0
+
+    def many(self, t0: int, n: int) -> list[float]:
+        return [self.eta0] * n
 
 
 class InverseSqrtSchedule(Schedule):
@@ -45,6 +60,10 @@ class InverseSqrtSchedule(Schedule):
 
     def __call__(self, t: int) -> float:
         return self.eta0 / math.sqrt(1.0 + t)
+
+    def many(self, t0: int, n: int) -> list[float]:
+        ts = np.arange(t0, t0 + n, dtype=np.float64)
+        return (self.eta0 / np.sqrt(1.0 + ts)).tolist()
 
 
 class InverseSchedule(Schedule):

@@ -1,0 +1,137 @@
+"""Unit tests for the CSR mini-batch layer (repro.data.batch)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.batch import SparseBatch, iter_batches
+from repro.data.sparse import SparseExample
+
+
+def _examples(n, rng, universe=1_000, max_nnz=6):
+    out = []
+    for _ in range(n):
+        nnz = int(rng.integers(1, max_nnz + 1))
+        idx = rng.choice(universe, size=nnz, replace=False).astype(np.int64)
+        vals = rng.normal(size=nnz)
+        label = 1 if rng.random() < 0.5 else -1
+        out.append(SparseExample(idx, vals, label))
+    return out
+
+
+def test_from_examples_roundtrip(rng):
+    examples = _examples(23, rng)
+    batch = SparseBatch.from_examples(examples)
+    assert len(batch) == 23
+    assert batch.nnz == sum(ex.nnz for ex in examples)
+    for i, ex in enumerate(examples):
+        back = batch.example(i)
+        assert np.array_equal(back.indices, ex.indices)
+        assert np.array_equal(back.values, ex.values)
+        assert back.label == ex.label
+    # Iteration yields the same sequence.
+    for ex, back in zip(examples, batch):
+        assert np.array_equal(back.indices, ex.indices)
+
+
+def test_from_examples_empty():
+    batch = SparseBatch.from_examples([])
+    assert len(batch) == 0
+    assert batch.nnz == 0
+    assert list(batch) == []
+
+
+def test_empty_example_in_batch():
+    ex0 = SparseExample(np.empty(0, dtype=np.int64), np.empty(0), 1)
+    ex1 = SparseExample(np.array([3]), np.array([2.0]), -1)
+    batch = SparseBatch.from_examples([ex0, ex1])
+    assert len(batch) == 2
+    assert batch.example(0).nnz == 0
+    assert batch.example(1).nnz == 1
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="indptr"):
+        SparseBatch(
+            np.array([1, 2]), np.array([5]), np.array([1.0]), np.array([1])
+        )
+    with pytest.raises(ValueError, match="non-decreasing"):
+        SparseBatch(
+            np.array([0, 2, 1, 3]),
+            np.array([1, 2, 3]),
+            np.ones(3),
+            np.array([1, 1, 1]),
+        )
+    with pytest.raises(ValueError, match="labels"):
+        SparseBatch(
+            np.array([0, 1]), np.array([5]), np.array([1.0]), np.array([2])
+        )
+    with pytest.raises(ValueError, match="labels"):
+        SparseBatch(
+            np.array([0, 1, 2]),
+            np.array([5, 6]),
+            np.ones(2),
+            np.array([1]),
+        )
+    with pytest.raises(ValueError, match="shape"):
+        SparseBatch(
+            np.array([0, 2]),
+            np.array([5, 6]),
+            np.ones(3),
+            np.array([1]),
+        )
+
+
+def test_iter_batches_chunking(rng):
+    examples = _examples(25, rng)
+    batches = list(iter_batches(examples, 8))
+    assert [len(b) for b in batches] == [8, 8, 8, 1]
+    # Order is preserved across batch boundaries.
+    flat = [ex for b in batches for ex in b]
+    for ex, back in zip(examples, flat):
+        assert np.array_equal(back.indices, ex.indices)
+        assert back.label == ex.label
+
+
+def test_iter_batches_accepts_generators(rng):
+    examples = _examples(10, rng)
+    batches = list(iter_batches(iter(examples), 4))
+    assert [len(b) for b in batches] == [4, 4, 2]
+
+
+def test_iter_batches_rejects_bad_size():
+    with pytest.raises(ValueError):
+        list(iter_batches([], 0))
+
+
+def test_iter_batches_empty_stream():
+    assert list(iter_batches([], 5)) == []
+
+
+def test_from_pairs():
+    batch = SparseBatch.from_pairs(
+        np.array([5, 9, 5]), np.array([1, -1, 1])
+    )
+    assert len(batch) == 3
+    assert batch.nnz == 3
+    ex = batch.example(1)
+    assert ex.indices.tolist() == [9]
+    assert ex.values.tolist() == [1.0]
+    assert ex.label == -1
+    custom = SparseBatch.from_pairs(
+        np.array([2]), np.array([1]), values=np.array([0.5])
+    )
+    assert custom.example(0).values.tolist() == [0.5]
+
+
+def test_time_pass_rejects_update_only_batched():
+    import pytest as _pytest
+
+    from repro.evaluation.runtime import time_pass
+    from repro.learning.feature_hashing import FeatureHashing
+
+    with _pytest.raises(ValueError, match="with_prediction"):
+        time_pass(
+            "x", FeatureHashing(64), [], with_prediction=False, batch_size=8
+        )

@@ -1,0 +1,94 @@
+"""BatchHasher must be ``HashFamily.all_rows`` bit-for-bit, just faster."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.batch import BatchHasher
+from repro.hashing.family import HashFamily
+
+
+@pytest.mark.parametrize("kind", ["tabulation", "polynomial"])
+@pytest.mark.parametrize("depth", [1, 3])
+def test_rows_match_all_rows(kind, depth, rng):
+    family = HashFamily(512, depth, seed=11, kind=kind)
+    hasher = BatchHasher(family)
+    for _ in range(5):
+        keys = rng.integers(0, 100_000, size=int(rng.integers(1, 400)))
+        keys = keys.astype(np.int64)
+        b, s = hasher.rows(keys)
+        rb, rs = family.all_rows(keys)
+        assert np.array_equal(b, rb)
+        assert np.array_equal(s, rs)
+
+
+def test_duplicates_within_batch(rng):
+    family = HashFamily(256, 2, seed=3)
+    hasher = BatchHasher(family)
+    keys = np.array([7, 7, 7, 42, 7, 42], dtype=np.int64)
+    b, s = hasher.rows(keys)
+    rb, rs = family.all_rows(keys)
+    assert np.array_equal(b, rb)
+    assert np.array_equal(s, rs)
+    # Only two unique keys were actually hashed.
+    assert hasher.misses == 2
+
+
+def test_cache_hits_across_batches():
+    family = HashFamily(256, 2, seed=5)
+    hasher = BatchHasher(family)
+    keys = np.arange(100, dtype=np.int64)
+    hasher.rows(keys)
+    assert hasher.misses == 100 and hasher.hits == 0
+    hasher.rows(keys)
+    assert hasher.hits == 100
+    # Partial overlap: only the new half misses.
+    hasher.rows(np.arange(50, 150, dtype=np.int64))
+    assert hasher.misses == 150
+
+
+def test_cache_overflow_stays_correct(rng):
+    family = HashFamily(512, 3, seed=9)
+    hasher = BatchHasher(family, cache_capacity=64)
+    for lo in range(0, 1_000, 100):
+        keys = np.arange(lo, lo + 100, dtype=np.int64)
+        b, s = hasher.rows(keys)
+        rb, rs = family.all_rows(keys)
+        assert np.array_equal(b, rb)
+        assert np.array_equal(s, rs)
+        assert len(hasher) <= 64
+
+
+def test_cache_disabled_still_correct():
+    family = HashFamily(128, 2, seed=1)
+    hasher = BatchHasher(family, cache_capacity=0)
+    keys = np.array([1, 2, 3, 2, 1], dtype=np.int64)
+    for _ in range(3):
+        b, s = hasher.rows(keys)
+        rb, rs = family.all_rows(keys)
+        assert np.array_equal(b, rb)
+        assert np.array_equal(s, rs)
+    assert len(hasher) == 0
+    assert hasher.hits == 0
+
+
+def test_empty_keys():
+    family = HashFamily(128, 4, seed=1)
+    hasher = BatchHasher(family)
+    b, s = hasher.rows(np.empty(0, dtype=np.int64))
+    assert b.shape == (4, 0)
+    assert s.shape == (4, 0)
+
+
+def test_clear():
+    family = HashFamily(128, 2, seed=1)
+    hasher = BatchHasher(family)
+    hasher.rows(np.arange(10, dtype=np.int64))
+    assert len(hasher) == 10
+    hasher.clear()
+    assert len(hasher) == 0
+    b, s = hasher.rows(np.arange(10, dtype=np.int64))
+    rb, rs = family.all_rows(np.arange(10, dtype=np.int64))
+    assert np.array_equal(b, rb)
+    assert np.array_equal(s, rs)

@@ -1,0 +1,342 @@
+"""Batched-vs-sequential equivalence of the streaming engine.
+
+The contract of ``fit_batch`` / ``fit_stream`` is *sequential
+equivalence*: driving a classifier through mini-batches of any size must
+reproduce the per-example predict-then-update path's sketch table, heap
+contents and progressive error.  For the vectorized kernels (WM-Sketch,
+AWM-Sketch, feature hashing, unconstrained LR) the state is required to
+match *bit-for-bit* — the kernels share the exact arithmetic of the
+per-example path (fsum margins, layout-deterministic scatters); the
+1e-12 tolerance appears only where the contract allows it
+(``predict_batch``'s fully-vectorized read-only margins).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.awm_sketch import AWMSketch
+from repro.core.wm_sketch import WMSketch
+from repro.data.sparse import SparseExample
+from repro.learning.base import OnlineErrorTracker, run_stream
+from repro.learning.feature_hashing import FeatureHashing
+from repro.learning.ogd import UncompressedClassifier
+from repro.learning.truncation import ProbabilisticTruncation, SimpleTruncation
+
+UNIVERSE = 5_000
+
+
+def _stream(n, seed, max_nnz=8, one_sparse_fraction=0.0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        if one_sparse_fraction and rng.random() < one_sparse_fraction:
+            nnz = 1
+        else:
+            nnz = int(rng.integers(1, max_nnz + 1))
+        idx = rng.choice(UNIVERSE, size=nnz, replace=False).astype(np.int64)
+        vals = rng.choice([0.5, 1.0, 2.0], size=nnz) * rng.choice(
+            [-1.0, 1.0], size=nnz
+        )
+        label = 1 if rng.random() < 0.5 else -1
+        out.append(SparseExample(idx, vals, label))
+    return out
+
+
+def _drive_pair(make, examples, batch_size):
+    """(sequential classifier+tracker, batched classifier+tracker)."""
+    seq = make()
+    seq_tracker = run_stream(seq, examples, OnlineErrorTracker())
+    bat = make()
+    bat_tracker = bat.fit_stream(examples, batch_size=batch_size)
+    return seq, seq_tracker, bat, bat_tracker
+
+
+def _assert_heaps_equal(a, b):
+    assert sorted(a.items()) == sorted(b.items())
+
+
+# ----------------------------------------------------------------------
+# WM-Sketch
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("hash_kind", ["tabulation", "polynomial"])
+@pytest.mark.parametrize("depth", [1, 3])
+@pytest.mark.parametrize("batch_size", [1, 7, 64])
+def test_wm_sketch_equivalence(depth, hash_kind, batch_size):
+    examples = _stream(600, seed=depth * 31 + batch_size)
+
+    def make():
+        return WMSketch(
+            256,
+            depth,
+            lambda_=1e-4,
+            seed=5,
+            heap_capacity=16,
+            hash_kind=hash_kind,
+        )
+
+    seq, seq_tr, bat, bat_tr = _drive_pair(make, examples, batch_size)
+    assert np.array_equal(seq.table, bat.table)
+    assert seq._scale == bat._scale
+    assert seq.t == bat.t
+    _assert_heaps_equal(seq.heap, bat.heap)
+    assert seq_tr.mistakes == bat_tr.mistakes
+    assert seq_tr.curve == bat_tr.curve
+
+
+def test_wm_sketch_equivalence_with_l1_and_no_heap():
+    examples = _stream(400, seed=2)
+
+    def make():
+        return WMSketch(128, 3, lambda_=1e-4, l1=0.01, heap_capacity=0, seed=1)
+
+    seq, seq_tr, bat, bat_tr = _drive_pair(make, examples, 32)
+    assert np.array_equal(seq.table, bat.table)
+    assert seq_tr.mistakes == bat_tr.mistakes
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    batch_size=st.integers(min_value=1, max_value=97),
+    depth=st.sampled_from([1, 2, 3]),
+    n=st.integers(min_value=1, max_value=200),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_wm_sketch_equivalence_property(batch_size, depth, n, seed):
+    examples = _stream(n, seed=seed)
+
+    def make():
+        return WMSketch(64, depth, lambda_=1e-3, seed=9, heap_capacity=8)
+
+    seq, seq_tr, bat, bat_tr = _drive_pair(make, examples, batch_size)
+    assert np.array_equal(seq.table, bat.table)
+    _assert_heaps_equal(seq.heap, bat.heap)
+    assert seq_tr.mistakes == bat_tr.mistakes
+
+
+# ----------------------------------------------------------------------
+# AWM-Sketch
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("hash_kind", ["tabulation", "polynomial"])
+@pytest.mark.parametrize("depth", [1, 3])
+@pytest.mark.parametrize("scalar_fast_path", [True, False])
+def test_awm_sketch_equivalence(depth, hash_kind, scalar_fast_path):
+    # Mix in 1-sparse examples so the scalar fast path is exercised
+    # inside batches exactly as it is in per-example updates.
+    examples = _stream(600, seed=depth * 7, one_sparse_fraction=0.4)
+
+    def make():
+        return AWMSketch(
+            256,
+            depth,
+            heap_capacity=16,
+            lambda_=1e-4,
+            seed=5,
+            hash_kind=hash_kind,
+            scalar_fast_path=scalar_fast_path,
+        )
+
+    seq, seq_tr, bat, bat_tr = _drive_pair(make, examples, 64)
+    assert np.array_equal(seq.table, bat.table)
+    assert seq._scale == bat._scale
+    assert seq.t == bat.t
+    assert seq.n_promotions == bat.n_promotions
+    _assert_heaps_equal(seq.heap, bat.heap)
+    assert seq_tr.mistakes == bat_tr.mistakes
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    batch_size=st.integers(min_value=1, max_value=50),
+    depth=st.sampled_from([1, 3]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_awm_sketch_equivalence_property(batch_size, depth, seed):
+    examples = _stream(150, seed=seed, one_sparse_fraction=0.5)
+
+    def make():
+        return AWMSketch(64, depth, heap_capacity=8, lambda_=1e-3, seed=3)
+
+    seq, seq_tr, bat, bat_tr = _drive_pair(make, examples, batch_size)
+    assert np.array_equal(seq.table, bat.table)
+    assert seq.n_promotions == bat.n_promotions
+    _assert_heaps_equal(seq.heap, bat.heap)
+    assert seq_tr.mistakes == bat_tr.mistakes
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("batch_size", [1, 16, 100])
+def test_feature_hashing_equivalence(batch_size):
+    examples = _stream(500, seed=4)
+
+    def make():
+        return FeatureHashing(512, lambda_=1e-4, seed=7)
+
+    seq, seq_tr, bat, bat_tr = _drive_pair(make, examples, batch_size)
+    assert np.array_equal(seq.table, bat.table)
+    assert seq._scale == bat._scale
+    assert seq_tr.mistakes == bat_tr.mistakes
+
+
+def test_feature_hashing_unsigned_equivalence():
+    examples = _stream(300, seed=6)
+
+    def make():
+        return FeatureHashing(256, lambda_=1e-4, seed=7, signed=False)
+
+    seq, _, bat, _ = _drive_pair(make, examples, 32)
+    assert np.array_equal(seq.table, bat.table)
+
+
+@pytest.mark.parametrize("batch_size", [1, 16, 100])
+def test_uncompressed_equivalence(batch_size):
+    examples = _stream(500, seed=8)
+
+    def make():
+        return UncompressedClassifier(UNIVERSE, lambda_=1e-4)
+
+    seq, seq_tr, bat, bat_tr = _drive_pair(make, examples, batch_size)
+    assert np.array_equal(seq._raw, bat._raw)
+    assert seq._scale == bat._scale
+    _assert_heaps_equal(seq.heap, bat.heap)
+    assert seq_tr.mistakes == bat_tr.mistakes
+
+
+def test_simple_truncation_equivalence_default_path():
+    """Classifiers without a vectorized kernel inherit the reference
+    per-example ``fit_batch`` and are equivalent by construction — this
+    guards the default implementation itself."""
+    examples = _stream(400, seed=10)
+
+    def make():
+        return SimpleTruncation(32, lambda_=1e-4)
+
+    seq, seq_tr, bat, bat_tr = _drive_pair(make, examples, 25)
+    _assert_heaps_equal(seq._heap, bat._heap)
+    assert seq_tr.mistakes == bat_tr.mistakes
+
+
+def test_probabilistic_truncation_equivalence_default_path():
+    examples = _stream(400, seed=12)
+
+    def make():
+        return ProbabilisticTruncation(32, lambda_=1e-4, seed=3)
+
+    seq, seq_tr, bat, bat_tr = _drive_pair(make, examples, 25)
+    assert seq._weights == bat._weights
+    assert seq_tr.mistakes == bat_tr.mistakes
+
+
+# ----------------------------------------------------------------------
+# fit(batch_size) and predict_batch
+# ----------------------------------------------------------------------
+def test_fit_with_batch_size_matches_plain_fit():
+    examples = _stream(300, seed=14)
+    a = WMSketch(128, 3, lambda_=1e-4, seed=2)
+    b = WMSketch(128, 3, lambda_=1e-4, seed=2)
+    a.fit(examples)
+    b.fit(examples, batch_size=19)
+    assert np.array_equal(a.table, b.table)
+    _assert_heaps_equal(a.heap, b.heap)
+
+
+def test_predict_batch_matches_predict_margin():
+    examples = _stream(200, seed=16)
+    clf = WMSketch(128, 3, lambda_=1e-4, seed=2).fit(examples)
+    from repro.data.batch import SparseBatch
+
+    probe = examples[:50]
+    batched = clf.predict_batch(SparseBatch.from_examples(probe))
+    single = np.array([clf.predict_margin(ex) for ex in probe])
+    assert np.allclose(batched, single, rtol=1e-12, atol=1e-12)
+
+
+def test_fit_batch_returns_pre_update_margins():
+    """fit_batch's margins are the predictions the per-example
+    predict-then-update loop would have made."""
+    examples = _stream(120, seed=18)
+    seq = WMSketch(128, 3, lambda_=1e-4, seed=2)
+    expected = []
+    for ex in examples:
+        expected.append(seq.predict_margin(ex))
+        seq.update(ex)
+    from repro.data.batch import SparseBatch
+
+    bat = WMSketch(128, 3, lambda_=1e-4, seed=2)
+    got = bat.fit_batch(SparseBatch.from_examples(examples))
+    assert np.array_equal(np.array(expected), got)
+
+
+# ----------------------------------------------------------------------
+# Applications (Section 8) batched consumption
+# ----------------------------------------------------------------------
+def test_deltoid_batched_consume_equivalence():
+    from repro.apps.deltoids import ClassifierDeltoid
+
+    rng = np.random.default_rng(4)
+    pairs = [
+        (int(rng.integers(0, 500)), 1 if rng.random() < 0.6 else -1)
+        for _ in range(1_000)
+    ]
+    a = ClassifierDeltoid(AWMSketch(512, heap_capacity=32, seed=1))
+    b = ClassifierDeltoid(AWMSketch(512, heap_capacity=32, seed=1))
+    a.consume(pairs)
+    b.consume(pairs, batch_size=128)
+    assert np.array_equal(a.classifier.table, b.classifier.table)
+    _assert_heaps_equal(a.classifier.heap, b.classifier.heap)
+
+
+def test_pmi_batched_consume_equivalence():
+    from repro.apps.pmi import StreamingPMI
+
+    rng = np.random.default_rng(5)
+    pairs = [
+        (int(rng.integers(0, 40)), int(rng.integers(0, 40)))
+        for _ in range(500)
+    ]
+    p1 = StreamingPMI(vocab=40, width=2**10, heap_capacity=64, seed=2)
+    p2 = StreamingPMI(vocab=40, width=2**10, heap_capacity=64, seed=2)
+    p1.consume(pairs)
+    p2.consume(pairs, batch_size=100)
+    assert np.array_equal(p1.classifier.table, p2.classifier.table)
+    _assert_heaps_equal(p1.classifier.heap, p2.classifier.heap)
+    assert p1.n_pairs == p2.n_pairs
+
+
+def test_explainer_batched_consume_equivalence():
+    from repro.apps.explanation import StreamingExplainer
+    from repro.data.sparse import one_hot
+
+    rng = np.random.default_rng(6)
+    exs = [
+        one_hot(int(rng.integers(0, 300)), 1.0,
+                1 if rng.random() < 0.3 else -1)
+        for _ in range(800)
+    ]
+    e1 = StreamingExplainer(AWMSketch(256, heap_capacity=16, seed=3))
+    e2 = StreamingExplainer(AWMSketch(256, heap_capacity=16, seed=3))
+    e1.consume(exs)
+    e2.consume(exs, batch_size=64)
+    assert np.array_equal(e1.classifier.table, e2.classifier.table)
+    _assert_heaps_equal(e1.classifier.heap, e2.classifier.heap)
+
+
+def test_awm_fit_batch_returns_pre_update_margins():
+    """AWM margins from fit_batch (including the scalar fast path) are
+    bit-identical to what predict_margin would have said pre-update."""
+    examples = _stream(200, seed=21, one_sparse_fraction=0.6)
+    seq = AWMSketch(128, 3, heap_capacity=8, lambda_=1e-4, seed=2)
+    expected = []
+    for ex in examples:
+        expected.append(seq.predict_margin(ex))
+        seq.update(ex)
+    from repro.data.batch import SparseBatch
+
+    bat = AWMSketch(128, 3, heap_capacity=8, lambda_=1e-4, seed=2)
+    got = bat.fit_batch(SparseBatch.from_examples(examples))
+    assert np.array_equal(np.array(expected), got)

@@ -69,3 +69,28 @@ class TestPolynomialHash:
         # Compare consecutive pairs (independent enough for a smoke test).
         collisions = float(np.mean(b[:-1] == b[1:]))
         assert collisions < 3.0 / m
+
+
+class TestScalarVectorAgreement:
+    def test_hash_one_matches_vector_hash(self):
+        """Regression: 0-d / scalar evaluation used to fall out of
+        object dtype mid-Horner, overflow int64, and return a different
+        hash than the vectorized path for the same key."""
+        h = PolynomialHash(independence=4, seed=11)
+        keys = np.array([0, 1, 42, 1234567, 2**40 + 3, 2**62], dtype=np.uint64)
+        vector = h.hash(keys)
+        for k, expected in zip(keys.tolist(), vector.tolist()):
+            assert h.hash_one(int(k)) == int(expected)
+            assert int(h.hash(int(k))) == int(expected)
+
+    def test_family_bucket_sign_one_matches_all_rows(self):
+        from repro.hashing.family import HashFamily
+
+        fam = HashFamily(256, 3, seed=5, kind="polynomial")
+        keys = np.array([7, 1234567, 2**55], dtype=np.int64)
+        buckets, signs = fam.all_rows(keys)
+        for j in range(3):
+            for i, k in enumerate(keys.tolist()):
+                b, s = fam.bucket_sign_one(int(k), j)
+                assert b == buckets[j, i]
+                assert s == signs[j, i]
