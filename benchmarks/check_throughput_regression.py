@@ -1,0 +1,227 @@
+"""CI trend tracking: diff a fresh benchmark run against the baseline.
+
+Compares a freshly generated ``BENCH_throughput.json`` against the
+committed baseline at the repository root and **fails (exit 1) on a
+> ``--threshold`` (default 30%) regression**.
+
+What is compared, and why:
+
+* **speedup ratios** (``speedup``, ``speedup_update_only``, ...) are the
+  primary gate.  A ratio divides two timings taken on the same machine
+  in the same process, so machine speed cancels out — the committed
+  baseline may come from a different host than the CI runner and the
+  comparison stays meaningful.  A regressing ratio means the batched
+  kernels genuinely lost ground against the per-example path.
+* **absolute throughput** (``*_eps``) is machine-dependent, so it is
+  reported as informational deltas only, unless ``--strict-eps`` is
+  passed (useful when baseline and current run on the same hardware).
+
+Also understands ``BENCH_parallel.json`` (``--kind parallel``): there
+the gate is the 4-worker modeled speedup ratio; a non-monotone fresh
+scaling curve is warned about but not gated (per-step monotonicity is
+timing-sensitive on shared runners — the committed baseline is the
+artifact that demonstrates it).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_update_throughput.py --out /tmp/fresh.json
+    python benchmarks/check_throughput_regression.py \
+        --current /tmp/fresh.json --baseline BENCH_throughput.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Ratio metrics gated by default (machine-speed cancels out).
+RATIO_KEYS = (
+    "speedup",
+    "speedup_update_only",
+    "speedup_including_batching",
+)
+#: Absolute metrics reported (and gated only with --strict-eps).
+EPS_KEYS = (
+    "per_example_eps",
+    "batched_eps",
+)
+
+
+def _load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _configs(doc: dict) -> dict[str, dict]:
+    """The per-configuration rows of a throughput benchmark document."""
+    return {
+        name: row
+        for name, row in doc.items()
+        if isinstance(row, dict) and "speedup" in row
+    }
+
+
+def check_throughput(
+    current: dict, baseline: dict, threshold: float, strict_eps: bool
+) -> list[str]:
+    """Returns the list of failing regressions (empty = pass)."""
+    failures: list[str] = []
+    gated_comparisons = 0
+    base_configs = _configs(baseline)
+    curr_configs = _configs(current)
+    for name, base_row in sorted(base_configs.items()):
+        curr_row = curr_configs.get(name)
+        if curr_row is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        for key in RATIO_KEYS + (EPS_KEYS if strict_eps else ()):
+            if key not in base_row or key not in curr_row:
+                continue
+            base_v, curr_v = base_row[key], curr_row[key]
+            if base_v <= 0:
+                continue
+            change = curr_v / base_v - 1.0
+            gated = key in RATIO_KEYS or strict_eps
+            if gated:
+                gated_comparisons += 1
+            marker = "FAIL" if (change < -threshold and gated) else "ok"
+            print(f"  {name:>16}.{key:<28} {base_v:>12,.2f} -> "
+                  f"{curr_v:>12,.2f}  ({change:+.1%}) {marker}")
+            if change < -threshold and gated:
+                failures.append(
+                    f"{name}.{key}: {base_v:,.2f} -> {curr_v:,.2f} "
+                    f"({change:+.1%} < -{threshold:.0%})"
+                )
+        for key in () if strict_eps else EPS_KEYS:
+            if key in base_row and key in curr_row and base_row[key] > 0:
+                change = curr_row[key] / base_row[key] - 1.0
+                print(f"  {name:>16}.{key:<28} {base_row[key]:>12,.0f} -> "
+                      f"{curr_row[key]:>12,.0f}  ({change:+.1%}) info-only")
+    if gated_comparisons == 0:
+        # A baseline (or current run) whose schema carries none of the
+        # gated metrics would otherwise disable the gate silently.
+        failures.append(
+            "no gated metrics found to compare — baseline or current "
+            "JSON is malformed / stale-schema; the gate cannot vouch "
+            "for anything"
+        )
+    return failures
+
+
+def check_parallel(
+    current: dict, baseline: dict, threshold: float
+) -> list[str]:
+    """Gate for BENCH_parallel.json: the 4-worker speedup ratio.
+
+    Only the ratio is gated — it divides two timings from the same
+    machine and run, so host speed cancels.  The fresh run's
+    ``monotone_1_to_4_workers`` flag is timing-sensitive on shared
+    runners (one CPU-steal spike inverts a step), so a false flag is
+    reported as a warning, not a failure; the committed baseline is the
+    artifact that demonstrates monotone scaling.
+    """
+    failures: list[str] = []
+    if not current.get("monotone_1_to_4_workers", False):
+        print(
+            "  WARNING: fresh run's modeled throughput not monotone "
+            "1->4 workers (timing noise on shared runners is the usual "
+            "cause; investigate if the speedup ratio also regressed)"
+        )
+    base_sp = baseline.get("speedup_4_workers", 0.0)
+    curr_sp = current.get("speedup_4_workers", 0.0)
+    if base_sp > 0:
+        change = curr_sp / base_sp - 1.0
+        marker = "FAIL" if change < -threshold else "ok"
+        print(f"  speedup_4_workers {base_sp:.2f} -> {curr_sp:.2f} "
+              f"({change:+.1%}) {marker}")
+        if change < -threshold:
+            failures.append(
+                f"speedup_4_workers: {base_sp:.2f} -> {curr_sp:.2f} "
+                f"({change:+.1%} < -{threshold:.0%})"
+            )
+    else:
+        failures.append(
+            "baseline lacks a positive speedup_4_workers — malformed / "
+            "stale-schema baseline; the gate cannot vouch for anything"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    root = Path(__file__).resolve().parent.parent
+    parser.add_argument(
+        "--current", required=True,
+        help="freshly generated benchmark JSON",
+    )
+    parser.add_argument(
+        "--baseline", default=str(root / "BENCH_throughput.json"),
+        help="committed baseline JSON (default: repo root)",
+    )
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="fractional regression that fails (0.30 = 30%%)")
+    parser.add_argument("--kind", choices=("throughput", "parallel"),
+                        default="throughput")
+    parser.add_argument(
+        "--strict-eps", action="store_true",
+        help="also gate absolute examples/sec (same-hardware comparisons)",
+    )
+    args = parser.parse_args(argv)
+
+    if not Path(args.current).exists():
+        # The emission steps are '|| true'-guarded in CI (their exit
+        # codes encode noisy-runner warnings), so a benchmark that
+        # *crashes* reaches this gate with no JSON.  That is the most
+        # severe regression possible — the benchmark cannot run — and
+        # must fail the gate with a clear message, not a traceback and
+        # not a skippable warning.
+        print(
+            f"ERROR: current benchmark output {args.current!r} does "
+            f"not exist — the benchmark crashed before writing it; "
+            f"see the benchmark step's log",
+            file=sys.stderr,
+        )
+        return 1
+    if not Path(args.baseline).exists():
+        # The baseline is a *committed* artifact; its absence is a repo
+        # configuration error the gate must not paper over.
+        print(
+            f"ERROR: committed baseline {args.baseline!r} does not "
+            f"exist; commit one (run the benchmark) or point "
+            f"--baseline at it",
+            file=sys.stderr,
+        )
+        return 2
+    current = _load(args.current)
+    baseline = _load(args.baseline)
+    print(f"baseline: {args.baseline}\ncurrent:  {args.current}")
+    base_n = (baseline.get("workload") or {}).get("n_examples")
+    curr_n = (current.get("workload") or {}).get("n_examples")
+    if base_n is not None and curr_n is not None and base_n != curr_n:
+        # Ratios are workload-size dependent (fixed overheads weigh
+        # more on shorter streams), so cross-size comparisons carry a
+        # structural bias on top of noise.
+        print(
+            f"  WARNING: workload sizes differ (baseline n_examples="
+            f"{base_n}, current {curr_n}); ratio comparison is biased — "
+            f"rerun the benchmark at the baseline's size"
+        )
+    if args.kind == "parallel":
+        failures = check_parallel(current, baseline, args.threshold)
+    else:
+        failures = check_throughput(
+            current, baseline, args.threshold, args.strict_eps
+        )
+    if failures:
+        print(f"\nREGRESSION ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nno regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

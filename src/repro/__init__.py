@@ -56,6 +56,12 @@ from repro.learning import (
     run_stream,
 )
 from repro.learning.adagrad import AdaGradAWMSketch, AdaGradFeatureHashing
+from repro.parallel import (
+    ParallelHarness,
+    fit_stream_pipelined,
+    train_sharded,
+)
+from repro.data.partition import partition_stream
 from repro.sketch import CountMinSketch, CountSketch, SpaceSaving
 
 __version__ = "1.0.0"
@@ -83,6 +89,10 @@ __all__ = [
     "run_stream",
     "AdaGradFeatureHashing",
     "AdaGradAWMSketch",
+    "ParallelHarness",
+    "train_sharded",
+    "fit_stream_pipelined",
+    "partition_stream",
     "CountSketch",
     "CountMinSketch",
     "SpaceSaving",

@@ -78,6 +78,25 @@ class ClassifierDeltoid:
             labels = np.array([p[1] for p in window], dtype=np.int64)
             self.classifier.fit_batch(SparseBatch.from_pairs(items, labels))
 
+    def consume_parallel(self, pairs, harness) -> None:
+        """Feed (item, stream) pairs through sharded workers.
+
+        Pairs are packed straight into one CSR
+        :class:`~repro.data.batch.SparseBatch` of 1-sparse rows (as the
+        batched :meth:`consume` does — no per-pair example objects),
+        deterministically partitioned by the harness in CSR land,
+        trained per shard, and merged; the merged model replaces (or
+        absorbs, if already trained) the current classifier.  Summed
+        sketch tables keep the log-ratio *ranking* intact — see the
+        parallel subsystem's merge contract.
+        """
+        window = list(pairs)
+        batch = SparseBatch.from_pairs(
+            np.array([p[0] for p in window], dtype=np.int64),
+            np.array([p[1] for p in window], dtype=np.int64),
+        )
+        self.classifier = harness.fit_into(batch, self.classifier)
+
     def top_deltoids(self, k: int) -> list[tuple[int, float]]:
         """The k items with the largest |weight| = |log-ratio estimate|."""
         return self.classifier.top_weights(k)

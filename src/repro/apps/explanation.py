@@ -90,6 +90,19 @@ class StreamingExplainer:
         """
         self.classifier.fit(examples, batch_size=batch_size)
 
+    def consume_parallel(self, examples, harness) -> None:
+        """Feed pre-encoded examples through sharded workers.
+
+        ``harness`` is a :class:`~repro.parallel.harness.ParallelHarness`
+        whose factory builds classifiers mergeable with this explainer's
+        (same class and hash family).  The stream is partitioned,
+        trained per shard, and the merged model replaces (or, if this
+        explainer already holds training state, absorbs) the current
+        classifier — the approximate merge semantics of the parallel
+        subsystem apply to the recovered explanations.
+        """
+        self.classifier = harness.fit_into(examples, self.classifier)
+
     def top_attributes(
         self, k: int, by: str = "magnitude"
     ) -> list[tuple[int, float]]:

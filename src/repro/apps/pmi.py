@@ -167,6 +167,28 @@ class StreamingPMI:
         if pending:
             self._train_batch(pending)
 
+    def consume_parallel(self, pairs: Iterable[tuple[int, int]], harness) -> None:
+        """Feed co-occurring pairs through sharded workers.
+
+        The reservoir bookkeeping and negative sampling are inherently
+        sequential (each negative draw depends on the reservoir state at
+        that point of the stream), so the *induced* training sequence —
+        positives and sampled negatives, in order — is generated in one
+        sequential pass exactly as :meth:`observe_pair` would, and that
+        sequence of 1-sparse examples is what gets partitioned, trained
+        per shard, and merged.  The merged model replaces (or absorbs,
+        if already trained) the current classifier; PMI *rankings*
+        survive the sum-merge, per the parallel subsystem's contract.
+        """
+        induced: list[tuple[int, int]] = []
+        for u, v in pairs:
+            induced.extend(self._pair_examples(u, v))
+        batch = SparseBatch.from_pairs(
+            np.array([pid for pid, _ in induced], dtype=np.int64),
+            np.array([label for _, label in induced], dtype=np.int64),
+        )
+        self.classifier = harness.fit_into(batch, self.classifier)
+
     def _train(self, pid: int, label: int) -> None:
         self.classifier.update(
             SparseExample(

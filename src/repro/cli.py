@@ -23,6 +23,15 @@ Commands
     Evaluate the Theorem 1/2 sizing for given parameters::
 
         python -m repro theory --d 100000 --epsilon 0.1 --lambda 1e-5
+
+``parallel``
+    Train with the sharded-worker subsystem (``--workers`` processes,
+    merged sketches) and report throughput plus top-K agreement with a
+    single-stream model; ``--task`` also runs each Section 8 app
+    sharded::
+
+        python -m repro parallel --workers 4 --examples 20000
+        python -m repro parallel --workers 4 --task deltoids
 """
 
 from __future__ import annotations
@@ -111,6 +120,184 @@ def _cmd_theory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parallel_factory(method: str, budget_bytes: int, seed: int):
+    """(picklable factory, kwargs) for one sharded-training method."""
+    from repro.core.awm_sketch import AWMSketch
+    from repro.core.config import (
+        default_awm_config,
+        default_wm_config,
+        feature_hashing_width,
+    )
+    from repro.core.wm_sketch import WMSketch
+    from repro.learning.feature_hashing import FeatureHashing
+
+    if method == "wm":
+        cfg = default_wm_config(budget_bytes)
+        return WMSketch, dict(
+            width=cfg.width, depth=cfg.depth,
+            heap_capacity=cfg.heap_capacity, seed=seed,
+        )
+    if method == "awm":
+        cfg = default_awm_config(budget_bytes)
+        return AWMSketch, dict(
+            width=cfg.width, depth=cfg.depth,
+            heap_capacity=cfg.heap_capacity, seed=seed,
+        )
+    if method == "hash":
+        return FeatureHashing, dict(
+            width=feature_hashing_width(budget_bytes), seed=seed
+        )
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _cmd_parallel(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.parallel import ParallelHarness
+
+    if args.task != "classify":
+        return _cmd_parallel_app(args)
+
+    preset = ALL_PRESETS.get(f"{args.dataset}_like")
+    if preset is None:
+        print(f"unknown dataset {args.dataset!r}; "
+              f"choose from rcv1, url, kdda", file=sys.stderr)
+        return 2
+    spec = preset(seed=args.seed)
+    examples = spec.stream.materialize(args.examples)
+    factory, kwargs = _parallel_factory(
+        args.method, args.budget_kb * 1024, args.seed
+    )
+    print(f"dataset={spec.name} examples={len(examples):,} "
+          f"method={args.method} workers={args.workers} "
+          f"batch_size={args.batch_size}")
+
+    # Single-stream reference for the top-K agreement report.
+    single = factory(**kwargs)
+    start = time.perf_counter()
+    single.fit(examples, batch_size=args.batch_size)
+    single_s = time.perf_counter() - start
+
+    with ParallelHarness(
+        factory,
+        kwargs,
+        n_workers=args.workers,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        start_method=args.start_method,
+    ) as harness:
+        start = time.perf_counter()
+        merged = harness.fit(examples)
+        wall_s = time.perf_counter() - start
+        critical_s = max(
+            (r.train_seconds for r in harness.last_results), default=0.0
+        )
+        sizes = [r.n_examples for r in harness.last_results]
+
+    k = args.k
+    if hasattr(single, "top_weights_from_candidates"):
+        seen: set[int] = set()
+        for ex in examples:
+            seen.update(ex.indices.tolist())
+        import numpy as np
+
+        candidates = np.fromiter(seen, dtype=np.int64, count=len(seen))
+        top_single = single.top_weights_from_candidates(candidates, k)
+        top_merged = merged.top_weights_from_candidates(candidates, k)
+    else:
+        top_single = single.top_weights(k)
+        top_merged = merged.top_weights(k)
+    overlap = len(
+        {i for i, _ in top_single} & {i for i, _ in top_merged}
+    ) / max(k, 1)
+
+    print(f"\nsingle-stream: {len(examples) / single_s:,.0f} ex/s")
+    print(f"sharded wall:  {len(examples) / wall_s:,.0f} ex/s "
+          f"(this machine; shard sizes {sizes})")
+    if critical_s > 0:
+        print(f"critical path: {len(examples) / critical_s:,.0f} ex/s "
+              f"(slowest worker; the >= {args.workers}-core bound)")
+    print(f"top-{k} overlap merged vs single-stream: {overlap:.2f}")
+    print(f"merged model: t={merged.t:,} merged_from={merged.merged_from}")
+    return 0
+
+
+def _cmd_parallel_app(args: argparse.Namespace) -> int:
+    """Run one Section 8 application with sharded training.
+
+    Honors ``--method`` (wm / awm — feature hashing stores no feature
+    identifiers, so it cannot enumerate top attributes/deltoids/pairs)
+    and ``--budget-kb``; ``--dataset`` / ``--k`` apply to the
+    ``classify`` task only.
+    """
+    from repro.parallel import ParallelHarness
+
+    if args.method == "hash":
+        print(
+            "feature hashing stores no identifiers and cannot enumerate "
+            "top attributes/deltoids/pairs; use --method wm or awm for "
+            "app tasks",
+            file=sys.stderr,
+        )
+        return 2
+    factory, kwargs = _parallel_factory(
+        args.method, args.budget_kb * 1024, args.seed
+    )
+    with ParallelHarness(
+        factory,
+        kwargs,
+        n_workers=args.workers,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        start_method=args.start_method,
+    ) as harness:
+        if args.task == "explain":
+            from repro.apps.explanation import StreamingExplainer
+            from repro.data.fec import FECLikeStream
+
+            data = FECLikeStream(seed=args.seed)
+            app = StreamingExplainer(factory(**kwargs))
+            app.consume_parallel(
+                data.examples(args.examples), harness
+            )
+            print(f"top attributes ({args.workers} workers):")
+            for attr, w in app.top_attributes(10):
+                print(f"  attribute {attr:>7}  weight {w:+.3f}")
+        elif args.task == "deltoids":
+            from repro.apps.deltoids import ClassifierDeltoid
+            from repro.data.network import PacketTrace
+
+            trace = PacketTrace(n_addresses=10_000, seed=args.seed)
+            app = ClassifierDeltoid(factory(**kwargs))
+            app.consume_parallel(
+                trace.packets(args.examples), harness
+            )
+            print(f"top deltoids ({args.workers} workers):")
+            for addr, logr in app.top_deltoids(10):
+                print(f"  address {addr:>7}  log-ratio {logr:+.3f}")
+        elif args.task == "pmi":
+            from repro.apps.pmi import StreamingPMI
+            from repro.data.text import CollocationCorpus
+
+            corpus = CollocationCorpus(vocab=2_000, seed=args.seed)
+            app = StreamingPMI(
+                vocab=corpus.vocab,
+                classifier=factory(**kwargs),
+            )
+            app.consume_parallel(
+                corpus.pairs(args.examples), harness
+            )
+            print(f"top PMI pairs ({args.workers} workers):")
+            for u, v, pmi in app.top_pairs(10):
+                print(f"  ({u:>5}, {v:>5})  PMI {pmi:+.3f}")
+        else:
+            print(f"unknown task {args.task!r}", file=sys.stderr)
+            return 2
+    print(f"classifier: t={app.classifier.t:,} "
+          f"merged_from={app.classifier.merged_from}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -143,6 +330,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     configs.add_argument("--budget-kb", type=int, default=8)
     configs.set_defaults(func=_cmd_configs)
+
+    parallel = sub.add_parser(
+        "parallel",
+        help="sharded training: partition the stream across worker "
+             "processes, merge the sketches",
+    )
+    parallel.add_argument(
+        "--workers", type=int, default=4,
+        help="number of shards / worker processes (1 trains in-process)",
+    )
+    parallel.add_argument(
+        "--task", default="classify",
+        choices=("classify", "explain", "deltoids", "pmi"),
+        help="classify = dataset-preset comparison vs single-stream; "
+             "explain/deltoids/pmi run the Section 8 apps sharded",
+    )
+    parallel.add_argument("--dataset", default="rcv1",
+                          choices=("rcv1", "url", "kdda"),
+                          help="dataset preset (classify task only)")
+    parallel.add_argument("--method", default="wm",
+                          choices=("wm", "awm", "hash"),
+                          help="hash is classify-only (it stores no "
+                               "feature identifiers)")
+    parallel.add_argument("--budget-kb", type=int, default=8)
+    parallel.add_argument("--examples", type=int, default=8_000)
+    parallel.add_argument("--batch-size", type=int, default=256)
+    parallel.add_argument("--k", type=int, default=64,
+                          help="top-K for the overlap report "
+                               "(classify task only)")
+    parallel.add_argument("--seed", type=int, default=0)
+    parallel.add_argument(
+        "--start-method", default="spawn", choices=("spawn", "fork"),
+        help="multiprocessing start method (spawn is the portable "
+             "default the subsystem is tested with)",
+    )
+    parallel.set_defaults(func=_cmd_parallel)
 
     theory = sub.add_parser(
         "theory", help="evaluate Theorem 1/2 sizing"

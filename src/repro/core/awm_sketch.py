@@ -335,7 +335,11 @@ class AWMSketch(ScaledSketchTable):
         self.t += 1
         return tau
 
-    def fit_batch(self, batch: SparseBatch) -> np.ndarray:
+    def fit_batch(
+        self,
+        batch: SparseBatch,
+        rows: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> np.ndarray:
         """Mini-batch Algorithm 2: hash the batch once, replay in order.
 
         All of the batch's indices are hashed in one deduplicated
@@ -343,6 +347,10 @@ class AWMSketch(ScaledSketchTable):
         Algorithm 2 step over views of the precomputed rows (1-sparse
         examples keep using the scalar fast path, exactly as
         :meth:`update` would).  Returns the pre-update margins.
+
+        ``rows`` may carry precomputed ``(buckets, signs)`` for
+        ``batch.indices`` from the pipelined prefetch hasher; hashes are
+        pure, so they are interchangeable with hashing here.
         """
         n = len(batch)
         margins = np.empty(n, dtype=np.float64)
@@ -354,6 +362,8 @@ class AWMSketch(ScaledSketchTable):
         # waste.  The first multi-sparse example triggers the one
         # vectorized dedup hash for the whole batch.
         buckets = signs = None
+        if rows is not None:
+            buckets, signs = rows
         indptr = batch.indptr.tolist()
         labels = batch.labels.tolist()
         indices = batch.indices
@@ -376,6 +386,63 @@ class AWMSketch(ScaledSketchTable):
                 signs=signs[:, lo:hi],
             )
         return margins
+
+    # ------------------------------------------------------------------
+    # Merging (distributed / sharded training)
+    # ------------------------------------------------------------------
+    def _fold_active_set(self) -> list[int]:
+        """Retire the active set into the sketch; returns the former keys.
+
+        Each active feature's exact weight is folded back exactly as an
+        Algorithm 2 eviction would: the sketch is credited with
+        ``S[i] - Query(i)``, bringing its estimate of the feature up to
+        date.  Keys are processed in sorted order so the (collision-
+        dependent) float state is deterministic.
+        """
+        keys = sorted(k for k, _ in self.heap.items())
+        for key in keys:
+            weight = self.heap.value(key)
+            query = float(
+                self._sketch_estimate(np.array([key], dtype=np.int64))[0]
+            )
+            self._sketch_add(key, weight - query)
+        self.heap.clear()
+        return keys
+
+    def merge(self, *others: "AWMSketch") -> "AWMSketch":
+        """Sum-merge sharded AWM-Sketches; rebuild the active set.
+
+        Every model's active set (including ``self``'s) is first folded
+        back into its own sketch — after which each model is a pure
+        (exactly summable) Count-Sketch table — then tables are summed
+        with lazy-scale reconciliation and the active set is rebuilt by
+        re-estimating the union of all former active-set keys against
+        the merged table and promoting the heaviest ``capacity``.
+
+        This consumes the donor models: ``others`` are left with folded
+        (heap-less) state and should be discarded.  Unlike the exact
+        per-worker active sets, the rebuilt set carries *estimated*
+        weights — the same approximation an Algorithm 2 promotion makes
+        — so merged top-K recovery is approximate while the summed
+        sketch table itself is exact.
+        """
+        if not others:
+            return self
+        # Validate BEFORE folding: the base merge re-checks, but only
+        # after this method has already mutated self and every donor by
+        # retiring their active sets — an incompatible donor must be
+        # rejected while all models are still intact.
+        for other in others:
+            self._check_mergeable(other)
+        candidates = set(self._fold_active_set())
+        for other in others:
+            candidates.update(other._fold_active_set())
+        super().merge(*others)
+        self.n_promotions += sum(o.n_promotions for o in others)
+        self.n_promotions += self._repromote(
+            self.heap, candidates, self._sketch_estimate
+        )
+        return self
 
     # ------------------------------------------------------------------
     # Recovery

@@ -64,6 +64,11 @@ def _common_meta(sketch) -> dict:
         "eta0": schedule.eta0,
         "t": sketch.t,
         "scale": sketch._scale,
+        # Parallel-training provenance: how many independently trained
+        # models were sum-merged into this one (1 = single-stream), so
+        # restored checkpoints know their estimates sit on the
+        # merged_from * w* scale.
+        "merged_from": getattr(sketch, "merged_from", 1),
     }
 
 
@@ -141,6 +146,9 @@ def load_sketch(source: str | BinaryIO) -> WMSketch | AWMSketch:
     sketch.table[:] = table
     sketch._scale = float(meta["scale"])
     sketch.t = int(meta["t"])
+    # Archives written before the parallel subsystem lack the key;
+    # those are single-stream models by definition.
+    sketch.merged_from = int(meta.get("merged_from", 1))
     heap = sketch.heap
     if heap is not None:
         for key, value in zip(heap_keys.tolist(), heap_values.tolist()):

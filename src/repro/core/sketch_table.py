@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.hashing.batch import BatchHasher
 from repro.hashing.family import HashFamily
-from repro.learning.base import StreamingClassifier
+from repro.learning.base import StreamingClassifier, sum_merge_scaled_tables
 from repro.learning.losses import LogisticLoss, Loss
 from repro.learning.schedules import Schedule, as_schedule
 
@@ -55,6 +55,11 @@ class ScaledSketchTable(StreamingClassifier):
     #: Optional L1 soft-threshold applied to estimates at query time;
     #: only the WM-Sketch exposes it, the default is off.
     l1: float = 0.0
+
+    #: Number of independently trained models folded into this one via
+    #: :meth:`merge` (1 for a single-stream model).  Serialized alongside
+    #: the table so merged checkpoints are self-describing.
+    merged_from: int = 1
 
     def __init__(
         self,
@@ -93,6 +98,112 @@ class ScaledSketchTable(StreamingClassifier):
         ).reshape(-1, 1)
         self._table_flat = self.table.ravel()
         self.t = 0
+
+    # ------------------------------------------------------------------
+    # Pickling (spawn-safe worker processes)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Drop derived buffers; critically, ``_table_flat`` is a *view*
+        of ``table`` — pickling it naively would materialize a detached
+        copy and silently break the aliasing every scatter/gather relies
+        on.  The batch hasher is a pure cache and restarts cold."""
+        state = self.__dict__.copy()
+        for key in ("_table_flat", "_row_idx", "_row_offsets",
+                    "_batch_hasher"):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        depth, width = self.depth, self.width
+        self._row_idx = np.arange(depth, dtype=np.intp).reshape(-1, 1)
+        self._row_offsets = (
+            np.arange(depth, dtype=np.int64) * width
+        ).reshape(-1, 1)
+        self._table_flat = self.table.ravel()
+        self._batch_hasher = BatchHasher(self.family)
+
+    # ------------------------------------------------------------------
+    # Merging (distributed / sharded training)
+    # ------------------------------------------------------------------
+    def _check_mergeable(self, other: "ScaledSketchTable") -> None:
+        """Two sketches are mergeable iff they share the random
+        projection — same dimensions and the same hash family."""
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into "
+                f"{type(self).__name__}"
+            )
+        if (other.width, other.depth) != (self.width, self.depth):
+            raise ValueError(
+                f"dimension mismatch: ({self.width}, {self.depth}) vs "
+                f"({other.width}, {other.depth})"
+            )
+        if (other.family.seed, other.family.kind) != (
+            self.family.seed,
+            self.family.kind,
+        ):
+            raise ValueError(
+                "hash-family mismatch: merged sketches must share "
+                "seed and kind (the projection R must be identical)"
+            )
+
+    def merge(self, *others: "ScaledSketchTable") -> "ScaledSketchTable":
+        """Sum-merge independently trained sketches into ``self``.
+
+        The Count-Sketch projection is linear, so the sum of the workers'
+        scaled tables *is* the sketch of the summed model
+        ``z_merged = sum_i z_i`` — exactly, whatever each worker's update
+        history was.  Each model's lazy L2 scale is reconciled by folding
+        it into its raw table (one exactly-rounded elementwise product
+        per model) before the tables are summed in worker order; the
+        merged scaled table is therefore *bit-for-bit* equal to
+        ``sum_i(scale_i * table_i)`` evaluated left to right — the
+        executable contract of ``tests/test_merge.py``.
+
+        Step counters accumulate (``t`` counts total examples absorbed)
+        and :attr:`merged_from` records how many single-stream models the
+        result folds together.  Returns ``self``.
+
+        Note the *semantics*: merged weight estimates recover the sum of
+        the workers' models (k workers each approximating w* yield
+        estimates near ``k * w*``); magnitude rankings — top-K recovery —
+        are scale-invariant, and callers needing w*-scale estimates can
+        divide by :attr:`merged_from`.  The uncompressed LR baseline
+        mean-merges instead (see
+        :meth:`repro.learning.ogd.UncompressedClassifier.merge`).
+        """
+        if not others:
+            return self
+        for other in others:
+            self._check_mergeable(other)
+        sum_merge_scaled_tables(self, others)
+        return self
+
+    def _repromote(self, heap, candidates, estimator) -> int:
+        """Refill ``heap`` with the heaviest of ``candidates`` by
+        re-estimating them against the current (merged) table.
+
+        The shared tail of the WM and AWM merges: candidates are
+        processed in sorted order (determinism), ``estimator`` maps an
+        int64 id array to weight estimates, and the heap's own
+        admission rule keeps the top ``capacity``.  Returns the number
+        of entries admitted.
+        """
+        if not candidates:
+            return 0
+        ordered = np.array(sorted(candidates), dtype=np.int64)
+        estimates = estimator(ordered)
+        push = heap.push
+        admitted = 0
+        for idx, w in zip(ordered.tolist(), estimates.tolist()):
+            rejected = push(idx, w)
+            # push returns the not-admitted pair itself when the heap is
+            # full and the candidate loses; None or an evicted *other*
+            # entry both mean this candidate got in.
+            if rejected is None or rejected[0] != idx:
+                admitted += 1
+        return admitted
 
     # ------------------------------------------------------------------
     # Sketch-space projection helpers

@@ -162,7 +162,11 @@ class WMSketch(ScaledSketchTable):
         if self.heap is not None:
             self._maintain_heap(x.indices, buckets, signs)
 
-    def fit_batch(self, batch: SparseBatch) -> np.ndarray:
+    def fit_batch(
+        self,
+        batch: SparseBatch,
+        rows: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> np.ndarray:
         """Mini-batch update kernel: hash once, replay the sequence.
 
         The batch's whole index set is hashed in a single deduplicated
@@ -171,11 +175,19 @@ class WMSketch(ScaledSketchTable):
         order over array views, preserving the sequential semantics
         (state is bit-identical to per-example :meth:`update` calls).
         Returns the pre-update margins.
+
+        ``rows`` may carry precomputed ``(buckets, signs)`` for
+        ``batch.indices`` (shape ``(depth, nnz)``), as produced by the
+        pipelined ingestion path's prefetch hasher; hashes are pure, so
+        supplied rows are interchangeable with hashing here.
         """
         n = len(batch)
         if n == 0:
             return np.empty(0, dtype=np.float64)
-        buckets, signs = self._batch_hasher.rows(batch.indices)
+        if rows is None:
+            buckets, signs = self._batch_hasher.rows(batch.indices)
+        else:
+            buckets, signs = rows
         sign_values = signs * batch.values
         flat = buckets + self._row_offsets
         etas = self.schedule.many(self.t, n)
@@ -273,6 +285,44 @@ class WMSketch(ScaledSketchTable):
                 if abs(w) > minp:
                     push(idx, w)
                     minp = None
+
+    # ------------------------------------------------------------------
+    # Merging (distributed / sharded training)
+    # ------------------------------------------------------------------
+    def merge(self, *others: "WMSketch") -> "WMSketch":
+        """Sum-merge sharded WM-Sketches; rebuild the passive heap.
+
+        The table merge is the exact linear summation of
+        :meth:`ScaledSketchTable.merge`.  The passive top-K heap is then
+        *re-estimated*: worker heaps hold estimates against their own
+        (pre-merge) tables, which are stale once tables are summed, so
+        the union of all workers' tracked feature ids is re-queried
+        against the merged table and the heaviest ``capacity`` survive.
+        Recovery over the union of tracked candidates is approximate in
+        the same sense single-stream passive tracking is — features
+        never tracked by any worker cannot surface.
+
+        A heap-less ``self`` *adopts* tracking (at the largest donor
+        capacity) when any donor carries a heap, so merging never
+        silently discards a model's tracked candidates whichever side
+        of the merge it lands on.
+        """
+        if not others:
+            return self
+        super().merge(*others)
+        capacity = self.heap.capacity if self.heap is not None else 0
+        candidates: set[int] = (
+            {k for k, _ in self.heap.items()} if self.heap is not None
+            else set()
+        )
+        for other in others:
+            if other.heap is not None:
+                capacity = max(capacity, other.heap.capacity)
+                candidates.update(k for k, _ in other.heap.items())
+        if capacity > 0:
+            self.heap = TopKHeap(capacity)
+            self._repromote(self.heap, candidates, self.estimate_weights)
+        return self
 
     # ------------------------------------------------------------------
     # Recovery

@@ -16,6 +16,8 @@ Contents
 * :class:`~repro.data.batch.SparseBatch` /
   :func:`~repro.data.batch.iter_batches` — CSR mini-batches for the
   batched streaming engine.
+* :func:`~repro.data.partition.partition_stream` — deterministic
+  disjoint/exhaustive sharding for the parallel training subsystem.
 * :mod:`~repro.data.synthetic` — the core Zipfian sparse-classification
   stream generator.
 * :mod:`~repro.data.datasets` — RCV1-, URL- and KDDA-flavoured presets.
@@ -28,6 +30,7 @@ Contents
 """
 
 from repro.data.batch import SparseBatch, iter_batches
+from repro.data.partition import partition_stream, shard_assignments
 from repro.data.sparse import SparseExample, dense_to_sparse, sparse_dot
 from repro.data.synthetic import SyntheticStream, zipf_probabilities
 
@@ -35,6 +38,8 @@ __all__ = [
     "SparseExample",
     "SparseBatch",
     "iter_batches",
+    "partition_stream",
+    "shard_assignments",
     "SyntheticStream",
     "dense_to_sparse",
     "sparse_dot",

@@ -153,6 +153,27 @@ class SparseBatch:
         for i in range(len(self)):
             yield self.example(i)
 
+    def windows(self, batch_size: int) -> Iterator["SparseBatch"]:
+        """Split into consecutive sub-batches of ``batch_size`` examples.
+
+        Sub-batches are CSR *views* of this batch's arrays (no copies of
+        indices/values beyond the re-based indptr), preserving stream
+        order — the cheap way to drive ``fit_batch`` over a shard that
+        arrived as one large CSR block.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        n = len(self)
+        for lo_ex in range(0, n, batch_size):
+            hi_ex = min(lo_ex + batch_size, n)
+            lo, hi = int(self.indptr[lo_ex]), int(self.indptr[hi_ex])
+            yield SparseBatch(
+                self.indptr[lo_ex : hi_ex + 1] - lo,
+                self.indices[lo:hi],
+                self.values[lo:hi],
+                self.labels[lo_ex:hi_ex],
+            )
+
 
 def iter_batches(
     stream: Iterable[SparseExample], batch_size: int

@@ -54,6 +54,23 @@ class BatchHasher:
         self.misses = 0
 
     # ------------------------------------------------------------------
+    # Pickling: the cache is a pure memoization of the (picklable) hash
+    # family, so snapshots carry only the configuration and restart with
+    # a cold cache — results are unchanged (hashes are pure), and the
+    # payload stays small for spawn-based worker processes.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {
+            "family": self.family,
+            "cache_capacity": self.cache_capacity,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["family"], cache_capacity=state["cache_capacity"]
+        )
+
+    # ------------------------------------------------------------------
     def clear(self) -> None:
         """Drop all cached keys."""
         depth = self.family.depth

@@ -75,6 +75,7 @@ class HashFamily:
         self.depth = depth
         self.seed = seed
         self.kind = kind
+        self.independence = independence
         root = np.random.SeedSequence(seed)
         children = root.spawn(depth)
         if kind == "tabulation":
@@ -89,6 +90,24 @@ class HashFamily:
         self._pow2 = width & (width - 1) == 0
         self._mask = np.uint64(width - 1)
         self._width_u64 = np.uint64(width)
+
+    # ------------------------------------------------------------------
+    # Pickling: the whole family is derived deterministically from its
+    # constructor parameters (per-row hashes come from SeedSequence
+    # spawning of the root seed), so worker processes rebuild identical
+    # hash functions from a ~100-byte payload.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            "kind": self.kind,
+            "independence": self.independence,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
 
     # ------------------------------------------------------------------
     # Single-evaluation core

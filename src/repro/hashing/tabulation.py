@@ -40,6 +40,7 @@ class TabulationHash:
             seq = seed
         else:
             seq = np.random.SeedSequence(seed)
+        self.seed_sequence = seq
         rng = np.random.Generator(np.random.PCG64(seq))
         # One 256-entry table of random 64-bit words per key byte.
         self._tables = rng.integers(
@@ -57,6 +58,18 @@ class TabulationHash:
         # Pure-Python table copy for the scalar fast path (plain list
         # indexing beats NumPy scalar indexing by ~5x for single keys).
         self._tables_py = [row.tolist() for row in self._tables]
+
+    # ------------------------------------------------------------------
+    # Pickling: the function is fully determined by (seed, key_bits), so
+    # snapshots carry the seed and rebuild the byte tables on load — a
+    # few hundred bytes on the wire instead of the 8 KB+ of tables, and
+    # trivially spawn-safe for worker processes.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {"seed": self.seed_sequence, "key_bits": self.key_bits}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(seed=state["seed"], key_bits=state["key_bits"])
 
     def hash_one(self, key: int) -> int:
         """Scalar fast path: hash a single non-negative integer key.

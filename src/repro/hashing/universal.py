@@ -58,12 +58,30 @@ class PolynomialHash:
             seq = seed
         else:
             seq = np.random.SeedSequence(seed)
+        self.seed_sequence = seq
         rng = np.random.Generator(np.random.PCG64(seq))
         coeffs = rng.integers(0, MERSENNE_61, size=independence, dtype=np.int64)
         # The leading coefficient must be nonzero for full independence.
         while coeffs[-1] == 0:
             coeffs[-1] = rng.integers(1, MERSENNE_61, dtype=np.int64)
         self._coeffs = [int(c) for c in coeffs]
+
+    # ------------------------------------------------------------------
+    # Pickling: fully determined by (independence, seed); the coefficient
+    # draw (including the nonzero-leading-coefficient retry loop) is
+    # deterministic given the seed sequence, so rebuilt instances compute
+    # the identical polynomial.  Spawn-safe for worker processes.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {
+            "independence": self.independence,
+            "seed": self.seed_sequence,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            independence=state["independence"], seed=state["seed"]
+        )
 
     def hash(self, keys: np.ndarray | int) -> np.ndarray:
         """Hash keys to uniform values in ``[0, 2**61 - 1)``.

@@ -105,6 +105,39 @@ class AdaGradFeatureHashing(StreamingClassifier):
         buckets, signs = self._hashed(indices)
         return signs * self.table[buckets]
 
+    #: Number of independently trained models folded in via :meth:`merge`.
+    merged_from: int = 1
+
+    def merge(self, *others: "AdaGradFeatureHashing") -> "AdaGradFeatureHashing":
+        """Sum-merge sharded AdaGrad hashing models.
+
+        Weight tables sum (same linearity argument as plain feature
+        hashing; there is no lazy scale here, decay is local) and the
+        squared-gradient accumulators — plain sums over the stream —
+        sum too, so continued training after a merge sees the full
+        gradient history of every shard.
+        """
+        if not others:
+            return self
+        for other in others:
+            if type(other) is not type(self):
+                raise TypeError(
+                    f"cannot merge {type(other).__name__} into "
+                    f"{type(self).__name__}"
+                )
+            if other.width != self.width:
+                raise ValueError(
+                    f"width mismatch: {self.width} vs {other.width}"
+                )
+            if other.family.seed != self.family.seed:
+                raise ValueError("merged models must share hash seed")
+        for other in others:
+            self.table += other.table
+            self.accumulator += other.accumulator
+            self.t += other.t
+            self.merged_from += other.merged_from
+        return self
+
     def top_weights(self, k: int) -> list[tuple[int, float]]:
         raise NotImplementedError(
             "feature hashing stores no identifiers; use "
@@ -208,6 +241,22 @@ class AdaGradAWMSketch(AWMSketch):
         """Per-example fallback: the AdaGrad update rule differs from
         Algorithm 2, so the AWM batched kernel must not be inherited."""
         return StreamingClassifier.fit_batch(self, batch)
+
+    def merge(self, *others: "AdaGradAWMSketch") -> "AdaGradAWMSketch":
+        """AWM merge plus summed squared-gradient accumulators.
+
+        The inherited merge handles tables and the active set; the
+        per-bucket accumulator is a plain sum over the stream, so
+        summing the donors' accumulators gives the merged model the
+        full gradient history (and therefore correctly damped
+        per-bucket step sizes) for continued training.
+        """
+        if not others:
+            return self
+        super().merge(*others)
+        for other in others:
+            self.accumulator += other.accumulator
+        return self
 
     @property
     def memory_cost_bytes(self) -> int:

@@ -23,7 +23,11 @@ from repro.data.batch import SparseBatch
 from repro.data.sparse import SparseExample
 from repro.hashing.batch import BatchHasher
 from repro.hashing.family import HashFamily
-from repro.learning.base import CELL_BYTES, StreamingClassifier
+from repro.learning.base import (
+    CELL_BYTES,
+    StreamingClassifier,
+    sum_merge_scaled_tables,
+)
 from repro.learning.losses import LogisticLoss, Loss
 from repro.learning.schedules import Schedule, as_schedule
 
@@ -45,6 +49,9 @@ class FeatureHashing(StreamingClassifier):
         Use random sign flips (the unbiased "hash kernel"); disable for
         the plain unsigned variant (ablation).
     """
+
+    #: Number of independently trained models folded in via :meth:`merge`.
+    merged_from: int = 1
 
     def __init__(
         self,
@@ -103,19 +110,27 @@ class FeatureHashing(StreamingClassifier):
         )
         self.t += 1
 
-    def fit_batch(self, batch: SparseBatch) -> np.ndarray:
+    def fit_batch(
+        self,
+        batch: SparseBatch,
+        rows: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> np.ndarray:
         """Mini-batch updates with one (deduplicated) hash per batch.
 
         The whole batch's feature set is hashed in a single vectorized
         call; the per-example gradient sequence is then replayed over
         array views — bit-identical state to per-example updates.
-        Returns the pre-update margins.
+        Returns the pre-update margins.  ``rows`` may carry precomputed
+        ``(buckets, signs)`` from the pipelined prefetch hasher.
         """
         n = len(batch)
         margins = np.empty(n, dtype=np.float64)
         if n == 0:
             return margins
-        all_buckets, all_signs = self._batch_hasher.rows(batch.indices)
+        if rows is None:
+            all_buckets, all_signs = self._batch_hasher.rows(batch.indices)
+        else:
+            all_buckets, all_signs = rows
         buckets = all_buckets[0]
         if self.signed:
             sign_values = all_signs[0] * batch.values
@@ -141,6 +156,42 @@ class FeatureHashing(StreamingClassifier):
             np.add.at(table, b, -(eta * y * g / self._scale) * sv)
             self.t += 1
         return margins
+
+    # ------------------------------------------------------------------
+    # Merging (distributed / sharded training)
+    # ------------------------------------------------------------------
+    def merge(self, *others: "FeatureHashing") -> "FeatureHashing":
+        """Sum-merge sharded feature-hashing models.
+
+        The hashed weight table is linear in the updates the same way a
+        Count-Sketch row is, so summing the workers' scaled tables gives
+        exactly the table of the summed model; each lazy L2 scale is
+        folded into its raw table before the sum, making the merged
+        scaled table bit-for-bit ``sum_i(scale_i * table_i)``.  As with
+        the sketches, estimates recover the *sum* of the workers' models
+        (divide by :attr:`merged_from` for the mean).
+        """
+        if not others:
+            return self
+        for other in others:
+            if not isinstance(other, FeatureHashing):
+                raise TypeError(
+                    f"cannot merge {type(other).__name__} into "
+                    f"FeatureHashing"
+                )
+            if other.width != self.width:
+                raise ValueError(
+                    f"width mismatch: {self.width} vs {other.width}"
+                )
+            if (other.family.seed, other.signed) != (
+                self.family.seed,
+                self.signed,
+            ):
+                raise ValueError(
+                    "merged models must share hash seed and signedness"
+                )
+        sum_merge_scaled_tables(self, others)
+        return self
 
     # ------------------------------------------------------------------
     def estimate_weights(self, indices: np.ndarray) -> np.ndarray:

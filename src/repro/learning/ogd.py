@@ -49,6 +49,9 @@ class UncompressedClassifier(StreamingClassifier):
         ``top_weights`` then sorts the dense array directly.
     """
 
+    #: Number of independently trained models folded in via :meth:`merge`.
+    merged_from: int = 1
+
     def __init__(
         self,
         d: int,
@@ -125,6 +128,52 @@ class UncompressedClassifier(StreamingClassifier):
                 batch.indices[lo:hi], batch.values[lo:hi], labels[i]
             )
         return margins
+
+    # ------------------------------------------------------------------
+    # Merging (distributed / sharded training)
+    # ------------------------------------------------------------------
+    def merge(self, *others: "UncompressedClassifier") -> "UncompressedClassifier":
+        """**Mean**-merge sharded dense models (parameter averaging).
+
+        Unlike the sketches — whose tables are summed because Count-
+        Sketch linearity makes the sum *exact* for the summed model —
+        the uncompressed baseline keeps its weights on the w* scale by
+        averaging (Zinkevich et al. 2010 parallelized SGD): each worker
+        independently approximates the same optimum, so the mean is the
+        natural combination and stays directly comparable to a
+        single-stream model's weights.  Inputs that are themselves
+        merged models count with weight :attr:`merged_from`, so the
+        result is always the flat mean over every *constituent*
+        single-stream model, however the merges were grouped.  This is
+        an approximation of single-stream training, not an identity;
+        the top-K heap is rebuilt from the averaged dense vector, which
+        is authoritative.
+        """
+        if not others:
+            return self
+        models = (self,) + others
+        for other in others:
+            if not isinstance(other, UncompressedClassifier):
+                raise TypeError(
+                    f"cannot merge {type(other).__name__} into "
+                    f"UncompressedClassifier"
+                )
+            if other.d != self.d:
+                raise ValueError(f"d mismatch: {self.d} vs {other.d}")
+        total = sum(m.merged_from for m in models)
+        mean = (
+            sum(m.merged_from * m.dense_weights() for m in models) / total
+        )
+        self._raw = mean
+        self._scale = 1.0
+        self.t = sum(m.t for m in models)
+        self.merged_from = total
+        if self.heap is not None:
+            capacity = self.heap.capacity
+            self.heap = TopKHeap(capacity)
+            for idx, w in self.top_weights(capacity):
+                self.heap.push(idx, w)
+        return self
 
     # ------------------------------------------------------------------
     def estimate_weights(self, indices: np.ndarray) -> np.ndarray:

@@ -1,0 +1,116 @@
+"""The per-shard training worker: the unit a process pool executes.
+
+Workers are designed around two constraints:
+
+* **spawn-safety** — the payload crossing the process boundary is a
+  plain tuple of (picklable factory, kwargs, CSR arrays, batch size);
+  the worker function itself lives at module top level so it is
+  importable by a freshly spawned interpreter.  No state is inherited
+  from the parent beyond the payload.
+* **cheap transport** — shards travel as one CSR block
+  (:func:`pack_shard`), not as per-example objects; four NumPy arrays
+  pickle in microseconds where a list of ``SparseExample`` dataclasses
+  costs a Python round trip per example.
+
+Inside the worker, training runs through the batched ``fit_batch``
+kernels over CSR window views (``SparseBatch.windows``), i.e. exactly
+the single-node batched engine — ``fit_batch`` is the natural RPC unit
+the engine was built around.  The worker returns the trained model
+(picklable via the classes' ``__getstate__`` support) plus its
+in-worker training wall-clock, which the scaling benchmark uses to
+report critical-path throughput independently of how many physical
+cores this machine happens to have.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Any, Callable, Sequence
+
+from repro.data.batch import SparseBatch
+from repro.data.sparse import SparseExample
+from repro.learning.base import StreamingClassifier
+
+__all__ = ["WorkerResult", "pack_shard", "train_shard"]
+
+#: Payload type crossing the process boundary:
+#: (factory, factory_kwargs, (indptr, indices, values, labels), batch_size)
+ShardPayload = tuple
+
+
+class WorkerResult:
+    """What a worker sends back: the trained model + its own timings.
+
+    Slots-only and pickled natively (protocol 2+ handles ``__slots__``
+    without custom state hooks).
+    """
+
+    __slots__ = ("model", "n_examples", "train_seconds")
+
+    def __init__(
+        self,
+        model: StreamingClassifier,
+        n_examples: int,
+        train_seconds: float,
+    ):
+        self.model = model
+        self.n_examples = n_examples
+        self.train_seconds = train_seconds
+
+
+def pack_shard(
+    factory: Callable[..., StreamingClassifier],
+    factory_kwargs: dict[str, Any],
+    shard: "Sequence[SparseExample] | SparseBatch",
+    batch_size: int,
+) -> ShardPayload:
+    """Build the picklable payload for one worker.
+
+    ``factory`` must itself be picklable — a model class
+    (e.g. :class:`~repro.core.wm_sketch.WMSketch`) or a module-level
+    function; lambdas and closures are rejected by the pickler at
+    submission time, not deep inside the pool.  ``shard`` may be a
+    sequence of examples or an already-packed CSR
+    :class:`~repro.data.batch.SparseBatch` (the zero-copy path used by
+    the 1-sparse application streams).
+    """
+    try:
+        pickle.dumps((factory, factory_kwargs))
+    except Exception as exc:
+        raise TypeError(
+            f"factory {factory!r} or its kwargs are not picklable "
+            f"(lambdas/closures — including inside kwargs values such "
+            f"as a custom loss — cannot cross the process boundary; "
+            f"use module-level classes/functions): {exc}"
+        ) from exc
+    if isinstance(shard, SparseBatch):
+        batch = shard
+    else:
+        batch = SparseBatch.from_examples(shard)
+    return (
+        factory,
+        dict(factory_kwargs),
+        (batch.indptr, batch.indices, batch.values, batch.labels),
+        batch_size,
+    )
+
+
+def train_shard(payload: ShardPayload) -> WorkerResult:
+    """Train one model on one shard (runs inside a worker process).
+
+    Reconstructs the shard's CSR block, builds a fresh model from the
+    factory, and drives the batched engine over window views.  Also
+    callable in-process (the ``n_workers=1`` path and the tests use it
+    directly), since it is a pure function of its payload.
+    """
+    factory, factory_kwargs, (indptr, indices, values, labels), batch_size = (
+        payload
+    )
+    shard = SparseBatch(indptr, indices, values, labels)
+    model = factory(**factory_kwargs)
+    start = time.perf_counter()
+    for window in shard.windows(batch_size):
+        model.fit_batch(window)
+    elapsed = time.perf_counter() - start
+    return WorkerResult(model, len(shard), elapsed)

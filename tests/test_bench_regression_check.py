@@ -1,0 +1,141 @@
+"""The CI trend-tracking script's comparison logic (PR 2 satellite)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+SCRIPT = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_throughput_regression.py"
+)
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+sys.modules["check_regression"] = check_regression
+spec.loader.exec_module(check_regression)
+
+
+def _doc(speedup, eps=10_000.0):
+    return {
+        "workload": {"dataset": "x"},
+        "wm_algorithm1": {
+            "speedup": speedup,
+            "per_example_eps": eps,
+            "batched_eps": eps * speedup,
+        },
+    }
+
+
+class TestThroughputGate:
+    def test_identical_runs_pass(self):
+        doc = _doc(5.0)
+        assert check_regression.check_throughput(doc, doc, 0.30, False) == []
+
+    def test_ratio_regression_beyond_threshold_fails(self):
+        failures = check_regression.check_throughput(
+            _doc(3.0), _doc(5.0), 0.30, False
+        )
+        assert any("speedup" in f for f in failures)
+
+    def test_ratio_regression_within_threshold_passes(self):
+        assert (
+            check_regression.check_throughput(
+                _doc(4.0), _doc(5.0), 0.30, False
+            )
+            == []
+        )
+
+    def test_absolute_eps_not_gated_by_default(self):
+        # 10x slower machine, same speedup ratio: must pass.
+        assert (
+            check_regression.check_throughput(
+                _doc(5.0, eps=1_000.0), _doc(5.0, eps=10_000.0), 0.30, False
+            )
+            == []
+        )
+
+    def test_strict_eps_gates_absolute_throughput(self):
+        failures = check_regression.check_throughput(
+            _doc(5.0, eps=1_000.0), _doc(5.0, eps=10_000.0), 0.30, True
+        )
+        assert any("per_example_eps" in f for f in failures)
+
+    def test_schema_less_baseline_cannot_pass_vacuously(self):
+        empty = {"workload": {}}
+        failures = check_regression.check_throughput(
+            empty, empty, 0.30, False
+        )
+        assert any("no gated metrics" in f for f in failures)
+
+    def test_missing_config_fails(self):
+        current = _doc(5.0)
+        baseline = _doc(5.0)
+        baseline["awm"] = {"speedup": 1.4}
+        failures = check_regression.check_throughput(
+            current, baseline, 0.30, False
+        )
+        assert any("missing" in f for f in failures)
+
+
+class TestMainEntry:
+    def test_missing_current_file_fails_the_gate(self, tmp_path, capsys):
+        # A crashed benchmark must not leave the gate green.
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{}")
+        code = check_regression.main([
+            "--current", str(tmp_path / "never_written.json"),
+            "--baseline", str(baseline),
+        ])
+        assert code == 1
+        assert "ERROR" in capsys.readouterr().err
+
+    def test_workload_size_mismatch_warns(self, tmp_path, capsys):
+        import json
+
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        doc = _doc(5.0)
+        doc["workload"] = {"n_examples": 2000}
+        current.write_text(json.dumps(doc))
+        doc["workload"] = {"n_examples": 4000}
+        baseline.write_text(json.dumps(doc))
+        code = check_regression.main([
+            "--current", str(current), "--baseline", str(baseline),
+        ])
+        assert code == 0
+        assert "workload sizes differ" in capsys.readouterr().out
+
+    def test_missing_baseline_is_a_hard_error(self, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        current.write_text("{}")
+        code = check_regression.main([
+            "--current", str(current),
+            "--baseline", str(tmp_path / "no_baseline.json"),
+        ])
+        assert code == 2
+        assert "ERROR" in capsys.readouterr().err
+
+
+class TestParallelGate:
+    def test_monotone_and_stable_passes(self):
+        doc = {"monotone_1_to_4_workers": True, "speedup_4_workers": 2.8}
+        assert check_regression.check_parallel(doc, doc, 0.30) == []
+
+    def test_non_monotone_current_warns_but_passes(self, capsys):
+        # Fresh-run monotonicity is timing-sensitive on shared runners:
+        # warn, gate only the machine-independent speedup ratio.
+        bad = {"monotone_1_to_4_workers": False, "speedup_4_workers": 2.8}
+        good = {"monotone_1_to_4_workers": True, "speedup_4_workers": 2.8}
+        assert check_regression.check_parallel(bad, good, 0.30) == []
+        assert "WARNING" in capsys.readouterr().out
+
+    def test_speedup_collapse_fails(self):
+        curr = {"monotone_1_to_4_workers": True, "speedup_4_workers": 1.1}
+        base = {"monotone_1_to_4_workers": True, "speedup_4_workers": 2.8}
+        assert check_regression.check_parallel(curr, base, 0.30)
+
+    def test_schema_less_parallel_baseline_fails(self):
+        curr = {"monotone_1_to_4_workers": True, "speedup_4_workers": 2.8}
+        assert check_regression.check_parallel(curr, {}, 0.30)

@@ -53,3 +53,32 @@ class TestCommands:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args(["compare", "--dataset", "nonsense"])
+
+
+class TestParallelCommand:
+    def test_parallel_classify_single_worker(self, capsys):
+        # workers=1 stays in-process: fast, no pool spawning in CI.
+        code = main([
+            "parallel", "--workers", "1", "--examples", "600",
+            "--batch-size", "128", "--k", "16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "single-stream" in out
+        assert "top-16 overlap" in out
+        assert "merged_from=1" in out
+
+    def test_parallel_app_task(self, capsys):
+        code = main([
+            "parallel", "--workers", "1", "--task", "deltoids",
+            "--examples", "800", "--batch-size", "128",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top deltoids" in out
+        assert "merged_from=1" in out
+
+    def test_parallel_rejects_bad_method(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["parallel", "--method", "nonsense"])

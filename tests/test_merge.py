@@ -1,0 +1,384 @@
+"""Executable merge-equivalence spec for the parallel subsystem (PR 2).
+
+Three layers of guarantee, from exact to statistical:
+
+1. **Table linearity (exact).** The merged sketch table is bit-for-bit
+   the sum of the workers' scaled tables — the Count-Sketch projection
+   is linear and the lazy L2 scales are folded exactly at merge time.
+2. **Data-linear training (exact).** When per-example updates do not
+   depend on model state (constant-gradient loss, fixed eta, lambda=0,
+   dyadic step sizes), sharded-then-merged training produces the *same
+   table* as single-stream training on the concatenated shards — the
+   strongest executable form of "sum-merge equals the concatenated
+   stream".  With a *scheduled* eta the per-worker step counters restart
+   from 0, so the tables differ by design; the documented tolerance is
+   stated on recovered top-K overlap instead.
+3. **SGD training (statistical).** For the real (logistic) objective on
+   the Fig. 7 synthetic workload, merged top-K recovery overlaps
+   single-stream top-K recovery — the acceptance bound of ISSUE 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.awm_sketch import AWMSketch
+from repro.core.wm_sketch import WMSketch
+from repro.data.datasets import rcv1_like
+from repro.data.partition import partition_stream
+from repro.learning.feature_hashing import FeatureHashing
+from repro.learning.losses import Loss
+from repro.learning.ogd import UncompressedClassifier
+from repro.learning.schedules import ConstantSchedule
+
+
+class _ConstGradLoss(Loss):
+    """loss(tau) = -tau: constant derivative -1, so the OGD update is
+    independent of model state and training is *data-linear* — the
+    regime where sum-merge reproduces the concatenated stream exactly."""
+
+    smoothness = 0.0
+    lipschitz = 1.0
+
+    def value(self, tau: float) -> float:
+        return -tau
+
+    def dloss(self, tau: float) -> float:
+        return -1.0
+
+
+def _zipf_stream(n=600, d=1500, seed=21):
+    from repro.data.synthetic import SyntheticStream
+
+    return SyntheticStream(
+        d=d, n_signal=50, avg_nnz=15, seed=seed
+    ).materialize(n)
+
+
+def _shard_train(factory, shards, batch_size=64):
+    models = []
+    for shard in shards:
+        model = factory()
+        model.fit(shard, batch_size=batch_size)
+        models.append(model)
+    return models
+
+
+def _overlap(top_a, top_b):
+    a = {i for i, _ in top_a}
+    b = {i for i, _ in top_b}
+    return len(a & b) / max(len(a), 1)
+
+
+# ----------------------------------------------------------------------
+# Layer 1: the merged table is exactly the sum of scaled worker tables.
+# ----------------------------------------------------------------------
+class TestTableLinearity:
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_wm_merge_is_bitexact_sum(self, n_workers):
+        examples = _zipf_stream()
+        shards = partition_stream(examples, n_workers, seed=1)
+        # lambda > 0 gives every worker a *different* lazy scale (shard
+        # sizes differ), exercising the reconciliation path.
+        models = _shard_train(
+            lambda: WMSketch(256, 3, seed=5, lambda_=1e-3), shards
+        )
+        scales = [m._scale for m in models]
+        assert len(set(scales)) > 1, "scales should differ across shards"
+        expected = models[0]._scale * models[0].table
+        for m in models[1:]:
+            expected = expected + m._scale * m.table
+        merged = models[0].merge(*models[1:])
+        assert np.array_equal(merged._scale * merged.table, expected)
+        assert merged.t == len(examples)
+        assert merged.merged_from == n_workers
+
+    def test_hash_merge_is_bitexact_sum(self):
+        examples = _zipf_stream()
+        shards = partition_stream(examples, 3, seed=2)
+        models = _shard_train(
+            lambda: FeatureHashing(512, seed=4, lambda_=1e-3), shards
+        )
+        expected = models[0]._scale * models[0].table
+        for m in models[1:]:
+            expected = expected + m._scale * m.table
+        merged = models[0].merge(*models[1:])
+        assert np.array_equal(merged._scale * merged.table, expected)
+        assert merged.merged_from == 3
+
+    def test_merge_is_associative_over_grouping(self):
+        """merge(a, b, c) == merge(merge(a, b), c) on the scaled table
+        (exact: both left-fold the same per-model scaled addends)."""
+        examples = _zipf_stream(400)
+        shards = partition_stream(examples, 3, seed=3)
+        flat = _shard_train(lambda: WMSketch(128, 2, seed=7), shards)
+        nested = _shard_train(lambda: WMSketch(128, 2, seed=7), shards)
+        all_at_once = flat[0].merge(flat[1], flat[2])
+        pairwise = nested[0].merge(nested[1]).merge(nested[2])
+        assert np.array_equal(
+            all_at_once._scale * all_at_once.table,
+            pairwise._scale * pairwise.table,
+        )
+        assert all_at_once.merged_from == pairwise.merged_from == 3
+
+
+# ----------------------------------------------------------------------
+# Layer 2: data-linear training — sharded == concatenated, exactly.
+# ----------------------------------------------------------------------
+class TestDataLinearEquivalence:
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    @pytest.mark.parametrize("depth", [1, 4])
+    def test_fixed_eta_sum_merge_equals_single_stream(
+        self, n_workers, depth
+    ):
+        """Constant gradient + fixed dyadic eta + lambda=0 + exact
+        sqrt(depth): every update contributes an exactly-representable
+        addend, so shard-sum and stream-order summation agree bit-for-
+        bit — 'exact for fixed eta' from the issue's acceptance bound."""
+
+        def factory():
+            return WMSketch(
+                64,
+                depth,
+                loss=_ConstGradLoss(),
+                lambda_=0.0,
+                learning_rate=ConstantSchedule(0.0625),
+                seed=9,
+                heap_capacity=0,
+            )
+
+        examples = _zipf_stream(500, d=900, seed=31)
+        single = factory()
+        single.fit(examples, batch_size=50)
+        shards = partition_stream(examples, n_workers, seed=6)
+        models = _shard_train(factory, shards, batch_size=50)
+        merged = models[0].merge(*models[1:])
+        assert np.array_equal(merged.table, single.table)
+        assert merged.t == single.t
+
+    def test_scheduled_eta_documented_tolerance(self):
+        """With eta_t = eta0 / sqrt(1 + t), worker step counters restart
+        per shard, so merged != single-stream on the table; the
+        subsystem's documented guarantee is ranking-level: top-K
+        recovery of the merged model still overlaps single-stream
+        recovery (here, in the data-linear regime, near-perfectly)."""
+
+        def factory():
+            return WMSketch(
+                512,
+                2,
+                loss=_ConstGradLoss(),
+                lambda_=0.0,
+                learning_rate=0.1,  # the default inverse-sqrt schedule
+                seed=9,
+                heap_capacity=0,
+            )
+
+        examples = _zipf_stream(800, d=1200, seed=33)
+        single = factory()
+        single.fit(examples, batch_size=64)
+        shards = partition_stream(examples, 4, seed=8)
+        models = _shard_train(factory, shards, batch_size=64)
+        merged = models[0].merge(*models[1:])
+        assert not np.array_equal(merged.table, single.table)
+        candidates = np.unique(
+            np.concatenate([ex.indices for ex in examples])
+        )
+        k = 32
+        top_single = single.top_weights_from_candidates(candidates, k)
+        top_merged = merged.top_weights_from_candidates(candidates, k)
+        assert _overlap(top_single, top_merged) >= 0.75
+
+
+# ----------------------------------------------------------------------
+# Layer 3: real SGD on the Fig. 7 workload — statistical agreement.
+# ----------------------------------------------------------------------
+class TestFig7WorkloadAgreement:
+    @pytest.fixture(scope="class")
+    def fig7_examples(self):
+        spec = rcv1_like(scale=0.08)
+        return spec.stream.materialize(4_000, seed_offset=5)
+
+    def test_wm_merged_topk_overlaps_single_stream(self, fig7_examples):
+        def factory():
+            return WMSketch(2**12, 2, heap_capacity=128, seed=0)
+
+        single = factory()
+        single.fit(fig7_examples, batch_size=256)
+        shards = partition_stream(fig7_examples, 4, seed=0)
+        models = _shard_train(factory, shards, batch_size=256)
+        merged = models[0].merge(*models[1:])
+        k = 32
+        overlap = _overlap(
+            single.top_weights(k), merged.top_weights(k)
+        )
+        # Measured ~0.7+ overlap; 0.5 leaves seed-robust headroom while
+        # still catching a broken merge (random overlap is ~k/d < 0.01).
+        assert overlap >= 0.5
+
+    def test_awm_merged_topk_overlaps_single_stream(self, fig7_examples):
+        def factory():
+            return AWMSketch(2**12, depth=1, heap_capacity=128, seed=0)
+
+        single = factory()
+        single.fit(fig7_examples, batch_size=256)
+        shards = partition_stream(fig7_examples, 4, seed=0)
+        models = _shard_train(factory, shards, batch_size=256)
+        merged = models[0].merge(*models[1:])
+        overlap = _overlap(
+            single.top_weights(32), merged.top_weights(32)
+        )
+        assert overlap >= 0.5
+        assert merged.t == len(fig7_examples)
+
+
+# ----------------------------------------------------------------------
+# Per-class merge semantics and guard rails.
+# ----------------------------------------------------------------------
+class TestMergeSemantics:
+    def test_wm_heap_reestimated_against_merged_table(self):
+        examples = _zipf_stream(500)
+        shards = partition_stream(examples, 2, seed=4)
+        models = _shard_train(
+            lambda: WMSketch(256, 2, seed=3, heap_capacity=32), shards
+        )
+        union = {k for m in models for k, _ in m.heap.items()}
+        merged = models[0].merge(models[1])
+        for key, value in merged.heap.items():
+            assert key in union
+            assert value == pytest.approx(merged.estimate_weight(key))
+
+    def test_awm_fold_preserves_table_linearity_of_folded_models(self):
+        """After merging, the AWM table equals the sum of the *folded*
+        models' scaled tables (folding happens first, then exact
+        summation), and the rebuilt active set carries estimates from
+        the merged table."""
+        examples = _zipf_stream(500)
+        shards = partition_stream(examples, 2, seed=9)
+        models = _shard_train(
+            lambda: AWMSketch(256, depth=1, heap_capacity=16, seed=3),
+            shards,
+        )
+        # Fold copies manually to predict the merged table.
+        import pickle
+
+        copies = [pickle.loads(pickle.dumps(m)) for m in models]
+        for c in copies:
+            c._fold_active_set()
+        expected = (
+            copies[0]._scale * copies[0].table
+            + copies[1]._scale * copies[1].table
+        )
+        merged = models[0].merge(models[1])
+        assert np.array_equal(merged._scale * merged.table, expected)
+        assert len(merged.heap) > 0
+
+    def test_lr_mean_merge(self):
+        examples = _zipf_stream(400, d=700)
+        shards = partition_stream(examples, 4, seed=2)
+        models = _shard_train(
+            lambda: UncompressedClassifier(700, lambda_=1e-4), shards
+        )
+        expected = sum(m.dense_weights() for m in models) / 4
+        merged = models[0].merge(*models[1:])
+        assert np.allclose(merged.dense_weights(), expected, atol=0)
+        assert merged.t == len(examples)
+        assert merged.merged_from == 4
+        # Heap rebuilt from the averaged vector.
+        top = merged.top_weights(8)
+        for key, value in merged.heap.items():
+            assert value == pytest.approx(expected[key])
+        assert [i for i, _ in top] == [
+            int(i) for i in np.argsort(-np.abs(expected))[:8]
+        ]
+
+    def test_lr_remerge_weights_by_merged_from(self):
+        """Merging a merged model with a fresh one must weight by
+        constituent count: the result is the flat mean over all
+        single-stream models regardless of merge grouping."""
+        examples = _zipf_stream(300, d=500)
+        shards = partition_stream(examples, 4, seed=6)
+        grouped = _shard_train(
+            lambda: UncompressedClassifier(500, lambda_=1e-4), shards
+        )
+        flat = _shard_train(
+            lambda: UncompressedClassifier(500, lambda_=1e-4), shards
+        )
+        flat_merged = flat[0].merge(*flat[1:])
+        three_then_one = grouped[0].merge(grouped[1], grouped[2])
+        three_then_one.merge(grouped[3])
+        assert np.allclose(
+            three_then_one.dense_weights(), flat_merged.dense_weights()
+        )
+        assert three_then_one.merged_from == 4
+
+    def test_merge_rejects_incompatible_models(self):
+        a = WMSketch(128, 2, seed=0)
+        with pytest.raises(ValueError):
+            a.merge(WMSketch(128, 2, seed=1))  # different projection
+        with pytest.raises(ValueError):
+            a.merge(WMSketch(64, 2, seed=0))  # different width
+        with pytest.raises(TypeError):
+            a.merge(AWMSketch(128, depth=2, seed=0))  # different class
+        b = FeatureHashing(128, seed=0)
+        with pytest.raises(ValueError):
+            b.merge(FeatureHashing(128, seed=2))
+        with pytest.raises(TypeError):
+            UncompressedClassifier(10).merge(b)
+
+    def test_heapless_wm_adopts_donor_tracking(self):
+        """Merging a heap-carrying donor into a heap-less model must not
+        silently drop the donor's tracked candidates."""
+        examples = _zipf_stream(400)
+        shards = partition_stream(examples, 2, seed=13)
+        bare = WMSketch(256, 2, seed=3, heap_capacity=0)
+        bare.fit(shards[0], batch_size=64)
+        tracking = WMSketch(256, 2, seed=3, heap_capacity=32)
+        tracking.fit(shards[1], batch_size=64)
+        donor_keys = {k for k, _ in tracking.heap.items()}
+        merged = bare.merge(tracking)
+        assert merged.heap is not None
+        assert merged.heap.capacity == 32
+        assert {k for k, _ in merged.heap.items()} <= donor_keys
+        assert len(merged.top_weights(8)) == 8
+
+    def test_adagrad_awm_merge_sums_accumulators(self):
+        from repro import AdaGradAWMSketch
+
+        examples = _zipf_stream(300, d=500)
+        shards = partition_stream(examples, 2, seed=11)
+        models = _shard_train(
+            lambda: AdaGradAWMSketch(256, heap_capacity=16, seed=2),
+            shards,
+            batch_size=64,
+        )
+        expected_acc = models[0].accumulator + models[1].accumulator
+        merged = models[0].merge(models[1])
+        assert np.array_equal(merged.accumulator, expected_acc)
+        assert merged.t == len(examples)
+        assert merged.merged_from == 2
+
+    def test_adagrad_hashing_merge_sums_tables_and_accumulators(self):
+        from repro import AdaGradFeatureHashing
+
+        examples = _zipf_stream(300, d=500)
+        shards = partition_stream(examples, 2, seed=12)
+        models = _shard_train(
+            lambda: AdaGradFeatureHashing(256, seed=3), shards,
+            batch_size=64,
+        )
+        expected_table = models[0].table + models[1].table
+        expected_acc = models[0].accumulator + models[1].accumulator
+        merged = models[0].merge(models[1])
+        assert np.array_equal(merged.table, expected_table)
+        assert np.array_equal(merged.accumulator, expected_acc)
+        with pytest.raises(TypeError):
+            merged.merge(FeatureHashing(256, seed=3))
+
+    def test_merge_accumulates_merged_from_transitively(self):
+        models = [WMSketch(64, 1, seed=0, heap_capacity=0) for _ in range(4)]
+        left = models[0].merge(models[1])
+        right = models[2].merge(models[3])
+        final = left.merge(right)
+        assert final.merged_from == 4

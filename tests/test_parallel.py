@@ -1,0 +1,195 @@
+"""Parallel training subsystem: harness, workers, apps (PR 2).
+
+Cross-process determinism is the core property: a spawn-pool run must
+produce the *same merged model* as training the same shards in-process,
+because hashing, partitioning and the batched kernels are all
+deterministic functions of (factory kwargs, shard content).  Spawn
+tests are kept small — interpreter startup dominates their runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.awm_sketch import AWMSketch
+from repro.core.wm_sketch import WMSketch
+from repro.data.partition import partition_stream
+from repro.data.synthetic import SyntheticStream
+from repro.parallel import ParallelHarness, train_sharded
+from repro.parallel.worker import pack_shard, train_shard
+
+
+def _stream(n=400, d=900, seed=17):
+    return SyntheticStream(
+        d=d, n_signal=40, avg_nnz=12, seed=seed
+    ).materialize(n)
+
+
+WM_KWARGS = dict(width=256, depth=2, heap_capacity=16, seed=3)
+
+
+def _inprocess_merged(examples, n_workers, batch_size=64, seed=0):
+    shards = partition_stream(examples, n_workers, seed=seed)
+    models = []
+    for shard in shards:
+        result = train_shard(
+            pack_shard(WMSketch, WM_KWARGS, shard, batch_size)
+        )
+        models.append(result.model)
+    return models[0].merge(*models[1:])
+
+
+class TestWorker:
+    def test_train_shard_matches_fit(self):
+        examples = _stream(200)
+        result = train_shard(
+            pack_shard(WMSketch, WM_KWARGS, examples, 64)
+        )
+        reference = WMSketch(**WM_KWARGS)
+        reference.fit(examples, batch_size=64)
+        assert np.array_equal(result.model.table, reference.table)
+        assert result.n_examples == 200
+        assert result.train_seconds >= 0.0
+
+    def test_empty_shard_is_fine(self):
+        result = train_shard(pack_shard(WMSketch, WM_KWARGS, [], 64))
+        assert result.n_examples == 0
+        assert result.model.t == 0
+
+    def test_unpicklable_factory_rejected_at_submission(self):
+        with pytest.raises(TypeError, match="not picklable"):
+            pack_shard(lambda: WMSketch(**WM_KWARGS), {}, [], 64)
+
+
+class TestHarness:
+    def test_single_worker_trains_in_process(self):
+        examples = _stream(300)
+        harness = ParallelHarness(
+            WMSketch, WM_KWARGS, n_workers=1, batch_size=64
+        )
+        merged = harness.fit(examples)
+        assert harness._pool is None  # never spawned anything
+        reference = WMSketch(**WM_KWARGS)
+        reference.fit(examples, batch_size=64)
+        assert np.array_equal(merged.table, reference.table)
+        assert merged.merged_from == 1
+
+    def test_spawn_pool_matches_in_process_training(self):
+        examples = _stream(300)
+        expected = _inprocess_merged(examples, 2, seed=0)
+        with ParallelHarness(
+            WMSketch, WM_KWARGS, n_workers=2, batch_size=64, seed=0
+        ) as harness:
+            merged = harness.fit(examples)
+            assert len(harness.last_results) == 2
+            assert (
+                sum(r.n_examples for r in harness.last_results) == 300
+            )
+        assert np.array_equal(
+            merged._scale * merged.table, expected._scale * expected.table
+        )
+        assert merged.t == 300
+        assert merged.merged_from == 2
+
+    def test_pool_reuse_across_fits(self):
+        examples = _stream(150)
+        with ParallelHarness(
+            WMSketch, WM_KWARGS, n_workers=2, batch_size=64
+        ) as harness:
+            first = harness.fit(examples)
+            pool = harness._pool
+            second = harness.fit(examples)
+            assert harness._pool is pool  # warm pool, no respawn
+        assert np.array_equal(first.table, second.table)
+
+    def test_train_sharded_convenience(self):
+        examples = _stream(200)
+        merged = train_sharded(
+            WMSketch,
+            examples,
+            n_workers=2,
+            factory_kwargs=WM_KWARGS,
+            batch_size=64,
+        )
+        assert merged.t == 200
+        assert merged.merged_from == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelHarness(WMSketch, WM_KWARGS, n_workers=0)
+        with pytest.raises(ValueError):
+            ParallelHarness(WMSketch, WM_KWARGS, batch_size=0)
+
+
+class TestAppsSharded:
+    """Each Section 8 application can run its training sharded."""
+
+    def test_explainer_parallel(self):
+        from repro.apps.explanation import StreamingExplainer
+        from repro.data.fec import FECLikeStream
+
+        data = FECLikeStream(
+            n_fields=4, values_per_field=200, seed=5
+        )
+        kwargs = dict(width=512, depth=1, heap_capacity=64, seed=1)
+        app = StreamingExplainer(AWMSketch(**kwargs))
+        harness = ParallelHarness(
+            AWMSketch, kwargs, n_workers=1, batch_size=128
+        )
+        # FEC rows encode one 1-sparse example per attribute.
+        examples = list(data.examples(200))
+        app.consume_parallel(examples, harness)
+        assert app.classifier.t == len(examples)
+        top = app.top_attributes(10)
+        assert len(top) == 10
+
+    def test_deltoid_parallel_finds_planted_deltoids(self):
+        from repro.apps.deltoids import ClassifierDeltoid
+        from repro.data.network import PacketTrace
+
+        trace = PacketTrace(
+            n_addresses=2_000, n_deltoids=40, ratio=256.0, seed=4
+        )
+        kwargs = dict(width=1024, depth=1, heap_capacity=128, seed=2)
+        app = ClassifierDeltoid(AWMSketch(**kwargs))
+        harness = ParallelHarness(
+            AWMSketch, kwargs, n_workers=1, batch_size=128
+        )
+        pairs = list(trace.packets(3_000))
+        app.consume_parallel(pairs, harness)
+        assert app.classifier.t == len(pairs)
+        planted = set(trace.deltoid_addresses.tolist())
+        found = {a for a, _ in app.top_deltoids(40)}
+        assert len(found & planted) >= 10
+
+    def test_pmi_parallel(self):
+        from repro.apps.pmi import StreamingPMI
+        from repro.data.text import CollocationCorpus
+
+        corpus = CollocationCorpus(vocab=300, n_collocations=10, seed=6)
+        kwargs = dict(width=1024, depth=1, heap_capacity=64, seed=3)
+        app = StreamingPMI(
+            vocab=corpus.vocab, classifier=AWMSketch(**kwargs)
+        )
+        harness = ParallelHarness(
+            AWMSketch, kwargs, n_workers=1, batch_size=128
+        )
+        app.consume_parallel(corpus.pairs(1_500), harness)
+        assert app.classifier.t > 0
+        assert app.classifier.merged_from == 1
+        assert isinstance(app.top_pairs(5), list)
+
+    def test_app_absorbs_prior_sequential_state(self):
+        from repro.apps.deltoids import ClassifierDeltoid
+
+        kwargs = dict(width=256, depth=1, heap_capacity=16, seed=2)
+        app = ClassifierDeltoid(AWMSketch(**kwargs))
+        app.observe(7, 1)
+        app.observe(9, -1)
+        harness = ParallelHarness(
+            AWMSketch, kwargs, n_workers=1, batch_size=32
+        )
+        app.consume_parallel([(3, 1), (4, -1)] * 20, harness)
+        # 40 sharded pairs + the 2 sequential observations are all in.
+        assert app.classifier.t == 42

@@ -1,0 +1,134 @@
+"""Deterministic stream partitioner (PR 2 satellite).
+
+The partitioner is the front of the parallel subsystem's equivalence
+spec: shards must be disjoint, exhaustive, order-preserving and stable
+across runs, or merged-vs-single-stream comparisons are meaningless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.batch import SparseBatch
+from repro.data.partition import (
+    partition_batch,
+    partition_stream,
+    shard_assignments,
+)
+from repro.data.sparse import SparseExample
+from repro.data.synthetic import SyntheticStream
+
+
+def _stream(n=300, seed=11):
+    return SyntheticStream(
+        d=800, n_signal=40, avg_nnz=10, seed=seed
+    ).materialize(n)
+
+
+class TestShardAssignments:
+    @pytest.mark.parametrize("mode", ["uniform", "round_robin"])
+    def test_stable_across_calls(self, mode):
+        a = shard_assignments(1000, 4, seed=3, mode=mode)
+        b = shard_assignments(1000, 4, seed=3, mode=mode)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_assignment(self):
+        a = shard_assignments(1000, 4, seed=0)
+        b = shard_assignments(1000, 4, seed=1)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("mode", ["uniform", "round_robin"])
+    def test_range_and_coverage(self, mode):
+        a = shard_assignments(2000, 5, seed=2, mode=mode)
+        assert a.min() >= 0 and a.max() < 5
+        assert set(np.unique(a)) == set(range(5))
+
+    def test_round_robin_exactly_balanced(self):
+        a = shard_assignments(1001, 4, seed=9, mode="round_robin")
+        counts = np.bincount(a, minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_single_worker_gets_everything(self):
+        assert np.array_equal(
+            shard_assignments(50, 1, seed=0), np.zeros(50, dtype=np.int64)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shard_assignments(10, 0)
+        with pytest.raises(ValueError):
+            shard_assignments(-1, 2)
+        with pytest.raises(ValueError):
+            shard_assignments(10, 2, mode="nope")
+
+
+class TestPartitionStream:
+    def test_disjoint_and_exhaustive(self):
+        examples = _stream()
+        shards = partition_stream(examples, 4, seed=7)
+        assert len(shards) == 4
+        # Every example lands in exactly one shard (identity, not
+        # equality: the same objects are routed, never copied).
+        ids = [id(ex) for shard in shards for ex in shard]
+        assert sorted(ids) == sorted(id(ex) for ex in examples)
+        assert len(set(ids)) == len(examples)
+
+    def test_stable_across_runs(self):
+        examples = _stream()
+        first = partition_stream(examples, 3, seed=5)
+        second = partition_stream(examples, 3, seed=5)
+        for a, b in zip(first, second):
+            assert [id(x) for x in a] == [id(x) for x in b]
+
+    def test_order_preserved_within_shard(self):
+        examples = _stream()
+        position = {id(ex): i for i, ex in enumerate(examples)}
+        for shard in partition_stream(examples, 4, seed=1):
+            positions = [position[id(ex)] for ex in shard]
+            assert positions == sorted(positions)
+
+    def test_accepts_generators(self):
+        stream = SyntheticStream(d=500, n_signal=20, seed=3)
+        shards = partition_stream(stream.examples(100), 2, seed=0)
+        assert sum(len(s) for s in shards) == 100
+
+    def test_sparse_example_content_roundtrip(self):
+        examples = _stream(100)
+        shards = partition_stream(examples, 2, seed=4)
+        restored = [ex for shard in shards for ex in shard]
+        assert all(isinstance(ex, SparseExample) for ex in restored)
+
+
+class TestPartitionBatch:
+    def test_matches_partition_stream_content(self):
+        """CSR-land partitioning routes the same examples to the same
+        shards as the per-example partitioner (same assignment fn)."""
+        examples = _stream(250)
+        batch = SparseBatch.from_examples(examples)
+        stream_shards = partition_stream(examples, 3, seed=9)
+        batch_shards = partition_batch(batch, 3, seed=9)
+        for ex_shard, b_shard in zip(stream_shards, batch_shards):
+            assert len(ex_shard) == len(b_shard)
+            for ex, row in zip(ex_shard, b_shard):
+                assert np.array_equal(ex.indices, row.indices)
+                assert np.array_equal(ex.values, row.values)
+                assert ex.label == row.label
+
+    def test_one_sparse_pairs_path(self):
+        items = np.arange(101, dtype=np.int64)
+        labels = np.where(items % 2 == 0, 1, -1)
+        batch = SparseBatch.from_pairs(items, labels)
+        shards = partition_batch(batch, 4, seed=2)
+        assert sum(len(s) for s in shards) == 101
+        merged_items = np.concatenate([s.indices for s in shards])
+        assert sorted(merged_items.tolist()) == items.tolist()
+
+    def test_empty_shard_is_valid_batch(self):
+        batch = SparseBatch.from_pairs(
+            np.array([5], dtype=np.int64), np.array([1], dtype=np.int64)
+        )
+        shards = partition_batch(batch, 4, seed=0)
+        assert sum(len(s) for s in shards) == 1
+        for shard in shards:
+            assert shard.indptr[0] == 0  # each shard is a valid batch

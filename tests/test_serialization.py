@@ -117,3 +117,63 @@ class TestErrors:
 
         with pytest.raises((TypeError, AttributeError)):
             save(object(), io.BytesIO())
+
+
+class TestMergedModels:
+    """Merged parallel models round-trip with their merge metadata."""
+
+    def _sharded(self, n_workers=3):
+        from repro.data.partition import partition_stream
+        from repro.data.synthetic import SyntheticStream
+
+        examples = SyntheticStream(
+            d=500, n_signal=30, avg_nnz=10, seed=13
+        ).materialize(300)
+        shards = partition_stream(examples, n_workers, seed=1)
+        models = []
+        for shard in shards:
+            m = WMSketch(128, 2, heap_capacity=16, lambda_=1e-4, seed=6)
+            m.fit(shard, batch_size=64)
+            models.append(m)
+        return models[0].merge(*models[1:])
+
+    def test_merged_from_in_header_and_restored(self):
+        merged = self._sharded(3)
+        assert merged.merged_from == 3
+        restored = from_bytes(roundtrip_bytes(merged))
+        assert restored.merged_from == 3
+        assert restored.t == merged.t
+        assert np.array_equal(restored.sketch_state(), merged.sketch_state())
+        assert sorted(restored.heap.items()) == sorted(merged.heap.items())
+
+    def test_restored_merged_model_can_keep_merging(self):
+        restored = from_bytes(roundtrip_bytes(self._sharded(2)))
+        other = from_bytes(roundtrip_bytes(self._sharded(2)))
+        combined = restored.merge(other)
+        assert combined.merged_from == 4
+
+    def test_single_stream_model_records_merged_from_one(self):
+        clf = _train(WMSketch(width=64, depth=1, heap_capacity=4, seed=0))
+        restored = from_bytes(roundtrip_bytes(clf))
+        assert restored.merged_from == 1
+
+    def test_awm_merged_roundtrip(self):
+        from repro.data.partition import partition_stream
+        from repro.data.synthetic import SyntheticStream
+
+        examples = SyntheticStream(
+            d=400, n_signal=20, avg_nnz=8, seed=19
+        ).materialize(240)
+        shards = partition_stream(examples, 2, seed=3)
+        models = []
+        for shard in shards:
+            m = AWMSketch(128, depth=1, heap_capacity=16, seed=4)
+            m.fit(shard, batch_size=64)
+            models.append(m)
+        merged = models[0].merge(models[1])
+        restored = from_bytes(roundtrip_bytes(merged))
+        assert restored.merged_from == 2
+        probe = np.arange(0, 400, 11, dtype=np.int64)
+        assert np.allclose(
+            restored.estimate_weights(probe), merged.estimate_weights(probe)
+        )
