@@ -47,6 +47,21 @@ EPS_KEYS = (
     "per_example_eps",
     "batched_eps",
 )
+#: Absolute floors on the *current* run's batched-vs-per-example
+#: speedup ratios for the store-carrying configurations (PR 3's
+#: array-backed top-K layer).  Unlike the baseline diff above, these
+#: hold regardless of what is committed: a "refresh" of the baseline
+#: cannot quietly ratify a collapse of the vectorized heap layer back
+#: toward the sequential-Python era (wm_with_heap ~3.0x, awm ~1.4x at
+#: the PR 2 seed).  Values sit ~30% under the committed-baseline
+#: ratios, the same noise allowance the relative gate uses, because a
+#: ratio still moves when CPU-frequency drift lands unevenly across a
+#: run's timing rounds.
+SPEEDUP_FLOORS = {
+    "wm_with_heap": 2.4,   # committed 3.45
+    "awm": 1.4,            # committed 1.97
+    "awm_half_budget": 1.8,  # committed 2.59
+}
 
 
 def _load(path: str) -> dict:
@@ -61,6 +76,29 @@ def _configs(doc: dict) -> dict[str, dict]:
         for name, row in doc.items()
         if isinstance(row, dict) and "speedup" in row
     }
+
+
+def check_floors(current: dict, floors: dict[str, float]) -> list[str]:
+    """Absolute speedup floors on the current run (see SPEEDUP_FLOORS)."""
+    failures: list[str] = []
+    curr_configs = _configs(current)
+    for name, floor in sorted(floors.items()):
+        row = curr_configs.get(name)
+        if row is None:
+            failures.append(
+                f"{name}: floor-gated config missing from current run"
+            )
+            continue
+        speedup = row.get("speedup", 0.0)
+        marker = "FAIL" if speedup < floor else "ok"
+        print(f"  {name:>16}.speedup floor {floor:>6.2f}  "
+              f"current {speedup:>6.2f}  {marker}")
+        if speedup < floor:
+            failures.append(
+                f"{name}.speedup: {speedup:.2f} below the {floor:.2f} "
+                f"floor (vectorized top-K store layer regressed)"
+            )
+    return failures
 
 
 def check_throughput(
@@ -168,6 +206,11 @@ def main(argv=None) -> int:
         "--strict-eps", action="store_true",
         help="also gate absolute examples/sec (same-hardware comparisons)",
     )
+    parser.add_argument(
+        "--no-floors", action="store_true",
+        help="skip the absolute speedup floors on store-carrying "
+             "configs (for runs against pre-store benchmark schemas)",
+    )
     args = parser.parse_args(argv)
 
     if not Path(args.current).exists():
@@ -214,6 +257,8 @@ def main(argv=None) -> int:
         failures = check_throughput(
             current, baseline, args.threshold, args.strict_eps
         )
+        if not args.no_floors:
+            failures += check_floors(current, SPEEDUP_FLOORS)
     if failures:
         print(f"\nREGRESSION ({len(failures)}):", file=sys.stderr)
         for failure in failures:

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.data.batch import SparseBatch
 from repro.data.sparse import SparseExample
-from repro.heap.topk import TopKHeap
+from repro.heap.topk import TopKStore
 from repro.learning.base import StreamingClassifier
 from repro.sketch.count_min import CountMinSketch
 
@@ -134,7 +134,7 @@ class PairedCountMinDeltoid:
     ):
         self.cm_first = CountMinSketch(width, depth, seed=seed)
         self.cm_second = CountMinSketch(width, depth, seed=seed)
-        self.heap = TopKHeap(candidates)
+        self.heap = TopKStore(candidates)
         self.smoothing = smoothing
 
     def observe(self, item: int, stream: int) -> None:

@@ -42,7 +42,7 @@ import numpy as np
 from repro.core.sketch_table import _RENORM_THRESHOLD, ScaledSketchTable
 from repro.data.batch import SparseBatch
 from repro.data.sparse import SparseExample
-from repro.heap.topk import TopKHeap
+from repro.heap.topk import BatchSlotCache, TopKStore
 from repro.learning.base import CELL_BYTES
 from repro.learning.losses import Loss
 from repro.learning.schedules import Schedule
@@ -92,7 +92,7 @@ class AWMSketch(ScaledSketchTable):
             seed=seed,
             hash_kind=hash_kind,
         )
-        self.heap = TopKHeap(heap_capacity)
+        self.heap = TopKStore(heap_capacity)
         self.scalar_fast_path = scalar_fast_path
         # Diagnostics: promotion/eviction churn (exposed for ablations).
         self.n_promotions = 0
@@ -124,20 +124,23 @@ class AWMSketch(ScaledSketchTable):
         return in_heap, ~in_heap
 
     def _membership(self, indices: np.ndarray) -> np.ndarray:
-        """Boolean mask of which indices are currently in the active set."""
-        return np.fromiter(
-            (idx in self.heap for idx in indices.tolist()),
-            dtype=bool,
-            count=indices.size,
-        )
+        """Boolean mask of which indices are currently in the active set
+        (one vectorized probe against the store's sorted-key snapshot)."""
+        return self.heap.contains_many(indices)
 
     def predict_margin(self, x: SparseExample) -> float:
-        in_heap, in_sketch = self._split(x)
+        slots = self.heap.member_slots(x.indices)
+        in_heap = slots >= 0
         total = 0.0
-        for idx, val in zip(
-            x.indices[in_heap].tolist(), x.values[in_heap].tolist()
-        ):
-            total += self.heap.value(idx) * val
+        if in_heap.any():
+            products = (
+                self.heap.values_at(slots[in_heap]) * x.values[in_heap]
+            )
+            for p in products.tolist():
+                total += p
+            in_sketch = ~in_heap
+        else:
+            in_sketch = slice(None)
         total += self._sketch_margin(x.indices[in_sketch], x.values[in_sketch])
         return total
 
@@ -157,10 +160,19 @@ class AWMSketch(ScaledSketchTable):
             return vals[mid]
         return 0.5 * (vals[mid - 1] + vals[mid])
 
-    def _update_one(self, idx: int, val: float, y: int) -> float:
+    def _update_one(
+        self,
+        idx: int,
+        val: float,
+        y: int,
+        promo_log: list | None = None,
+    ) -> float:
         """Algorithm 2 specialized to nnz(x) = 1, all-scalar arithmetic.
 
         Returns the pre-update margin (for progressive validation).
+        ``promo_log``, when given, receives an ``(admitted, evicted)``
+        pair per promotion so the batched kernel can patch its
+        membership cache instead of rebuilding it.
         """
         in_heap = idx in self.heap
         rows: list[tuple[int, float]] = []
@@ -210,12 +222,15 @@ class AWMSketch(ScaledSketchTable):
             if not self.heap.is_full:
                 self.heap.push(idx, candidate)
                 self.n_promotions += 1
+                if promo_log is not None:
+                    promo_log.append((idx, None))
             else:
                 min_key, min_weight = self.heap.min_entry()
                 if abs(candidate) > abs(min_weight):
-                    self.heap.pop_min()
-                    self.heap.push(idx, candidate)
+                    self.heap.replace_min(idx, candidate)
                     self.n_promotions += 1
+                    if promo_log is not None:
+                        promo_log.append((idx, min_key))
                     self._sketch_add_one(
                         min_key, min_weight - self._estimate_one(min_key)
                     )
@@ -247,6 +262,8 @@ class AWMSketch(ScaledSketchTable):
         y: int,
         buckets: np.ndarray | None = None,
         signs: np.ndarray | None = None,
+        slots: np.ndarray | None = None,
+        promo_log: list | None = None,
     ) -> float:
         """One Algorithm 2 step; returns the pre-update margin.
 
@@ -254,28 +271,63 @@ class AWMSketch(ScaledSketchTable):
         ``indices`` (shape ``(depth, nnz)``), as produced by the batched
         hashing front-end; tail columns are then selected instead of
         re-hashed.  Hash functions are pure, so the two paths see the
-        same rows and produce bit-identical state.
+        same rows and produce bit-identical state.  ``slots`` may carry
+        the active-set slot per index (-1 = tail), as maintained by the
+        batched kernel's :class:`~repro.heap.topk.BatchSlotCache`;
+        ``promo_log`` receives ``(admitted, evicted)`` pairs so that
+        cache can be patched instead of rebuilt.
+
+        The hot structures are vectorized against the store: one
+        membership probe for the whole example, one :meth:`add_many`
+        for the active-set gradient step, one table gather shared by the
+        margin and the tail queries, and a tail-promotion screen that
+        admits candidates sequentially only when some candidate beats
+        the current admission threshold (the threshold is non-decreasing
+        while the store is full, so screened-out candidates are exactly
+        the ones the sequential loop would reject).
         """
-        in_heap = self._membership(indices)
-        in_sketch = ~in_heap
-        heap_idx = indices[in_heap]
-        heap_val = values[in_heap]
-        tail_idx = indices[in_sketch]
-        tail_val = values[in_sketch]
+        heap = self.heap
+        if slots is None:
+            slots = heap.member_slots(indices)
+        in_heap = slots >= 0
+        any_member = bool(in_heap.any())
 
         tau = 0.0
-        for idx, val in zip(heap_idx.tolist(), heap_val.tolist()):
-            tau += self.heap.value(idx) * val
-        if tail_idx.size:
-            # Hash the tail once (or select from the batch-hashed rows);
-            # reuse for the margin, the queries and the batched gradient
-            # fold-in below.
+        if any_member:
+            heap_slots = slots[in_heap]
+            heap_val = values[in_heap]
+            heap_products = heap.values_at(heap_slots) * heap_val
+            for p in heap_products.tolist():
+                tau += p
+            in_sketch = ~in_heap
+            tail_idx = indices[in_sketch]
+            tail_val = values[in_sketch]
+        else:
+            in_sketch = slice(None)
+            tail_idx = indices
+            tail_val = values
+        tail_n = tail_idx.size
+        if tail_n:
+            # Hash the tail once (or select from the batch-hashed rows)
+            # and gather its table cells once; the same gathered values
+            # serve the margin now and the queries after the decay (the
+            # decay touches only the scale, not the raw table).
             if buckets is None:
                 tail_buckets, tail_signs = self.family.all_rows(tail_idx)
             else:
                 tail_buckets = buckets[:, in_sketch]
                 tail_signs = signs[:, in_sketch]
-            tau += self._margin_from_rows(tail_buckets, tail_signs, tail_val)
+            if self.depth == 1:
+                flat_tail = tail_buckets  # row offsets are all zero
+            else:
+                flat_tail = tail_buckets + self._row_offsets
+            # One transposed (nnz, depth) gather serves both the margin
+            # products here and the recovery queries below; fsum is
+            # exactly rounded, so the transposed summation order leaves
+            # the margin bit-identical to the (depth, nnz) layout.
+            taken_t = self._table_flat.take(flat_tail.T)
+            products = taken_t * (tail_signs * tail_val).T
+            tau += self._scale * math.fsum(products.ravel().tolist()) / self._sqrt_s
 
         g = self.loss.dloss(y * tau)
         eta = self.schedule(self.t)
@@ -284,56 +336,136 @@ class AWMSketch(ScaledSketchTable):
         # both scale by (1 - lambda eta) in Algorithm 2), lazily.
         if self.lambda_ > 0.0:
             decay = self._decay_factor(eta)
-            self.heap.decay(decay)
+            heap.decay(decay)
+            scale_before = self._scale
             self._decay_scale(decay)
+            if tail_n and self._scale != scale_before * decay:
+                # The decay underflowed the scale and folded it into the
+                # raw table; the pre-decay gather is stale.
+                taken_t = self._table_flat.take(flat_tail.T)
 
         step = eta * y * g
 
-        # Heap update: exact OGD step for active-set features.
-        for idx, val in zip(heap_idx.tolist(), heap_val.tolist()):
-            self.heap.add_delta(idx, -step * val)
+        # Heap update: exact OGD step for active-set features, one
+        # vectorized scatter (element order matches a per-key loop).
+        if any_member:
+            heap.add_many(heap_slots, -step * heap_val)
 
         # Tail features: promote or fold the gradient into the sketch.
-        if tail_idx.size:
-            queries = self._estimate_from_rows(tail_buckets, tail_signs)
-            stay = []  # positions whose gradient goes into the sketch
-            for pos, (idx, val, q) in enumerate(
-                zip(tail_idx.tolist(), tail_val.tolist(), queries.tolist())
-            ):
-                candidate = q - step * val
-                if not self.heap.is_full:
-                    # Free slot: admit directly.  Retiring the sketch's
-                    # stale estimate is deferred to eviction, the same
-                    # bookkeeping as the full case.
-                    self.heap.push(idx, candidate)
-                    self.n_promotions += 1
-                    continue
-                min_key, min_weight = self.heap.min_entry()
-                if abs(candidate) > abs(min_weight):
-                    # Promote idx; evict min and fold its exact weight
-                    # back into the sketch (credit the difference between
-                    # its true weight and the sketch's current estimate).
-                    self.heap.pop_min()
-                    self.heap.push(idx, candidate)
-                    self.n_promotions += 1
-                    evict_query = float(
-                        self._sketch_estimate(
-                            np.array([min_key], dtype=np.int64)
-                        )[0]
-                    )
-                    self._sketch_add(min_key, min_weight - evict_query)
+        if tail_n:
+            # Queries = median-of-rows recovery on the post-decay table
+            # (the decay touches only the scale, so the shared gather is
+            # still the raw table unless the underflow fold above fired).
+            queries = self._estimate_from_rows(
+                tail_buckets,
+                tail_signs,
+                flat_buckets=flat_tail,
+                gathered_t=taken_t,
+            )
+            candidates = queries - step * tail_val
+
+            if not heap.is_full:
+                # Warmup (free slots remain): plain sequential admits;
+                # the store may fill mid-example.
+                stay = []
+                for pos, (idx, c) in enumerate(
+                    zip(tail_idx.tolist(), candidates.tolist())
+                ):
+                    if not heap.is_full:
+                        heap.push(idx, c)
+                        self.n_promotions += 1
+                        if promo_log is not None:
+                            promo_log.append((idx, None))
+                        continue
+                    min_key, min_weight = heap.min_entry()
+                    if abs(c) > abs(min_weight):
+                        self._promote(idx, c, min_key, min_weight, promo_log)
+                    else:
+                        stay.append(pos)
+                stay = np.asarray(stay, dtype=np.intp)
+            else:
+                # Full store: one vectorized screen against the current
+                # admission threshold; only candidates that beat it take
+                # the sequential path (each re-checks the live minimum,
+                # which can only have risen).
+                live = np.flatnonzero(
+                    np.abs(candidates) > heap.min_priority()
+                )
+                if live.size == 0:
+                    stay = None  # everything stays; no masks needed
                 else:
-                    stay.append(pos)
-            if stay:
+                    stay_mask = np.ones(tail_n, dtype=bool)
+                    for pos in live.tolist():
+                        idx = int(tail_idx[pos])
+                        c = float(candidates[pos])
+                        min_key, min_weight = heap.min_entry()
+                        if abs(c) > abs(min_weight):
+                            self._promote(
+                                idx, c, min_key, min_weight, promo_log
+                            )
+                            stay_mask[pos] = False
+                    stay = np.flatnonzero(stay_mask)
+            if stay is None or stay.size == tail_n:
+                # Common case — nothing promoted: scatter the whole tail
+                # without re-indexing (the flat gather is reused too).
+                coeff = (-step / (self._sqrt_s * self._scale)) * tail_val
+                self._scatter_add(
+                    tail_buckets, coeff * tail_signs, flat_buckets=flat_tail
+                )
+            elif stay.size:
                 # One scatter for all non-promoted features (Algorithm 2
                 # applies these independently; batching only reorders
                 # within a single example).
                 coeff = (-step / (self._sqrt_s * self._scale)) * tail_val[stay]
                 self._scatter_add(
-                    tail_buckets[:, stay], coeff * tail_signs[:, stay]
+                    tail_buckets[:, stay],
+                    coeff * tail_signs[:, stay],
+                    flat_buckets=flat_tail[:, stay],
                 )
         self.t += 1
         return tau
+
+    def _promote(
+        self,
+        idx: int,
+        candidate: float,
+        min_key: int,
+        min_weight: float,
+        promo_log: list | None,
+    ) -> None:
+        """Promote ``idx`` over the current minimum: evict, fold the
+        evictee's exact weight back into the sketch (credit the
+        difference between its true weight and the sketch's current
+        estimate), and log the membership event.
+
+        The evictee is hashed *once*: its per-row (bucket, sign) pairs
+        serve both the retiring estimate and the fold-in scatter (the
+        old path hashed it twice, once per helper — at one promotion
+        every couple of examples that was the single hottest line of the
+        batched kernel).
+        """
+        self.heap.replace_min(idx, candidate)
+        self.n_promotions += 1
+        if promo_log is not None:
+            promo_log.append((idx, min_key))
+        rows = [
+            self.family.bucket_sign_one(min_key, j)
+            for j in range(self.depth)
+        ]
+        table = self.table
+        factor = self._sqrt_s * self._scale
+        vals = sorted(
+            factor * sign * float(table[j, bucket])
+            for j, (bucket, sign) in enumerate(rows)
+        )
+        mid = len(vals) // 2
+        if len(vals) % 2:
+            evict_query = vals[mid]
+        else:
+            evict_query = 0.5 * (vals[mid - 1] + vals[mid])
+        coeff = (min_weight - evict_query) / factor
+        for j, (bucket, sign) in enumerate(rows):
+            table[j, bucket] += coeff * sign
 
     def fit_batch(
         self,
@@ -368,23 +500,41 @@ class AWMSketch(ScaledSketchTable):
         labels = batch.labels.tolist()
         indices = batch.indices
         values = batch.values
+        heap = self.heap
+        # Active-set membership for the whole batch, answered once and
+        # patched per promotion (see BatchSlotCache); built lazily with
+        # the hashes, for the same all-1-sparse reason.
+        slot_cache: BatchSlotCache | None = None
+        promo_log: list = []
         for i in range(n):
             lo, hi = indptr[i], indptr[i + 1]
             y = labels[i]
             if self.scalar_fast_path and hi - lo == 1:
                 margins[i] = self._update_one(
-                    int(indices[lo]), float(values[lo]), y
+                    int(indices[lo]), float(values[lo]), y,
+                    promo_log=promo_log,
                 )
-                continue
-            if buckets is None:
-                buckets, signs = self._batch_hasher.rows(indices)
-            margins[i] = self._update_example(
-                indices[lo:hi],
-                values[lo:hi],
-                y,
-                buckets=buckets[:, lo:hi],
-                signs=signs[:, lo:hi],
-            )
+            else:
+                if buckets is None:
+                    buckets, signs = self._batch_hasher.rows(indices)
+                if slot_cache is None or slot_cache.stale:
+                    slot_cache = BatchSlotCache(
+                        heap, indices, reuse=slot_cache
+                    )
+                margins[i] = self._update_example(
+                    indices[lo:hi],
+                    values[lo:hi],
+                    y,
+                    buckets=buckets[:, lo:hi],
+                    signs=signs[:, lo:hi],
+                    slots=slot_cache.slice(lo, hi),
+                    promo_log=promo_log,
+                )
+            if promo_log:
+                if slot_cache is not None:
+                    for admitted, evicted in promo_log:
+                        slot_cache.apply(admitted, evicted)
+                promo_log.clear()
         return margins
 
     # ------------------------------------------------------------------

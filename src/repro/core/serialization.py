@@ -10,6 +10,17 @@ sketch's own budget.
 The format is a single ``numpy.savez`` archive; no pickling of code
 objects, so snapshots are portable across library versions that keep
 the documented fields.
+
+The top-K store serializes as its (key, true-value) pairs in slot
+order — the lazy scale is folded into the values, exactly what
+:meth:`~repro.heap.topk.TopKStore.items` returns — and is rebuilt on
+load with one :meth:`~repro.heap.topk.TopKStore.push_many` (pure
+appends: at most ``capacity`` distinct keys are stored, so nothing can
+evict during the rebuild and slot order round-trips).  In-process
+transport (the parallel worker pool) instead pickles sketches directly:
+``ScaledSketchTable.__getstate__`` rebuilds the ``_table_flat`` view
+aliasing and ``TopKStore.__getstate__`` ships only the live slot
+prefix, reconstructing the position map and caches on load.
 """
 
 from __future__ import annotations
@@ -150,9 +161,8 @@ def load_sketch(source: str | BinaryIO) -> WMSketch | AWMSketch:
     # those are single-stream models by definition.
     sketch.merged_from = int(meta.get("merged_from", 1))
     heap = sketch.heap
-    if heap is not None:
-        for key, value in zip(heap_keys.tolist(), heap_values.tolist()):
-            heap.push(int(key), float(value))
+    if heap is not None and heap_keys.size:
+        heap.push_many(heap_keys, heap_values)
     return sketch
 
 

@@ -194,16 +194,10 @@ class ScaledSketchTable(StreamingClassifier):
             return 0
         ordered = np.array(sorted(candidates), dtype=np.int64)
         estimates = estimator(ordered)
-        push = heap.push
-        admitted = 0
-        for idx, w in zip(ordered.tolist(), estimates.tolist()):
-            rejected = push(idx, w)
-            # push returns the not-admitted pair itself when the heap is
-            # full and the candidate loses; None or an evicted *other*
-            # entry both mean this candidate got in.
-            if rejected is None or rejected[0] != idx:
-                admitted += 1
-        return admitted
+        # push_many replays sequential pushes with a vectorized
+        # admission pre-screen (the candidates are distinct non-members,
+        # so the screen is decision-exact) and reports how many landed.
+        return heap.push_many(ordered, estimates)
 
     # ------------------------------------------------------------------
     # Sketch-space projection helpers
@@ -265,28 +259,47 @@ class ScaledSketchTable(StreamingClassifier):
         buckets: np.ndarray,
         signs: np.ndarray,
         flat_buckets: np.ndarray | None = None,
+        gathered_t: np.ndarray | None = None,
     ) -> np.ndarray:
         """Count-Sketch recovery: median over rows of sqrt(s)*alpha*sigma*z.
 
-        The median is computed by an in-place column sort plus a
-        middle-row pick, which selects the exact same values as
+        The median is computed by an in-place row sort plus a
+        middle-column pick, which selects the exact same values as
         ``np.median`` without its per-call Python dispatch overhead
         (~15x cheaper for the (depth, nnz) blocks seen here).
+
+        ``gathered_t`` may carry the *transposed* ``(nnz, depth)``
+        table gather ``table_flat.take(flat_buckets.T)`` when the
+        caller already pulled those cells (the AWM kernel shares one
+        gather between the margin and the tail queries); it is read,
+        never mutated.
         """
-        if flat_buckets is None:
-            flat_buckets = buckets + self._row_offsets
         if self.depth == 1:
-            est = self._scale * (
-                signs[0] * self._table_flat.take(flat_buckets[0])
-            )
+            if gathered_t is None:
+                if flat_buckets is None:
+                    flat_buckets = buckets + self._row_offsets
+                vals = self._table_flat.take(flat_buckets[0])
+            else:
+                vals = gathered_t[:, 0]
+            est = self._scale * (signs[0] * vals)
         else:
-            rows = signs * self._table_flat.take(flat_buckets)
-            rows.sort(axis=0)
+            if gathered_t is None:
+                # Transposed layout: take() materializes (nnz, depth)
+                # C-contiguous, so each feature's row values are
+                # adjacent and the per-feature sort runs over
+                # contiguous memory — same selected elements as a
+                # column sort of the (depth, nnz) layout, measurably
+                # cheaper.
+                if flat_buckets is None:
+                    flat_buckets = buckets + self._row_offsets
+                gathered_t = self._table_flat.take(flat_buckets.T)
+            rows = signs.T * gathered_t
+            rows.sort(axis=1)
             mid = self.depth // 2
             if self.depth % 2:
-                med = rows[mid]
+                med = rows[:, mid]
             else:
-                med = 0.5 * (rows[mid - 1] + rows[mid])
+                med = 0.5 * (rows[:, mid - 1] + rows[:, mid])
             est = self._sqrt_s * self._scale * med
         if self.l1 > 0.0:
             est = np.sign(est) * np.maximum(np.abs(est) - self.l1, 0.0)

@@ -47,7 +47,7 @@ import numpy as np
 from repro.core.sketch_table import _RENORM_THRESHOLD, ScaledSketchTable
 from repro.data.batch import SparseBatch
 from repro.data.sparse import SparseExample
-from repro.heap.topk import TopKHeap
+from repro.heap.topk import BatchSlotCache, TopKStore
 from repro.learning.base import CELL_BYTES
 from repro.learning.losses import Loss
 from repro.learning.schedules import Schedule
@@ -110,8 +110,8 @@ class WMSketch(ScaledSketchTable):
             hash_kind=hash_kind,
         )
         self.l1 = l1
-        self.heap: TopKHeap | None = (
-            TopKHeap(heap_capacity) if heap_capacity > 0 else None
+        self.heap: TopKStore | None = (
+            TopKStore(heap_capacity) if heap_capacity > 0 else None
         )
 
     # ------------------------------------------------------------------
@@ -195,6 +195,12 @@ class WMSketch(ScaledSketchTable):
         labels = batch.labels.tolist()
         indices = batch.indices
         heap = self.heap
+        # Heap membership for the whole batch, answered once and patched
+        # per admission/eviction (see BatchSlotCache).
+        slot_cache: BatchSlotCache | None = None
+        promo_log: list = []
+        if heap is not None:
+            slot_cache = BatchSlotCache(heap, indices)
         # The loop below is the same arithmetic as :meth:`update` with
         # the margin / decay / scatter helpers inlined — every method
         # call costs ~0.5us of frame overhead at this granularity.
@@ -232,12 +238,22 @@ class WMSketch(ScaledSketchTable):
             add_at(table_flat, fb, (-eta * y * g / (sqrt_s * scale)) * sv)
             self.t += 1
             if heap is not None:
+                if slot_cache.stale:
+                    slot_cache = BatchSlotCache(
+                        heap, indices, reuse=slot_cache
+                    )
                 self._maintain_heap(
                     indices[lo:hi],
                     buckets[:, lo:hi],
                     signs[:, lo:hi],
                     flat_buckets=fb,
+                    slots=slot_cache.slice(lo, hi),
+                    promo_log=promo_log,
                 )
+                if promo_log:
+                    for admitted, evicted in promo_log:
+                        slot_cache.apply(admitted, evicted)
+                    promo_log.clear()
             lo = hi
         return np.asarray(margins)
 
@@ -247,6 +263,8 @@ class WMSketch(ScaledSketchTable):
         buckets: np.ndarray,
         signs: np.ndarray,
         flat_buckets: np.ndarray | None = None,
+        slots: np.ndarray | None = None,
+        promo_log: list | None = None,
     ) -> None:
         """Passive heavy-weight tracking after one example's update.
 
@@ -257,34 +275,86 @@ class WMSketch(ScaledSketchTable):
         admission threshold, the median recovery is skipped entirely —
         no candidate could be admitted, so recomputing estimates would
         be pure waste.
+
+        The store turned the per-feature probe-and-sift loop into three
+        vectorized strokes: one membership probe (or a precomputed
+        ``slots`` view from the batched kernel's
+        :class:`~repro.heap.topk.BatchSlotCache`), one
+        :meth:`~repro.heap.topk.TopKStore.set_many` refreshing every
+        member's estimate, and one screen selecting the candidates that
+        beat the admission threshold — members are refreshed before
+        candidates are judged (the threshold candidates face is the one
+        left by this example's refreshed members), and the surviving
+        candidates re-check the live minimum in order, exactly as
+        sequential pushes would.
         """
         heap = self.heap
-        idx_list = indices.tolist()
-        if heap.is_full and not heap.has_any(idx_list):
-            bound = self._estimate_bound(buckets, flat_buckets=flat_buckets)
-            if bound <= heap.min_priority():
-                return
-        estimates = self._estimate_from_rows(
-            buckets, signs, flat_buckets=flat_buckets
-        )
-        push = heap.push
-        # The admission threshold (the heap's min priority) only changes
-        # when something is pushed, so it is cached between pushes; the
-        # decisions below are identical to probing the heap per index.
-        minp = None
-        for idx, w in zip(idx_list, estimates.tolist()):
-            if idx in heap:
-                push(idx, w)
-                minp = None
-            elif not heap.is_full:
-                push(idx, w)
-                minp = None
+        if slots is None:
+            slots = heap.member_slots(indices)
+        member = slots >= 0
+        any_member = bool(member.any())
+        if heap.is_full:
+            if not any_member:
+                bound = self._estimate_bound(
+                    buckets, flat_buckets=flat_buckets
+                )
+                if bound <= heap.min_priority():
+                    return
+                estimates = self._estimate_from_rows(
+                    buckets, signs, flat_buckets=flat_buckets
+                )
+                admissible = np.abs(estimates) > heap.min_priority()
             else:
-                if minp is None:
-                    minp = heap.min_priority()
-                if abs(w) > minp:
+                estimates = self._estimate_from_rows(
+                    buckets, signs, flat_buckets=flat_buckets
+                )
+                heap.set_many(slots[member], estimates[member])
+                if member.all():
+                    return
+                admissible = np.abs(estimates) > heap.min_priority()
+                admissible &= ~member
+            cand = np.flatnonzero(admissible)
+            for pos in cand.tolist():
+                idx = int(indices[pos])
+                w = float(estimates[pos])
+                # Re-check the live threshold: earlier admissions can
+                # only have raised it.  A duplicate feature admitted
+                # earlier in this example updates in place via push.
+                if idx in heap:
+                    heap.push(idx, w)
+                elif abs(w) > heap.min_priority():
+                    evicted = heap.push(idx, w)
+                    if promo_log is not None:
+                        promo_log.append(
+                            (idx, evicted[0] if evicted else None)
+                        )
+        else:
+            estimates = self._estimate_from_rows(
+                buckets, signs, flat_buckets=flat_buckets
+            )
+            # Free slots remain: sequential admits (the heap can fill
+            # mid-example, after which the threshold rule applies).
+            push = heap.push
+            minp = None
+            for idx, w in zip(indices.tolist(), estimates.tolist()):
+                if idx in heap:
                     push(idx, w)
                     minp = None
+                elif not heap.is_full:
+                    push(idx, w)
+                    minp = None
+                    if promo_log is not None:
+                        promo_log.append((idx, None))
+                else:
+                    if minp is None:
+                        minp = heap.min_priority()
+                    if abs(w) > minp:
+                        evicted = push(idx, w)
+                        minp = None
+                        if promo_log is not None:
+                            promo_log.append(
+                                (idx, evicted[0] if evicted else None)
+                            )
 
     # ------------------------------------------------------------------
     # Merging (distributed / sharded training)
@@ -320,7 +390,7 @@ class WMSketch(ScaledSketchTable):
                 capacity = max(capacity, other.heap.capacity)
                 candidates.update(k for k, _ in other.heap.items())
         if capacity > 0:
-            self.heap = TopKHeap(capacity)
+            self.heap = TopKStore(capacity)
             self._repromote(self.heap, candidates, self.estimate_weights)
         return self
 

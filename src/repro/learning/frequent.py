@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.sparse import SparseExample
-from repro.heap.topk import TopKHeap
+from repro.heap.topk import TopKStore
 from repro.learning.base import CELL_BYTES, StreamingClassifier
 from repro.learning.losses import LogisticLoss, Loss
 from repro.learning.schedules import Schedule, as_schedule
@@ -152,8 +152,8 @@ class CountMinFrequent(_FrequentBase):
         super().__init__(loss, lambda_, learning_rate)
         self.heap_capacity = heap_capacity
         self.cm = CountMinSketch(width, depth, seed=seed, conservative=conservative)
-        # Min-heap of active features keyed by estimated count.
-        self._count_heap = TopKHeap(heap_capacity)
+        # Min-store of active features keyed by estimated count.
+        self._count_heap = TopKStore(heap_capacity)
 
     def update(self, x: SparseExample) -> None:
         self.cm.update(x.indices, np.abs(x.values) + (x.values == 0))

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.data.batch import SparseBatch
 from repro.data.sparse import SparseExample
-from repro.heap.topk import TopKHeap
+from repro.heap.topk import TopKStore
 from repro.learning.base import CELL_BYTES, StreamingClassifier
 from repro.learning.losses import LogisticLoss, Loss
 from repro.learning.schedules import Schedule, as_schedule
@@ -71,7 +71,9 @@ class UncompressedClassifier(StreamingClassifier):
         self.t = 0
         self._raw = np.zeros(d, dtype=np.float64)
         self._scale = 1.0
-        self.heap: TopKHeap | None = TopKHeap(track_top) if track_top > 0 else None
+        self.heap: TopKStore | None = (
+            TopKStore(track_top) if track_top > 0 else None
+        )
 
     # ------------------------------------------------------------------
     def predict_margin(self, x: SparseExample) -> float:
@@ -105,9 +107,11 @@ class UncompressedClassifier(StreamingClassifier):
         self._raw[indices] -= (eta * y * g / self._scale) * values
         self.t += 1
         if self.heap is not None:
-            new_weights = self._scale * self._raw[indices]
-            for idx, w in zip(indices.tolist(), new_weights.tolist()):
-                self.heap.push(int(idx), w)
+            # Sequential-equivalent batched pushes: members refresh in
+            # place, and when the store is full the candidates that
+            # cannot beat the admission threshold are rejected in one
+            # vectorized screen.
+            self.heap.push_many(indices, self._scale * self._raw[indices])
         return tau
 
     def fit_batch(self, batch: SparseBatch) -> np.ndarray:
@@ -170,7 +174,7 @@ class UncompressedClassifier(StreamingClassifier):
         self.merged_from = total
         if self.heap is not None:
             capacity = self.heap.capacity
-            self.heap = TopKHeap(capacity)
+            self.heap = TopKStore(capacity)
             for idx, w in self.top_weights(capacity):
                 self.heap.push(idx, w)
         return self

@@ -38,7 +38,7 @@ import math
 import numpy as np
 
 from repro.data.sparse import SparseExample
-from repro.heap.topk import TopKHeap
+from repro.heap.topk import TopKStore, negate
 from repro.learning.base import CELL_BYTES, StreamingClassifier
 from repro.learning.losses import LogisticLoss, Loss
 from repro.learning.schedules import Schedule, as_schedule
@@ -92,10 +92,10 @@ class SimpleTruncation(_TruncationBase):
         learning_rate: Schedule | float = 0.1,
     ):
         super().__init__(capacity, loss, lambda_, learning_rate)
-        # Min-heap by |weight|: pushing every touched feature and letting
-        # the heap evict minima implements truncation to the top-K of the
-        # union (old entries + updated entries).
-        self._heap = TopKHeap(capacity)
+        # Min-store by |weight|: pushing every touched feature and
+        # letting the store evict minima implements truncation to the
+        # top-K of the union (old entries + updated entries).
+        self._heap = TopKStore(capacity)
 
     def predict_margin(self, x: SparseExample) -> float:
         total = 0.0
@@ -153,11 +153,13 @@ class ProbabilisticTruncation(_TruncationBase):
         self._weights: dict[int, float] = {}  # raw weights (x scale)
         self._cost: dict[int, float] = {}  # c_i = -log u_i, fixed at insert
         self._scale = 1.0
-        # Min-heap of retained features storing the ratio c_i / m_i with
-        # *negated* priority: the minimum priority is the largest ratio,
-        # i.e. the smallest reservoir key — evicting it is exactly A-Res
-        # retention of the top-``capacity`` keys.
-        self._heap = TopKHeap(capacity, priority=lambda v: -v)
+        # Min-store of retained features storing the ratio c_i / m_i
+        # with *negated* priority: the minimum priority is the largest
+        # ratio, i.e. the smallest reservoir key — evicting it is
+        # exactly A-Res retention of the top-``capacity`` keys.  The
+        # module-level ``negate`` (not a lambda) keeps the model
+        # picklable for the parallel worker pool.
+        self._heap = TopKStore(capacity, priority=negate)
 
     # ------------------------------------------------------------------
     def _ratio(self, idx: int) -> float:

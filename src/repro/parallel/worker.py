@@ -20,6 +20,17 @@ the engine was built around.  The worker returns the trained model
 in-worker training wall-clock, which the scaling benchmark uses to
 report critical-path throughput independently of how many physical
 cores this machine happens to have.
+
+Model transport covers the array-backed top-K store: a trained model's
+active set / passive heap crosses the process boundary as the live
+prefix of its contiguous key/value slot arrays
+(:meth:`repro.heap.topk.TopKStore.__getstate__`), with the position
+map, min-slot and sorted-key caches rebuilt on the receiving side —
+the same derived-state discipline as ``ScaledSketchTable``'s
+``_table_flat`` view aliasing.  Store priorities are module-level
+callables (``abs``, ``identity``, ``negate``), so every heap-carrying
+model, including the truncation baselines and reservoir summaries, is
+spawn-safe.
 """
 
 from __future__ import annotations

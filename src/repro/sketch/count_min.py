@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hashing.family import HashFamily
-from repro.heap.topk import TopKHeap
+from repro.heap.topk import TopKStore
 
 
 class CountMinSketch:
@@ -61,7 +61,7 @@ class CountMinSketch:
         self.family = HashFamily(width, depth, seed=seed)
         self.table = np.zeros((depth, width), dtype=np.float64)
         self.total = 0.0
-        self.heavy: TopKHeap | None = TopKHeap(track_heavy) if track_heavy > 0 else None
+        self.heavy: TopKStore | None = TopKStore(track_heavy) if track_heavy > 0 else None
 
     # ------------------------------------------------------------------
     # Updates

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hashing.family import HashFamily
-from repro.heap.topk import TopKHeap
+from repro.heap.topk import TopKStore
 
 
 class CountSketch:
@@ -58,7 +58,7 @@ class CountSketch:
         self.depth = depth
         self.family = HashFamily(width, depth, seed=seed, kind=hash_kind)
         self.table = np.zeros((depth, width), dtype=np.float64)
-        self.heavy: TopKHeap | None = TopKHeap(track_heavy) if track_heavy > 0 else None
+        self.heavy: TopKStore | None = TopKStore(track_heavy) if track_heavy > 0 else None
         self._total_updates = 0
 
     @property

@@ -20,7 +20,7 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.heap.topk import TopKHeap
+from repro.heap.topk import TopKStore, identity
 
 
 class UniformReservoir:
@@ -91,8 +91,9 @@ class WeightedReservoir:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._rng = np.random.Generator(np.random.PCG64(seed))
-        # Min-heap over keys (keys are in (0, 1), priority = identity).
-        self._heap = TopKHeap(capacity, priority=lambda v: v)
+        # Min-store over keys (keys are in (0, 1), priority = identity;
+        # the module-level helper keeps the summary picklable).
+        self._heap = TopKStore(capacity, priority=identity)
         self.n_seen = 0
 
     def __len__(self) -> int:

@@ -14,14 +14,18 @@ each tracked count overestimates the true count by at most
 Saving Frequent baseline (Sections 7.2-7.3) and by the MacroBase-style
 heavy-hitters explainer compared in Fig. 8.
 
-The implementation uses an indexed min-heap over counts (O(log capacity)
-per update) rather than the linked-list "stream summary", which has the
-same asymptotics for our purposes and far less constant-factor code.
+The implementation uses the array-backed
+:class:`~repro.heap.topk.TopKStore` over counts (O(1) updates against a
+lazily tracked minimum) rather than the linked-list "stream summary",
+which has the same asymptotics for our purposes and far less
+constant-factor code.  Evictions go through
+:meth:`~repro.heap.topk.TopKStore.replace_min`, which overwrites the
+minimum slot in place instead of a pop-then-push pair.
 """
 
 from __future__ import annotations
 
-from repro.heap.topk import TopKHeap
+from repro.heap.topk import TopKStore
 
 
 class SpaceSaving:
@@ -42,9 +46,9 @@ class SpaceSaving:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.track_error = track_error
-        # Min-heap keyed by the count itself (counts are non-negative, so
-        # priority=identity == abs).
-        self._heap = TopKHeap(capacity)
+        # Min-store keyed by the count itself (counts are non-negative,
+        # so priority=identity == abs).
+        self._heap = TopKStore(capacity)
         self._errors: dict[int, float] = {} if track_error else {}
         self.total = 0.0
 
@@ -73,9 +77,10 @@ class SpaceSaving:
             if self.track_error:
                 self._errors[item] = 0.0
             return None
-        # Replace the minimum: inherit its count.
-        evicted, min_count = self._heap.pop_min()
-        self._heap.push(item, min_count + weight)
+        # Replace the minimum: inherit its count (one in-place slot
+        # overwrite; no other entry moves).
+        min_count = self._heap.min_entry()[1]
+        evicted, _ = self._heap.replace_min(item, min_count + weight)
         if self.track_error:
             self._errors.pop(evicted, None)
             self._errors[item] = min_count

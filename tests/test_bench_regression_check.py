@@ -79,6 +79,40 @@ class TestThroughputGate:
         assert any("missing" in f for f in failures)
 
 
+class TestSpeedupFloors:
+    """Absolute floors on the store-carrying configs (PR 3 satellite):
+    the vectorized top-K layer's batched advantage is gated even when
+    the committed baseline itself is refreshed."""
+
+    def _floors(self):
+        return {"wm_with_heap": 2.5, "awm": 1.6}
+
+    def test_current_above_floors_passes(self):
+        doc = _doc(5.0)
+        doc["wm_with_heap"] = {"speedup": 4.0}
+        doc["awm"] = {"speedup": 2.4}
+        assert check_regression.check_floors(doc, self._floors()) == []
+
+    def test_below_floor_fails_even_if_baseline_agrees(self):
+        doc = _doc(5.0)
+        doc["wm_with_heap"] = {"speedup": 1.9}  # back to pre-store era
+        doc["awm"] = {"speedup": 2.4}
+        failures = check_regression.check_floors(doc, self._floors())
+        assert any("wm_with_heap" in f and "floor" in f for f in failures)
+        # The relative gate is happy with an equally-bad baseline; the
+        # floor is what refuses the ratchet slipping.
+        assert check_regression.check_throughput(doc, doc, 0.30, False) == []
+
+    def test_missing_floor_config_fails(self):
+        failures = check_regression.check_floors(_doc(5.0), self._floors())
+        assert any("missing" in f for f in failures)
+
+    def test_default_floors_cover_the_store_configs(self):
+        assert {"wm_with_heap", "awm", "awm_half_budget"} <= set(
+            check_regression.SPEEDUP_FLOORS
+        )
+
+
 class TestMainEntry:
     def test_missing_current_file_fails_the_gate(self, tmp_path, capsys):
         # A crashed benchmark must not leave the gate green.
@@ -103,6 +137,7 @@ class TestMainEntry:
         baseline.write_text(json.dumps(doc))
         code = check_regression.main([
             "--current", str(current), "--baseline", str(baseline),
+            "--no-floors",  # minimal doc lacks the floor-gated configs
         ])
         assert code == 0
         assert "workload sizes differ" in capsys.readouterr().out

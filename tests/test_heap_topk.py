@@ -1,11 +1,11 @@
-"""Tests for the indexed top-K min-heap."""
+"""Tests for the array-backed top-K store (and its TopKHeap alias)."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.heap.topk import TopKHeap
+from repro.heap.topk import BatchSlotCache, TopKHeap, TopKStore
 
 
 class TestBasics:
@@ -164,6 +164,121 @@ class TestDecay:
         assert h.value(2) == pytest.approx(3.0)
         assert h.value(1) == pytest.approx(2.0)
         assert h.min_entry()[0] == 1
+
+
+class TestEvictionTieSemantics:
+    """Pinned contract: a candidate whose priority exactly equals the
+    admission threshold of a full store is deterministically rejected —
+    ties never evict an incumbent."""
+
+    def test_equal_priority_candidate_is_rejected(self):
+        h = TopKStore(2)
+        h.push(1, 2.0)
+        h.push(2, 3.0)
+        rejected = h.push(3, 2.0)  # |2.0| ties the minimum exactly
+        assert rejected == (3, 2.0)
+        assert 3 not in h and 1 in h and len(h) == 2
+
+    def test_equal_magnitude_opposite_sign_is_rejected(self):
+        h = TopKStore(2)
+        h.push(1, 2.0)
+        h.push(2, 3.0)
+        rejected = h.push(3, -2.0)  # same |.| as the min, sign flipped
+        assert rejected == (3, -2.0)
+        assert 3 not in h
+
+    def test_tie_rejection_survives_decay_scaling(self):
+        h = TopKStore(2)
+        h.push(1, 4.0)
+        h.push(2, 8.0)
+        h.decay(0.5)  # true values now 2.0 / 4.0 through the lazy scale
+        rejected = h.push(3, 2.0)
+        assert rejected == (3, 2.0)
+        assert 3 not in h
+
+    def test_warm_min_cache_agrees_with_cold_rescan_on_ties(self):
+        """A member update that exactly ties the cached minimum must
+        leave the warm cache naming the same entry a cold argmin rescan
+        picks (first minimal value in slot order) — otherwise a pickled
+        copy (caches reset) would evict a different entry than the
+        in-process original."""
+        import pickle
+
+        warm = TopKStore(3)
+        for key, v in [(1, 5.0), (2, 3.0), (3, 2.0)]:
+            warm.push(key, v)
+        warm.min_priority()  # warm the cache (points at key 3)
+        warm.push(2, 2.0)  # member update ties the min exactly
+        cold = pickle.loads(pickle.dumps(warm))  # caches reset
+        assert warm.min_entry() == cold.min_entry() == (2, 2.0)
+        assert warm.replace_min(9, 10.0) == cold.replace_min(9, 10.0)
+        assert sorted(warm.items()) == sorted(cold.items())
+
+    def test_push_many_applies_the_same_tie_rule(self):
+        h = TopKStore(2)
+        admitted = h.push_many(
+            np.array([1, 2, 3, 4], dtype=np.int64),
+            np.array([2.0, 3.0, 2.0, -3.0]),
+        )
+        # 1 and 2 fill the store; 3 ties the min (2.0) -> rejected;
+        # |−3.0| ties the new min only after it would evict... it ties
+        # key 2's 3.0 only if 2.0 were evicted first — it is not: -3.0
+        # beats the min 2.0, evicting key 1.
+        assert admitted == 3
+        assert sorted(k for k, _ in h.items()) == [2, 4]
+
+
+class TestVectorizedApi:
+    def test_contains_and_get_many(self):
+        h = TopKStore(4)
+        h.push(10, 1.0)
+        h.push(20, -2.0)
+        probe = np.array([5, 10, 20, 30], dtype=np.int64)
+        assert h.contains_many(probe).tolist() == [False, True, True, False]
+        assert h.get_many(probe).tolist() == [0.0, 1.0, -2.0, 0.0]
+        assert h.get_many(probe, default=9.0).tolist() == [9.0, 1.0, -2.0, 9.0]
+
+    def test_member_slots_stay_valid_across_value_updates(self):
+        h = TopKStore(4)
+        h.push(10, 1.0)
+        h.push(20, -2.0)
+        slots = h.member_slots(np.array([10, 20], dtype=np.int64))
+        h.add_delta(10, 5.0)  # value change must not move slots
+        assert h.values_at(slots).tolist() == [6.0, -2.0]
+
+    def test_version_counts_membership_changes_only(self):
+        h = TopKStore(2)
+        v0 = h.version
+        h.push(1, 1.0)
+        h.push(2, 2.0)
+        assert h.version == v0 + 2
+        h.push(1, 5.0)  # member update: no membership change
+        h.add_delta(2, 1.0)
+        h.decay(0.5)
+        assert h.version == v0 + 2
+        h.push(3, 9.0)  # eviction
+        assert h.version == v0 + 3
+
+    def test_batch_slot_cache_tracks_promotions(self):
+        h = TopKStore(2)
+        h.push(1, 1.0)
+        h.push(2, 2.0)
+        indices = np.array([1, 3, 2, 1, 3], dtype=np.int64)
+        cache = BatchSlotCache(h, indices)
+        np.testing.assert_array_equal(
+            cache.slots >= 0, [True, False, True, True, False]
+        )
+        assert not cache.stale
+        evicted = h.replace_min(3, 9.0)  # promote 3 over the min (1)
+        assert evicted[0] == 1
+        assert cache.stale
+        cache.apply(3, evicted[0])
+        assert not cache.stale
+        np.testing.assert_array_equal(
+            cache.slots >= 0, [False, True, True, False, True]
+        )
+        # Patched slots resolve to the promoted key's live slot.
+        assert h.values_at(cache.slots[[1]]).tolist() == [9.0]
 
 
 class TestCustomPriority:

@@ -139,3 +139,67 @@ class TestModelPickling:
         clf = _roundtrip(WMSketch(64, 2, seed=1))
         clf.table[0, 0] = 3.5
         assert clf._table_flat[0] == 3.5  # still a live view of table
+
+
+class TestStoreInsideModelPickling:
+    """The array-backed TopKStore inside WM/AWM models: slot arrays
+    rebuilt, position map and caches rederived, further mutation
+    identical (PR 3)."""
+
+    def test_awm_active_set_roundtrip_exact(self):
+        clf = MODEL_FACTORIES["awm"]()
+        _train(clf, seed=9)
+        clf2 = _roundtrip(clf)
+        assert clf2.heap.items() == clf.heap.items()  # slot order too
+        assert clf2.heap.scale == clf.heap.scale
+        assert clf2.heap.capacity == clf.heap.capacity
+        # Vectorized membership works against the rebuilt caches.
+        probe = np.arange(0, 400, 3, dtype=np.int64)
+        assert np.array_equal(
+            clf.heap.contains_many(probe), clf2.heap.contains_many(probe)
+        )
+        clf2.heap.check_invariants()
+
+    def test_wm_passive_heap_roundtrip_exact(self):
+        clf = MODEL_FACTORIES["wm"]()
+        _train(clf, seed=10)
+        clf2 = _roundtrip(clf)
+        assert clf2.heap.items() == clf.heap.items()
+        assert clf2.top_weights(8) == clf.top_weights(8)
+        clf2.heap.check_invariants()
+
+    def test_store_scale_survives_roundtrip(self):
+        """An AWM model's decayed active set (heap scale != 1) must
+        round-trip the scale, not silently renormalize."""
+        clf = AWMSketch(128, depth=1, heap_capacity=8, lambda_=1e-2, seed=3)
+        _train(clf, seed=11)
+        assert clf.heap.scale != 1.0
+        clf2 = _roundtrip(clf)
+        assert clf2.heap.scale == clf.heap.scale
+        assert clf2.heap.items() == clf.heap.items()
+
+    def test_truncation_and_reservoir_now_spawn_safe(self):
+        """Module-level priority callables make the negated/identity
+        priority stores picklable (lambdas never were)."""
+        from repro.learning.truncation import (
+            ProbabilisticTruncation,
+            SimpleTruncation,
+        )
+        from repro.sketch.reservoir import WeightedReservoir
+
+        t = SimpleTruncation(16, lambda_=1e-4)
+        _train(t, seed=12)
+        t2 = _roundtrip(t)
+        assert t2._heap.items() == t._heap.items()
+
+        p = ProbabilisticTruncation(16, lambda_=1e-4, seed=4)
+        _train(p, seed=13)
+        p2 = _roundtrip(p)
+        assert p2._weights == p._weights
+        assert p2._heap.items() == p._heap.items()
+
+        r = WeightedReservoir(8, seed=5)
+        for item in range(30):
+            r.offer(item, 1.0 + (item % 7))
+        r2 = _roundtrip(r)
+        assert sorted(r2._heap.items()) == sorted(r._heap.items())

@@ -177,3 +177,44 @@ class TestMergedModels:
         assert np.allclose(
             restored.estimate_weights(probe), merged.estimate_weights(probe)
         )
+
+
+class TestStoreCheckpointing:
+    """TopKStore contents inside savez checkpoints: values saved with
+    the lazy scale folded in, store rebuilt by pure appends (PR 3)."""
+
+    def test_heap_slot_order_roundtrips(self):
+        clf = _train(AWMSketch(128, depth=1, heap_capacity=16, seed=1))
+        restored = from_bytes(roundtrip_bytes(clf))
+        # push_many on an empty store appends in saved order, so even
+        # the slot layout survives, not just the entry set.
+        assert restored.heap.items() == clf.heap.items()
+        restored.heap.check_invariants()
+
+    def test_decayed_heap_scale_folds_into_saved_values(self):
+        clf = _train(
+            AWMSketch(128, depth=1, heap_capacity=8, lambda_=1e-2, seed=2)
+        )
+        assert clf.heap.scale != 1.0
+        restored = from_bytes(roundtrip_bytes(clf))
+        # The archive stores true values; the restored store starts at
+        # scale 1.0 with identical visible weights.
+        assert restored.heap.scale == 1.0
+        for (k1, v1), (k2, v2) in zip(
+            clf.heap.items(), restored.heap.items()
+        ):
+            assert k1 == k2
+            assert v1 == v2
+        # Further decay behaves identically from the folded state.
+        clf.heap.decay(0.5)
+        restored.heap.decay(0.5)
+        assert clf.heap.items() == restored.heap.items()
+
+    def test_wm_tracked_candidates_and_merged_from_roundtrip(self):
+        a = _train(WMSketch(128, 2, heap_capacity=16, seed=3), seed=4)
+        b = _train(WMSketch(128, 2, heap_capacity=16, seed=3), seed=5)
+        a.merge(b)
+        restored = from_bytes(roundtrip_bytes(a))
+        assert restored.merged_from == a.merged_from
+        assert restored.heap.items() == a.heap.items()
+        assert restored.top_weights(8) == a.top_weights(8)
