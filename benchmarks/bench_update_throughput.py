@@ -36,6 +36,17 @@ interpreter-overhead amortization: one vectorized, deduplicated,
 cached hash per batch instead of two per example, margin reuse, and
 the store's batch-level membership/screening amortization.
 
+Backend axis (PR 4): every configuration can additionally be measured
+under each available kernel backend (``--backends``; the default
+``auto`` runs the NumPy reference plus the compiled Numba backend when
+it is importable).  The NumPy rows stay at the top level of
+``BENCH_throughput.json`` — the schema the CI regression gate checks —
+while extra backends land under ``"backends"`` and the compiled-vs-
+numpy batched-throughput ratios under ``"backend_batched_ratio"``, so
+the JSON records numpy vs compiled side by side.  When Numba is not
+installed the compiled rows are skipped with a printed notice (never
+silently), and the numpy rows are unaffected.
+
 Timing discipline: each repeat round measures the per-example and the
 batched paths back to back, and the reported numbers are the per-path
 minima across rounds.  On shared/thermally-drifting machines this keeps
@@ -57,6 +68,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import kernels
 from repro.core.awm_sketch import AWMSketch
 from repro.core.wm_sketch import WMSketch
 from repro.data.batch import iter_batches
@@ -66,6 +78,68 @@ from repro.learning.feature_hashing import FeatureHashing
 
 WIDTH = 2**13
 DEPTH = 3
+
+
+def make_configs(backend: str | None) -> dict:
+    """The benchmarked model factories, pinned to one kernel backend."""
+    return {
+        "wm_algorithm1": lambda: WMSketch(
+            WIDTH, DEPTH, seed=0, heap_capacity=0, backend=backend
+        ),
+        "wm_with_heap": lambda: WMSketch(
+            WIDTH, DEPTH, seed=0, heap_capacity=128, backend=backend
+        ),
+        "awm": lambda: AWMSketch(
+            WIDTH, depth=1, heap_capacity=128, seed=0, backend=backend
+        ),
+        # Section 7.3 best configuration: half the WIDTH-cell budget on
+        # the active set (2 cells per slot), depth-1 sketch on the rest.
+        "awm_half_budget": lambda: AWMSketch(
+            WIDTH // 2, depth=1, heap_capacity=WIDTH // 4, seed=0,
+            backend=backend,
+        ),
+        "hash": lambda: FeatureHashing(WIDTH, seed=0, backend=backend),
+    }
+
+
+def resolve_backends(spec: str) -> list[str]:
+    """Backend names to benchmark, with a notice for unavailable ones.
+
+    ``auto`` = the NumPy reference plus the compiled backend when
+    importable.  Explicitly requested but unavailable backends are
+    skipped with a printed notice (exit stays 0 — a numpy-only host is
+    a valid benchmarking host, it just cannot produce compiled rows).
+    """
+    if spec == "auto":
+        names = ["numpy"]
+        if kernels.numba_available():
+            names.append("numba")
+        else:
+            print("notice: numba not importable — compiled backend rows "
+                  "will be absent from this run")
+        return names
+    names = []
+    for name in spec.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name == "auto":
+            # Expand rather than record a literal 'auto' row — backend
+            # sections must carry real backend names.
+            if kernels.numba_available() and "numba" not in names:
+                names.append("numba")
+            continue
+        try:
+            kernels.get_backend(name, strict=True)
+        except kernels.BackendUnavailableError as exc:
+            print(f"notice: skipping backend {name!r}: {exc}")
+            continue
+        if name not in names:
+            names.append(name)
+    if "numpy" in names:
+        names.remove("numpy")
+    names.insert(0, "numpy")  # the reference rows are mandatory, first
+    return names
 
 
 def _state(clf):
@@ -139,6 +213,12 @@ def main(argv=None) -> int:
     parser.add_argument("--batch-size", type=int, default=256)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--backends", default="auto",
+        help="comma-separated kernel backends to measure ('auto' = "
+             "numpy plus numba when importable; numpy is always "
+             "included — it is the reference schema the CI gate reads)",
+    )
+    parser.add_argument(
         "--out",
         default=str(Path(__file__).resolve().parent.parent
                     / "BENCH_throughput.json"),
@@ -147,22 +227,7 @@ def main(argv=None) -> int:
 
     spec = rcv1_like(scale=0.08)
     examples = spec.stream.materialize(args.examples, seed_offset=5)
-
-    configs = {
-        "wm_algorithm1": lambda: WMSketch(
-            WIDTH, DEPTH, seed=0, heap_capacity=0
-        ),
-        "wm_with_heap": lambda: WMSketch(
-            WIDTH, DEPTH, seed=0, heap_capacity=128
-        ),
-        "awm": lambda: AWMSketch(WIDTH, depth=1, heap_capacity=128, seed=0),
-        # Section 7.3 best configuration: half the WIDTH-cell budget on
-        # the active set (2 cells per slot), depth-1 sketch on the rest.
-        "awm_half_budget": lambda: AWMSketch(
-            WIDTH // 2, depth=1, heap_capacity=WIDTH // 4, seed=0
-        ),
-        "hash": lambda: FeatureHashing(WIDTH, seed=0),
-    }
+    backend_names = resolve_backends(args.backends)
 
     results: dict = {
         "workload": {
@@ -173,17 +238,49 @@ def main(argv=None) -> int:
             "depth": DEPTH,
             "pass": "predict-then-update (Fig. 7 single-pass workload)",
             "python": platform.python_version(),
+            "kernel_backends": backend_names,
         },
+        "backends": {},
     }
-    print(f"{'config':>16} {'per-ex ex/s':>12} {'batched ex/s':>13} "
-          f"{'speedup':>8}")
-    for name, factory in configs.items():
-        row = bench_config(
-            name, factory, examples, args.batch_size, args.repeats
+    for backend_name in backend_names:
+        configs = make_configs(backend_name)
+        print(f"\n[backend: {backend_name}]")
+        print(f"{'config':>16} {'per-ex ex/s':>12} {'batched ex/s':>13} "
+              f"{'speedup':>8}")
+        target = (
+            results if backend_name == "numpy"
+            else results["backends"].setdefault(backend_name, {})
         )
-        results[name] = row
-        print(f"{name:>16} {row['per_example_eps']:>12,.0f} "
-              f"{row['batched_eps']:>13,.0f} {row['speedup']:>7.2f}x")
+        for name, factory in configs.items():
+            row = bench_config(
+                name, factory, examples, args.batch_size, args.repeats
+            )
+            target[name] = row
+            print(f"{name:>16} {row['per_example_eps']:>12,.0f} "
+                  f"{row['batched_eps']:>13,.0f} {row['speedup']:>7.2f}x")
+
+    # Compiled-vs-numpy ratios, side by side per configuration: how much
+    # the same (bit-identical) work speeds up when the kernels compile.
+    ratios: dict = {}
+    for backend_name, rows in results["backends"].items():
+        ratios[backend_name] = {
+            name: {
+                "batched": rows[name]["batched_eps"]
+                / results[name]["batched_eps"],
+                "per_example": rows[name]["per_example_eps"]
+                / results[name]["per_example_eps"],
+            }
+            for name in rows
+        }
+    results["backend_batched_ratio"] = ratios
+    if ratios:
+        print(f"\n{'config':>16} " + " ".join(
+            f"{b + ' vs numpy':>18}" for b in ratios
+        ))
+        for name in next(iter(ratios.values())):
+            print(f"{name:>16} " + " ".join(
+                f"{ratios[b][name]['batched']:>17.2f}x" for b in ratios
+            ))
 
     results["speedup"] = results["wm_algorithm1"]["speedup"]
     out = Path(args.out)

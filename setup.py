@@ -1,9 +1,30 @@
-"""Setup shim for environments without the `wheel` package.
+"""Package metadata and installation.
 
-All metadata lives in pyproject.toml; this file only enables legacy
-editable installs (`pip install -e . --no-use-pep517`).
+The compiled kernel backend is an *extra*, never a hard dependency:
+
+    pip install .            # numpy-only (reference kernels)
+    pip install .[compiled]  # adds numba for the compiled backend
+
+Without the extra, ``repro.kernels`` auto-resolution falls back to the
+bit-identical NumPy reference backend.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-wmsketch",
+    version="1.0.0",  # keep in sync with repro.__version__
+    description=(
+        "Reproduction of the Weight-Median Sketch (SIGMOD 2018) with "
+        "batched, parallel and compiled-kernel execution"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    extras_require={
+        # The optional compiled kernel backend (repro.kernels.numba_backend).
+        "compiled": ["numba>=0.59"],
+        "test": ["pytest", "hypothesis"],
+    },
+)

@@ -62,6 +62,11 @@ from repro.parallel import (
     train_sharded,
 )
 from repro.data.partition import partition_stream
+from repro.kernels import (
+    available_backends,
+    get_backend,
+    set_backend,
+)
 from repro.sketch import CountMinSketch, CountSketch, SpaceSaving
 
 __version__ = "1.0.0"
@@ -93,6 +98,9 @@ __all__ = [
     "train_sharded",
     "fit_stream_pipelined",
     "partition_stream",
+    "available_backends",
+    "get_backend",
+    "set_backend",
     "CountSketch",
     "CountMinSketch",
     "SpaceSaving",

@@ -37,9 +37,11 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
+from repro import kernels
 from repro.core.config import (
     default_awm_config,
     default_wm_config,
@@ -50,6 +52,25 @@ from repro.data.datasets import ALL_PRESETS
 from repro.evaluation.harness import RecoveryExperiment
 
 
+def _apply_backend(name: str) -> str:
+    """Activate the requested kernel backend; returns the resolved name.
+
+    An unavailable backend (``--backend numba`` without numba
+    installed) prints a notice and falls back to the NumPy reference —
+    results are identical either way, so the run proceeds.  The
+    resolved name is exported through ``REPRO_KERNEL_BACKEND`` so
+    spawned worker processes (the ``parallel`` subcommand) follow it.
+    """
+    try:
+        backend = kernels.set_backend(name)
+    except kernels.BackendUnavailableError as exc:
+        print(f"notice: {exc}; using the numpy reference backend",
+              file=sys.stderr)
+        backend = kernels.set_backend("numpy")
+    os.environ[kernels.ENV_VAR] = backend.name
+    return backend.name
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     preset = ALL_PRESETS.get(f"{args.dataset}_like")
     if preset is None:
@@ -57,10 +78,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
               f"choose from rcv1, url, kdda", file=sys.stderr)
         return 2
     spec = preset(seed=args.seed)
+    backend = _apply_backend(args.backend)
     batch_size = args.batch_size if args.batch_size > 0 else None
     print(f"dataset={spec.name} d={spec.stream.d:,} "
           f"examples={args.examples:,} lambda={args.lambda_:g} "
-          f"batch_size={batch_size or 'off (per-example)'}")
+          f"batch_size={batch_size or 'off (per-example)'} "
+          f"backend={backend}")
     examples = spec.stream.materialize(args.examples)
     experiment = RecoveryExperiment(
         examples,
@@ -120,8 +143,16 @@ def _cmd_theory(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parallel_factory(method: str, budget_bytes: int, seed: int):
-    """(picklable factory, kwargs) for one sharded-training method."""
+def _parallel_factory(
+    method: str, budget_bytes: int, seed: int, backend: str | None = None
+):
+    """(picklable factory, kwargs) for one sharded-training method.
+
+    ``backend`` (a resolved kernel-backend name, or None) is baked into
+    the model kwargs so worker processes reconstruct their per-shard
+    models on the same backend as the parent — belt and braces on top
+    of the inherited ``REPRO_KERNEL_BACKEND`` environment variable.
+    """
     from repro.core.awm_sketch import AWMSketch
     from repro.core.config import (
         default_awm_config,
@@ -135,17 +166,18 @@ def _parallel_factory(method: str, budget_bytes: int, seed: int):
         cfg = default_wm_config(budget_bytes)
         return WMSketch, dict(
             width=cfg.width, depth=cfg.depth,
-            heap_capacity=cfg.heap_capacity, seed=seed,
+            heap_capacity=cfg.heap_capacity, seed=seed, backend=backend,
         )
     if method == "awm":
         cfg = default_awm_config(budget_bytes)
         return AWMSketch, dict(
             width=cfg.width, depth=cfg.depth,
-            heap_capacity=cfg.heap_capacity, seed=seed,
+            heap_capacity=cfg.heap_capacity, seed=seed, backend=backend,
         )
     if method == "hash":
         return FeatureHashing, dict(
-            width=feature_hashing_width(budget_bytes), seed=seed
+            width=feature_hashing_width(budget_bytes), seed=seed,
+            backend=backend,
         )
     raise ValueError(f"unknown method {method!r}")
 
@@ -164,13 +196,14 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
               f"choose from rcv1, url, kdda", file=sys.stderr)
         return 2
     spec = preset(seed=args.seed)
+    backend = _apply_backend(args.backend)
     examples = spec.stream.materialize(args.examples)
     factory, kwargs = _parallel_factory(
-        args.method, args.budget_kb * 1024, args.seed
+        args.method, args.budget_kb * 1024, args.seed, backend=backend
     )
     print(f"dataset={spec.name} examples={len(examples):,} "
           f"method={args.method} workers={args.workers} "
-          f"batch_size={args.batch_size}")
+          f"batch_size={args.batch_size} backend={backend}")
 
     # Single-stream reference for the top-K agreement report.
     single = factory(**kwargs)
@@ -240,8 +273,9 @@ def _cmd_parallel_app(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    backend = _apply_backend(args.backend)
     factory, kwargs = _parallel_factory(
-        args.method, args.budget_kb * 1024, args.seed
+        args.method, args.budget_kb * 1024, args.seed, backend=backend
     )
     with ParallelHarness(
         factory,
@@ -323,6 +357,14 @@ def build_parser() -> argparse.ArgumentParser:
              "(0 = per-example updates; results are identical either "
              "way, batching is faster)",
     )
+    compare.add_argument(
+        "--backend", default="auto",
+        choices=("auto", "numpy", "numba", "python"),
+        help="kernel backend for the hot loops (auto = numba when "
+             "installed, else numpy; results are bit-identical either "
+             "way — an unavailable choice falls back to numpy with a "
+             "notice)",
+    )
     compare.set_defaults(func=_cmd_compare)
 
     configs = sub.add_parser(
@@ -364,6 +406,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--start-method", default="spawn", choices=("spawn", "fork"),
         help="multiprocessing start method (spawn is the portable "
              "default the subsystem is tested with)",
+    )
+    parallel.add_argument(
+        "--backend", default="auto",
+        choices=("auto", "numpy", "numba", "python"),
+        help="kernel backend for the hot loops, propagated to worker "
+             "processes via REPRO_KERNEL_BACKEND (auto = numba when "
+             "installed, else numpy; unavailable choices fall back to "
+             "numpy with a notice)",
     )
     parallel.set_defaults(func=_cmd_parallel)
 

@@ -63,6 +63,10 @@ class AWMSketch(ScaledSketchTable):
         Active-set size |S| (must be >= 1).
     loss, lambda_, learning_rate, seed, hash_kind:
         As for :class:`repro.core.wm_sketch.WMSketch`.
+    backend:
+        Kernel-backend override for every hot loop (``None`` = follow
+        the process default; see :mod:`repro.kernels`); the 1-sparse
+        scalar fast path stays pure Python on every backend.
     scalar_fast_path:
         Use the all-scalar update for 1-sparse inputs (identical results
         to the batch path, ~10x faster for the Section 8 applications).
@@ -79,6 +83,7 @@ class AWMSketch(ScaledSketchTable):
         learning_rate: Schedule | float = 0.1,
         seed: int = 0,
         hash_kind: str = "tabulation",
+        backend: str | None = None,
         scalar_fast_path: bool = True,
     ):
         if heap_capacity < 1:
@@ -91,8 +96,9 @@ class AWMSketch(ScaledSketchTable):
             learning_rate=learning_rate,
             seed=seed,
             hash_kind=hash_kind,
+            backend=backend,
         )
-        self.heap = TopKStore(heap_capacity)
+        self.heap = TopKStore(heap_capacity, backend=backend)
         self.scalar_fast_path = scalar_fast_path
         # Diagnostics: promotion/eviction churn (exposed for ablations).
         self.n_promotions = 0
@@ -287,6 +293,7 @@ class AWMSketch(ScaledSketchTable):
         the ones the sequential loop would reject).
         """
         heap = self.heap
+        kb = self.kernels
         if slots is None:
             slots = heap.member_slots(indices)
         in_heap = slots >= 0
@@ -322,12 +329,15 @@ class AWMSketch(ScaledSketchTable):
             else:
                 flat_tail = tail_buckets + self._row_offsets
             # One transposed (nnz, depth) gather serves both the margin
-            # products here and the recovery queries below; fsum is
-            # exactly rounded, so the transposed summation order leaves
-            # the margin bit-identical to the (depth, nnz) layout.
-            taken_t = self._table_flat.take(flat_tail.T)
-            products = taken_t * (tail_signs * tail_val).T
-            tau += self._scale * math.fsum(products.ravel().tolist()) / self._sqrt_s
+            # products here and the recovery queries below; the margin
+            # kernel's sum is exactly rounded, so the transposed
+            # summation order leaves the margin bit-identical to the
+            # (depth, nnz) layout.
+            taken_t = kb.gather_rows_t(self._table_flat, flat_tail)
+            tau += kb.margin_gathered(
+                taken_t, (tail_signs * tail_val).T,
+                self._scale, self._sqrt_s,
+            )
 
         g = self.loss.dloss(y * tau)
         eta = self.schedule(self.t)
@@ -342,7 +352,7 @@ class AWMSketch(ScaledSketchTable):
             if tail_n and self._scale != scale_before * decay:
                 # The decay underflowed the scale and folded it into the
                 # raw table; the pre-decay gather is stale.
-                taken_t = self._table_flat.take(flat_tail.T)
+                taken_t = kb.gather_rows_t(self._table_flat, flat_tail)
 
         step = eta * y * g
 
@@ -384,13 +394,11 @@ class AWMSketch(ScaledSketchTable):
                         stay.append(pos)
                 stay = np.asarray(stay, dtype=np.intp)
             else:
-                # Full store: one vectorized screen against the current
+                # Full store: one screen kernel against the current
                 # admission threshold; only candidates that beat it take
                 # the sequential path (each re-checks the live minimum,
                 # which can only have risen).
-                live = np.flatnonzero(
-                    np.abs(candidates) > heap.min_priority()
-                )
+                live = kb.screen_abs_gt(candidates, heap.min_priority())
                 if live.size == 0:
                     stay = None  # everything stays; no masks needed
                 else:

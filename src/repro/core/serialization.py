@@ -80,6 +80,18 @@ def _common_meta(sketch) -> dict:
         # restored checkpoints know their estimates sit on the
         # merged_from * w* scale.
         "merged_from": getattr(sketch, "merged_from", 1),
+        # Kernel-backend provenance: the model's explicit override ("" =
+        # none, follow the process default) round-trips through load;
+        # trained_backend records which backend computed the state when
+        # it was *first* checkpointed — a restored model keeps its
+        # original provenance across re-saves instead of adopting the
+        # current host's backend (informational either way: every
+        # backend is bit-equivalent, so a checkpoint trained under
+        # numba restores exactly on a numpy-only host).
+        "backend": getattr(sketch, "backend", None) or "",
+        "trained_backend": (
+            getattr(sketch, "trained_backend", None) or sketch.kernels.name
+        ),
     }
 
 
@@ -142,6 +154,9 @@ def load_sketch(source: str | BinaryIO) -> WMSketch | AWMSketch:
         learning_rate=schedule,
         seed=int(meta["seed"]),
         hash_kind=str(meta["hash_kind"]),
+        # Archives written before the kernels layer carry no backend:
+        # those models follow the process default, exactly as before.
+        backend=str(meta.get("backend", "")) or None,
     )
     if meta["kind"] == "awm":
         sketch = AWMSketch(
@@ -160,6 +175,8 @@ def load_sketch(source: str | BinaryIO) -> WMSketch | AWMSketch:
     # Archives written before the parallel subsystem lack the key;
     # those are single-stream models by definition.
     sketch.merged_from = int(meta.get("merged_from", 1))
+    # Which backend computed the checkpointed state (provenance only).
+    sketch.trained_backend = str(meta.get("trained_backend", "")) or None
     heap = sketch.heap
     if heap is not None and heap_keys.size:
         heap.push_many(heap_keys, heap_values)

@@ -15,18 +15,24 @@ Floating-point discipline: the batched kernels promise bit-level
 equivalence with the per-example update path, so both paths must go
 through the *same* helpers here — and those helpers deliberately avoid
 BLAS (``np.dot`` rounds differently depending on operand alignment, so
-it is not bit-reproducible across array layouts).  Elementwise
-multiplies followed by NumPy's pairwise ``.sum()`` and ``ufunc.at``
-scatters are layout-independent, which makes per-example and batched
-replays produce identical tables.
+it is not bit-reproducible across array layouts).  Exactly-rounded
+margin sums and element-order ``ufunc.at`` scatters are
+layout-independent, which makes per-example and batched replays produce
+identical tables.
+
+The helper bodies themselves live in :mod:`repro.kernels`: each hot
+primitive (margin, scatter, transposed gather, median recovery,
+estimate bound) dispatches through the table's kernel backend — the
+NumPy reference by default, or the compiled (Numba) backend when
+selected — under the same bit-level contract, fuzz-checked across
+backends in ``tests/test_kernel_backends.py``.
 """
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
+from repro import kernels
 from repro.hashing.batch import BatchHasher
 from repro.hashing.family import HashFamily
 from repro.learning.base import StreamingClassifier, sum_merge_scaled_tables
@@ -61,6 +67,11 @@ class ScaledSketchTable(StreamingClassifier):
     #: the table so merged checkpoints are self-describing.
     merged_from: int = 1
 
+    #: Kernel-backend provenance restored from a checkpoint: the name of
+    #: the backend that computed the saved state (None for models built
+    #: in-process).  Informational — backends are bit-equivalent.
+    trained_backend: str | None = None
+
     def __init__(
         self,
         width: int,
@@ -70,6 +81,7 @@ class ScaledSketchTable(StreamingClassifier):
         learning_rate: Schedule | float = 0.1,
         seed: int = 0,
         hash_kind: str = "tabulation",
+        backend: str | None = None,
     ):
         if width < 1:
             raise ValueError(f"width must be >= 1, got {width}")
@@ -82,7 +94,13 @@ class ScaledSketchTable(StreamingClassifier):
         self.loss = loss if loss is not None else LogisticLoss()
         self.lambda_ = lambda_
         self.schedule = as_schedule(learning_rate)
-        self.family = HashFamily(width, depth, seed=seed, kind=hash_kind)
+        #: Kernel-backend override (None = follow the process default);
+        #: threaded into the hash family and every table kernel, and
+        #: serialized with the model.
+        self.backend = backend
+        self.family = HashFamily(
+            width, depth, seed=seed, kind=hash_kind, backend=backend
+        )
         self.table = np.zeros((depth, width), dtype=np.float64)
         self._scale = 1.0  # the global alpha of Section 5.1
         self._sqrt_s = float(np.sqrt(depth))
@@ -99,6 +117,18 @@ class ScaledSketchTable(StreamingClassifier):
         self._table_flat = self.table.ravel()
         self.t = 0
 
+    @property
+    def kernels(self) -> "kernels.KernelBackend":
+        """The kernel backend this table's hot loops dispatch through.
+
+        Resolved per access (a dict lookup): an explicit per-model
+        ``backend`` wins, otherwise the process default
+        (:func:`repro.kernels.get_backend`) applies — so
+        ``set_backend`` takes effect on live models.  Hot loops bind
+        the resolved kernels to locals once per batch.
+        """
+        return kernels.get_backend(self.backend, strict=False)
+
     # ------------------------------------------------------------------
     # Pickling (spawn-safe worker processes)
     # ------------------------------------------------------------------
@@ -114,6 +144,7 @@ class ScaledSketchTable(StreamingClassifier):
         return state
 
     def __setstate__(self, state: dict) -> None:
+        state.setdefault("backend", None)  # pre-kernel pickles
         self.__dict__.update(state)
         depth, width = self.depth, self.width
         self._row_idx = np.arange(depth, dtype=np.intp).reshape(-1, 1)
@@ -222,18 +253,20 @@ class ScaledSketchTable(StreamingClassifier):
 
         Bit-identical to :meth:`_margin_from_rows` — the elementwise
         ``signs * values`` products are the same floats whether computed
-        per example or once per batch, and ``math.fsum`` is *exactly*
-        rounded, so the reduction is independent of summation order and
-        buffer alignment (NumPy's SIMD ``.sum()`` is not).
+        per example or once per batch, and the margin kernel's sum is
+        *exactly* rounded (``math.fsum`` semantics), so the reduction is
+        independent of summation order and buffer alignment (NumPy's
+        SIMD ``.sum()`` is not).
 
         ``flat_buckets`` may carry precomputed ``buckets + row_offsets``
         (batched kernels amortize that add over the whole batch).
         """
         if flat_buckets is None:
             flat_buckets = buckets + self._row_offsets
-        products = self._table_flat.take(flat_buckets) * sign_values
-        total = math.fsum(products.ravel().tolist())
-        return self._scale * total / self._sqrt_s
+        return self.kernels.margin(
+            self._table_flat, flat_buckets, sign_values,
+            self._scale, self._sqrt_s,
+        )
 
     def _scatter_add(
         self,
@@ -243,13 +276,14 @@ class ScaledSketchTable(StreamingClassifier):
     ) -> None:
         """Accumulate ``deltas`` into the raw table at ``buckets``.
 
-        One buffered ``ufunc.at`` over the whole (depth, nnz) block;
-        duplicate buckets within a row accumulate in element order, the
-        same order as a per-row loop, so this is layout-deterministic.
+        One scatter kernel over the whole (depth, nnz) block; duplicate
+        buckets within a row accumulate in element order, the same
+        order as a per-row loop, so this is layout-deterministic
+        whichever backend runs it.
         """
         if flat_buckets is None:
             flat_buckets = buckets + self._row_offsets
-        np.add.at(self._table_flat, flat_buckets, deltas)
+        self.kernels.scatter_add(self._table_flat, flat_buckets, deltas)
 
     # ------------------------------------------------------------------
     # Recovery
@@ -263,44 +297,27 @@ class ScaledSketchTable(StreamingClassifier):
     ) -> np.ndarray:
         """Count-Sketch recovery: median over rows of sqrt(s)*alpha*sigma*z.
 
-        The median is computed by an in-place row sort plus a
-        middle-column pick, which selects the exact same values as
-        ``np.median`` without its per-call Python dispatch overhead
-        (~15x cheaper for the (depth, nnz) blocks seen here).
+        The median kernel works on the *transposed* ``(nnz, depth)``
+        table gather — each feature's row values adjacent, so the
+        per-feature sort runs over contiguous memory and selects the
+        exact same values as ``np.median`` without its per-call
+        dispatch overhead.
 
-        ``gathered_t`` may carry the *transposed* ``(nnz, depth)``
-        table gather ``table_flat.take(flat_buckets.T)`` when the
-        caller already pulled those cells (the AWM kernel shares one
-        gather between the margin and the tail queries); it is read,
-        never mutated.
+        ``gathered_t`` may carry that gather
+        (``table_flat.take(flat_buckets.T)``) when the caller already
+        pulled those cells (the AWM kernel shares one gather between
+        the margin and the tail queries); it is read, never mutated.
         """
+        kb = self.kernels
+        if gathered_t is None:
+            if flat_buckets is None:
+                flat_buckets = buckets + self._row_offsets
+            gathered_t = kb.gather_rows_t(self._table_flat, flat_buckets)
         if self.depth == 1:
-            if gathered_t is None:
-                if flat_buckets is None:
-                    flat_buckets = buckets + self._row_offsets
-                vals = self._table_flat.take(flat_buckets[0])
-            else:
-                vals = gathered_t[:, 0]
-            est = self._scale * (signs[0] * vals)
+            factor = self._scale
         else:
-            if gathered_t is None:
-                # Transposed layout: take() materializes (nnz, depth)
-                # C-contiguous, so each feature's row values are
-                # adjacent and the per-feature sort runs over
-                # contiguous memory — same selected elements as a
-                # column sort of the (depth, nnz) layout, measurably
-                # cheaper.
-                if flat_buckets is None:
-                    flat_buckets = buckets + self._row_offsets
-                gathered_t = self._table_flat.take(flat_buckets.T)
-            rows = signs.T * gathered_t
-            rows.sort(axis=1)
-            mid = self.depth // 2
-            if self.depth % 2:
-                med = rows[:, mid]
-            else:
-                med = 0.5 * (rows[:, mid - 1] + rows[:, mid])
-            est = self._sqrt_s * self._scale * med
+            factor = self._sqrt_s * self._scale
+        est = kb.median_estimate(gathered_t, signs.T, factor)
         if self.l1 > 0.0:
             est = np.sign(est) * np.maximum(np.abs(est) - self.l1, 0.0)
         return est
@@ -323,7 +340,7 @@ class ScaledSketchTable(StreamingClassifier):
             return 0.0
         if flat_buckets is None:
             flat_buckets = buckets + self._row_offsets
-        hi = float(np.abs(self._table_flat.take(flat_buckets)).max())
+        hi = self.kernels.estimate_bound(self._table_flat, flat_buckets)
         if self.depth == 1:
             bound = self._scale * hi
         else:

@@ -40,8 +40,6 @@ sequence over the precomputed rows — bit-identical state to calling
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro.core.sketch_table import _RENORM_THRESHOLD, ScaledSketchTable
@@ -84,6 +82,11 @@ class WMSketch(ScaledSketchTable):
         Sparsity" remark.  0 disables.
     hash_kind:
         "tabulation" (default) or "polynomial" hash family.
+    backend:
+        Kernel-backend override for every hot loop (hashing, margins,
+        scatters, recovery, heap screens); ``None`` follows the process
+        default (see :mod:`repro.kernels`).  Results are bit-identical
+        across backends.
     """
 
     def __init__(
@@ -97,6 +100,7 @@ class WMSketch(ScaledSketchTable):
         heap_capacity: int = 128,
         l1: float = 0.0,
         hash_kind: str = "tabulation",
+        backend: str | None = None,
     ):
         if l1 < 0:
             raise ValueError(f"l1 must be >= 0, got {l1}")
@@ -108,10 +112,12 @@ class WMSketch(ScaledSketchTable):
             learning_rate=learning_rate,
             seed=seed,
             hash_kind=hash_kind,
+            backend=backend,
         )
         self.l1 = l1
         self.heap: TopKStore | None = (
-            TopKStore(heap_capacity) if heap_capacity > 0 else None
+            TopKStore(heap_capacity, backend=backend)
+            if heap_capacity > 0 else None
         )
 
     # ------------------------------------------------------------------
@@ -203,12 +209,14 @@ class WMSketch(ScaledSketchTable):
             slot_cache = BatchSlotCache(heap, indices)
         # The loop below is the same arithmetic as :meth:`update` with
         # the margin / decay / scatter helpers inlined — every method
-        # call costs ~0.5us of frame overhead at this granularity.
+        # call costs ~0.5us of frame overhead at this granularity.  The
+        # kernel backend is resolved once and its functions bound to
+        # locals for the whole batch.
+        kb = self.kernels
+        margin_k = kb.margin
+        scatter_k = kb.scatter_add
         dloss = self.loss.dloss
         table_flat = self._table_flat
-        take = table_flat.take
-        fsum = math.fsum
-        add_at = np.add.at
         sqrt_s = self._sqrt_s
         lam = self.lambda_
         margins = [0.0] * n
@@ -217,9 +225,8 @@ class WMSketch(ScaledSketchTable):
             hi = indptr[i + 1]
             fb = flat[:, lo:hi]
             sv = sign_values[:, lo:hi]
-            products = take(fb) * sv
             scale = self._scale
-            tau = scale * fsum(products.ravel().tolist()) / sqrt_s
+            tau = margin_k(table_flat, fb, sv, scale, sqrt_s)
             margins[i] = tau
             y = labels[i]
             g = dloss(y * tau)
@@ -235,7 +242,7 @@ class WMSketch(ScaledSketchTable):
                     self.table *= scale
                     scale = 1.0
                 self._scale = scale
-            add_at(table_flat, fb, (-eta * y * g / (sqrt_s * scale)) * sv)
+            scatter_k(table_flat, fb, (-eta * y * g / (sqrt_s * scale)) * sv)
             self.t += 1
             if heap is not None:
                 if slot_cache.stale:
@@ -289,6 +296,7 @@ class WMSketch(ScaledSketchTable):
         sequential pushes would.
         """
         heap = self.heap
+        screen_k = self.kernels.screen_abs_gt
         if slots is None:
             slots = heap.member_slots(indices)
         member = slots >= 0
@@ -303,7 +311,7 @@ class WMSketch(ScaledSketchTable):
                 estimates = self._estimate_from_rows(
                     buckets, signs, flat_buckets=flat_buckets
                 )
-                admissible = np.abs(estimates) > heap.min_priority()
+                cand = screen_k(estimates, heap.min_priority())
             else:
                 estimates = self._estimate_from_rows(
                     buckets, signs, flat_buckets=flat_buckets
@@ -311,9 +319,8 @@ class WMSketch(ScaledSketchTable):
                 heap.set_many(slots[member], estimates[member])
                 if member.all():
                     return
-                admissible = np.abs(estimates) > heap.min_priority()
-                admissible &= ~member
-            cand = np.flatnonzero(admissible)
+                cand = screen_k(estimates, heap.min_priority())
+                cand = cand[~member[cand]]
             for pos in cand.tolist():
                 idx = int(indices[pos])
                 w = float(estimates[pos])
@@ -390,7 +397,7 @@ class WMSketch(ScaledSketchTable):
                 capacity = max(capacity, other.heap.capacity)
                 candidates.update(k for k, _ in other.heap.items())
         if capacity > 0:
-            self.heap = TopKStore(capacity)
+            self.heap = TopKStore(capacity, backend=self.backend)
             self._repromote(self.heap, candidates, self.estimate_weights)
         return self
 

@@ -21,6 +21,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro import kernels
 from repro.hashing.tabulation import TabulationHash
 from repro.hashing.universal import PolynomialHash
 
@@ -57,6 +58,11 @@ class HashFamily:
         ``"polynomial"`` (k-wise independent, slower).
     independence:
         For ``kind="polynomial"``, the k in k-wise independence.
+    backend:
+        Kernel-backend override threaded into the row hashes and the
+        (bucket, sign) derivation (``None`` = follow the process
+        default; see :mod:`repro.kernels`).  Purely a *how*: every
+        backend computes identical buckets and signs.
     """
 
     def __init__(
@@ -66,6 +72,7 @@ class HashFamily:
         seed: int = 0,
         kind: Literal["tabulation", "polynomial"] = "tabulation",
         independence: int = 4,
+        backend: str | None = None,
     ):
         if width < 1:
             raise ValueError(f"width must be >= 1, got {width}")
@@ -76,20 +83,26 @@ class HashFamily:
         self.seed = seed
         self.kind = kind
         self.independence = independence
+        self.backend = backend
         root = np.random.SeedSequence(seed)
         children = root.spawn(depth)
         if kind == "tabulation":
-            self._hashes = [TabulationHash(children[j]) for j in range(depth)]
+            self._hashes = [
+                TabulationHash(children[j], backend=backend)
+                for j in range(depth)
+            ]
         elif kind == "polynomial":
             self._hashes = [
-                PolynomialHash(independence=independence, seed=children[j])
+                PolynomialHash(
+                    independence=independence,
+                    seed=children[j],
+                    backend=backend,
+                )
                 for j in range(depth)
             ]
         else:
             raise ValueError(f"unknown hash kind: {kind!r}")
         self._pow2 = width & (width - 1) == 0
-        self._mask = np.uint64(width - 1)
-        self._width_u64 = np.uint64(width)
 
     # ------------------------------------------------------------------
     # Pickling: the whole family is derived deterministically from its
@@ -104,9 +117,11 @@ class HashFamily:
             "seed": self.seed,
             "kind": self.kind,
             "independence": self.independence,
+            "backend": self.backend,
         }
 
     def __setstate__(self, state: dict) -> None:
+        state.setdefault("backend", None)  # pre-kernel pickles
         self.__init__(**state)
 
     # ------------------------------------------------------------------
@@ -117,13 +132,12 @@ class HashFamily:
         return np.asarray(h, dtype=np.uint64)
 
     def _derive(self, h: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        if self._pow2:
-            buckets = (h & self._mask).astype(np.int64)
-        else:
-            buckets = (h % self._width_u64).astype(np.int64)
-        bit = ((h >> np.uint64(_SIGN_BIT)) & np.uint64(1)).astype(np.int64)
-        signs = (2 * bit - 1).astype(np.float64)
-        return buckets, signs
+        backend = kernels.get_backend(self.backend, strict=False)
+        flat = np.atleast_1d(h).reshape(-1)
+        buckets, signs = backend.bucket_sign(
+            flat, self.width, self._pow2, _SIGN_BIT
+        )
+        return buckets.reshape(h.shape), signs.reshape(h.shape)
 
     # ------------------------------------------------------------------
     # Scalar fast path

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
+
 MERSENNE_61 = (1 << 61) - 1
 
 
@@ -48,9 +50,19 @@ class PolynomialHash:
         coefficients.  Must be >= 2.
     seed:
         Seed for drawing the coefficients.
+    backend:
+        Kernel-backend override for the vectorized path (``None`` =
+        follow the process default).  The reference (numpy) backend
+        evaluates with exact Python-int arithmetic; compiled backends
+        reproduce the identical reduction with 128-bit limb emulation.
     """
 
-    def __init__(self, independence: int = 4, seed: int | np.random.SeedSequence = 0):
+    def __init__(
+        self,
+        independence: int = 4,
+        seed: int | np.random.SeedSequence = 0,
+        backend: str | None = None,
+    ):
         if independence < 2:
             raise ValueError(f"independence must be >= 2, got {independence}")
         self.independence = independence
@@ -65,6 +77,9 @@ class PolynomialHash:
         while coeffs[-1] == 0:
             coeffs[-1] = rng.integers(1, MERSENNE_61, dtype=np.int64)
         self._coeffs = [int(c) for c in coeffs]
+        # uint64 copy for compiled kernels (coefficients are < 2**61).
+        self._coeffs_u64 = np.array(self._coeffs, dtype=np.uint64)
+        self.backend = backend
 
     # ------------------------------------------------------------------
     # Pickling: fully determined by (independence, seed); the coefficient
@@ -76,11 +91,14 @@ class PolynomialHash:
         return {
             "independence": self.independence,
             "seed": self.seed_sequence,
+            "backend": self.backend,
         }
 
     def __setstate__(self, state: dict) -> None:
         self.__init__(
-            independence=state["independence"], seed=state["seed"]
+            independence=state["independence"],
+            seed=state["seed"],
+            backend=state.get("backend"),
         )
 
     def hash(self, keys: np.ndarray | int) -> np.ndarray:
@@ -96,11 +114,12 @@ class PolynomialHash:
             # silently overflows and yields a *different* hash than the
             # vectorized evaluation of the same key.
             return np.asarray(self.hash_one(int(k)), dtype=object)
-        x = _mod_mersenne61(k.astype(object))
-        acc = np.full(k.shape, self._coeffs[-1], dtype=object)
-        for c in reversed(self._coeffs[:-1]):
-            acc = _mod_mersenne61(acc * x + c)
-        return acc
+        backend = kernels.get_backend(self.backend, strict=False)
+        shape = k.shape
+        flat = np.ascontiguousarray(k, dtype=np.uint64).reshape(-1)
+        # Hash values are equal across backends; the dtype differs
+        # (object on the exact-int reference path, uint64 compiled).
+        return backend.polynomial_hash(self._coeffs_u64, flat).reshape(shape)
 
     def hash_one(self, key: int) -> int:
         """Scalar fast path; bit-identical to the vectorized :meth:`hash`."""

@@ -60,6 +60,8 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from repro import kernels
+
 _RENORM_THRESHOLD = 1e-150
 
 
@@ -87,6 +89,12 @@ class TopKStore:
         to ``abs``.  Must work elementwise on float64 arrays (``abs``,
         :func:`identity` and :func:`negate` do); module-level callables
         keep the store picklable.
+    backend:
+        Kernel-backend override for the vectorized admission pre-screen
+        (``None`` = follow the process default); the sketches thread
+        their own override through so a model's store screens on the
+        same backend as its tables.  Decisions are identical across
+        backends.
 
     Notes
     -----
@@ -101,10 +109,16 @@ class TopKStore:
       precisely.
     """
 
-    def __init__(self, capacity: int, priority: Callable[[float], float] = abs):
+    def __init__(
+        self,
+        capacity: int,
+        priority: Callable[[float], float] = abs,
+        backend: str | None = None,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.backend = backend
         self._priority = priority
         self._scale = 1.0
         self._keys = np.zeros(capacity, dtype=np.int64)
@@ -133,6 +147,7 @@ class TopKStore:
         return {
             "capacity": self.capacity,
             "priority": self._priority,
+            "backend": self.backend,
             "scale": self._scale,
             "keys": self._keys[: self._n].copy(),
             "raw": self._raw[: self._n].copy(),
@@ -141,6 +156,8 @@ class TopKStore:
     def __setstate__(self, state: dict) -> None:
         self.capacity = state["capacity"]
         self._priority = state["priority"]
+        self.backend = state.get("backend")  # pre-kernel pickles
+
         self._scale = state["scale"]
         keys = state["keys"]
         n = int(keys.size)
@@ -470,6 +487,12 @@ class TopKStore:
         member = self.contains_many(rest_keys)
         if member.any() or np.unique(rest_keys).size != rest_keys.size:
             survivors = range(rest_keys.size)
+        elif self._priority is abs:
+            # The screen kernel computes |value| > threshold directly —
+            # identical decisions to the generic priority path below.
+            survivors = kernels.get_backend(
+                self.backend, strict=False
+            ).screen_abs_gt(rest_values, self.min_priority()).tolist()
         else:
             prios = self._vprio(rest_values)
             survivors = np.flatnonzero(prios > self.min_priority()).tolist()

@@ -1,0 +1,196 @@
+"""Pluggable kernel backends for the hot inner loops.
+
+Every hot loop of the sketch classifiers — vectorized hashing
+(tabulation / polynomial bucket+sign), sketch-table scatter / gather,
+the exactly-rounded margin, transposed-row median recovery, the WM
+maintain / admission-screen, the AWM tail-promotion screen, and the
+top-K store's ``push_many`` pre-screen — dispatches through a
+:class:`~repro.kernels.api.KernelBackend` selected here.
+
+Backends
+--------
+``numpy``
+    The reference: the pre-kernel NumPy code extracted verbatim.
+    Always available; the executable specification the fuzzed
+    equivalence suite (``tests/test_kernel_backends.py``) checks every
+    other backend against.
+``numba``
+    The loop kernels of :mod:`repro.kernels._loops` compiled with
+    ``@njit(cache=True, nogil=True)``.  Optional: when Numba is not
+    importable the backend is recorded unavailable and everything
+    falls back to ``numpy`` with zero behavior change.
+``python``
+    The same loop kernels interpreted — slow, for testing the compiled
+    code path without a compiler and as the template for adding a new
+    backend.
+
+Selection order
+---------------
+1. an explicit per-object override (the ``backend=`` constructor
+   argument of the sketches / hashes / stores, serialized with them);
+2. the process-wide backend pinned by :func:`set_backend` (the CLI's
+   ``--backend`` flag lands here);
+3. the ``REPRO_KERNEL_BACKEND`` environment variable (inherited by
+   spawned worker processes, which is how the parallel subsystem
+   propagates the choice);
+4. ``"auto"``: ``numba`` when importable, else ``numpy``.
+
+Strictness: :func:`set_backend` and ``get_backend(name, strict=True)``
+raise :class:`BackendUnavailableError` for an unavailable backend;
+per-object resolution uses ``strict=False``, which warns once per
+process and falls back to ``numpy`` — a checkpoint trained under the
+compiled backend loads fine on a host without Numba.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+from repro.kernels.api import KERNEL_NAMES, KernelBackend
+
+__all__ = [
+    "KERNEL_NAMES",
+    "KernelBackend",
+    "BackendUnavailableError",
+    "KernelBackendWarning",
+    "available_backends",
+    "numba_available",
+    "get_backend",
+    "set_backend",
+    "active_backend_name",
+]
+
+#: Environment variable naming the default backend for the process.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Known backend names, in preference/documentation order.
+BACKEND_NAMES = ("numpy", "numba", "python")
+
+
+class BackendUnavailableError(ImportError):
+    """A requested kernel backend cannot be loaded on this host."""
+
+
+class KernelBackendWarning(RuntimeWarning):
+    """A non-strict backend request fell back to the NumPy reference."""
+
+
+_loaded: dict[str, KernelBackend] = {}
+_unavailable: dict[str, str] = {}
+_active: KernelBackend | None = None
+_warned: set[str] = set()
+
+
+def _load(name: str) -> KernelBackend:
+    backend = _loaded.get(name)
+    if backend is not None:
+        return backend
+    if name in _unavailable:
+        raise BackendUnavailableError(_unavailable[name])
+    if name == "numpy":
+        from repro.kernels import numpy_backend as module
+    elif name == "python":
+        from repro.kernels import python_backend as module
+    elif name == "numba":
+        try:
+            from repro.kernels import numba_backend as module
+        except ImportError as exc:
+            _unavailable[name] = (
+                f"kernel backend 'numba' unavailable: {exc} "
+                f"(install the repro[compiled] extra)"
+            )
+            raise BackendUnavailableError(_unavailable[name]) from exc
+    else:
+        raise BackendUnavailableError(
+            f"unknown kernel backend {name!r}; known backends: "
+            f"{', '.join(BACKEND_NAMES)} (or 'auto')"
+        )
+    _loaded[name] = module.BACKEND
+    return module.BACKEND
+
+
+def available_backends() -> list[str]:
+    """Names of the backends loadable on this host, preference order."""
+    out = []
+    for name in BACKEND_NAMES:
+        try:
+            _load(name)
+        except BackendUnavailableError:
+            continue
+        out.append(name)
+    return out
+
+
+def numba_available() -> bool:
+    """Whether the compiled (Numba) backend can be loaded."""
+    try:
+        _load("numba")
+    except BackendUnavailableError:
+        return False
+    return True
+
+
+def get_backend(
+    name: str | None = None, strict: bool = True
+) -> KernelBackend:
+    """Resolve a backend by name (see the module docstring's order).
+
+    Parameters
+    ----------
+    name:
+        ``None`` follows the process default (:func:`set_backend`, then
+        the ``REPRO_KERNEL_BACKEND`` environment variable, then
+        ``"auto"``).  ``"auto"`` picks ``numba`` when available, else
+        ``numpy``.
+    strict:
+        With ``strict=True`` (default) an unavailable or unknown name
+        raises :class:`BackendUnavailableError`.  With ``strict=False``
+        it warns once per process (:class:`KernelBackendWarning`) and
+        falls back to the NumPy reference — the per-object resolution
+        mode, so deserialized models never fail on a leaner host.
+    """
+    if name is None:
+        if _active is not None:
+            return _active
+        name = os.environ.get(ENV_VAR, "") or "auto"
+    if name == "auto":
+        try:
+            return _load("numba")
+        except BackendUnavailableError:
+            return _load("numpy")
+    try:
+        return _load(name)
+    except BackendUnavailableError as exc:
+        if strict:
+            raise
+        if name not in _warned:
+            _warned.add(name)
+            warnings.warn(
+                f"{exc}; falling back to the 'numpy' reference backend",
+                KernelBackendWarning,
+                stacklevel=2,
+            )
+        return _load("numpy")
+
+
+def set_backend(name: str | None) -> KernelBackend:
+    """Pin the process-wide backend; returns the resolved backend.
+
+    ``"auto"`` pins whatever auto-resolution picks *now* (availability
+    cannot change mid-process); ``None`` clears the pin, restoring the
+    environment-variable / auto flow.  Unavailable or unknown names
+    raise :class:`BackendUnavailableError` and leave the pin unchanged.
+    """
+    global _active
+    if name is None:
+        _active = None
+        return get_backend()
+    backend = get_backend(name, strict=True)
+    _active = backend
+    return backend
+
+
+def active_backend_name() -> str:
+    """Name of the backend the process default currently resolves to."""
+    return get_backend().name

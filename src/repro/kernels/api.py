@@ -1,0 +1,129 @@
+"""The uniform kernel API every backend must implement.
+
+A *kernel backend* is a named bundle of the hot inner-loop primitives
+the sketch classifiers are built from.  Every backend implements the
+same function set (:data:`KERNEL_NAMES`) with the same *bit-level*
+semantics — the NumPy backend is the executable reference (the code
+extracted verbatim from the pre-kernel classifiers), and every other
+backend is fuzz-checked against it in ``tests/test_kernel_backends.py``
+before it may be selected.  The contract is the same
+sequential-equivalence discipline the batched engine already follows:
+identical streams must produce bit-identical tables, heap state and
+predictions whichever backend computed them.
+
+Kernel signatures (shapes use ``depth`` = sketch rows, ``nnz`` = number
+of key/feature positions in the call):
+
+``tabulation_hash(flat_tables, offsets, keys) -> uint64[nnz]``
+    XOR of per-byte table lookups.  ``flat_tables`` is the flattened
+    ``(n_bytes, 256)`` uint64 table (byte ``b`` of a key indexes
+    ``flat_tables[256 * b + byte]``), ``offsets`` the ``(1, n_bytes)``
+    array of ``256 * b`` offsets, ``keys`` a contiguous 1-d uint64
+    array.
+
+``polynomial_hash(coeffs, keys) -> array[nnz]``
+    Horner evaluation of the degree-(k-1) polynomial over the Mersenne
+    prime 2**61 - 1, reproducing the exact (single conditional
+    subtract) reduction steps of
+    :func:`repro.hashing.universal._mod_mersenne61`.  ``coeffs`` is the
+    uint64 coefficient array (c0 first), ``keys`` a 1-d uint64 array.
+    Values are equal across backends; the dtype may be ``object`` (the
+    reference's exact-int path) or ``uint64`` (compiled 128-bit limb
+    arithmetic).
+
+``bucket_sign(h, width, pow2, sign_bit) -> (int64[nnz], float64[nnz])``
+    Derive (bucket, sign) pairs from raw 64-bit hash values: bucket
+    from the low bits (mask when ``pow2`` else modulo), sign from bit
+    ``sign_bit`` mapped to {-1.0, +1.0}.
+
+``gather_rows_t(table_flat, flat_buckets) -> float64[nnz, depth]``
+    Transposed table gather ``table_flat.take(flat_buckets.T)`` —
+    the (nnz, depth) layout whose per-feature rows are contiguous,
+    shared by the margin and median-recovery kernels.
+
+``margin(table_flat, flat_buckets, sign_values, scale, sqrt_s) -> float``
+    The linear margin ``scale * sum(table[b] * sv) / sqrt_s`` with an
+    *exactly rounded* sum (``math.fsum`` semantics), so the result is
+    independent of summation order and buffer alignment.
+
+``margin_gathered(gathered, sign_values, scale, sqrt_s) -> float``
+    Same margin from an already-gathered cell block (the AWM kernel
+    shares one transposed gather between margin and tail queries).
+
+``scatter_add(table_flat, flat_buckets, deltas) -> None``
+    ``np.add.at`` semantics: accumulate ``deltas`` into ``table_flat``
+    at ``flat_buckets``, duplicates folding in C element order.
+
+``median_estimate(gathered_t, signs_t, factor) -> float64[nnz]``
+    Count-Sketch recovery: per-feature median over rows of
+    ``signs_t * gathered_t`` (both ``(nnz, depth)``), times ``factor``.
+    ``depth == 1`` skips the sort; even depths average the two middle
+    values as ``0.5 * (a + b)``.
+
+``estimate_bound(table_flat, flat_buckets) -> float``
+    ``max |table_flat[flat_buckets]|`` — the cheap upper bound that
+    lets the WM maintain loop skip recovery when no estimate could
+    beat the admission threshold.  ``flat_buckets`` must be non-empty.
+
+``screen_abs_gt(values, threshold) -> integer[m]``
+    Ascending positions where ``|values| > threshold`` — the admission
+    screen of the WM maintain loop, the AWM tail-promotion screen and
+    the top-K store's ``push_many`` pre-screen (abs priority).
+
+Non-finite inputs (inf / NaN) are outside the kernel contract: the
+classifiers never produce them from finite streams, and the exact-sum
+implementations are only specified for finite values.
+"""
+
+from __future__ import annotations
+
+#: Every kernel a backend must provide, in documentation order.
+KERNEL_NAMES = (
+    "tabulation_hash",
+    "polynomial_hash",
+    "bucket_sign",
+    "gather_rows_t",
+    "margin",
+    "margin_gathered",
+    "scatter_add",
+    "median_estimate",
+    "estimate_bound",
+    "screen_abs_gt",
+)
+
+
+class KernelBackend:
+    """A named, complete bundle of kernel implementations.
+
+    Parameters
+    ----------
+    name:
+        Registry name (``"numpy"``, ``"numba"``, ``"python"``, ...).
+    compiled:
+        Whether the kernels run outside the interpreter (informational;
+        surfaced in benchmark metadata and checkpoints).
+    functions:
+        Mapping from kernel name to callable; must cover
+        :data:`KERNEL_NAMES` exactly (extras are rejected so a typo in
+        a backend module fails loudly at registration, not at dispatch).
+    """
+
+    def __init__(self, name: str, compiled: bool, functions: dict):
+        missing = set(KERNEL_NAMES) - set(functions)
+        if missing:
+            raise ValueError(
+                f"backend {name!r} is missing kernels: {sorted(missing)}"
+            )
+        extra = set(functions) - set(KERNEL_NAMES)
+        if extra:
+            raise ValueError(
+                f"backend {name!r} defines unknown kernels: {sorted(extra)}"
+            )
+        self.name = name
+        self.compiled = compiled
+        for kernel_name in KERNEL_NAMES:
+            setattr(self, kernel_name, functions[kernel_name])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "compiled" if self.compiled else "interpreted"
+        return f"<KernelBackend {self.name!r} ({kind})>"

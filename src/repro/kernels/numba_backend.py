@@ -1,0 +1,38 @@
+"""The Numba-compiled backend (``"numba"``).
+
+Compiles the loop kernels of :mod:`repro.kernels._loops` with
+``@njit(cache=True, nogil=True)``:
+
+* ``cache=True`` persists compiled machine code next to the source, so
+  the one-time compile cost is paid once per machine, not per process;
+* ``nogil=True`` releases the GIL for the whole kernel — which is what
+  finally lets :func:`repro.parallel.pipeline.fit_stream_pipelined`
+  overlap prefetch hashing with training for real wall-clock gains
+  (the NumPy hash path holds the interpreter through its Python-level
+  dispatch).
+
+Importing this module **raises ImportError when Numba is not
+installed** — by design.  The registry in ``repro/kernels/__init__``
+catches it and records the backend as unavailable; ``"auto"``
+resolution and non-strict lookups then fall back to the NumPy
+reference with a one-time warning.  Numba is never a hard dependency
+(install it via the ``repro[compiled]`` extra).
+
+Compilation is lazy (per-signature, on first call), so importing the
+backend is cheap even on the first run of a machine.
+"""
+
+from __future__ import annotations
+
+from numba import njit  # raises ImportError without numba — see above
+
+from repro.kernels import _loops
+from repro.kernels.api import KERNEL_NAMES, KernelBackend
+
+_JIT = njit(cache=True, nogil=True)
+
+BACKEND = KernelBackend(
+    "numba",
+    compiled=True,
+    functions={name: _JIT(getattr(_loops, name)) for name in KERNEL_NAMES},
+)

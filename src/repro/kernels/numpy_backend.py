@@ -1,0 +1,139 @@
+"""The NumPy reference backend.
+
+These are the hot-loop bodies extracted *verbatim* from the pre-kernel
+classifiers (``hashing/tabulation.py``, ``hashing/universal.py``,
+``hashing/family.py``, ``core/sketch_table.py``, ``core/awm_sketch.py``
+and ``heap/topk.py``) — the executable specification every other
+backend is fuzzed against.  Nothing here may change behavior: the
+bit-level guarantees of the batched engine (exactly rounded ``fsum``
+margins, layout-deterministic ``ufunc.at`` scatters, transposed-sort
+medians) are documented at the original call sites and preserved
+as-is.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.kernels.api import KERNEL_NAMES, KernelBackend
+
+from repro.hashing import universal as _universal
+
+
+def tabulation_hash(
+    flat_tables: np.ndarray, offsets: np.ndarray, keys: np.ndarray
+) -> np.ndarray:
+    n_bytes = offsets.shape[1]
+    if np.little_endian:
+        # Reinterpret each 8-byte key as its byte decomposition
+        # (little-endian: byte b == (key >> 8b) & 0xFF), then gather
+        # all per-byte table entries in a single fancy-index and
+        # XOR-reduce — O(1) NumPy calls independent of n_bytes.
+        key_bytes = keys.view(np.uint8).reshape(-1, 8)[:, :n_bytes]
+    else:  # pragma: no cover - big-endian fallback
+        shifts = (8 * np.arange(n_bytes, dtype=np.uint64)).reshape(1, -1)
+        key_bytes = ((keys.reshape(-1, 1) >> shifts) & np.uint64(0xFF)).astype(
+            np.uint8
+        )
+    idx = key_bytes.astype(np.intp) + offsets
+    return np.bitwise_xor.reduce(flat_tables[idx], axis=1)
+
+
+def polynomial_hash(coeffs: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    # Exact Python-int Horner over object dtype — the reference path of
+    # :meth:`repro.hashing.universal.PolynomialHash.hash`.
+    coeff_list = [int(c) for c in coeffs.tolist()]
+    x = _universal._mod_mersenne61(keys.astype(object))
+    acc = np.full(keys.shape, coeff_list[-1], dtype=object)
+    for c in reversed(coeff_list[:-1]):
+        acc = _universal._mod_mersenne61(acc * x + c)
+    return acc
+
+
+def bucket_sign(
+    h: np.ndarray, width: int, pow2: bool, sign_bit: int
+) -> tuple[np.ndarray, np.ndarray]:
+    if pow2:
+        buckets = (h & np.uint64(width - 1)).astype(np.int64)
+    else:
+        buckets = (h % np.uint64(width)).astype(np.int64)
+    bit = ((h >> np.uint64(sign_bit)) & np.uint64(1)).astype(np.int64)
+    signs = (2 * bit - 1).astype(np.float64)
+    return buckets, signs
+
+
+def gather_rows_t(
+    table_flat: np.ndarray, flat_buckets: np.ndarray
+) -> np.ndarray:
+    # take() materializes (nnz, depth) C-contiguous, so each feature's
+    # row values are adjacent — the layout the median kernel sorts.
+    return table_flat.take(flat_buckets.T)
+
+
+def margin(
+    table_flat: np.ndarray,
+    flat_buckets: np.ndarray,
+    sign_values: np.ndarray,
+    scale: float,
+    sqrt_s: float,
+) -> float:
+    # math.fsum is *exactly* rounded, so the reduction is independent
+    # of summation order and buffer alignment (NumPy's SIMD .sum() is
+    # not) — per-example and batched replays stay bit-identical.
+    products = table_flat.take(flat_buckets) * sign_values
+    return scale * math.fsum(products.ravel().tolist()) / sqrt_s
+
+
+def margin_gathered(
+    gathered: np.ndarray,
+    sign_values: np.ndarray,
+    scale: float,
+    sqrt_s: float,
+) -> float:
+    products = gathered * sign_values
+    return scale * math.fsum(products.ravel().tolist()) / sqrt_s
+
+
+def scatter_add(
+    table_flat: np.ndarray, flat_buckets: np.ndarray, deltas: np.ndarray
+) -> None:
+    # One buffered ufunc.at; duplicate buckets accumulate in C element
+    # order, the same order as a per-row loop (layout-deterministic).
+    np.add.at(table_flat, flat_buckets, deltas)
+
+
+def median_estimate(
+    gathered_t: np.ndarray, signs_t: np.ndarray, factor: float
+) -> np.ndarray:
+    depth = gathered_t.shape[1]
+    if depth == 1:
+        return factor * (signs_t[:, 0] * gathered_t[:, 0])
+    # In-place row sort plus a middle-column pick selects the exact
+    # same values as np.median without its per-call dispatch overhead.
+    rows = signs_t * gathered_t
+    rows.sort(axis=1)
+    mid = depth // 2
+    if depth % 2:
+        med = rows[:, mid]
+    else:
+        med = 0.5 * (rows[:, mid - 1] + rows[:, mid])
+    return factor * med
+
+
+def estimate_bound(
+    table_flat: np.ndarray, flat_buckets: np.ndarray
+) -> float:
+    return float(np.abs(table_flat.take(flat_buckets)).max())
+
+
+def screen_abs_gt(values: np.ndarray, threshold: float) -> np.ndarray:
+    return np.flatnonzero(np.abs(values) > threshold)
+
+
+BACKEND = KernelBackend(
+    "numpy",
+    compiled=False,
+    functions={name: globals()[name] for name in KERNEL_NAMES},
+)

@@ -1,0 +1,26 @@
+"""The interpreted loop backend (``"python"``).
+
+The exact functions the Numba backend compiles, run as plain Python —
+roughly 10-100x slower than the NumPy reference, so never selected by
+``"auto"``.  It exists for two reasons:
+
+* it is the worked example of adding a third backend (see the README's
+  kernels section): implement :data:`~repro.kernels.api.KERNEL_NAMES`,
+  expose a ``BACKEND`` object, register a loader in
+  ``repro/kernels/__init__.py``;
+* it lets the cross-backend equivalence suite exercise the *same source
+  code* the compiler will see on hosts where Numba is not installed —
+  a numerics bug in ``_loops.py`` is caught here, not first in a
+  Numba-equipped CI job.
+"""
+
+from __future__ import annotations
+
+from repro.kernels import _loops
+from repro.kernels.api import KERNEL_NAMES, KernelBackend
+
+BACKEND = KernelBackend(
+    "python",
+    compiled=False,
+    functions={name: getattr(_loops, name) for name in KERNEL_NAMES},
+)

@@ -15,10 +15,9 @@ Count-Sketch-style query).
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
+from repro import kernels
 from repro.data.batch import SparseBatch
 from repro.data.sparse import SparseExample
 from repro.hashing.batch import BatchHasher
@@ -48,6 +47,10 @@ class FeatureHashing(StreamingClassifier):
     signed:
         Use random sign flips (the unbiased "hash kernel"); disable for
         the plain unsigned variant (ablation).
+    backend:
+        Kernel-backend override for hashing / margin / scatter
+        (``None`` = follow the process default; see
+        :mod:`repro.kernels`).  Bit-identical across backends.
     """
 
     #: Number of independently trained models folded in via :meth:`merge`.
@@ -61,6 +64,7 @@ class FeatureHashing(StreamingClassifier):
         learning_rate: Schedule | float = 0.1,
         seed: int = 0,
         signed: bool = True,
+        backend: str | None = None,
     ):
         if width < 1:
             raise ValueError(f"width must be >= 1, got {width}")
@@ -69,11 +73,17 @@ class FeatureHashing(StreamingClassifier):
         self.lambda_ = lambda_
         self.schedule = as_schedule(learning_rate)
         self.signed = signed
-        self.family = HashFamily(width, depth=1, seed=seed)
+        self.backend = backend
+        self.family = HashFamily(width, depth=1, seed=seed, backend=backend)
         self._batch_hasher = BatchHasher(self.family)
         self.table = np.zeros(width, dtype=np.float64)
         self._scale = 1.0
         self.t = 0
+
+    @property
+    def kernels(self) -> "kernels.KernelBackend":
+        """The kernel backend the margin / scatter loops dispatch through."""
+        return kernels.get_backend(self.backend, strict=False)
 
     # ------------------------------------------------------------------
     def _hashed(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -86,18 +96,20 @@ class FeatureHashing(StreamingClassifier):
 
     def predict_margin(self, x: SparseExample) -> float:
         buckets, signs = self._hashed(x.indices)
-        # Exactly-rounded fsum rather than BLAS dot / SIMD sum: the
-        # reduction is then independent of buffer layout, keeping
-        # per-example and batched (CSR-view) driving bit-identical.
-        return self._scale * math.fsum(
-            (self.table[buckets] * (signs * x.values)).tolist()
+        # The margin kernel's exactly-rounded sum (rather than BLAS dot
+        # / SIMD sum) keeps the reduction independent of buffer layout,
+        # so per-example and batched (CSR-view) driving stay
+        # bit-identical.  The depth-1 table needs no sqrt(s) factor.
+        return self.kernels.margin(
+            self.table, buckets, signs * x.values, self._scale, 1.0
         )
 
     def update(self, x: SparseExample) -> None:
         y = x.label
+        kb = self.kernels
         buckets, signs = self._hashed(x.indices)
         sign_values = signs * x.values
-        tau = self._scale * math.fsum((self.table[buckets] * sign_values).tolist())
+        tau = kb.margin(self.table, buckets, sign_values, self._scale, 1.0)
         g = self.loss.dloss(y * tau)
         eta = self.schedule(self.t)
         if self.lambda_ > 0.0:
@@ -105,7 +117,7 @@ class FeatureHashing(StreamingClassifier):
             if self._scale < _RENORM_THRESHOLD:
                 self.table *= self._scale
                 self._scale = 1.0
-        np.add.at(
+        kb.scatter_add(
             self.table, buckets, -(eta * y * g / self._scale) * sign_values
         )
         self.t += 1
@@ -139,11 +151,14 @@ class FeatureHashing(StreamingClassifier):
         indptr = batch.indptr.tolist()
         labels = batch.labels.tolist()
         table = self.table
+        kb = self.kernels
+        margin_k = kb.margin
+        scatter_k = kb.scatter_add
         for i in range(n):
             lo, hi = indptr[i], indptr[i + 1]
             b = buckets[lo:hi]
             sv = sign_values[lo:hi]
-            tau = self._scale * math.fsum((table[b] * sv).tolist())
+            tau = margin_k(table, b, sv, self._scale, 1.0)
             margins[i] = tau
             y = labels[i]
             g = self.loss.dloss(y * tau)
@@ -153,7 +168,7 @@ class FeatureHashing(StreamingClassifier):
                 if self._scale < _RENORM_THRESHOLD:
                     table *= self._scale
                     self._scale = 1.0
-            np.add.at(table, b, -(eta * y * g / self._scale) * sv)
+            scatter_k(table, b, -(eta * y * g / self._scale) * sv)
             self.t += 1
         return margins
 

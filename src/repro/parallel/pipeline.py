@@ -17,6 +17,18 @@ precomputed rows are bit-identical to what ``fit_batch`` would have
 computed itself, so the pipelined pass reproduces the sequential
 engine's state exactly (tested in ``tests/test_pipeline.py``).
 
+How much *wall-clock* the overlap buys depends on the kernel backend
+(:mod:`repro.kernels`): under the NumPy reference, hashing holds the
+GIL through its Python-level dispatch, so producer and consumer mostly
+timeshare one core and the gain is limited to NumPy's internal
+GIL-released stretches.  Under the compiled (Numba) backend the hash
+kernels are ``nogil`` — the prefetch thread hashes batch t+1 while the
+training thread works on batch t for real concurrency (measured by
+``benchmarks/bench_pipeline_overlap.py``; results are bit-identical
+either way).  The prefetch hasher follows the classifier's own
+``backend`` override automatically (it is built over
+``classifier.family``).
+
 Classifiers whose ``fit_batch`` takes no ``rows`` argument (no hashing
 to prefetch — e.g. the uncompressed baseline) still pipeline batch
 *construction*; they just receive the batch alone.

@@ -79,6 +79,52 @@ class TestThroughputGate:
         assert any("missing" in f for f in failures)
 
 
+class TestBackendSections:
+    """The kernel-backend dimension added by PR 4."""
+
+    def _doc_with_numba(self, top_speedup, numba_speedup):
+        doc = _doc(top_speedup)
+        doc["backends"] = {
+            "numba": {"wm_algorithm1": {"speedup": numba_speedup}}
+        }
+        return doc
+
+    def test_compiled_rows_gated_when_both_sides_have_them(self):
+        failures = check_regression.check_throughput(
+            self._doc_with_numba(5.0, 2.0),
+            self._doc_with_numba(5.0, 5.0),
+            0.30,
+            False,
+        )
+        assert any("numba:wm_algorithm1.speedup" in f for f in failures)
+
+    def test_compiled_rows_matching_pass(self):
+        doc = self._doc_with_numba(5.0, 5.0)
+        assert check_regression.check_throughput(doc, doc, 0.30, False) == []
+
+    def test_numba_unavailable_skips_with_notice_not_failure(self, capsys):
+        baseline = self._doc_with_numba(5.0, 5.0)
+        current = _doc(5.0)  # no "backends" section: numba-less host
+        failures = check_regression.check_throughput(
+            current, baseline, 0.30, False
+        )
+        assert failures == []
+        out = capsys.readouterr().out
+        assert "NOTICE" in out and "numba" in out
+
+    def test_backendless_baseline_ignores_current_extras(self):
+        # A fresh run on a numba host vs an older numpy-only baseline:
+        # the extra compiled rows are simply not compared.
+        baseline = _doc(5.0)
+        current = self._doc_with_numba(5.0, 9.0)
+        assert (
+            check_regression.check_throughput(
+                current, baseline, 0.30, False
+            )
+            == []
+        )
+
+
 class TestSpeedupFloors:
     """Absolute floors on the store-carrying configs (PR 3 satellite):
     the vectorized top-K layer's batched advantage is gated even when
