@@ -1,0 +1,129 @@
+"""Allocation benchmark: transient memory of steady-state ``fit_batch``.
+
+The fused kernels + per-model workspaces exist to stop the batched
+update path from materializing a fresh chain of nnz-scale temporaries
+every mini-batch.  This benchmark quantifies that with tracemalloc
+(NumPy registers its buffers with it) on the Fig. 7 WM workload:
+
+* **peak_transient_bytes** — the high-water mark of memory allocated
+  *above* the resting state while running steady-state (post-warmup)
+  batches.  On the unfused chain this is the full temporary chain
+  (hash expansions, sign*value products, flat buckets, margin blocks);
+  on the fused path the arenas are preallocated and the residue is
+  per-example interpreter noise.
+* **retained_bytes_per_batch** — net bytes still allocated after a
+  pass, divided by the number of batches: ~0 on both paths (temporaries
+  die), reported to show neither path leaks.
+
+The committed ``BENCH_alloc.json`` records the fused/unfused reduction
+ratio; ``check_throughput_regression.py --kind alloc`` gates it in CI
+(machine-independent: both sides of the ratio come from one process),
+and ``tests/test_allocations.py`` enforces the O(1)-retained contract
+in the tier-1 suite.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_allocations.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import tracemalloc
+from pathlib import Path
+
+from repro.core.wm_sketch import WMSketch
+from repro.data.batch import iter_batches
+from repro.data.datasets import rcv1_like
+
+WIDTH = 2**13
+DEPTH = 3
+
+
+def measure(factory, batches, use_fused: bool) -> dict:
+    model = factory()
+    model.use_fused = use_fused
+    for b in batches:
+        model.fit_batch(b)  # warm arenas / hash cache / interpreter
+    gc.collect()
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        base, _ = tracemalloc.get_traced_memory()
+        for b in batches:
+            model.fit_batch(b)
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return {
+        "peak_transient_bytes": max(peak - base, 1),
+        "retained_bytes_per_batch": max(current - base, 0) / len(batches),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--examples", type=int, default=4_000)
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent
+                    / "BENCH_alloc.json"),
+    )
+    args = parser.parse_args(argv)
+
+    spec = rcv1_like(scale=0.08)
+    examples = spec.stream.materialize(args.examples, seed_offset=5)
+    batches = list(iter_batches(examples, args.batch_size))
+
+    configs = {
+        "wm_algorithm1": lambda: WMSketch(
+            WIDTH, DEPTH, seed=0, heap_capacity=0
+        ),
+        "wm_with_heap": lambda: WMSketch(
+            WIDTH, DEPTH, seed=0, heap_capacity=128
+        ),
+    }
+    results: dict = {
+        "workload": {
+            "dataset": spec.name,
+            "n_examples": args.examples,
+            "batch_size": args.batch_size,
+            "width": WIDTH,
+            "depth": DEPTH,
+            "python": platform.python_version(),
+        },
+    }
+    print(f"{'config':>16} {'fused peak':>12} {'unfused peak':>13} "
+          f"{'reduction':>10} {'retained/batch':>15}")
+    for name, factory in configs.items():
+        fused = measure(factory, batches, use_fused=True)
+        unfused = measure(factory, batches, use_fused=False)
+        reduction = (
+            unfused["peak_transient_bytes"] / fused["peak_transient_bytes"]
+        )
+        results[name] = {
+            "fused": fused,
+            "unfused": unfused,
+            "peak_reduction_x": reduction,
+        }
+        print(f"{name:>16} {fused['peak_transient_bytes']:>12,} "
+              f"{unfused['peak_transient_bytes']:>13,} "
+              f"{reduction:>9.1f}x "
+              f"{fused['retained_bytes_per_batch']:>14,.0f}")
+
+    results["peak_reduction_x"] = results["wm_algorithm1"][
+        "peak_reduction_x"
+    ]
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\nheadline (WM Algorithm 1) steady-state allocation "
+          f"reduction: {results['peak_reduction_x']:.1f}x  ->  {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

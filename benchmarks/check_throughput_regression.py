@@ -22,6 +22,12 @@ scaling curve is warned about but not gated (per-step monotonicity is
 timing-sensitive on shared runners — the committed baseline is the
 artifact that demonstrates it).
 
+``--kind query`` gates ``BENCH_query.json`` (the serving fast path:
+batched-vs-scalar predict/query speedup ratios plus absolute floors),
+and ``--kind alloc`` gates ``BENCH_alloc.json`` (the fused-vs-unfused
+steady-state peak-allocation reduction — both sides of that ratio come
+from one process, so it is fully machine-independent).
+
 Run::
 
     PYTHONPATH=src python benchmarks/bench_update_throughput.py --out /tmp/fresh.json
@@ -58,9 +64,33 @@ EPS_KEYS = (
 #: ratio still moves when CPU-frequency drift lands unevenly across a
 #: run's timing rounds.
 SPEEDUP_FLOORS = {
-    "wm_with_heap": 2.6,   # committed 3.78 (PR 4 refresh)
-    "awm": 1.6,            # committed 2.34
-    "awm_half_budget": 1.9,  # committed 2.69
+    "wm_algorithm1": 5.3,  # committed 7.41 (PR 5 fused-kernel refresh)
+    "wm_with_heap": 3.0,   # committed 4.40
+    "awm": 1.6,            # committed 2.42
+    "awm_half_budget": 1.9,  # committed 2.64
+}
+
+#: Floors for BENCH_query.json (--kind query): batched-vs-scalar
+#: serving speedups per configuration.  Ratios of same-process timings,
+#: so machine speed cancels; values sit ~35-50% under the committed
+#: numbers (query_speedup is large and noisy — the scalar side is
+#: per-key Python — so it gets the wider allowance).
+QUERY_FLOORS = {
+    "wm": {"predict_speedup": 3.0, "query_speedup": 40.0},
+    "awm_half_budget": {"predict_speedup": 1.3, "query_speedup": 15.0},
+    "hash": {"predict_speedup": 3.0, "query_speedup": 40.0},
+}
+#: Ratio metrics diffed against the baseline for --kind query.
+QUERY_RATIO_KEYS = ("predict_speedup", "query_speedup", "hot_over_cold")
+
+#: Floors for BENCH_alloc.json (--kind alloc): fused-vs-unfused
+#: steady-state peak-transient reduction (both sides measured in one
+#: process, so fully machine-independent).  The headline workload must
+#: keep its order-of-magnitude win; the heap config's maintain pass
+#: legitimately allocates more (slot caches), hence the lower bar.
+ALLOC_FLOORS = {
+    "wm_algorithm1": 5.0,   # committed 12.1
+    "wm_with_heap": 2.0,    # committed 3.6
 }
 
 
@@ -187,6 +217,91 @@ def check_throughput(
     return failures
 
 
+def check_query(
+    current: dict, baseline: dict, threshold: float
+) -> list[str]:
+    """Gate for BENCH_query.json: serving-speedup ratios + floors."""
+    failures: list[str] = []
+    curr_rows = {
+        name: row
+        for name, row in current.items()
+        if isinstance(row, dict) and "predict_speedup" in row
+    }
+    base_rows = {
+        name: row
+        for name, row in baseline.items()
+        if isinstance(row, dict) and "predict_speedup" in row
+    }
+    if not curr_rows:
+        failures.append(
+            "no per-config rows in the current query benchmark — "
+            "malformed / stale-schema JSON"
+        )
+        return failures
+    for name, base_row in sorted(base_rows.items()):
+        curr_row = curr_rows.get(name)
+        if curr_row is None:
+            failures.append(f"{name}: missing from current query run")
+            continue
+        for key in QUERY_RATIO_KEYS:
+            if key not in base_row or key not in curr_row:
+                continue
+            base_v, curr_v = base_row[key], curr_row[key]
+            if base_v <= 0:
+                continue
+            change = curr_v / base_v - 1.0
+            marker = "FAIL" if change < -threshold else "ok"
+            print(f"  {name:>16}.{key:<18} {base_v:>9.2f} -> "
+                  f"{curr_v:>9.2f}  ({change:+.1%}) {marker}")
+            if change < -threshold:
+                failures.append(
+                    f"{name}.{key}: {base_v:.2f} -> {curr_v:.2f} "
+                    f"({change:+.1%} < -{threshold:.0%})"
+                )
+    for name, floors in sorted(QUERY_FLOORS.items()):
+        row = curr_rows.get(name)
+        if row is None:
+            failures.append(
+                f"{name}: floor-gated config missing from query run"
+            )
+            continue
+        for key, floor in sorted(floors.items()):
+            value = row.get(key, 0.0)
+            marker = "FAIL" if value < floor else "ok"
+            print(f"  {name:>16}.{key} floor {floor:>6.2f}  "
+                  f"current {value:>8.2f}  {marker}")
+            if value < floor:
+                failures.append(
+                    f"{name}.{key}: {value:.2f} below the {floor:.2f} "
+                    f"floor (serving fast path regressed)"
+                )
+    return failures
+
+
+def check_alloc(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Gate for BENCH_alloc.json: fused/unfused peak reduction ratios."""
+    failures: list[str] = []
+    for name, floor in sorted(ALLOC_FLOORS.items()):
+        row = current.get(name)
+        reduction = (row or {}).get("peak_reduction_x", 0.0)
+        base_red = (baseline.get(name) or {}).get("peak_reduction_x", 0.0)
+        marker = "FAIL" if reduction < floor else "ok"
+        print(f"  {name:>16}.peak_reduction_x floor {floor:>5.1f}  "
+              f"baseline {base_red:>5.1f}  current {reduction:>5.1f}  "
+              f"{marker}")
+        if reduction < floor:
+            failures.append(
+                f"{name}.peak_reduction_x: {reduction:.1f} below the "
+                f"{floor:.1f} floor (fused path re-allocating per batch)"
+            )
+        if base_red > 0 and reduction / base_red - 1.0 < -threshold:
+            failures.append(
+                f"{name}.peak_reduction_x: {base_red:.1f} -> "
+                f"{reduction:.1f} (regressed past -{threshold:.0%})"
+            )
+    return failures
+
+
 def check_parallel(
     current: dict, baseline: dict, threshold: float
 ) -> list[str]:
@@ -239,8 +354,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="fractional regression that fails (0.30 = 30%%)")
-    parser.add_argument("--kind", choices=("throughput", "parallel"),
-                        default="throughput")
+    parser.add_argument(
+        "--kind",
+        choices=("throughput", "parallel", "query", "alloc"),
+        default="throughput",
+    )
     parser.add_argument(
         "--strict-eps", action="store_true",
         help="also gate absolute examples/sec (same-hardware comparisons)",
@@ -292,6 +410,10 @@ def main(argv=None) -> int:
         )
     if args.kind == "parallel":
         failures = check_parallel(current, baseline, args.threshold)
+    elif args.kind == "query":
+        failures = check_query(current, baseline, args.threshold)
+    elif args.kind == "alloc":
+        failures = check_alloc(current, baseline, args.threshold)
     else:
         failures = check_throughput(
             current, baseline, args.threshold, args.strict_eps

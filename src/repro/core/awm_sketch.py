@@ -39,6 +39,7 @@ import math
 
 import numpy as np
 
+from repro import kernels
 from repro.core.sketch_table import _RENORM_THRESHOLD, ScaledSketchTable
 from repro.data.batch import SparseBatch
 from repro.data.sparse import SparseExample
@@ -103,6 +104,11 @@ class AWMSketch(ScaledSketchTable):
         # Diagnostics: promotion/eviction churn (exposed for ablations).
         self.n_promotions = 0
 
+    #: Testing hook: take the fused_query branch of _update_example even
+    #: on interpreted backends, so the equivalence suite can exercise it
+    #: without a compiler.  Never set in production code.
+    _force_fused_query: bool = False
+
     # ------------------------------------------------------------------
     # Sketch-space helpers (tail features only)
     # ------------------------------------------------------------------
@@ -149,6 +155,77 @@ class AWMSketch(ScaledSketchTable):
             in_sketch = slice(None)
         total += self._sketch_margin(x.indices[in_sketch], x.values[in_sketch])
         return total
+
+    def predict_batch(self, batch: SparseBatch) -> np.ndarray:
+        """Batched margins — one cached hash + one membership probe.
+
+        The per-example combine (exact active-set products plus the
+        exactly-rounded sketch margin) runs over pre-hashed workspace
+        rows and a single batch-wide ``member_slots`` probe instead of
+        hashing and probing per example; margins are **bit-identical**
+        to per-example :meth:`predict_margin`.
+        """
+        n = len(batch)
+        margins = np.empty(n, dtype=np.float64)
+        if n == 0:
+            return margins
+        heap = self.heap
+        kb = self.kernels
+        ws = self._workspace()
+        nnz = batch.indices.size
+        buckets = ws.array("p_buckets", (self.depth, nnz), np.int64)
+        signs = ws.array("p_signs", (self.depth, nnz))
+        self._batch_hasher.rows_into(batch.indices, buckets, signs)
+        flat = ws.array("p_flat", (self.depth, nnz), np.int64)
+        np.add(buckets, self._row_offsets, out=flat)
+        sv = ws.array("p_sv", (self.depth, nnz))
+        np.multiply(signs, batch.values, out=sv)
+        slots = heap.member_slots(batch.indices)
+        values = batch.values
+        indptr = batch.indptr.tolist()
+        margin_k = kb.margin
+        lo = indptr[0]
+        for i in range(n):
+            hi = indptr[i + 1]
+            sl = slots[lo:hi]
+            in_heap = sl >= 0
+            total = 0.0
+            if in_heap.any():
+                products = (
+                    heap.values_at(sl[in_heap]) * values[lo:hi][in_heap]
+                )
+                for p in products.tolist():
+                    total += p
+                in_sketch = ~in_heap
+                fb = flat[:, lo:hi][:, in_sketch]
+                svx = sv[:, lo:hi][:, in_sketch]
+            else:
+                fb = flat[:, lo:hi]
+                svx = sv[:, lo:hi]
+            if fb.shape[1]:
+                total += margin_k(
+                    self._table_flat, fb, svx, self._scale, self._sqrt_s
+                )
+            margins[i] = total
+            lo = hi
+        return margins
+
+    def query_many(self, indices: np.ndarray) -> np.ndarray:
+        """Serving-path weight queries: exact active-set values where
+        stored, cached-hash ``fused_query`` recovery for the tail —
+        bit-identical to :meth:`estimate_weights`."""
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        out = np.empty(indices.size, dtype=np.float64)
+        if indices.size == 0:
+            return out
+        slots = self.heap.member_slots(indices)
+        member = slots >= 0
+        if member.any():
+            out[member] = self.heap.values_at(slots[member])
+        tail = ~member
+        if tail.any():
+            out[tail] = super().query_many(indices[tail])
+        return out
 
     # ------------------------------------------------------------------
     # Scalar fast path (1-sparse inputs: the Section 8 applications)
@@ -314,6 +391,15 @@ class AWMSketch(ScaledSketchTable):
             tail_idx = indices
             tail_val = values
         tail_n = tail_idx.size
+        # The shared-gather fused_query pays on compiled backends (one
+        # jitted call replaces the gather + median pair); on the NumPy
+        # reference it is the *same* composition plus a buffer copy, so
+        # the reference chain stays — both branches are bit-identical
+        # (fuzzed per backend in tests/test_fused_kernels.py, which
+        # forces the branch on interpreted backends via
+        # ``_force_fused_query``).
+        fused = self.use_fused and (kb.compiled or self._force_fused_query)
+        raw_med: np.ndarray | None = None
         if tail_n:
             # Hash the tail once (or select from the batch-hashed rows)
             # and gather its table cells once; the same gathered values
@@ -332,8 +418,20 @@ class AWMSketch(ScaledSketchTable):
             # products here and the recovery queries below; the margin
             # kernel's sum is exactly rounded, so the transposed
             # summation order leaves the margin bit-identical to the
-            # (depth, nnz) layout.
-            taken_t = kb.gather_rows_t(self._table_flat, flat_tail)
+            # (depth, nnz) layout.  The fused path gets the gather and
+            # the (factor-independent) raw medians from a single
+            # fused_query call over workspace buffers; queries below
+            # are then one scalar multiply by the post-decay factor —
+            # the exact floats median_estimate(..., factor) yields.
+            if fused:
+                taken_t = np.empty((tail_n, self.depth))
+                raw_med = np.empty(tail_n)
+                kb.fused_query(
+                    self._table_flat, flat_tail, tail_signs.T, 1.0,
+                    taken_t, raw_med, kernels.EMPTY_SCRATCH,
+                )
+            else:
+                taken_t = kb.gather_rows_t(self._table_flat, flat_tail)
             tau += kb.margin_gathered(
                 taken_t, (tail_signs * tail_val).T,
                 self._scale, self._sqrt_s,
@@ -351,8 +449,15 @@ class AWMSketch(ScaledSketchTable):
             self._decay_scale(decay)
             if tail_n and self._scale != scale_before * decay:
                 # The decay underflowed the scale and folded it into the
-                # raw table; the pre-decay gather is stale.
-                taken_t = kb.gather_rows_t(self._table_flat, flat_tail)
+                # raw table; the pre-decay gather (and raw medians) are
+                # stale.
+                if fused:
+                    kb.fused_query(
+                        self._table_flat, flat_tail, tail_signs.T, 1.0,
+                        taken_t, raw_med, kernels.EMPTY_SCRATCH,
+                    )
+                else:
+                    taken_t = kb.gather_rows_t(self._table_flat, flat_tail)
 
         step = eta * y * g
 
@@ -366,12 +471,28 @@ class AWMSketch(ScaledSketchTable):
             # Queries = median-of-rows recovery on the post-decay table
             # (the decay touches only the scale, so the shared gather is
             # still the raw table unless the underflow fold above fired).
-            queries = self._estimate_from_rows(
-                tail_buckets,
-                tail_signs,
-                flat_buckets=flat_tail,
-                gathered_t=taken_t,
-            )
+            if fused:
+                # One scalar multiply by the post-decay factor turns the
+                # recorded raw medians into the exact recovery queries
+                # (the fused_query call pre-dates the decay, which only
+                # moves the scale), followed by the same optional l1
+                # soft-threshold _estimate_from_rows applies.
+                if self.depth == 1:
+                    factor = self._scale
+                else:
+                    factor = self._sqrt_s * self._scale
+                queries = factor * raw_med
+                if self.l1 > 0.0:
+                    queries = np.sign(queries) * np.maximum(
+                        np.abs(queries) - self.l1, 0.0
+                    )
+            else:
+                queries = self._estimate_from_rows(
+                    tail_buckets,
+                    tail_signs,
+                    flat_buckets=flat_tail,
+                    gathered_t=taken_t,
+                )
             candidates = queries - step * tail_val
 
             if not heap.is_full:
@@ -524,7 +645,20 @@ class AWMSketch(ScaledSketchTable):
                 )
             else:
                 if buckets is None:
-                    buckets, signs = self._batch_hasher.rows(indices)
+                    if self.use_fused:
+                        # Hash into workspace arenas (cached, dedup) —
+                        # the zero-allocation batched front-end.
+                        ws = self._workspace()
+                        nnz = indices.size
+                        buckets = ws.array(
+                            "b_buckets", (self.depth, nnz), np.int64
+                        )
+                        signs = ws.array("b_signs", (self.depth, nnz))
+                        self._batch_hasher.rows_into(
+                            indices, buckets, signs
+                        )
+                    else:
+                        buckets, signs = self._batch_hasher.rows(indices)
                 if slot_cache is None or slot_cache.stale:
                     slot_cache = BatchSlotCache(
                         heap, indices, reuse=slot_cache

@@ -72,6 +72,15 @@ class ScaledSketchTable(StreamingClassifier):
     #: in-process).  Informational — backends are bit-equivalent.
     trained_backend: str | None = None
 
+    #: Route batched work through the fused mega-kernels
+    #: (:mod:`repro.kernels.api`) over the model's preallocated
+    #: :class:`~repro.kernels.workspace.KernelWorkspace`.  On by
+    #: default; turned off (or forced off by a loss without a
+    #: ``kernel_id``) every batched path falls back to the original
+    #: per-kernel chain — the executable reference the fused paths are
+    #: fuzz-checked against (``tests/test_fused_kernels.py``).
+    use_fused: bool = True
+
     def __init__(
         self,
         width: int,
@@ -115,19 +124,31 @@ class ScaledSketchTable(StreamingClassifier):
             np.arange(depth, dtype=np.int64) * width
         ).reshape(-1, 1)
         self._table_flat = self.table.ravel()
+        # Dispatch-free kernel binding + lazily-built workspace (both
+        # per-process caches: dropped on pickling, rebuilt on load).
+        self._kb = kernels.BackendHandle(backend)
+        self._ws: kernels.KernelWorkspace | None = None
         self.t = 0
 
     @property
     def kernels(self) -> "kernels.KernelBackend":
         """The kernel backend this table's hot loops dispatch through.
 
-        Resolved per access (a dict lookup): an explicit per-model
+        Resolved through a cached :class:`~repro.kernels.BackendHandle`
+        (one integer epoch compare per access): an explicit per-model
         ``backend`` wins, otherwise the process default
-        (:func:`repro.kernels.get_backend`) applies — so
-        ``set_backend`` takes effect on live models.  Hot loops bind
-        the resolved kernels to locals once per batch.
+        (:func:`repro.kernels.get_backend`) applies — ``set_backend``
+        still takes effect on live models because it bumps the epoch.
         """
-        return kernels.get_backend(self.backend, strict=False)
+        return self._kb.get()
+
+    def _workspace(self) -> "kernels.KernelWorkspace":
+        """The model's grow-only fused-kernel workspace (lazily built,
+        never serialized)."""
+        ws = self._ws
+        if ws is None:
+            ws = self._ws = kernels.KernelWorkspace()
+        return ws
 
     # ------------------------------------------------------------------
     # Pickling (spawn-safe worker processes)
@@ -136,10 +157,11 @@ class ScaledSketchTable(StreamingClassifier):
         """Drop derived buffers; critically, ``_table_flat`` is a *view*
         of ``table`` — pickling it naively would materialize a detached
         copy and silently break the aliasing every scatter/gather relies
-        on.  The batch hasher is a pure cache and restarts cold."""
+        on.  The batch hasher, the kernel-backend handle and the fused
+        workspace are pure per-process caches and restart cold."""
         state = self.__dict__.copy()
         for key in ("_table_flat", "_row_idx", "_row_offsets",
-                    "_batch_hasher"):
+                    "_batch_hasher", "_kb", "_ws"):
             state.pop(key, None)
         return state
 
@@ -153,6 +175,8 @@ class ScaledSketchTable(StreamingClassifier):
         ).reshape(-1, 1)
         self._table_flat = self.table.ravel()
         self._batch_hasher = BatchHasher(self.family)
+        self._kb = kernels.BackendHandle(self.backend)
+        self._ws = None  # rebuilt lazily on first fused batch
 
     # ------------------------------------------------------------------
     # Merging (distributed / sharded training)
@@ -236,6 +260,94 @@ class ScaledSketchTable(StreamingClassifier):
     def _rows(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """(buckets, signs), each of shape (depth, nnz)."""
         return self.family.all_rows(indices)
+
+    def _batch_rows(
+        self,
+        batch,
+        rows: tuple[np.ndarray, np.ndarray] | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(buckets, signs, sign*value products, flat buckets) for a
+        whole batch, every array living in the model's workspace.
+
+        The zero-allocation front-end of the fused paths: hashes land
+        in workspace arenas through :meth:`BatchHasher.rows_into`, and
+        the products / row-offset adds write into reused buffers.
+        Values are bit-identical to the fresh-array chain (gathers and
+        elementwise ufuncs are buffer-independent).
+        """
+        ws = self._workspace()
+        depth = self.depth
+        nnz = batch.indices.size
+        if rows is None:
+            buckets = ws.array("b_buckets", (depth, nnz), np.int64)
+            signs = ws.array("b_signs", (depth, nnz))
+            self._batch_hasher.rows_into(batch.indices, buckets, signs)
+        else:
+            buckets, signs = rows
+        sign_values = ws.array("b_sv", (depth, nnz))
+        np.multiply(signs, batch.values, out=sign_values)
+        flat = ws.array("b_flat", (depth, nnz), np.int64)
+        np.add(buckets, self._row_offsets, out=flat)
+        return buckets, signs, sign_values, flat
+
+    def _check_decay_window(self, etas: np.ndarray) -> None:
+        """Pre-validate a whole window of decays for the fused kernel.
+
+        The unfused chain raises mid-batch at the first offending
+        example (with earlier updates already applied); the fused
+        kernel cannot raise mid-stream, so the window is validated up
+        front — same trigger condition (``1 - eta * lambda <= 0`` iff
+        ``eta * lambda >= 1``), same message, but no partial state.
+        """
+        lam = self.lambda_
+        if lam <= 0.0 or etas.size == 0:
+            return
+        if float(etas.max()) * lam < 1.0:
+            return
+        first = int(np.argmax(etas * lam >= 1.0))
+        eta = float(etas[first])
+        raise ValueError(
+            f"eta * lambda = {eta * lam} >= 1; decrease eta0"
+        )
+
+    # ------------------------------------------------------------------
+    # Serving-path queries
+    # ------------------------------------------------------------------
+    def query_many(self, indices: np.ndarray) -> np.ndarray:
+        """Sketch-recovery estimates for many features, serving-path.
+
+        Bit-identical to the per-feature recovery behind
+        ``estimate_weights`` for sketch-resident features, but built
+        for query rate: hashes go through the model's cross-batch cache
+        (repeated queries skip hashing entirely), and the gather +
+        median run as one ``fused_query`` kernel call over workspace
+        buffers.  Subclasses holding exact weights (the AWM active set)
+        override this to answer members exactly.
+        """
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        n = indices.size
+        if n == 0:
+            return np.zeros(0, dtype=np.float64)
+        ws = self._workspace()
+        depth = self.depth
+        buckets = ws.array("q_buckets", (depth, n), np.int64)
+        signs = ws.array("q_signs", (depth, n))
+        self._batch_hasher.rows_into(indices, buckets, signs)
+        flat = ws.array("q_flat", (depth, n), np.int64)
+        np.add(buckets, self._row_offsets, out=flat)
+        gathered = ws.array("q_gathered", (n, depth))
+        est = np.empty(n, dtype=np.float64)
+        if self.depth == 1:
+            factor = self._scale
+        else:
+            factor = self._sqrt_s * self._scale
+        self.kernels.fused_query(
+            self._table_flat, flat, signs.T, factor, gathered, est,
+            kernels.EMPTY_SCRATCH,
+        )
+        if self.l1 > 0.0:
+            est = np.sign(est) * np.maximum(np.abs(est) - self.l1, 0.0)
+        return est
 
     def _margin_from_rows(
         self, buckets: np.ndarray, signs: np.ndarray, values: np.ndarray

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.core.sketch_table import _RENORM_THRESHOLD, ScaledSketchTable
 from repro.data.batch import SparseBatch
 from repro.data.sparse import SparseExample
@@ -128,25 +129,26 @@ class WMSketch(ScaledSketchTable):
         return self._margin_from_rows(buckets, signs, x.values)
 
     def predict_batch(self, batch: SparseBatch) -> np.ndarray:
-        """Margins for a whole batch with one hash + one segment-sum.
+        """Margins for a whole batch — the serving fast path.
 
-        Read-only, so this is fully vectorized (no sequential replay);
-        margins agree with per-example :meth:`predict_margin` to float
-        summation-order differences (<= 1e-12 relative in practice).
+        One cached, deduplicated hash for the whole batch plus a single
+        ``fused_predict`` kernel call over workspace buffers.  Unlike
+        the earlier segment-sum implementation (which agreed with the
+        scalar path only to summation-order float differences), the
+        fused kernel computes each example's *exactly rounded* margin —
+        **bit-identical** to per-example :meth:`predict_margin`, so a
+        served score does not depend on how requests were batched.
         """
         n = len(batch)
         if n == 0:
             return np.empty(0, dtype=np.float64)
-        buckets, signs = self._batch_hasher.rows(batch.indices)
-        rows = np.arange(self.depth)[:, None]
-        contrib = (self.table[rows, buckets] * (signs * batch.values)).sum(
-            axis=0
+        _, _, sign_values, flat = self._batch_rows(batch, None)
+        out = np.empty(n, dtype=np.float64)
+        self.kernels.fused_predict(
+            self._table_flat, flat, sign_values, batch.indptr,
+            self._scale, self._sqrt_s, out, kernels.EMPTY_SCRATCH,
         )
-        seg = np.repeat(
-            np.arange(n, dtype=np.int64), np.diff(batch.indptr)
-        )
-        sums = np.bincount(seg, weights=contrib, minlength=n)
-        return self._scale * sums / self._sqrt_s
+        return out
 
     # ------------------------------------------------------------------
     # Learning
@@ -173,19 +175,268 @@ class WMSketch(ScaledSketchTable):
         batch: SparseBatch,
         rows: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> np.ndarray:
-        """Mini-batch update kernel: hash once, replay the sequence.
+        """Mini-batch update kernel: hash once, fuse the replay.
 
         The batch's whole index set is hashed in a single deduplicated
-        vectorized call and the sign*value products are formed once;
-        the per-example gradient steps are then replayed in stream
-        order over array views, preserving the sequential semantics
-        (state is bit-identical to per-example :meth:`update` calls).
-        Returns the pre-update margins.
+        (cached) call into workspace arenas, and the entire per-example
+        sequence — exactly-rounded margin, loss derivative, lazy decay,
+        eta-scaled scatter — runs as **one** ``fused_update`` kernel
+        call over preallocated buffers: zero steady-state allocations
+        and no per-example kernel dispatch, with state bit-identical to
+        per-example :meth:`update` calls.  Returns the pre-update
+        margins.
+
+        With a passive heap attached, the fused kernel additionally
+        records each example's post-update gathered cells and scale, and
+        the heap-maintain pass replays its admission decisions from the
+        recording afterwards — the WM heap never feeds back into the
+        table, so the decoupling is exact (fuzz-checked in
+        ``tests/test_fused_kernels.py``).
 
         ``rows`` may carry precomputed ``(buckets, signs)`` for
         ``batch.indices`` (shape ``(depth, nnz)``), as produced by the
         pipelined ingestion path's prefetch hasher; hashes are pure, so
         supplied rows are interchangeable with hashing here.
+
+        Losses without a kernel id (custom losses) and
+        ``use_fused=False`` take the original per-kernel chain
+        (:meth:`_fit_batch_unfused`) — the executable reference for the
+        fused path.  One visible difference: an invalid decay
+        (``eta * lambda >= 1``) raises *before* any update on the fused
+        path, where the unfused chain raises mid-batch.
+        """
+        n = len(batch)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        if not self.use_fused or self.loss.kernel_id is None:
+            return self._fit_batch_unfused(batch, rows)
+        buckets, signs, sign_values, flat = self._batch_rows(batch, rows)
+        ws = self._ws
+        nnz = batch.indices.size
+        etas = ws.array("etas", n)
+        etas[:] = self.schedule.many(self.t, n)
+        self._check_decay_window(etas)
+        margins = np.empty(n, dtype=np.float64)
+        heap = self.heap
+        if heap is None:
+            gathered = kernels.EMPTY_GATHER
+            scales = kernels.EMPTY_SCALES
+        else:
+            gathered = ws.array("gathered", (nnz, self.depth))
+            scales = ws.array("scales", n)
+        self._scale = self.kernels.fused_update(
+            self._table_flat, flat, sign_values, batch.indptr,
+            batch.labels, etas, self.lambda_, self._scale, self._sqrt_s,
+            self.loss.kernel_id, self.loss.kernel_param,
+            margins, gathered, scales, kernels.EMPTY_SCRATCH,
+        )
+        self.t += n
+        if heap is not None and nnz:
+            self._maintain_batch_recorded(batch, signs, gathered, scales)
+        return margins
+
+    def _maintain_batch_recorded(
+        self,
+        batch: SparseBatch,
+        signs: np.ndarray,
+        gathered: np.ndarray,
+        scales: np.ndarray,
+    ) -> None:
+        """Replay the passive heap maintenance from the fused kernel's
+        recording.
+
+        ``gathered[lo:hi]`` holds example ``i``'s table cells exactly
+        as they stood after its own update (and any renormalization),
+        and ``scales[i]`` the scale at that moment — everything
+        :meth:`_maintain_heap` read from the live table mid-replay, so
+        admission decisions are identical.  The per-example estimate
+        *bounds* collapse to one vectorized max-reduce over the whole
+        batch, and the raw medians (factor-independent) are computed in
+        one vectorized pass over workspace arenas, lazily, only if some
+        example actually needs estimates.
+        """
+        heap = self.heap
+        indices = batch.indices
+        nnz = indices.size
+        n = len(batch)
+        ws = self._ws
+        absg = ws.array("absg", (nnz, self.depth))
+        np.abs(gathered, out=absg)
+        rowmax = ws.array("rowmax", nnz)
+        np.max(absg, axis=1, out=rowmax)
+        raw_bounds = ws.array("raw_bounds", n)
+        # reduceat over the *non-empty* segment starts only: an empty
+        # example's start equals its successor's, and a trailing empty
+        # one would force an out-of-range (or, if clipped, segment-
+        # splitting) offset that corrupts the preceding example's
+        # bound.  Dropping empty starts keeps every remaining segment
+        # [lo_i, lo_next) == [lo_i, hi_i) exactly; the skipped
+        # examples' bound slots are never read (the replay loop skips
+        # empty examples).
+        nonempty = np.flatnonzero(np.diff(batch.indptr) > 0)
+        if nonempty.size:
+            compact = ws.array("raw_bounds_c", nonempty.size)
+            np.maximum.reduceat(
+                rowmax, batch.indptr[:-1][nonempty], out=compact
+            )
+            raw_bounds[nonempty] = compact
+        est_arena = ws.array("est", nnz)
+        raw_med: np.ndarray | None = None
+        slot_cache = BatchSlotCache(heap, indices)
+        promo_log: list = []
+        indptr = batch.indptr.tolist()
+        sqrt_s = self._sqrt_s
+        depth_one = self.depth == 1
+        lo = indptr[0]
+        for i in range(n):
+            hi = indptr[i + 1]
+            if hi == lo:
+                continue
+            if slot_cache.stale:
+                slot_cache = BatchSlotCache(heap, indices, reuse=slot_cache)
+            scale = float(scales[i])
+            factor = scale if depth_one else sqrt_s * scale
+
+            def estimates_for(lo=lo, hi=hi, factor=factor):
+                nonlocal raw_med
+                if raw_med is None:
+                    # Raw (factor = 1) medians for the whole batch in
+                    # one pass over workspace arenas — the exact value
+                    # selection of the median_estimate kernel (product,
+                    # row sort, middle pick); per-example estimates are
+                    # then the recorded factor times the slice, the
+                    # same floats median_estimate(..., factor) yields.
+                    raw_med = ws.array("med", nnz)
+                    if self.depth == 1:
+                        np.multiply(
+                            signs[0], gathered[:, 0], out=raw_med
+                        )
+                    else:
+                        rows = ws.array("med_rows", (nnz, self.depth))
+                        np.multiply(signs.T, gathered, out=rows)
+                        rows.sort(axis=1)
+                        mid = self.depth // 2
+                        if self.depth % 2:
+                            np.copyto(raw_med, rows[:, mid])
+                        else:
+                            np.add(
+                                rows[:, mid - 1], rows[:, mid],
+                                out=raw_med,
+                            )
+                            raw_med *= 0.5
+                est = est_arena[lo:hi]
+                np.multiply(raw_med[lo:hi], factor, out=est)
+                if self.l1 > 0.0:
+                    est = np.sign(est) * np.maximum(
+                        np.abs(est) - self.l1, 0.0
+                    )
+                return est
+
+            if depth_one:
+                bound = scale * float(raw_bounds[i])
+            else:
+                bound = sqrt_s * scale * float(raw_bounds[i])
+            if self.l1 > 0.0:
+                bound = max(bound - self.l1, 0.0)
+            self._maintain_decide(
+                indices[lo:hi],
+                slot_cache.slice(lo, hi),
+                lambda bound=bound: bound,
+                estimates_for,
+                promo_log,
+            )
+            if promo_log:
+                for admitted, evicted in promo_log:
+                    slot_cache.apply(admitted, evicted)
+                promo_log.clear()
+            lo = hi
+
+    def _maintain_decide(
+        self,
+        indices: np.ndarray,
+        slots: np.ndarray,
+        bound_for,
+        estimates_for,
+        promo_log: list | None,
+    ) -> None:
+        """The admission-decision core shared by the live
+        (:meth:`_maintain_heap`) and recorded
+        (:meth:`_maintain_batch_recorded`) maintain paths.
+
+        ``bound_for()`` / ``estimates_for()`` lazily provide the
+        estimate bound and the per-feature estimates — from the live
+        table on the unfused path, from the fused kernel's recording on
+        the fused path — so the decision structure exists exactly once
+        and the two paths cannot drift apart.
+        """
+        heap = self.heap
+        screen_k = self.kernels.screen_abs_gt
+        member = slots >= 0
+        any_member = bool(member.any())
+        if heap.is_full:
+            if not any_member:
+                if bound_for() <= heap.min_priority():
+                    return
+                estimates = estimates_for()
+                cand = screen_k(estimates, heap.min_priority())
+            else:
+                estimates = estimates_for()
+                heap.set_many(slots[member], estimates[member])
+                if member.all():
+                    return
+                cand = screen_k(estimates, heap.min_priority())
+                cand = cand[~member[cand]]
+            for pos in cand.tolist():
+                idx = int(indices[pos])
+                w = float(estimates[pos])
+                # Re-check the live threshold: earlier admissions can
+                # only have raised it.  A duplicate feature admitted
+                # earlier in this example updates in place via push.
+                if idx in heap:
+                    heap.push(idx, w)
+                elif abs(w) > heap.min_priority():
+                    evicted = heap.push(idx, w)
+                    if promo_log is not None:
+                        promo_log.append(
+                            (idx, evicted[0] if evicted else None)
+                        )
+        else:
+            estimates = estimates_for()
+            # Free slots remain: sequential admits (the heap can fill
+            # mid-example, after which the threshold rule applies).
+            push = heap.push
+            minp = None
+            for idx, w in zip(indices.tolist(), estimates.tolist()):
+                if idx in heap:
+                    push(idx, w)
+                    minp = None
+                elif not heap.is_full:
+                    push(idx, w)
+                    minp = None
+                    if promo_log is not None:
+                        promo_log.append((idx, None))
+                else:
+                    if minp is None:
+                        minp = heap.min_priority()
+                    if abs(w) > minp:
+                        evicted = push(idx, w)
+                        minp = None
+                        if promo_log is not None:
+                            promo_log.append(
+                                (idx, evicted[0] if evicted else None)
+                            )
+
+    def _fit_batch_unfused(
+        self,
+        batch: SparseBatch,
+        rows: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """The original per-kernel mini-batch chain (pre-fusion).
+
+        Retained verbatim as the executable reference the fused path is
+        fuzz-checked against, and as the fallback for custom losses the
+        kernels cannot represent.  State is bit-identical to per-example
+        :meth:`update` calls *and* to the fused path.
         """
         n = len(batch)
         if n == 0:
@@ -293,75 +544,22 @@ class WMSketch(ScaledSketchTable):
         candidates are judged (the threshold candidates face is the one
         left by this example's refreshed members), and the surviving
         candidates re-check the live minimum in order, exactly as
-        sequential pushes would.
+        sequential pushes would.  The decision structure itself lives
+        in :meth:`_maintain_decide`, shared with the fused replay.
         """
-        heap = self.heap
-        screen_k = self.kernels.screen_abs_gt
         if slots is None:
-            slots = heap.member_slots(indices)
-        member = slots >= 0
-        any_member = bool(member.any())
-        if heap.is_full:
-            if not any_member:
-                bound = self._estimate_bound(
-                    buckets, flat_buckets=flat_buckets
-                )
-                if bound <= heap.min_priority():
-                    return
-                estimates = self._estimate_from_rows(
-                    buckets, signs, flat_buckets=flat_buckets
-                )
-                cand = screen_k(estimates, heap.min_priority())
-            else:
-                estimates = self._estimate_from_rows(
-                    buckets, signs, flat_buckets=flat_buckets
-                )
-                heap.set_many(slots[member], estimates[member])
-                if member.all():
-                    return
-                cand = screen_k(estimates, heap.min_priority())
-                cand = cand[~member[cand]]
-            for pos in cand.tolist():
-                idx = int(indices[pos])
-                w = float(estimates[pos])
-                # Re-check the live threshold: earlier admissions can
-                # only have raised it.  A duplicate feature admitted
-                # earlier in this example updates in place via push.
-                if idx in heap:
-                    heap.push(idx, w)
-                elif abs(w) > heap.min_priority():
-                    evicted = heap.push(idx, w)
-                    if promo_log is not None:
-                        promo_log.append(
-                            (idx, evicted[0] if evicted else None)
-                        )
-        else:
-            estimates = self._estimate_from_rows(
+            slots = self.heap.member_slots(indices)
+        self._maintain_decide(
+            indices,
+            slots,
+            lambda: self._estimate_bound(
+                buckets, flat_buckets=flat_buckets
+            ),
+            lambda: self._estimate_from_rows(
                 buckets, signs, flat_buckets=flat_buckets
-            )
-            # Free slots remain: sequential admits (the heap can fill
-            # mid-example, after which the threshold rule applies).
-            push = heap.push
-            minp = None
-            for idx, w in zip(indices.tolist(), estimates.tolist()):
-                if idx in heap:
-                    push(idx, w)
-                    minp = None
-                elif not heap.is_full:
-                    push(idx, w)
-                    minp = None
-                    if promo_log is not None:
-                        promo_log.append((idx, None))
-                else:
-                    if minp is None:
-                        minp = heap.min_priority()
-                    if abs(w) > minp:
-                        evicted = push(idx, w)
-                        minp = None
-                        if promo_log is not None:
-                            promo_log.append(
-                                (idx, evicted[0] if evicted else None)
-                            )
+            ),
+            promo_log,
+        )
 
     # ------------------------------------------------------------------
     # Merging (distributed / sharded training)

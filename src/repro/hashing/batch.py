@@ -1,4 +1,4 @@
-"""Batched hashing: per-batch dedup plus a cross-batch key cache.
+"""Batched hashing: per-batch dedup plus a bounded cross-batch key cache.
 
 Hashing dominates the cost of sketch updates on the Python substrate —
 every row of every sketch evaluates a vectorized tabulation (or
@@ -12,9 +12,21 @@ polynomial) hash per example.  Two structural facts make batching pay:
   recently hashed keys converts most lookups into one
   ``np.searchsorted`` gather.
 
+The cache is bounded at ``cache_capacity`` entries with *bulk LRU-ish*
+eviction: every entry carries a last-used batch stamp, and when an
+insert would overflow, the least-recently-used half of the incumbents
+is dropped in one vectorized pass (amortized O(1) per inserted key —
+per-entry LRU bookkeeping would cost more than the hashes it saves).
+High-cardinality streams therefore cycle the cold tail through the
+cache while the Zipf head stays resident; :attr:`hit_rate` reports how
+well that is working.
+
 Hash functions are pure, so neither optimization can change a single
 bucket or sign — :class:`BatchHasher` is exactly ``family.all_rows``
 evaluated faster (property-tested in ``tests/test_batch_hashing.py``).
+For zero-allocation callers, :meth:`rows_into` writes the expanded
+(bucket, sign) rows into caller-provided (workspace) arrays instead of
+returning fresh ones.
 """
 
 from __future__ import annotations
@@ -33,8 +45,8 @@ class BatchHasher:
         The hash family to evaluate.
     cache_capacity:
         Maximum number of distinct keys retained across batches.  When
-        an insert would overflow, the cache is generationally reset to
-        the current batch's keys (hot keys immediately repopulate it).
+        an insert would overflow, the least-recently-used half of the
+        incumbents is evicted in bulk (see the module docstring).
         0 disables cross-batch caching (dedup still applies).
     """
 
@@ -49,9 +61,32 @@ class BatchHasher:
         self._keys = np.empty(0, dtype=np.int64)  # sorted
         self._buckets = np.empty((depth, 0), dtype=np.int64)
         self._signs = np.empty((depth, 0), dtype=np.float64)
-        #: Diagnostics: unique keys served from / missing in the cache.
+        #: Last-used batch stamp per cached key (parallel to ``_keys``).
+        self._last_used = np.empty(0, dtype=np.int64)
+        self._tick = 0
+        #: Diagnostics: lookups served from / missing in the cache
+        #: (unique keys on the dedup path, key positions on the all-hit
+        #: fast path), and entries dropped by bulk LRU eviction.
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        #: Key-universe bound under which the all-hit fast path keeps a
+        #: dense key -> cache-position map (int32, so the default costs
+        #: at most 4 MB).  Streams with larger ids simply keep the
+        #: dedup path — results are identical either way.
+        self.direct_bound = 1 << 20
+        # The dense map itself: ``_direct[key]`` is the cache position
+        # of ``key`` or -1.  Rebuilt lazily after any cache mutation
+        # (grow-only arena; never pickled — the whole cache state is
+        # derived).
+        self._direct = np.empty(0, dtype=np.int32)
+        self._direct_span = 0  # valid prefix of the map
+        self._direct_dirty = True
+        # Grow-only scratch for fast-path lookups (positions + hit
+        # mask); never escapes this object.
+        self._pos32_scratch = np.empty(0, dtype=np.int32)
+        self._pos_scratch = np.empty(0, dtype=np.intp)
+        self._hit_scratch = np.empty(0, dtype=bool)
 
     # ------------------------------------------------------------------
     # Pickling: the cache is a pure memoization of the (picklable) hash
@@ -77,9 +112,31 @@ class BatchHasher:
         self._keys = np.empty(0, dtype=np.int64)
         self._buckets = np.empty((depth, 0), dtype=np.int64)
         self._signs = np.empty((depth, 0), dtype=np.float64)
+        self._last_used = np.empty(0, dtype=np.int64)
+        self._direct_span = 0
+        self._direct_dirty = True
 
     def __len__(self) -> int:
         return int(self._keys.size)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of key lookups served from the cache (0.0 before
+        any lookup).
+
+        Accounting follows the path that served the batch: the dedup
+        path counts *unique* keys (one lookup per distinct key), the
+        all-hit fast path counts every key position (it never
+        deduplicates).  Steady-state streams are dominated by the fast
+        path, so the rate reads as per-position there — still the
+        right signal for sizing ``cache_capacity`` / ``direct_bound``
+        (a low value means hashing is being recomputed), just not a
+        unique-key census.
+        """
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
 
     # ------------------------------------------------------------------
     def _lookup(self, uniq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -96,29 +153,138 @@ class BatchHasher:
     def _insert(
         self, keys: np.ndarray, buckets: np.ndarray, signs: np.ndarray
     ) -> None:
-        """Merge sorted new keys (disjoint from the cache) into the cache."""
+        """Merge sorted new keys (disjoint from the cache) into the cache,
+        bulk-evicting the least-recently-used incumbents on overflow."""
         if self.cache_capacity == 0 or keys.size == 0:
             return
-        if self._keys.size + keys.size > self.cache_capacity:
-            # Generational reset: keep only the newcomers (bounded memory;
-            # hot keys re-enter on their next occurrence).
-            if keys.size > self.cache_capacity:
-                keep = self.cache_capacity
-                keys, buckets, signs = (
-                    keys[:keep],
-                    buckets[:, :keep],
-                    signs[:, :keep],
-                )
-            self._keys = keys.copy()
-            self._buckets = buckets.copy()
-            self._signs = signs.copy()
-            return
+        if keys.size > self.cache_capacity:
+            keep = self.cache_capacity
+            keys, buckets, signs = (
+                keys[:keep],
+                buckets[:, :keep],
+                signs[:, :keep],
+            )
+        overflow = self._keys.size + keys.size - self.cache_capacity
+        if overflow > 0:
+            # Drop at least half the incumbents, oldest stamps first
+            # (amortized O(1) eviction work per inserted key; the hot
+            # head re-enters untouched because its stamps are current).
+            evict = min(max(overflow, self._keys.size // 2), self._keys.size)
+            order = np.argsort(self._last_used, kind="stable")
+            keep_mask = np.ones(self._keys.size, dtype=bool)
+            keep_mask[order[:evict]] = False
+            self._keys = self._keys[keep_mask]
+            self._buckets = self._buckets[:, keep_mask]
+            self._signs = self._signs[:, keep_mask]
+            self._last_used = self._last_used[keep_mask]
+            self.evictions += int(evict)
         at = np.searchsorted(self._keys, keys)
         self._keys = np.insert(self._keys, at, keys)
         self._buckets = np.insert(self._buckets, at, buckets, axis=1)
         self._signs = np.insert(self._signs, at, signs, axis=1)
+        self._last_used = np.insert(self._last_used, at, self._tick)
+        self._direct_dirty = True
 
     # ------------------------------------------------------------------
+    def _rebuild_direct(self) -> bool:
+        """(Re)build the dense key -> position map; False if the key
+        universe exceeds :attr:`direct_bound`."""
+        n = self._keys.size
+        if n == 0:
+            return False
+        span = int(self._keys[-1]) + 1  # keys are sorted, non-negative
+        if span > self.direct_bound or int(self._keys[0]) < 0:
+            self._direct_span = 0
+            return False
+        if self._direct.size < span:
+            self._direct = np.empty(
+                max(span, 2 * self._direct.size), dtype=np.int32
+            )
+        self._direct[:span] = -1
+        self._direct[self._keys] = np.arange(n, dtype=np.int32)
+        self._direct_span = span
+        self._direct_dirty = False
+        return True
+
+    def _all_hit_rows(
+        self,
+        keys: np.ndarray,
+        buckets_out: np.ndarray | None,
+        signs_out: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Steady-state fast path: every key already cached.
+
+        One gather against the dense key -> position map plus a hit
+        probe, all through grow-only scratch — no ``np.unique``, whose
+        sort/inverse machinery is both the dominant transient
+        allocation and a large share of the time of the dedup path.
+        Returns ``None`` when any key misses, the map is out of
+        bounds, or the key universe is too wide (the dedup path then
+        handles the batch; results are identical either way).
+        """
+        if self._keys.size == 0:
+            return None
+        if self._direct_dirty and not self._rebuild_direct():
+            return None
+        n = keys.size
+        if (self._direct_span == 0
+                or int(keys.max()) >= self._direct_span
+                or int(keys.min()) < 0):
+            return None
+        if self._pos_scratch.size < n:
+            grown = max(n, 2 * self._pos_scratch.size)
+            self._pos32_scratch = np.empty(grown, dtype=np.int32)
+            self._pos_scratch = np.empty(grown, dtype=np.intp)
+            self._hit_scratch = np.empty(grown, dtype=bool)
+        pos32 = self._pos32_scratch[:n]
+        np.take(self._direct, keys, out=pos32)
+        hit = self._hit_scratch[:n]
+        np.greater_equal(pos32, 0, out=hit)
+        if not hit.all():
+            return None
+        # One intp copy up front so the row takes below do not each
+        # re-convert the index array.
+        pos = self._pos_scratch[:n]
+        np.copyto(pos, pos32)
+        self._tick += 1
+        self._last_used[pos] = self._tick
+        self.hits += n
+        if buckets_out is None:
+            return self._buckets[:, pos], self._signs[:, pos]
+        for j in range(self.family.depth):
+            # Per-row 1-d takes: the axis/out variant of np.take
+            # materializes an internal temporary; row takes do not.
+            self._buckets[j].take(pos, out=buckets_out[j])
+            self._signs[j].take(pos, out=signs_out[j])
+        return buckets_out, signs_out
+
+    def _unique_rows(
+        self, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(ubuckets, usigns, inverse map) for a key array's unique set,
+        served from the cache where possible."""
+        uniq, inv = np.unique(keys, return_inverse=True)
+        depth = self.family.depth
+        self._tick += 1
+        pos, hit = self._lookup(uniq)
+        ubuckets = np.empty((depth, uniq.size), dtype=np.int64)
+        usigns = np.empty((depth, uniq.size), dtype=np.float64)
+        n_hit = int(np.count_nonzero(hit))
+        if n_hit:
+            hit_pos = pos[hit]
+            ubuckets[:, hit] = self._buckets[:, hit_pos]
+            usigns[:, hit] = self._signs[:, hit_pos]
+            self._last_used[hit_pos] = self._tick
+        if n_hit < uniq.size:
+            miss = ~hit
+            mb, ms = self.family.all_rows(uniq[miss])
+            ubuckets[:, miss] = mb
+            usigns[:, miss] = ms
+            self._insert(uniq[miss], mb, ms)
+        self.hits += n_hit
+        self.misses += uniq.size - n_hit
+        return ubuckets, usigns, inv
+
     def rows(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Buckets and signs for every row, identical to ``all_rows``.
 
@@ -136,20 +302,32 @@ class BatchHasher:
                 np.empty((depth, 0), dtype=np.int64),
                 np.empty((depth, 0), dtype=np.float64),
             )
-        uniq, inv = np.unique(keys, return_inverse=True)
-        pos, hit = self._lookup(uniq)
-        ubuckets = np.empty((depth, uniq.size), dtype=np.int64)
-        usigns = np.empty((depth, uniq.size), dtype=np.float64)
-        n_hit = int(np.count_nonzero(hit))
-        if n_hit:
-            ubuckets[:, hit] = self._buckets[:, pos[hit]]
-            usigns[:, hit] = self._signs[:, pos[hit]]
-        if n_hit < uniq.size:
-            miss = ~hit
-            mb, ms = self.family.all_rows(uniq[miss])
-            ubuckets[:, miss] = mb
-            usigns[:, miss] = ms
-            self._insert(uniq[miss], mb, ms)
-        self.hits += n_hit
-        self.misses += uniq.size - n_hit
+        fast = self._all_hit_rows(keys, None, None)
+        if fast is not None:
+            return fast
+        ubuckets, usigns, inv = self._unique_rows(keys)
         return ubuckets[:, inv], usigns[:, inv]
+
+    def rows_into(
+        self,
+        keys: np.ndarray,
+        buckets_out: np.ndarray,
+        signs_out: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`rows`, expanded into caller-provided arrays.
+
+        ``buckets_out`` / ``signs_out`` must be ``(depth, len(keys))``;
+        the expansion gather writes into them (``np.take(..., out=)``)
+        instead of materializing fresh arrays — the zero-allocation
+        front-end of the fused ``fit_batch`` paths.  Gathers move bits,
+        so the results are bit-identical to :meth:`rows`.
+        """
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        if keys.size == 0:
+            return buckets_out, signs_out
+        if self._all_hit_rows(keys, buckets_out, signs_out) is not None:
+            return buckets_out, signs_out
+        ubuckets, usigns, inv = self._unique_rows(keys)
+        np.take(ubuckets, inv, axis=1, out=buckets_out)
+        np.take(usigns, inv, axis=1, out=signs_out)
+        return buckets_out, signs_out

@@ -103,6 +103,10 @@ class HashFamily:
         else:
             raise ValueError(f"unknown hash kind: {kind!r}")
         self._pow2 = width & (width - 1) == 0
+        # Dispatch-free backend binding for the (bucket, sign)
+        # derivation; rebuilt on unpickle (__setstate__ re-runs
+        # __init__), never serialized.
+        self._kb = kernels.BackendHandle(backend)
 
     # ------------------------------------------------------------------
     # Pickling: the whole family is derived deterministically from its
@@ -132,7 +136,7 @@ class HashFamily:
         return np.asarray(h, dtype=np.uint64)
 
     def _derive(self, h: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        backend = kernels.get_backend(self.backend, strict=False)
+        backend = self._kb.get()
         flat = np.atleast_1d(h).reshape(-1)
         buckets, signs = backend.bucket_sign(
             flat, self.width, self._pow2, _SIGN_BIT

@@ -69,6 +69,9 @@ class TabulationHash:
         # Pure-Python table copy for the scalar fast path (plain list
         # indexing beats NumPy scalar indexing by ~5x for single keys).
         self._tables_py = [row.tolist() for row in self._tables]
+        # Dispatch-free backend binding: resolved once, revalidated by
+        # epoch compare (rebuilt on unpickle via __init__).
+        self._kb = kernels.BackendHandle(backend)
 
     # ------------------------------------------------------------------
     # Pickling: the function is fully determined by (seed, key_bits), so
@@ -119,8 +122,7 @@ class TabulationHash:
         k = np.asarray(keys, dtype=np.uint64)
         shape = k.shape
         flat = np.ascontiguousarray(k).reshape(-1)
-        backend = kernels.get_backend(self.backend, strict=False)
-        out = backend.tabulation_hash(self._flat, self._offsets, flat)
+        out = self._kb.get().tabulation_hash(self._flat, self._offsets, flat)
         return out.reshape(shape)
 
     def bucket(self, keys: np.ndarray | int, n_buckets: int) -> np.ndarray:

@@ -80,6 +80,8 @@ class PolynomialHash:
         # uint64 copy for compiled kernels (coefficients are < 2**61).
         self._coeffs_u64 = np.array(self._coeffs, dtype=np.uint64)
         self.backend = backend
+        # Dispatch-free backend binding (rebuilt on unpickle via __init__).
+        self._kb = kernels.BackendHandle(backend)
 
     # ------------------------------------------------------------------
     # Pickling: fully determined by (independence, seed); the coefficient
@@ -114,7 +116,7 @@ class PolynomialHash:
             # silently overflows and yields a *different* hash than the
             # vectorized evaluation of the same key.
             return np.asarray(self.hash_one(int(k)), dtype=object)
-        backend = kernels.get_backend(self.backend, strict=False)
+        backend = self._kb.get()
         shape = k.shape
         flat = np.ascontiguousarray(k, dtype=np.uint64).reshape(-1)
         # Hash values are equal across backends; the dtype differs

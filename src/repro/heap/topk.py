@@ -135,6 +135,9 @@ class TopKStore:
         self._sorted_slots: np.ndarray | None = None
         #: Membership-change counter (see class docstring).
         self.version = 0
+        # Dispatch-free backend binding for the push_many pre-screen
+        # (dropped by __getstate__'s whitelist; rebuilt on load).
+        self._kb = kernels.BackendHandle(backend)
 
     # ------------------------------------------------------------------
     # Pickling (spawn-safe shard transport)
@@ -172,6 +175,7 @@ class TopKStore:
         self._sorted_keys = None
         self._sorted_slots = None
         self.version = 0
+        self._kb = kernels.BackendHandle(self.backend)
 
     # ------------------------------------------------------------------
     # Basic protocol
@@ -490,9 +494,9 @@ class TopKStore:
         elif self._priority is abs:
             # The screen kernel computes |value| > threshold directly —
             # identical decisions to the generic priority path below.
-            survivors = kernels.get_backend(
-                self.backend, strict=False
-            ).screen_abs_gt(rest_values, self.min_priority()).tolist()
+            survivors = self._kb.get().screen_abs_gt(
+                rest_values, self.min_priority()
+            ).tolist()
         else:
             prios = self._vprio(rest_values)
             survivors = np.flatnonzero(prios > self.min_priority()).tolist()

@@ -47,11 +47,27 @@ from __future__ import annotations
 import os
 import warnings
 
-from repro.kernels.api import KERNEL_NAMES, KernelBackend
+from repro.kernels.api import (
+    KERNEL_NAMES,
+    RENORM_THRESHOLD,
+    KernelBackend,
+)
+from repro.kernels.workspace import (
+    EMPTY_GATHER,
+    EMPTY_SCALES,
+    EMPTY_SCRATCH,
+    KernelWorkspace,
+)
 
 __all__ = [
     "KERNEL_NAMES",
+    "RENORM_THRESHOLD",
     "KernelBackend",
+    "KernelWorkspace",
+    "EMPTY_GATHER",
+    "EMPTY_SCALES",
+    "EMPTY_SCRATCH",
+    "BackendHandle",
     "BackendUnavailableError",
     "KernelBackendWarning",
     "available_backends",
@@ -59,6 +75,7 @@ __all__ = [
     "get_backend",
     "set_backend",
     "active_backend_name",
+    "backend_epoch",
 ]
 
 #: Environment variable naming the default backend for the process.
@@ -80,6 +97,11 @@ _loaded: dict[str, KernelBackend] = {}
 _unavailable: dict[str, str] = {}
 _active: KernelBackend | None = None
 _warned: set[str] = set()
+#: Bumped by every :func:`set_backend` call; cached per-object backend
+#: bindings (:class:`BackendHandle`) revalidate against it, so pinning a
+#: new process backend still takes effect on live models while the
+#: steady-state resolution cost drops to one integer comparison.
+_epoch: int = 0
 
 
 def _load(name: str) -> KernelBackend:
@@ -182,15 +204,66 @@ def set_backend(name: str | None) -> KernelBackend:
     environment-variable / auto flow.  Unavailable or unknown names
     raise :class:`BackendUnavailableError` and leave the pin unchanged.
     """
-    global _active
+    global _active, _epoch
     if name is None:
         _active = None
+        _epoch += 1
         return get_backend()
     backend = get_backend(name, strict=True)
     _active = backend
+    _epoch += 1
     return backend
 
 
 def active_backend_name() -> str:
     """Name of the backend the process default currently resolves to."""
     return get_backend().name
+
+
+def backend_epoch() -> int:
+    """Monotone counter of process-wide backend changes (see
+    :class:`BackendHandle`)."""
+    return _epoch
+
+
+class BackendHandle:
+    """A per-object cached backend resolution (the dispatch-free path).
+
+    Hot per-example code used to pay a full :func:`get_backend`
+    resolution — pin lookup, environment read, dict probes — on *every*
+    kernel dispatch (~1-2us/example across the hash rows, margin and
+    scatter of one update).  A handle resolves once and revalidates
+    with a single integer comparison against :func:`backend_epoch`, so
+    :func:`set_backend` still retargets live models while steady-state
+    dispatch is one attribute load.
+
+    Mid-process *environment-variable* changes are the one thing a
+    handle does not observe (plain resolution only reads the variable
+    while no pin is active anyway); processes configure the environment
+    before building models, and tests use :func:`set_backend`.
+
+    Handles hold a loaded backend (whose kernels may be jitted
+    closures), so they must never be pickled: owners drop them in
+    ``__getstate__`` and rebuild on load — which also re-resolves on
+    the destination host, exactly what a checkpoint wants.
+    """
+
+    __slots__ = ("name", "_backend", "_epoch")
+
+    def __init__(self, name: str | None = None):
+        self.name = name
+        self._backend: KernelBackend | None = None
+        self._epoch = -1
+
+    def get(self) -> KernelBackend:
+        """The resolved backend (one int compare when nothing changed)."""
+        if self._epoch != _epoch:
+            self._backend = get_backend(self.name, strict=False)
+            self._epoch = _epoch
+        return self._backend
+
+    def __reduce__(self):  # pragma: no cover - guarded by owners
+        raise TypeError(
+            "BackendHandle is not picklable; owners must drop it in "
+            "__getstate__ and rebuild it on load"
+        )

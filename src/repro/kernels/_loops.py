@@ -35,6 +35,8 @@ overlap hashing with training for real wall-clock gains.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 #: Maximum number of non-overlapping float64 partials math.fsum can
@@ -369,3 +371,233 @@ def screen_abs_gt(values: np.ndarray, threshold: float) -> np.ndarray:
             out[count] = i
             count += 1
     return out[:count]
+
+
+#: Lazy-scale underflow threshold (== kernels.api.RENORM_THRESHOLD and
+#: the classifiers' _RENORM_THRESHOLD; asserted equal by the fuzz suite).
+_RENORM = 1e-150
+
+
+def fused_update(
+    table_flat: np.ndarray,
+    flat_buckets: np.ndarray,
+    sign_values: np.ndarray,
+    indptr: np.ndarray,
+    labels: np.ndarray,
+    etas: np.ndarray,
+    lam: float,
+    scale: float,
+    sqrt_s: float,
+    loss_id: int,
+    loss_param: float,
+    margins_out: np.ndarray,
+    gathered_out: np.ndarray,
+    scales_out: np.ndarray,
+    scratch: np.ndarray,
+) -> float:
+    # The whole per-example chain of the batched fit_batch loop — margin
+    # (inlined exact fsum, as in :func:`margin`), loss derivative, lazy
+    # decay + renorm, eta-scaled scatter — in one call; optionally
+    # records each example's post-update gathered cells and scale for
+    # the decoupled heap-maintain pass.  ``scratch`` is unused here
+    # (partials live on the stack); the signature matches the numpy
+    # composition, which needs it.
+    n = margins_out.shape[0]
+    depth = flat_buckets.shape[0]
+    record = gathered_out.shape[0] > 0
+    partials = np.empty(_MAX_PARTIALS, dtype=np.float64)
+    for i in range(n):
+        lo = indptr[i]
+        hi = indptr[i + 1]
+        # --- margin: exactly rounded sum of table[fb] * sv ----------
+        np_ = 0
+        for j in range(depth):
+            for p in range(lo, hi):
+                x = table_flat[flat_buckets[j, p]] * sign_values[j, p]
+                k = 0
+                for q in range(np_):
+                    y = partials[q]
+                    if abs(x) < abs(y):
+                        t = x
+                        x = y
+                        y = t
+                    hi_p = x + y
+                    lo_p = y - (hi_p - x)
+                    if lo_p != 0.0:
+                        partials[k] = lo_p
+                        k += 1
+                    x = hi_p
+                partials[k] = x
+                np_ = k + 1
+        if np_ == 0:
+            total = 0.0
+        else:
+            np_ -= 1
+            hi_p = partials[np_]
+            lo_p = 0.0
+            while np_ > 0:
+                x = hi_p
+                np_ -= 1
+                y = partials[np_]
+                hi_p = x + y
+                yr = hi_p - x
+                lo_p = y - yr
+                if lo_p != 0.0:
+                    break
+            if np_ > 0 and (
+                (lo_p < 0.0 and partials[np_ - 1] < 0.0)
+                or (lo_p > 0.0 and partials[np_ - 1] > 0.0)
+            ):
+                y = lo_p * 2.0
+                x = hi_p + y
+                yr = x - hi_p
+                if y == yr:
+                    hi_p = x
+            total = hi_p
+        tau = scale * total / sqrt_s
+        margins_out[i] = tau
+        # --- gradient step ------------------------------------------
+        # The loss derivative is inlined (the same no-cross-call rule as
+        # the fsum core): operation for operation the arithmetic of the
+        # repro.learning.losses classes, selected by kernel id.
+        y_i = labels[i]
+        ytau = y_i * tau
+        if loss_id == 0:  # logistic
+            if ytau >= 0.0:
+                e = math.exp(-ytau)
+                g = -e / (1.0 + e)
+            else:
+                g = -1.0 / (1.0 + math.exp(ytau))
+        elif loss_id == 1:  # smoothed hinge (loss_param = gamma)
+            if ytau >= 1.0:
+                g = 0.0
+            elif ytau >= 1.0 - loss_param:
+                g = (ytau - 1.0) / loss_param
+            else:
+                g = -1.0
+        elif loss_id == 2:  # hinge
+            g = -1.0 if ytau <= 1.0 else 0.0
+        else:  # squared
+            g = ytau - 1.0
+        eta = etas[i]
+        if lam > 0.0:
+            scale *= 1.0 - eta * lam
+            if scale < _RENORM:
+                for c in range(table_flat.shape[0]):
+                    table_flat[c] *= scale
+                scale = 1.0
+        coeff = -eta * y_i * g / (sqrt_s * scale)
+        for j in range(depth):
+            for p in range(lo, hi):
+                table_flat[flat_buckets[j, p]] += coeff * sign_values[j, p]
+        if record:
+            for p in range(lo, hi):
+                for j in range(depth):
+                    gathered_out[p, j] = table_flat[flat_buckets[j, p]]
+            scales_out[i] = scale
+    return scale
+
+
+def fused_predict(
+    table_flat: np.ndarray,
+    flat_buckets: np.ndarray,
+    sign_values: np.ndarray,
+    indptr: np.ndarray,
+    scale: float,
+    sqrt_s: float,
+    out: np.ndarray,
+    scratch: np.ndarray,
+) -> None:
+    # Read-only batch margins: per example, the exact :func:`margin`
+    # reduction (inlined fsum) — bit-identical to scalar predicts.
+    n = out.shape[0]
+    depth = flat_buckets.shape[0]
+    partials = np.empty(_MAX_PARTIALS, dtype=np.float64)
+    for i in range(n):
+        lo = indptr[i]
+        hi = indptr[i + 1]
+        np_ = 0
+        for j in range(depth):
+            for p in range(lo, hi):
+                x = table_flat[flat_buckets[j, p]] * sign_values[j, p]
+                k = 0
+                for q in range(np_):
+                    y = partials[q]
+                    if abs(x) < abs(y):
+                        t = x
+                        x = y
+                        y = t
+                    hi_p = x + y
+                    lo_p = y - (hi_p - x)
+                    if lo_p != 0.0:
+                        partials[k] = lo_p
+                        k += 1
+                    x = hi_p
+                partials[k] = x
+                np_ = k + 1
+        if np_ == 0:
+            total = 0.0
+        else:
+            np_ -= 1
+            hi_p = partials[np_]
+            lo_p = 0.0
+            while np_ > 0:
+                x = hi_p
+                np_ -= 1
+                y = partials[np_]
+                hi_p = x + y
+                yr = hi_p - x
+                lo_p = y - yr
+                if lo_p != 0.0:
+                    break
+            if np_ > 0 and (
+                (lo_p < 0.0 and partials[np_ - 1] < 0.0)
+                or (lo_p > 0.0 and partials[np_ - 1] > 0.0)
+            ):
+                y = lo_p * 2.0
+                x = hi_p + y
+                yr = x - hi_p
+                if y == yr:
+                    hi_p = x
+            total = hi_p
+        out[i] = scale * total / sqrt_s
+
+
+def fused_query(
+    table_flat: np.ndarray,
+    flat_buckets: np.ndarray,
+    signs_t: np.ndarray,
+    factor: float,
+    gathered_out: np.ndarray,
+    est_out: np.ndarray,
+    scratch: np.ndarray,
+) -> None:
+    # Gather + median recovery in one pass: gathered_out receives the
+    # transposed (nnz, depth) gather, est_out the factor-scaled medians
+    # of signs_t * gathered (same selection as :func:`median_estimate`).
+    depth = flat_buckets.shape[0]
+    nnz = flat_buckets.shape[1]
+    for j in range(depth):
+        for i in range(nnz):
+            gathered_out[i, j] = table_flat[flat_buckets[j, i]]
+    if depth == 1:
+        for i in range(nnz):
+            est_out[i] = factor * (signs_t[i, 0] * gathered_out[i, 0])
+        return
+    buf = np.empty(depth, dtype=np.float64)
+    mid = depth // 2
+    odd = depth % 2 == 1
+    for i in range(nnz):
+        for j in range(depth):
+            buf[j] = signs_t[i, j] * gathered_out[i, j]
+        for a in range(1, depth):
+            v = buf[a]
+            b = a - 1
+            while b >= 0 and buf[b] > v:
+                buf[b + 1] = buf[b]
+                b -= 1
+            buf[b + 1] = v
+        if odd:
+            est_out[i] = factor * buf[mid]
+        else:
+            est_out[i] = factor * (0.5 * (buf[mid - 1] + buf[mid]))

@@ -70,6 +70,61 @@ of key/feature positions in the call):
     screen of the WM maintain loop, the AWM tail-promotion screen and
     the top-K store's ``push_many`` pre-screen (abs priority).
 
+Fused mega-kernels (PR 5)
+-------------------------
+The three ``fused_*`` kernels collapse whole per-example chains of the
+primitives above into one backend call over caller-provided
+(workspace-preallocated) buffers.  Their contract is *compositional*:
+each is bit-identical to the documented sequence of primitive kernels,
+which is what the fuzz suite (``tests/test_fused_kernels.py``) checks —
+the NumPy implementations are literally composed from the reference
+primitives, and the loop backends re-derive the same floats.  All of
+them take a trailing float64 ``scratch`` parameter reserved for
+backends that want caller-owned intermediates; **it may be (and in
+this repository always is) size 0** — the shipped backends keep their
+per-example intermediates internal, and a backend that wants to use
+``scratch`` must size-check it and allocate its own buffers when it is
+too small.
+
+Loss derivatives are selected by an integer ``loss_id`` matching
+:attr:`repro.learning.losses.Loss.kernel_id` (0 logistic, 1 smoothed
+hinge with ``loss_param`` = gamma, 2 hinge, 3 squared); a loss without
+a ``kernel_id`` simply keeps the unfused path.
+
+``fused_update(table_flat, flat_buckets, sign_values, indptr, labels,
+etas, lam, scale, sqrt_s, loss_id, loss_param, margins_out,
+gathered_out, scales_out, scratch) -> float``
+    One mini-batch of sequential OGD updates: per example ``i`` (CSR
+    slice ``indptr[i]:indptr[i+1]``) compute the exactly-rounded margin
+    (the ``margin`` kernel), the loss derivative, the lazy L2 decay of
+    ``scale`` (with the 1e-150 underflow renormalization folded into
+    ``table_flat``), and the eta-scaled ``scatter_add`` — state
+    bit-identical to the unfused per-example chain.  Pre-update margins
+    land in ``margins_out``.  When ``gathered_out`` is non-empty
+    (shape ``(nnz, depth)``), the example's *post-update* table cells
+    are recorded into its rows and the post-decay scale into
+    ``scales_out[i]`` — exactly what the decoupled WM heap-maintain
+    pass needs to replay admission decisions bit-identically.  Returns
+    the final scale.  Callers must pre-validate ``eta * lam < 1`` for
+    the whole window (the unfused chain raises mid-batch; the fused
+    kernel assumes validity).
+
+``fused_predict(table_flat, flat_buckets, sign_values, indptr, scale,
+sqrt_s, out, scratch) -> None``
+    Read-only batch margins: ``out[i]`` is exactly the ``margin``
+    kernel's result for example ``i``'s slice — bit-identical to
+    per-example ``predict_margin``, so serving responses do not depend
+    on how requests were batched.
+
+``fused_query(table_flat, flat_buckets, signs_t, factor, gathered_out,
+est_out, scratch) -> None``
+    Recovery queries: one transposed gather (``gather_rows_t``) written
+    to ``gathered_out`` plus the ``median_estimate`` of
+    ``signs_t * gathered`` times ``factor`` written to ``est_out``.
+    Callers that need both the raw cells and the estimates (the AWM
+    shared-gather update, the serving ``query_many``) get them from a
+    single call.
+
 Non-finite inputs (inf / NaN) are outside the kernel contract: the
 classifiers never produce them from finite streams, and the exact-sum
 implementations are only specified for finite values.
@@ -89,7 +144,16 @@ KERNEL_NAMES = (
     "median_estimate",
     "estimate_bound",
     "screen_abs_gt",
+    "fused_update",
+    "fused_predict",
+    "fused_query",
 )
+
+#: The lazy-scale underflow threshold shared with the classifiers
+#: (``repro.core.sketch_table._RENORM_THRESHOLD``); the fused update
+#: kernels renormalize at exactly this boundary so fused and unfused
+#: replays fold the scale into the table on the same step.
+RENORM_THRESHOLD = 1e-150
 
 
 class KernelBackend:

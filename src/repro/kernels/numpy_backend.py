@@ -132,6 +132,158 @@ def screen_abs_gt(values: np.ndarray, threshold: float) -> np.ndarray:
     return np.flatnonzero(np.abs(values) > threshold)
 
 
+# ----------------------------------------------------------------------
+# Fused mega-kernels: the per-example chains composed from the reference
+# primitives above, with every intermediate living in the caller's
+# scratch buffer (zero allocations in steady state).  Loss derivatives
+# come from the *actual* loss classes, so fused and unfused replays run
+# literally the same ``dloss`` code.
+# ----------------------------------------------------------------------
+
+def _loss_object(loss_id: int, loss_param: float):
+    from repro.learning import losses as _losses
+
+    if loss_id == 0:
+        return _LOSS_SINGLETONS.setdefault(0, _losses.LogisticLoss())
+    if loss_id == 1:
+        key = (1, loss_param)
+        obj = _LOSS_SINGLETONS.get(key)
+        if obj is None:
+            obj = _losses.SmoothedHingeLoss(loss_param)
+            _LOSS_SINGLETONS[key] = obj
+        return obj
+    if loss_id == 2:
+        return _LOSS_SINGLETONS.setdefault(2, _losses.HingeLoss())
+    if loss_id == 3:
+        return _LOSS_SINGLETONS.setdefault(3, _losses.SquaredLoss())
+    raise ValueError(f"unknown loss_id {loss_id}")
+
+
+_LOSS_SINGLETONS: dict = {}
+
+#: Same value as kernels.api.RENORM_THRESHOLD / the classifiers'
+#: _RENORM_THRESHOLD (kept literal here to mirror the extraction-site
+#: constant; equality is asserted by the fuzz suite).
+_RENORM = 1e-150
+
+
+def fused_update(
+    table_flat: np.ndarray,
+    flat_buckets: np.ndarray,
+    sign_values: np.ndarray,
+    indptr: np.ndarray,
+    labels: np.ndarray,
+    etas: np.ndarray,
+    lam: float,
+    scale: float,
+    sqrt_s: float,
+    loss_id: int,
+    loss_param: float,
+    margins_out: np.ndarray,
+    gathered_out: np.ndarray,
+    scales_out: np.ndarray,
+    scratch: np.ndarray,
+) -> float:
+    # The exact per-example chain of the unfused fit_batch loop with
+    # the margin / scatter kernel bodies inlined (``scratch`` unused:
+    # NumPy's small-block allocator beats ``np.take(out=)``'s checked
+    # copy path for per-example temporaries, measured ~20%; the
+    # batch-lifetime arrays are the caller's workspace views).
+    dloss = _loss_object(loss_id, loss_param).dloss
+    record = gathered_out.shape[0] > 0
+    ip = indptr.tolist()
+    ys = labels.tolist()
+    es = etas.tolist()
+    n = margins_out.shape[0]
+    fsum = math.fsum
+    add_at = np.add.at
+    take = table_flat.take
+    ascontiguous = np.ascontiguousarray
+    lo = ip[0]
+    for i in range(n):
+        hi = ip[i + 1]
+        # A contiguous copy of the example's bucket block lets both the
+        # gather and np.add.at take their 1-d fast paths (the flattened
+        # C order is the block's C order, so duplicate accumulation and
+        # the exactly-rounded margin see the identical element
+        # sequence — bit-for-bit the reference kernels' results).
+        fb = ascontiguous(flat_buckets[:, lo:hi])
+        sv = sign_values[:, lo:hi]
+        # margin kernel body, verbatim.
+        products = take(fb) * sv
+        tau = scale * fsum(products.ravel().tolist()) / sqrt_s
+        margins_out[i] = tau
+        y = ys[i]
+        g = dloss(y * tau)
+        eta = es[i]
+        if lam > 0.0:
+            scale *= 1.0 - eta * lam
+            if scale < _RENORM:
+                table_flat *= scale
+                scale = 1.0
+        # scatter_add kernel body: same values, same element order,
+        # through the flat fast path.
+        deltas = (-eta * y * g / (sqrt_s * scale)) * sv
+        add_at(table_flat, fb.reshape(-1), deltas.reshape(-1))
+        if record:
+            # gather_rows_t, verbatim, into the recording block.
+            gathered_out[lo:hi] = take(fb.T)
+            scales_out[i] = scale
+        lo = hi
+    return scale
+
+
+def fused_predict(
+    table_flat: np.ndarray,
+    flat_buckets: np.ndarray,
+    sign_values: np.ndarray,
+    indptr: np.ndarray,
+    scale: float,
+    sqrt_s: float,
+    out: np.ndarray,
+    scratch: np.ndarray,
+) -> None:
+    ip = indptr.tolist()
+    n = out.shape[0]
+    fsum = math.fsum
+    take = table_flat.take
+    lo = ip[0]
+    for i in range(n):
+        hi = ip[i + 1]
+        products = take(flat_buckets[:, lo:hi]) * sign_values[:, lo:hi]
+        out[i] = scale * fsum(products.ravel().tolist()) / sqrt_s
+        lo = hi
+
+
+def fused_query(
+    table_flat: np.ndarray,
+    flat_buckets: np.ndarray,
+    signs_t: np.ndarray,
+    factor: float,
+    gathered_out: np.ndarray,
+    est_out: np.ndarray,
+    scratch: np.ndarray,
+) -> None:
+    depth = flat_buckets.shape[0]
+    # gather_rows_t verbatim, landing in the caller's block.
+    gathered_out[:] = table_flat.take(flat_buckets.T)
+    if depth == 1:
+        # median_estimate's depth-1 branch: factor * (signs * gathered).
+        np.multiply(signs_t[:, 0], gathered_out[:, 0], out=est_out)
+        est_out *= factor
+        return
+    # median_estimate body: rows product, in-place row sort, middle pick.
+    rows = signs_t * gathered_out
+    rows.sort(axis=1)
+    mid = depth // 2
+    if depth % 2:
+        np.multiply(rows[:, mid], factor, out=est_out)
+    else:
+        np.add(rows[:, mid - 1], rows[:, mid], out=est_out)
+        est_out *= 0.5
+        est_out *= factor
+
+
 BACKEND = KernelBackend(
     "numpy",
     compiled=False,

@@ -56,6 +56,10 @@ class FeatureHashing(StreamingClassifier):
     #: Number of independently trained models folded in via :meth:`merge`.
     merged_from: int = 1
 
+    #: Route ``fit_batch`` through the fused update mega-kernel (see
+    #: :class:`repro.core.sketch_table.ScaledSketchTable.use_fused`).
+    use_fused: bool = True
+
     def __init__(
         self,
         width: int,
@@ -78,12 +82,36 @@ class FeatureHashing(StreamingClassifier):
         self._batch_hasher = BatchHasher(self.family)
         self.table = np.zeros(width, dtype=np.float64)
         self._scale = 1.0
+        self._kb = kernels.BackendHandle(backend)
+        self._ws: kernels.KernelWorkspace | None = None
         self.t = 0
+
+    # ------------------------------------------------------------------
+    # Pickling: the backend handle, workspace and hash cache are pure
+    # per-process caches — dropped on save, rebuilt (lazily) on load.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for key in ("_kb", "_ws"):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._kb = kernels.BackendHandle(self.backend)
+        self._ws = None
 
     @property
     def kernels(self) -> "kernels.KernelBackend":
-        """The kernel backend the margin / scatter loops dispatch through."""
-        return kernels.get_backend(self.backend, strict=False)
+        """The kernel backend the margin / scatter loops dispatch
+        through (cached handle; one epoch compare per access)."""
+        return self._kb.get()
+
+    def _workspace(self) -> "kernels.KernelWorkspace":
+        ws = self._ws
+        if ws is None:
+            ws = self._ws = kernels.KernelWorkspace()
+        return ws
 
     # ------------------------------------------------------------------
     def _hashed(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -104,6 +132,36 @@ class FeatureHashing(StreamingClassifier):
             self.table, buckets, signs * x.values, self._scale, 1.0
         )
 
+    def _decay(self, eta: float) -> None:
+        """One lazy L2 decay step with the same validity check the
+        sketches apply (``eta * lambda >= 1`` would flip or zero the
+        model — historically this corrupted silently; now it raises on
+        every path, so fused, unfused and per-example stay equivalent
+        in the pathological regime too)."""
+        decay = 1.0 - eta * self.lambda_
+        if decay <= 0.0:
+            raise ValueError(
+                f"eta * lambda = {eta * self.lambda_} >= 1; decrease eta0"
+            )
+        self._scale *= decay
+        if self._scale < _RENORM_THRESHOLD:
+            self.table *= self._scale
+            self._scale = 1.0
+
+    def _check_decay_window(self, etas: np.ndarray) -> None:
+        """Whole-window pre-validation for the fused kernel (same
+        trigger condition as :meth:`_decay`, raised up front)."""
+        lam = self.lambda_
+        if lam <= 0.0 or etas.size == 0:
+            return
+        if float(etas.max()) * lam < 1.0:
+            return
+        first = int(np.argmax(etas * lam >= 1.0))
+        eta = float(etas[first])
+        raise ValueError(
+            f"eta * lambda = {eta * lam} >= 1; decrease eta0"
+        )
+
     def update(self, x: SparseExample) -> None:
         y = x.label
         kb = self.kernels
@@ -113,28 +171,118 @@ class FeatureHashing(StreamingClassifier):
         g = self.loss.dloss(y * tau)
         eta = self.schedule(self.t)
         if self.lambda_ > 0.0:
-            self._scale *= 1.0 - eta * self.lambda_
-            if self._scale < _RENORM_THRESHOLD:
-                self.table *= self._scale
-                self._scale = 1.0
+            self._decay(eta)
         kb.scatter_add(
             self.table, buckets, -(eta * y * g / self._scale) * sign_values
         )
         self.t += 1
+
+    def predict_batch(self, batch: SparseBatch) -> np.ndarray:
+        """Batched margins via ``fused_predict`` — one cached hash and
+        one kernel call, bit-identical to per-example
+        :meth:`predict_margin` (exactly-rounded sums)."""
+        n = len(batch)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        ws = self._workspace()
+        nnz = batch.indices.size
+        buckets = ws.array("p_buckets", (1, nnz), np.int64)
+        signs = ws.array("p_signs", (1, nnz))
+        self._batch_hasher.rows_into(batch.indices, buckets, signs)
+        if self.signed:
+            sv = ws.array("p_sv", (1, nnz))
+            np.multiply(signs, batch.values, out=sv)
+        else:
+            sv = batch.values.reshape(1, -1)
+        out = np.empty(n, dtype=np.float64)
+        self.kernels.fused_predict(
+            self.table, buckets, sv, batch.indptr, self._scale, 1.0,
+            out, kernels.EMPTY_SCRATCH,
+        )
+        return out
+
+    def query_many(self, indices: np.ndarray) -> np.ndarray:
+        """Serving-path weight estimates with cached hashing —
+        bit-identical to :meth:`estimate_weights`."""
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        n = indices.size
+        if n == 0:
+            return np.zeros(0, dtype=np.float64)
+        ws = self._workspace()
+        buckets = ws.array("q_buckets", (1, n), np.int64)
+        signs = ws.array("q_signs", (1, n))
+        self._batch_hasher.rows_into(indices, buckets, signs)
+        gathered = ws.array("q_gathered", n)
+        np.take(self.table, buckets[0], out=gathered)
+        out = np.empty(n, dtype=np.float64)
+        if self.signed:
+            # estimate_weights computes (scale * signs) * table[buckets].
+            scaled = ws.array("q_scaled", n)
+            np.multiply(signs[0], self._scale, out=scaled)
+            np.multiply(scaled, gathered, out=out)
+        else:
+            # Unsigned: signs are all ones, so (scale * 1) * gathered.
+            np.multiply(gathered, self._scale, out=out)
+        return out
 
     def fit_batch(
         self,
         batch: SparseBatch,
         rows: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> np.ndarray:
-        """Mini-batch updates with one (deduplicated) hash per batch.
+        """Mini-batch updates with one (deduplicated, cached) hash and
+        one fused kernel call per batch.
 
-        The whole batch's feature set is hashed in a single vectorized
-        call; the per-example gradient sequence is then replayed over
-        array views — bit-identical state to per-example updates.
-        Returns the pre-update margins.  ``rows`` may carry precomputed
-        ``(buckets, signs)`` from the pipelined prefetch hasher.
+        The whole per-example chain — exactly-rounded margin, loss
+        derivative, lazy decay, gradient scatter — runs inside a single
+        ``fused_update`` over workspace buffers; state is bit-identical
+        to per-example updates and to the retained unfused chain
+        (:meth:`_fit_batch_unfused`, used for custom losses or
+        ``use_fused=False``).  Returns the pre-update margins.  ``rows``
+        may carry precomputed ``(buckets, signs)`` from the pipelined
+        prefetch hasher.
         """
+        n = len(batch)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        if not self.use_fused or self.loss.kernel_id is None:
+            return self._fit_batch_unfused(batch, rows)
+        ws = self._workspace()
+        nnz = batch.indices.size
+        if rows is None:
+            buckets = ws.array("b_buckets", (1, nnz), np.int64)
+            signs = ws.array("b_signs", (1, nnz))
+            self._batch_hasher.rows_into(batch.indices, buckets, signs)
+        else:
+            buckets, signs = rows[0][:1], rows[1][:1]
+        if self.signed:
+            sv = ws.array("b_sv", (1, nnz))
+            np.multiply(signs, batch.values, out=sv)
+        else:
+            sv = batch.values.reshape(1, -1)
+        etas = ws.array("etas", n)
+        etas[:] = self.schedule.many(self.t, n)
+        self._check_decay_window(etas)
+        margins = np.empty(n, dtype=np.float64)
+        # Depth-1 table: flat buckets are the buckets themselves, and
+        # the margin normalization is sqrt(s) = 1.
+        self._scale = self.kernels.fused_update(
+            self.table, buckets, sv, batch.indptr, batch.labels, etas,
+            self.lambda_, self._scale, 1.0,
+            self.loss.kernel_id, self.loss.kernel_param,
+            margins, kernels.EMPTY_GATHER, kernels.EMPTY_SCALES,
+            kernels.EMPTY_SCRATCH,
+        )
+        self.t += n
+        return margins
+
+    def _fit_batch_unfused(
+        self,
+        batch: SparseBatch,
+        rows: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """The original per-kernel mini-batch chain — the executable
+        reference the fused path is fuzz-checked against."""
         n = len(batch)
         margins = np.empty(n, dtype=np.float64)
         if n == 0:
@@ -164,10 +312,7 @@ class FeatureHashing(StreamingClassifier):
             g = self.loss.dloss(y * tau)
             eta = self.schedule(self.t)
             if self.lambda_ > 0.0:
-                self._scale *= 1.0 - eta * self.lambda_
-                if self._scale < _RENORM_THRESHOLD:
-                    table *= self._scale
-                    self._scale = 1.0
+                self._decay(eta)
             scatter_k(table, b, -(eta * y * g / self._scale) * sv)
             self.t += 1
         return margins

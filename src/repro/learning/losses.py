@@ -27,6 +27,15 @@ class Loss(ABC):
     smoothness: float = math.inf
     #: Lipschitz constant H of the derivative's magnitude.
     lipschitz: float = math.inf
+    #: Integer id the fused update kernels use to select the derivative
+    #: formula inside a single backend call (see
+    #: :mod:`repro.kernels.api`).  ``None`` marks a loss the kernels do
+    #: not know — models then transparently fall back to the unfused
+    #: per-kernel chain, so custom losses keep working unchanged.
+    kernel_id: int | None = None
+    #: Scalar parameter forwarded to the fused kernels alongside
+    #: :attr:`kernel_id` (only the smoothed hinge uses it, for gamma).
+    kernel_param: float = 0.0
 
     @abstractmethod
     def value(self, tau: float) -> float:
@@ -54,6 +63,7 @@ class LogisticLoss(Loss):
 
     smoothness = 1.0
     lipschitz = 1.0
+    kernel_id = 0
 
     def value(self, tau: float) -> float:
         # log(1 + e^-tau), stable for both signs of tau.
@@ -90,12 +100,15 @@ class SmoothedHingeLoss(Loss):
     the paper's "smoothed versions of the hinge loss ... beta = 1".
     """
 
+    kernel_id = 1
+
     def __init__(self, gamma: float = 1.0):
         if gamma <= 0:
             raise ValueError(f"gamma must be positive, got {gamma}")
         self.gamma = gamma
         self.smoothness = 1.0 / gamma
         self.lipschitz = 1.0
+        self.kernel_param = gamma
 
     def value(self, tau: float) -> float:
         if tau >= 1.0:
@@ -121,6 +134,7 @@ class HingeLoss(Loss):
 
     smoothness = math.inf
     lipschitz = 1.0
+    kernel_id = 2
 
     def value(self, tau: float) -> float:
         return max(0.0, 1.0 - tau)
@@ -138,6 +152,7 @@ class SquaredLoss(Loss):
 
     smoothness = 1.0
     lipschitz = math.inf
+    kernel_id = 3
 
     def value(self, tau: float) -> float:
         return 0.5 * (1.0 - tau) ** 2

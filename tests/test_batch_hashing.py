@@ -92,3 +92,69 @@ def test_clear():
     rb, rs = family.all_rows(np.arange(10, dtype=np.int64))
     assert np.array_equal(b, rb)
     assert np.array_equal(s, rs)
+
+
+# ----------------------------------------------------------------------
+# Bounded LRU-ish cache + workspace front-end (PR 5)
+# ----------------------------------------------------------------------
+def test_rows_into_matches_rows(rng):
+    family = HashFamily(512, 3, seed=17)
+    hasher = BatchHasher(family)
+    other = BatchHasher(family)
+    for _ in range(5):
+        keys = rng.integers(0, 50_000, size=int(rng.integers(1, 300)))
+        keys = keys.astype(np.int64)
+        b, s = hasher.rows(keys)
+        ob = np.empty((3, keys.size), dtype=np.int64)
+        osn = np.empty((3, keys.size), dtype=np.float64)
+        rb, rs = other.rows_into(keys, ob, osn)
+        assert rb is ob and rs is osn
+        assert np.array_equal(b, ob)
+        assert np.array_equal(s, osn)
+
+
+def test_lru_eviction_keeps_hot_keys_resident():
+    family = HashFamily(256, 2, seed=5)
+    hasher = BatchHasher(family, cache_capacity=128)
+    hot = np.arange(0, 32, dtype=np.int64)
+    # Touch the hot set every batch while streaming cold tails through;
+    # eviction must drop cold entries, not the freshly-stamped head.
+    for round_ in range(12):
+        cold = np.arange(
+            10_000 + 100 * round_, 10_000 + 100 * round_ + 90,
+            dtype=np.int64,
+        )
+        hasher.rows(np.concatenate([hot, cold]))
+        assert len(hasher) <= 128
+        if round_ > 0:
+            # Every hot key must have been served from the cache.
+            assert all(int(k) in hasher._keys[: len(hasher)] for k in hot)
+    assert hasher.evictions > 0
+    # The hot head was never evicted, so it kept hitting.
+    before = hasher.hits
+    hasher.rows(hot)
+    assert hasher.hits == before + hot.size
+
+
+def test_hit_rate_counter():
+    family = HashFamily(128, 2, seed=9)
+    hasher = BatchHasher(family)
+    assert hasher.hit_rate == 0.0
+    keys = np.arange(50, dtype=np.int64)
+    hasher.rows(keys)
+    assert hasher.hit_rate == 0.0  # all cold
+    hasher.rows(keys)
+    assert hasher.hit_rate == 0.5  # 50 misses then 50 hits
+    hasher.rows(keys)
+    assert hasher.hit_rate == pytest.approx(2 / 3)
+
+
+def test_high_cardinality_stream_stays_bounded(rng):
+    family = HashFamily(256, 2, seed=21)
+    hasher = BatchHasher(family, cache_capacity=512)
+    for _ in range(20):
+        keys = rng.integers(0, 10_000_000, size=400).astype(np.int64)
+        b, s = hasher.rows(keys)
+        rb, rs = family.all_rows(keys)
+        assert np.array_equal(b, rb) and np.array_equal(s, rs)
+        assert len(hasher) <= 512

@@ -220,3 +220,128 @@ class TestParallelGate:
     def test_schema_less_parallel_baseline_fails(self):
         curr = {"monotone_1_to_4_workers": True, "speedup_4_workers": 2.8}
         assert check_regression.check_parallel(curr, {}, 0.30)
+
+
+# ----------------------------------------------------------------------
+# Query-serving gate (--kind query, PR 5)
+# ----------------------------------------------------------------------
+def _query_doc(predict=5.0, query=100.0, hot=2.0):
+    row = {
+        "predict_speedup": predict,
+        "query_speedup": query,
+        "hot_over_cold": hot,
+        "predict_scalar_eps": 20_000.0,
+        "predict_batch_eps": 20_000.0 * predict,
+    }
+    return {
+        "workload": {"dataset": "x"},
+        "wm": dict(row),
+        "awm_half_budget": dict(row),
+        "hash": dict(row),
+    }
+
+
+class TestQueryGate:
+    def test_identical_runs_pass(self):
+        doc = _query_doc()
+        assert check_regression.check_query(doc, doc, 0.30) == []
+
+    def test_ratio_regression_fails(self):
+        failures = check_regression.check_query(
+            _query_doc(predict=2.0, query=100.0), _query_doc(), 0.30
+        )
+        assert any("predict_speedup" in f for f in failures)
+
+    def test_floor_violation_fails_even_with_agreeing_baseline(self):
+        low = _query_doc(predict=1.1, query=5.0)
+        failures = check_regression.check_query(low, low, 0.30)
+        assert any("floor" in f for f in failures)
+
+    def test_empty_current_cannot_pass_vacuously(self):
+        failures = check_regression.check_query(
+            {"workload": {}}, _query_doc(), 0.30
+        )
+        assert failures
+
+
+# ----------------------------------------------------------------------
+# Allocation gate (--kind alloc, PR 5)
+# ----------------------------------------------------------------------
+def _alloc_doc(headline=12.0, heap=3.5):
+    return {
+        "workload": {"dataset": "x"},
+        "wm_algorithm1": {"peak_reduction_x": headline},
+        "wm_with_heap": {"peak_reduction_x": heap},
+    }
+
+
+class TestAllocGate:
+    def test_identical_runs_pass(self):
+        doc = _alloc_doc()
+        assert check_regression.check_alloc(doc, doc, 0.30) == []
+
+    def test_reduction_below_floor_fails(self):
+        failures = check_regression.check_alloc(
+            _alloc_doc(headline=2.0), _alloc_doc(), 0.30
+        )
+        assert any("wm_algorithm1" in f for f in failures)
+
+    def test_missing_config_fails(self):
+        failures = check_regression.check_alloc(
+            {"workload": {}}, _alloc_doc(), 0.30
+        )
+        assert failures
+
+
+# ----------------------------------------------------------------------
+# Backend-artifact recording (benchmarks/record_backend_artifacts.py)
+# ----------------------------------------------------------------------
+RECORD = SCRIPT.parent / "record_backend_artifacts.py"
+spec2 = importlib.util.spec_from_file_location("record_backend", RECORD)
+record_backend = importlib.util.module_from_spec(spec2)
+sys.modules["record_backend"] = record_backend
+spec2.loader.exec_module(record_backend)
+
+
+class TestRecordBackendArtifacts:
+    def _artifact(self):
+        return {
+            "workload": {"python": "3.12.1", "n_examples": 4000},
+            "wm_algorithm1": {"speedup": 6.0, "batched_eps": 50_000.0},
+            "backends": {
+                "numba": {
+                    "wm_algorithm1": {
+                        "speedup": 9.0, "batched_eps": 150_000.0
+                    }
+                }
+            },
+            "backend_batched_ratio": {
+                "numba": {"wm_algorithm1": {"batched": 3.0,
+                                            "per_example": 1.4}}
+            },
+        }
+
+    def test_merges_backend_sections_only(self):
+        baseline = _doc(7.0)
+        baseline["backends"] = {}
+        merged = record_backend.merge_backend_sections(
+            baseline, self._artifact()
+        )
+        assert "numba" in merged["backends"]
+        assert merged["backend_batched_ratio"]["numba"][
+            "wm_algorithm1"]["batched"] == 3.0
+        # The baseline's own numpy rows are untouched.
+        assert merged["wm_algorithm1"]["speedup"] == 7.0
+        # Provenance travels along.
+        meta = merged["backends_meta"]
+        assert meta["python"] == "3.12.1"
+        assert meta["artifact_numpy_rows"]["wm_algorithm1"][
+            "speedup"] == 6.0
+
+    def test_empty_artifact_is_an_error(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            record_backend.merge_backend_sections(
+                _doc(7.0), {"backends": {}}
+            )

@@ -1,0 +1,490 @@
+"""Fused mega-kernel equivalence: the PR 5 executable contract.
+
+The fused kernels (``fused_update`` / ``fused_predict`` /
+``fused_query``) must be *bit-identical* to the unfused chain of
+primitive kernels they collapse — per backend, at the kernel level and
+through the models (tables, heap state, margins, predictions, recovery
+queries), including workspace reuse across many batches and pickle
+round-trips that drop the workspace.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.core.awm_sketch import AWMSketch
+from repro.core.sketch_table import _RENORM_THRESHOLD
+from repro.core.wm_sketch import WMSketch
+from repro.data.batch import SparseBatch, iter_batches
+from repro.data.synthetic import SyntheticStream
+from repro.learning.feature_hashing import FeatureHashing
+from repro.learning.losses import (
+    HingeLoss,
+    LogisticLoss,
+    SmoothedHingeLoss,
+    SquaredLoss,
+)
+
+ALT_BACKENDS = ["python"] + (
+    ["numba"] if kernels.numba_available() else []
+)
+ALL_BACKENDS = ["numpy"] + ALT_BACKENDS
+
+LOSSES = [
+    LogisticLoss(),
+    SmoothedHingeLoss(0.7),
+    HingeLoss(),
+    SquaredLoss(),
+]
+
+
+def _random_csr(rng, n, width_flat, depth, max_nnz=9, empty_every=5):
+    """Random per-example bucket/sign-value blocks in CSR layout."""
+    counts = rng.integers(1, max_nnz, size=n)
+    counts[::empty_every] = 0  # exercise empty examples
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    nnz = int(indptr[-1])
+    fb = rng.integers(0, width_flat, size=(depth, nnz)).astype(np.int64)
+    sv = rng.standard_normal((depth, nnz))
+    return indptr, fb, sv
+
+
+class TestRenormConstant:
+    def test_thresholds_agree_everywhere(self):
+        from repro.kernels import _loops, numpy_backend
+
+        assert kernels.RENORM_THRESHOLD == _RENORM_THRESHOLD
+        assert _loops._RENORM == _RENORM_THRESHOLD
+        assert numpy_backend._RENORM == _RENORM_THRESHOLD
+
+
+# ----------------------------------------------------------------------
+# Kernel-level: fused calls vs the unfused primitive chain
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+class TestKernelLevel:
+    def _replay_unfused(self, ref, loss, table, indptr, fb, sv, labels,
+                        etas, lam, scale, sqrt_s, record):
+        """The documented primitive chain fused_update collapses."""
+        n = indptr.size - 1
+        nnz = fb.shape[1]
+        margins = np.empty(n)
+        gathered = np.empty((nnz, fb.shape[0]))
+        scales = np.empty(n)
+        for i in range(n):
+            lo, hi = int(indptr[i]), int(indptr[i + 1])
+            blk = fb[:, lo:hi]
+            svb = sv[:, lo:hi]
+            tau = ref.margin(table, blk, svb, scale, sqrt_s)
+            margins[i] = tau
+            y = int(labels[i])
+            g = loss.dloss(y * tau)
+            eta = float(etas[i])
+            if lam > 0.0:
+                scale *= 1.0 - eta * lam
+                if scale < _RENORM_THRESHOLD:
+                    table *= scale
+                    scale = 1.0
+            ref.scatter_add(
+                table, blk, (-eta * y * g / (sqrt_s * scale)) * svb
+            )
+            if record:
+                gathered[lo:hi] = ref.gather_rows_t(table, blk)
+                scales[i] = scale
+        return margins, gathered, scales, scale
+
+    @pytest.mark.parametrize("loss_pos", range(len(LOSSES)))
+    @pytest.mark.parametrize("record", [False, True])
+    def test_fused_update_matches_chain(self, backend, loss_pos, record,
+                                        rng):
+        kb = kernels.get_backend(backend)
+        ref = kernels.get_backend("numpy")
+        loss = LOSSES[loss_pos]
+        for depth, lam in ((1, 1e-3), (3, 1e-3), (4, 0.0)):
+            width_flat = 96 * depth
+            n = 40
+            indptr, fb, sv = _random_csr(rng, n, width_flat, depth)
+            nnz = fb.shape[1]
+            table = rng.standard_normal(width_flat)
+            labels = rng.choice([-1, 1], size=n).astype(np.int64)
+            etas = 0.1 / np.sqrt(1.0 + np.arange(n, dtype=np.float64))
+            sqrt_s = math.sqrt(depth)
+
+            t_fused = table.copy()
+            margins = np.empty(n)
+            if record:
+                gathered = np.empty((nnz, depth))
+                scales = np.empty(n)
+            else:
+                gathered = kernels.EMPTY_GATHER
+                scales = kernels.EMPTY_SCALES
+            end_scale = kb.fused_update(
+                t_fused, fb, sv, indptr, labels, etas, lam, 1.0, sqrt_s,
+                loss.kernel_id, loss.kernel_param,
+                margins, gathered, scales, kernels.EMPTY_SCRATCH,
+            )
+
+            t_ref = table.copy()
+            m_ref, g_ref, s_ref, sc_ref = self._replay_unfused(
+                ref, loss, t_ref, indptr, fb, sv, labels, etas, lam,
+                1.0, sqrt_s, record,
+            )
+            assert np.array_equal(t_fused, t_ref)
+            assert np.array_equal(margins, m_ref)
+            assert end_scale == sc_ref
+            if record:
+                assert np.array_equal(gathered, g_ref)
+                assert np.array_equal(scales, s_ref)
+
+    def test_fused_update_renormalizes_at_the_same_step(self, backend,
+                                                        rng):
+        kb = kernels.get_backend(backend)
+        depth, n = 2, 30
+        indptr, fb, sv = _random_csr(rng, n, 64, depth)
+        table = rng.standard_normal(64)
+        labels = rng.choice([-1, 1], size=n).astype(np.int64)
+        etas = np.full(n, 0.5)
+        # A scale already at the underflow edge: the very first decay
+        # crosses the threshold and must fold into the table.
+        start = _RENORM_THRESHOLD * 1.000001
+        margins = np.empty(n)
+        t = table.copy()
+        end_scale = kb.fused_update(
+            t, fb, sv, indptr, labels, etas, 1e-2, start,
+            math.sqrt(depth), 0, 0.0, margins,
+            kernels.EMPTY_GATHER, kernels.EMPTY_SCALES,
+            kernels.EMPTY_SCRATCH,
+        )
+        ref = kernels.get_backend("numpy")
+        t_ref = table.copy()
+        _, _, _, sc_ref = TestKernelLevel._replay_unfused(
+            self, ref, LogisticLoss(), t_ref, indptr, fb, sv, labels,
+            etas, 1e-2, start, math.sqrt(depth), False,
+        )
+        assert end_scale == sc_ref
+        assert 0.5 < end_scale <= 1.0  # folded back near 1
+        assert np.array_equal(t, t_ref)
+
+    def test_fused_predict_matches_margin_kernel(self, backend, rng):
+        kb = kernels.get_backend(backend)
+        ref = kernels.get_backend("numpy")
+        for depth in (1, 3):
+            indptr, fb, sv = _random_csr(rng, 25, 80 * depth, depth)
+            table = rng.standard_normal(80 * depth)
+            out = np.empty(25)
+            kb.fused_predict(
+                table, fb, sv, indptr, 0.37, math.sqrt(depth), out,
+                kernels.EMPTY_SCRATCH,
+            )
+            expected = [
+                ref.margin(
+                    table,
+                    fb[:, indptr[i]:indptr[i + 1]],
+                    sv[:, indptr[i]:indptr[i + 1]],
+                    0.37,
+                    math.sqrt(depth),
+                )
+                for i in range(25)
+            ]
+            assert out.tolist() == expected
+
+    def test_fused_query_matches_gather_plus_median(self, backend, rng):
+        kb = kernels.get_backend(backend)
+        ref = kernels.get_backend("numpy")
+        for depth in (1, 2, 3, 5):
+            nnz = 31
+            fb = rng.integers(0, 64 * depth, size=(depth, nnz)).astype(
+                np.int64
+            )
+            table = rng.standard_normal(64 * depth)
+            signs_t = np.where(rng.random((nnz, depth)) < 0.5, -1.0, 1.0)
+            gathered = np.empty((nnz, depth))
+            est = np.empty(nnz)
+            kb.fused_query(
+                table, fb, signs_t, 1.7, gathered, est,
+                kernels.EMPTY_SCRATCH,
+            )
+            g_ref = ref.gather_rows_t(table, fb)
+            e_ref = ref.median_estimate(g_ref.copy(), signs_t, 1.7)
+            assert np.array_equal(gathered, g_ref)
+            assert np.array_equal(est, e_ref)
+
+
+# ----------------------------------------------------------------------
+# Model-level: fused vs unfused vs sequential, per backend
+# ----------------------------------------------------------------------
+def _stream(seed, n=320, d=2_500):
+    return SyntheticStream(
+        d=d, n_signal=40, avg_nnz=9.0, label_noise=0.05, seed=seed
+    ).materialize(n)
+
+
+def _drive(model, examples, batch_sizes=(64, 1, 37, 256)):
+    """Feed examples through fit_batch windows of *varying* sizes, so
+    workspace arenas are exercised across shrink/grow reuse."""
+    margins = []
+    pos = 0
+    sizes = list(batch_sizes)
+    while pos < len(examples):
+        size = sizes[0]
+        sizes = sizes[1:] + [size]
+        window = examples[pos: pos + size]
+        pos += size
+        for batch in iter_batches(window, size):
+            margins.append(model.fit_batch(batch))
+    return np.concatenate([m for m in margins if m.size])
+
+
+def _assert_same(a, b):
+    assert np.array_equal(a.table, b.table)
+    assert a._scale == b._scale
+    assert a.t == b.t
+    heap_a = getattr(a, "heap", None)
+    heap_b = getattr(b, "heap", None)
+    assert (heap_a is None) == (heap_b is None)
+    if heap_a is not None:
+        assert heap_a.items() == heap_b.items()
+
+
+FACTORIES = {
+    "wm": lambda be: WMSketch(
+        512, 3, seed=0, heap_capacity=32, lambda_=1e-4, backend=be
+    ),
+    "wm_no_heap": lambda be: WMSketch(
+        256, 3, seed=3, heap_capacity=0, lambda_=1e-4, backend=be
+    ),
+    "wm_l1": lambda be: WMSketch(
+        256, 4, seed=1, heap_capacity=24, l1=1e-3, backend=be
+    ),
+    "wm_hinge": lambda be: WMSketch(
+        256, 2, seed=5, heap_capacity=16, loss=SmoothedHingeLoss(0.8),
+        backend=be,
+    ),
+    "awm": lambda be: AWMSketch(
+        256, depth=1, heap_capacity=48, seed=0, lambda_=1e-4, backend=be
+    ),
+    "awm_deep": lambda be: AWMSketch(
+        128, depth=3, heap_capacity=16, seed=2, backend=be
+    ),
+    "hash": lambda be: FeatureHashing(512, seed=0, backend=be),
+}
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+class TestModelLevel:
+    def test_fused_equals_unfused_and_sequential(self, backend, name):
+        examples = _stream(seed=11)
+        factory = FACTORIES[name]
+        fused = factory(backend)
+        assert fused.use_fused  # the default ships on
+        unfused = factory(backend)
+        unfused.use_fused = False
+        m_fused = _drive(fused, examples)
+        m_unfused = _drive(unfused, examples)
+        _assert_same(fused, unfused)
+        assert np.array_equal(m_fused, m_unfused)
+        sequential = factory(backend)
+        for ex in examples:
+            sequential.update(ex)
+        _assert_same(fused, sequential)
+
+    def test_serving_paths_bit_identical(self, backend, name):
+        examples = _stream(seed=23, n=200)
+        model = FACTORIES[name](backend)
+        for batch in iter_batches(examples, 64):
+            model.fit_batch(batch)
+        probe = SparseBatch.from_examples(examples[:40])
+        batched = model.predict_batch(probe)
+        scalar = np.array(
+            [model.predict_margin(ex) for ex in examples[:40]]
+        )
+        assert np.array_equal(batched, scalar)
+        keys = np.arange(0, 2_500, 11, dtype=np.int64)
+        assert np.array_equal(
+            model.query_many(keys), model.estimate_weights(keys)
+        )
+        # Repeated queries ride the hash cache; results must not drift.
+        again = model.query_many(keys)
+        assert np.array_equal(again, model.estimate_weights(keys))
+
+
+# ----------------------------------------------------------------------
+# Workspace lifecycle
+# ----------------------------------------------------------------------
+class TestWorkspaceLifecycle:
+    def test_workspace_growth_stops_after_warmup(self):
+        examples = _stream(seed=31)
+        model = WMSketch(256, 3, seed=0, heap_capacity=16)
+        batches = list(iter_batches(examples, 64))
+        for b in batches:
+            model.fit_batch(b)
+        grown = model._ws.grown
+        for _ in range(3):
+            for b in batches:
+                model.fit_batch(b)
+        assert model._ws.grown == grown  # steady state: pure reuse
+
+    def test_pickle_drops_workspace_and_training_continues(self):
+        examples = _stream(seed=37)
+        model = WMSketch(256, 3, seed=0, heap_capacity=16)
+        for b in iter_batches(examples[:160], 40):
+            model.fit_batch(b)
+        assert model._ws is not None
+        payload = pickle.dumps(model)
+        # No workspace arena bytes travel with the pickle.
+        assert len(payload) < model._ws.nbytes() + 256 * 3 * 8 * 4
+        clone = pickle.loads(payload)
+        assert clone._ws is None
+        for b in iter_batches(examples[160:], 40):
+            model.fit_batch(b)
+            clone.fit_batch(b)
+        _assert_same(model, clone)
+
+    def test_workspace_views_do_not_alias_returned_margins(self):
+        examples = _stream(seed=41, n=128)
+        model = WMSketch(256, 2, seed=0, heap_capacity=0)
+        batches = list(iter_batches(examples, 64))
+        first = model.fit_batch(batches[0])
+        snapshot = first.copy()
+        model.fit_batch(batches[1])
+        assert np.array_equal(first, snapshot)
+
+    def test_custom_loss_falls_back_to_unfused(self):
+        class WeirdLoss(LogisticLoss):
+            kernel_id = None
+
+        examples = _stream(seed=43, n=120)
+        model = WMSketch(256, 2, seed=0, heap_capacity=8,
+                         loss=WeirdLoss())
+        sequential = WMSketch(256, 2, seed=0, heap_capacity=8,
+                              loss=WeirdLoss())
+        for b in iter_batches(examples, 40):
+            model.fit_batch(b)
+        for ex in examples:
+            sequential.update(ex)
+        _assert_same(model, sequential)
+
+    def test_trailing_empty_examples_keep_bounds_exact(self, rng):
+        # Regression: a batch *ending* in empty examples used to clip
+        # the reduceat segment starts, splitting the last non-empty
+        # example's bound segment — its final feature's row magnitude
+        # dropped out of the estimate bound, so the fused maintain pass
+        # could skip an admission the unfused path makes.  Construct
+        # that exactly: a full heap holding a small entry, a trailing-
+        # empty batch whose last (= only) example carries its heavy
+        # feature in the *last* position.
+        from repro.data.sparse import SparseExample
+
+        def build(use_fused):
+            model = WMSketch(4, 1, seed=0, heap_capacity=1, lambda_=0.0)
+            model.use_fused = use_fused
+            model.table[0] = [5.0, 0.01, 0.0, 0.0]
+            model.heap.push(10_000, 0.5)  # full at a small priority
+            return model
+
+        fam = build(True).family
+        light = next(i for i in range(1_000)
+                     if fam.bucket_sign_one(i, 0)[0] == 1)
+        heavy = next(i for i in range(1_000)
+                     if fam.bucket_sign_one(i, 0)[0] == 0)
+        batch = SparseBatch.from_examples([
+            SparseExample(
+                np.array([light, heavy], dtype=np.int64),
+                np.array([1.0, 1.0]), 1,
+            ),
+            SparseExample(np.empty(0, dtype=np.int64), np.empty(0), 1),
+        ])
+        fused, unfused = build(True), build(False)
+        fused.fit_batch(batch)
+        unfused.fit_batch(batch)
+        _assert_same(fused, unfused)
+        # The heavy feature's |estimate| (~5) beats the 0.5 threshold,
+        # so the admission must actually have happened.
+        assert any(k == heavy for k, _ in fused.heap.items())
+
+    def test_awm_fused_query_branch_applies_l1(self):
+        # Regression: the compiled-backend fused_query branch used to
+        # skip the l1 soft-threshold _estimate_from_rows applies, so
+        # promotion decisions diverged whenever l1 > 0.  The private
+        # _force_fused_query hook exercises the branch without numba.
+        examples = _stream(seed=53, n=250)
+
+        def make(force):
+            model = AWMSketch(128, depth=3, heap_capacity=16, seed=1,
+                              lambda_=1e-4)
+            model.l1 = 5e-3
+            model._force_fused_query = force
+            return model
+
+        forced, plain = make(True), make(False)
+        for batch in iter_batches(examples, 50):
+            forced.fit_batch(batch)
+            plain.fit_batch(batch)
+        _assert_same(forced, plain)
+        assert forced.n_promotions == plain.n_promotions
+
+    def test_fused_decay_validation_matches_message(self):
+        examples = _stream(seed=47, n=8)
+        model = WMSketch(64, 2, seed=0, heap_capacity=0, lambda_=0.5,
+                         learning_rate=10.0)
+        with pytest.raises(ValueError, match="decrease eta0"):
+            model.fit_batch(SparseBatch.from_examples(examples))
+
+    def test_feature_hashing_rejects_invalid_decay_on_every_path(self):
+        # Historically FeatureHashing let eta * lambda >= 1 flip the
+        # model's sign silently; all three paths now raise like the
+        # sketches do (and therefore stay equivalent to each other in
+        # the pathological regime too).
+        examples = _stream(seed=49, n=8)
+        for driver in ("update", "fused", "unfused"):
+            model = FeatureHashing(64, lambda_=0.5, learning_rate=4.0)
+            with pytest.raises(ValueError, match="decrease eta0"):
+                if driver == "update":
+                    model.update(examples[0])
+                else:
+                    model.use_fused = driver == "fused"
+                    model.fit_batch(SparseBatch.from_examples(examples))
+
+
+# ----------------------------------------------------------------------
+# Dispatch-free binding (BackendHandle)
+# ----------------------------------------------------------------------
+class TestBackendHandle:
+    def test_set_backend_retargets_live_models(self):
+        model = WMSketch(64, 2, seed=0, heap_capacity=0)
+        assert model.kernels.name == kernels.active_backend_name()
+        try:
+            kernels.set_backend("python")
+            assert model.kernels.name == "python"
+        finally:
+            kernels.set_backend(None)
+        assert model.kernels.name == kernels.active_backend_name()
+
+    def test_explicit_override_survives_set_backend(self):
+        model = WMSketch(64, 2, seed=0, heap_capacity=0,
+                         backend="numpy")
+        try:
+            kernels.set_backend("python")
+            assert model.kernels.name == "numpy"
+        finally:
+            kernels.set_backend(None)
+
+    def test_handle_is_not_picklable_alone(self):
+        handle = kernels.BackendHandle()
+        with pytest.raises(TypeError):
+            pickle.dumps(handle)
+
+    def test_epoch_advances_on_set_backend(self):
+        before = kernels.backend_epoch()
+        try:
+            kernels.set_backend("python")
+        finally:
+            kernels.set_backend(None)
+        assert kernels.backend_epoch() >= before + 2
