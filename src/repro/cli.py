@@ -32,6 +32,23 @@ Commands
 
         python -m repro parallel --workers 4 --examples 20000
         python -m repro parallel --workers 4 --task deltoids
+
+``serve``
+    Stand up an in-process :class:`~repro.serving.server.SketchServer`
+    (background trainer + micro-batching coalescer), drive concurrent
+    reader threads against it while it trains, verify the whole history
+    with the black-box snapshot-consistency checker, and print the
+    ``stats()`` endpoint::
+
+        python -m repro serve --examples 8000 --readers 4
+
+``loadgen``
+    Load-generate against an in-process server: closed-loop saturation
+    throughput (coalesced vs serial-scalar baseline) or open-loop
+    latency percentiles at an offered rate::
+
+        python -m repro loadgen --mode closed --clients 16
+        python -m repro loadgen --mode open --rps 2000
 """
 
 from __future__ import annotations
@@ -332,6 +349,166 @@ def _cmd_parallel_app(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_model(args, backend: str | None):
+    """One live model for the serve/loadgen subcommands."""
+    factory, kwargs = _parallel_factory(
+        args.method, args.budget_kb * 1024, args.seed, backend=backend
+    )
+    return factory(**kwargs)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    import numpy as np
+
+    from repro.data.batch import iter_batches
+    from repro.serving import ServingClient, SketchServer, check_snapshot_consistency
+
+    preset = ALL_PRESETS.get(f"{args.dataset}_like")
+    if preset is None:
+        print(f"unknown dataset {args.dataset!r}; "
+              f"choose from rcv1, url, kdda", file=sys.stderr)
+        return 2
+    spec = preset(seed=args.seed)
+    backend = _apply_backend(args.backend)
+    examples = spec.stream.materialize(args.examples)
+    batches = list(iter_batches(examples, args.batch_size))
+    make = lambda: _serving_model(args, backend)  # noqa: E731
+
+    print(f"dataset={spec.name} examples={len(examples):,} "
+          f"method={args.method} budget={args.budget_kb}KB "
+          f"latency_budget={args.latency_budget_ms:g}ms "
+          f"max_batch={args.max_batch} backend={backend}")
+    server = SketchServer(
+        make(),
+        latency_budget=args.latency_budget_ms * 1e-3,
+        max_batch=args.max_batch,
+        publish_every=args.publish_every,
+    )
+    server.start_training(batches)
+    clients = [
+        ServingClient(server, record=True) for _ in range(args.readers)
+    ]
+
+    def reader(client, seed):
+        rng = np.random.default_rng(seed)
+        top_k_ok = args.method != "hash"
+        for _ in range(args.reads):
+            op = int(rng.integers(0, 3 if top_k_ok else 2))
+            if op == 0:
+                keys = ((rng.zipf(1.3, size=8) - 1) % spec.stream.d)
+                client.query(keys.astype(np.int64))
+            elif op == 1:
+                i = int(rng.integers(0, len(examples)))
+                client.predict(examples[i].indices, examples[i].values)
+            else:
+                client.top_k(1 + int(rng.integers(0, 32)))
+
+    threads = [
+        threading.Thread(target=reader, args=(c, 100 + i), daemon=True)
+        for i, c in enumerate(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    server.training_done.wait(300.0)
+    server.close()
+
+    report = check_snapshot_consistency(
+        make, batches, server.snapshots.publish_log,
+        [c.records for c in clients],
+    )
+    stats = server.stats()
+    print(f"\ntrained {stats['train']['examples']:,} examples in "
+          f"{stats['train']['seconds']:.2f}s while serving "
+          f"{report['reads_checked']} concurrent reads")
+    print(f"snapshots published: {stats['snapshots']['published']} "
+          f"(current v{stats['snapshots']['current_version']})")
+    hasher = stats["reader_hasher"]
+    print(f"reader hash cache: hit_rate={hasher['hit_rate']:.2f} "
+          f"evictions={hasher['evictions']} keys={hasher['cached_keys']:,}")
+    co = stats["coalescer"]
+    print(f"coalescer: {sum(co['requests'].values())} requests in "
+          f"{sum(co['flushes'].values())} flushes "
+          f"(reasons {co['flush_reasons']})")
+    for op, hist in co["batch_size_hist"].items():
+        if hist:
+            print(f"  {op:>8} batch sizes: {hist}")
+    print(f"consistency check: PASS ({report['reads_checked']} reads "
+          f"vs {report['snapshots_rebuilt']} rebuilt snapshots)")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.data.batch import iter_batches
+    from repro.serving import SketchServer
+    from repro.serving.loadgen import (
+        build_requests,
+        percentile,
+        run_closed_loop,
+        run_open_loop,
+    )
+
+    preset = ALL_PRESETS.get(f"{args.dataset}_like")
+    if preset is None:
+        print(f"unknown dataset {args.dataset!r}; "
+              f"choose from rcv1, url, kdda", file=sys.stderr)
+        return 2
+    spec = preset(seed=args.seed)
+    backend = _apply_backend(args.backend)
+    train = spec.stream.materialize(args.examples)
+    held_out = spec.stream.materialize(512, seed_offset=9)
+    model = _serving_model(args, backend)
+    for batch in iter_batches(train, args.batch_size):
+        model.fit_batch(batch)
+    mix = (("query", 0.6), ("predict", 0.3), ("top_k", 0.1))
+    if args.method == "hash":
+        mix = (("query", 0.65), ("predict", 0.35))
+    requests = build_requests(
+        args.requests, key_space=spec.stream.d, examples=held_out,
+        seed=args.seed, mix=mix,
+    )
+    server = SketchServer(
+        model,
+        latency_budget=args.latency_budget_ms * 1e-3,
+        max_batch=args.max_batch,
+    )
+    print(f"dataset={spec.name} method={args.method} "
+          f"requests={args.requests:,} mode={args.mode} backend={backend}")
+    try:
+        if args.mode == "closed":
+            elapsed, _ = run_closed_loop(
+                server, requests, n_clients=args.clients, serial=args.serial
+            )
+            label = "serial-scalar" if args.serial else "coalesced"
+            print(f"{label}: {len(requests) / elapsed:,.0f} req/s "
+                  f"({args.clients} closed-loop clients, "
+                  f"{elapsed:.2f}s)")
+        else:
+            latencies, elapsed = run_open_loop(
+                server, requests, offered_rps=args.rps, seed=args.seed
+            )
+            print(f"offered {args.rps:,.0f} req/s, completed "
+                  f"{latencies.size / elapsed:,.0f} req/s")
+            print(f"latency p50={percentile(latencies, 50) * 1e3:.2f}ms "
+                  f"p99={percentile(latencies, 99) * 1e3:.2f}ms "
+                  f"max={latencies.max() * 1e3:.2f}ms")
+        co = server.coalescer.stats()
+        sizes = {}
+        for hist in co["batch_size_hist"].values():
+            for size, count in hist.items():
+                sizes[size] = sizes.get(size, 0) + count
+        if sizes and not args.serial:
+            mean = sum(s * c for s, c in sizes.items()) / sum(sizes.values())
+            print(f"coalesced batch size: mean {mean:.1f}, "
+                  f"max {max(sizes)}")
+    finally:
+        server.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -416,6 +593,57 @@ def build_parser() -> argparse.ArgumentParser:
              "numpy with a notice)",
     )
     parallel.set_defaults(func=_cmd_parallel)
+
+    def _serving_common(p):
+        p.add_argument("--dataset", default="rcv1",
+                       choices=("rcv1", "url", "kdda"))
+        p.add_argument("--method", default="wm",
+                       choices=("wm", "awm", "hash"))
+        p.add_argument("--budget-kb", type=int, default=8)
+        p.add_argument("--examples", type=int, default=6_000)
+        p.add_argument("--batch-size", type=int, default=256)
+        p.add_argument("--latency-budget-ms", type=float, default=1.0,
+                       help="coalescer flush budget in milliseconds")
+        p.add_argument("--max-batch", type=int, default=64,
+                       help="coalescer flush bound in requests")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--backend", default="auto",
+            choices=("auto", "numpy", "numba", "python"),
+            help="kernel backend for the hot loops (results are "
+                 "bit-identical on every backend)",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="live server demo: background training + coalesced "
+             "concurrent reads, verified by the consistency checker",
+    )
+    _serving_common(serve)
+    serve.add_argument("--readers", type=int, default=4,
+                       help="concurrent reader threads")
+    serve.add_argument("--reads", type=int, default=30,
+                       help="reads issued per reader thread")
+    serve.add_argument("--publish-every", type=int, default=2,
+                       help="training batches between snapshot publishes")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive open- or closed-loop load at an in-process server",
+    )
+    _serving_common(loadgen)
+    loadgen.add_argument("--mode", default="closed",
+                         choices=("closed", "open"))
+    loadgen.add_argument("--requests", type=int, default=2_000)
+    loadgen.add_argument("--clients", type=int, default=16,
+                         help="closed-loop client threads")
+    loadgen.add_argument("--rps", type=float, default=2_000.0,
+                         help="open-loop offered request rate")
+    loadgen.add_argument("--serial", action="store_true",
+                         help="bypass the coalescer (serial-scalar "
+                              "baseline)")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     theory = sub.add_parser(
         "theory", help="evaluate Theorem 1/2 sizing"

@@ -179,6 +179,59 @@ class ScaledSketchTable(StreamingClassifier):
         self._ws = None  # rebuilt lazily on first fused batch
 
     # ------------------------------------------------------------------
+    # Serving snapshots
+    # ------------------------------------------------------------------
+    def snapshot(
+        self,
+        batch_hasher: "BatchHasher | None" = None,
+        workspace: "kernels.KernelWorkspace | None" = None,
+    ) -> "ScaledSketchTable":
+        """A consistent read-only copy for concurrent serving.
+
+        The lazy L2 scale is folded into the copied table (the fold
+        *is* the copy — one vectorized multiply), so a snapshot never
+        exposes a half-applied update and its answers are a pure
+        function of publish-time state.  The trainer keeps mutating the
+        original; readers keep answering from the snapshot.  Subclass
+        stores (the WM/AWM ``heap``) are folded the same way through
+        :meth:`~repro.heap.topk.TopKStore.snapshot_view`.
+
+        ``batch_hasher`` / ``workspace`` let a snapshot *manager* thread
+        its long-lived reader-side caches through successive publishes
+        (hash functions are pure and shared with the live model, so LRU
+        warmth carries over; the workspace arenas keep reads
+        zero-allocation).  Both default to fresh caches.  Snapshots are
+        read-only by contract and, like every model, single-threaded:
+        serving layers must serialize access per snapshot chain.
+        """
+        snap = object.__new__(type(self))
+        state = self.__dict__.copy()
+        for key in ("table", "_scale", "_table_flat",
+                    "_batch_hasher", "_kb", "_ws", "heap"):
+            state.pop(key, None)
+        snap.__dict__.update(state)
+        snap.table = np.multiply(self.table, self._scale)
+        snap._scale = 1.0
+        snap._table_flat = snap.table.ravel()
+        if batch_hasher is not None and batch_hasher.family is not self.family:
+            raise ValueError(
+                "batch_hasher must wrap the model's own hash family"
+            )
+        snap._batch_hasher = (
+            batch_hasher
+            if batch_hasher is not None
+            else BatchHasher(self.family)
+        )
+        snap._kb = self._kb
+        snap._ws = workspace
+        heap = getattr(self, "heap", None)
+        if heap is not None:
+            snap.heap = heap.snapshot_view()
+        elif "heap" in self.__dict__:
+            snap.heap = None
+        return snap
+
+    # ------------------------------------------------------------------
     # Merging (distributed / sharded training)
     # ------------------------------------------------------------------
     def _check_mergeable(self, other: "ScaledSketchTable") -> None:

@@ -282,7 +282,7 @@ class WMSketch(ScaledSketchTable):
             raw_bounds[nonempty] = compact
         est_arena = ws.array("est", nnz)
         raw_med: np.ndarray | None = None
-        slot_cache = BatchSlotCache(heap, indices)
+        slot_cache = BatchSlotCache(heap, indices, ws=ws)
         promo_log: list = []
         indptr = batch.indptr.tolist()
         sqrt_s = self._sqrt_s
@@ -293,7 +293,9 @@ class WMSketch(ScaledSketchTable):
             if hi == lo:
                 continue
             if slot_cache.stale:
-                slot_cache = BatchSlotCache(heap, indices, reuse=slot_cache)
+                slot_cache = BatchSlotCache(
+                    heap, indices, reuse=slot_cache, ws=ws
+                )
             scale = float(scales[i])
             factor = scale if depth_one else sqrt_s * scale
 

@@ -110,6 +110,29 @@ class SparseBatch:
         return cls(indptr, indices, values, labels)
 
     @classmethod
+    def _trusted(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        labels: np.ndarray,
+    ) -> "SparseBatch":
+        """Construct without re-validating the CSR invariants.
+
+        For internal hot paths whose parts provably satisfy the
+        contract already — e.g. the serving coalescer's flush merge,
+        which concatenates previously validated batches.  All four
+        arrays must carry the documented dtypes and shapes; nothing is
+        checked here.
+        """
+        batch = object.__new__(cls)
+        object.__setattr__(batch, "indptr", indptr)
+        object.__setattr__(batch, "indices", indices)
+        object.__setattr__(batch, "values", values)
+        object.__setattr__(batch, "labels", labels)
+        return batch
+
+    @classmethod
     def from_pairs(
         cls,
         indices: np.ndarray,

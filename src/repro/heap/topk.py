@@ -177,6 +177,45 @@ class TopKStore:
         self.version = 0
         self._kb = kernels.BackendHandle(self.backend)
 
+    def snapshot_view(self) -> "TopKStore":
+        """A read-only consistent copy for concurrent serving.
+
+        The lazy scale is folded into the copied raw values (the fold
+        *is* the copy — one vectorized multiply over the live prefix),
+        so the snapshot's true values are bit-identical to the live
+        store's at publish time: ``raw * scale`` is computed either way,
+        and a later re-multiply by the snapshot's scale of 1.0 is an
+        exact identity.  Only the live prefix is copied; the publisher
+        (the training thread) keeps mutating the original while readers
+        hold the snapshot.
+
+        Snapshots are **read-only by contract**: their slot arrays are
+        sized to the live prefix, so mutating methods (``push``,
+        ``decay``, ...) are out of contract.  Lazily built caches
+        (``_min_slot``, ``_sorted_keys``) may still materialize on first
+        read — single-reader or externally serialized use only, the same
+        single-threaded discipline as every other model structure.
+        """
+        snap = TopKStore.__new__(TopKStore)
+        n = self._n
+        snap.capacity = self.capacity
+        snap.backend = self.backend
+        snap._priority = self._priority
+        snap._scale = 1.0
+        snap._keys = self._keys[:n].copy()
+        snap._raw = self._raw[:n] * self._scale
+        snap._scratch = np.empty(n, dtype=np.float64)
+        snap._n = n
+        snap._pos = {
+            int(k): i for i, k in enumerate(snap._keys.tolist())
+        }
+        snap._min_slot = -1
+        snap._sorted_keys = None
+        snap._sorted_slots = None
+        snap.version = 0
+        snap._kb = self._kb
+        return snap
+
     # ------------------------------------------------------------------
     # Basic protocol
     # ------------------------------------------------------------------
@@ -666,6 +705,14 @@ class BatchSlotCache:
     :meth:`TopKStore.replace_min`); :attr:`TopKStore.version` guards
     against unlogged membership changes — on mismatch the caller
     rebuilds.
+
+    With a :class:`~repro.kernels.workspace.KernelWorkspace` (``ws``)
+    the three batch-lifetime arrays — the slots, the argsort order and
+    the sorted index copy — live in grow-only arenas instead of fresh
+    allocations, so steady-state batches build their membership cache
+    allocation-free (same contract as every other workspace buffer:
+    the views are only valid until the next same-name request, i.e.
+    until the next batch's cache is built).
     """
 
     __slots__ = ("store", "slots", "version", "_order", "_sorted_indices")
@@ -675,24 +722,37 @@ class BatchSlotCache:
         store: TopKStore,
         indices: np.ndarray,
         reuse: "BatchSlotCache | None" = None,
+        ws=None,
     ):
         self.store = store
-        if reuse is not None and reuse._sorted_indices.size == indices.size:
+        n = indices.size
+        if reuse is not None and reuse._sorted_indices.size == n:
             # Rebuild for the same batch: the (expensive) argsort of the
             # batch's index array depends only on the batch, not on the
             # store, so a stale cache donates it.
             self._order = reuse._order
             self._sorted_indices = reuse._sorted_indices
+        elif ws is not None:
+            order = ws.array("bsc_order", n, np.intp)
+            order[:] = np.argsort(indices)
+            self._order = order
+            sorted_indices = ws.array("bsc_sorted", n, np.int64)
+            np.take(indices, order, out=sorted_indices)
+            self._sorted_indices = sorted_indices
         else:
             self._order = np.argsort(indices)
             self._sorted_indices = indices[self._order]
         # Fill slots from the store side: only the <= capacity stored
         # keys can occur as members, so locate each stored key's run in
         # the sorted batch instead of probing every batch position.
-        self.slots = np.full(indices.shape, -1, dtype=np.intp)
+        if ws is not None:
+            self.slots = ws.array("bsc_slots", n, np.intp)
+            self.slots.fill(-1)
+        else:
+            self.slots = np.full(indices.shape, -1, dtype=np.intp)
         keys = store._keys[: store._n]
         lo = np.searchsorted(self._sorted_indices, keys)
-        hi = np.searchsorted(self._sorted_indices, keys + 1)
+        hi = np.searchsorted(self._sorted_indices, keys, side="right")
         for slot in np.flatnonzero(hi > lo).tolist():
             self.slots[self._order[lo[slot] : hi[slot]]] = slot
         self.version = store.version

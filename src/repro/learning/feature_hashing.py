@@ -101,6 +101,35 @@ class FeatureHashing(StreamingClassifier):
         self._kb = kernels.BackendHandle(self.backend)
         self._ws = None
 
+    def snapshot(
+        self,
+        batch_hasher: "BatchHasher | None" = None,
+        workspace: "kernels.KernelWorkspace | None" = None,
+    ) -> "FeatureHashing":
+        """A consistent read-only copy for concurrent serving — the
+        lazy scale folded into the copied table at publish time (same
+        contract as :meth:`repro.core.sketch_table.ScaledSketchTable.
+        snapshot`, which documents the cache-threading parameters)."""
+        snap = object.__new__(type(self))
+        state = self.__dict__.copy()
+        for key in ("table", "_scale", "_batch_hasher", "_kb", "_ws"):
+            state.pop(key, None)
+        snap.__dict__.update(state)
+        snap.table = np.multiply(self.table, self._scale)
+        snap._scale = 1.0
+        if batch_hasher is not None and batch_hasher.family is not self.family:
+            raise ValueError(
+                "batch_hasher must wrap the model's own hash family"
+            )
+        snap._batch_hasher = (
+            batch_hasher
+            if batch_hasher is not None
+            else BatchHasher(self.family)
+        )
+        snap._kb = self._kb
+        snap._ws = workspace
+        return snap
+
     @property
     def kernels(self) -> "kernels.KernelBackend":
         """The kernel backend the margin / scatter loops dispatch

@@ -1,0 +1,130 @@
+"""Black-box snapshot-consistency checking.
+
+The serving correctness contract has three clauses:
+
+1. **Monotone reads** — each client observes non-decreasing snapshot
+   versions.
+2. **Reads hit published states** — every read's version appears in the
+   server's publish log (no read is served from a half-applied update).
+3. **Published states are the sequential states** — a read's result is
+   bit-equal to the *scalar* answer computed on an independent
+   sequential re-execution of the training stream, stopped at exactly
+   the example count the publish log recorded for that version.
+
+:func:`check_snapshot_consistency` takes only observable artifacts —
+the publish log, the per-client read logs, and the (replayable)
+training stream — and validates all three clauses without looking
+inside the server.  Because the sequential reference uses the scalar
+paths while serving used coalesced batched kernels, a pass also
+re-certifies the batched == scalar bit-equality discipline end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.server import scalar_answer
+
+__all__ = ["ConsistencyError", "check_snapshot_consistency"]
+
+
+class ConsistencyError(AssertionError):
+    """A serving history violated the snapshot-consistency contract."""
+
+
+def _results_equal(a, b) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a = np.asarray(a)
+        b = np.asarray(b)
+        return a.shape == b.shape and np.array_equal(a, b)
+    return a == b
+
+
+def check_snapshot_consistency(
+    make_model, batches, publish_log, client_records
+) -> dict:
+    """Validate concurrent read logs against a sequential re-execution.
+
+    Parameters
+    ----------
+    make_model:
+        Zero-arg factory producing a model identical to the served one
+        at t=0 (same seeds, widths, hyperparameters).
+    batches:
+        The training stream, replayable in the served order (list or
+        re-iterable of SparseBatch).
+    publish_log:
+        ``SnapshotManager.publish_log`` — ``(version, t)`` per publish.
+    client_records:
+        Iterable of per-client :class:`~repro.serving.client.ReadRecord`
+        lists (each list in that client's issue order).
+
+    Returns
+    -------
+    dict with ``snapshots_rebuilt`` and ``reads_checked`` counts.
+
+    Raises
+    ------
+    ConsistencyError on any contract violation.
+    """
+    if not publish_log:
+        raise ConsistencyError("empty publish log")
+    if publish_log[0] != (0, publish_log[0][1]):
+        raise ConsistencyError(
+            f"publish log must start at version 0, got {publish_log[0]}"
+        )
+    versions = [v for v, _ in publish_log]
+    if versions != list(range(len(versions))):
+        raise ConsistencyError(f"publish versions not contiguous: {versions}")
+    ts = [t for _, t in publish_log]
+    if any(b < a for a, b in zip(ts, ts[1:])):
+        raise ConsistencyError(f"publish example counts not monotone: {ts}")
+
+    # Sequential re-execution: rebuild the model state behind each
+    # published (version, t) by training a fresh model to exactly t
+    # examples and folding a snapshot there.
+    model = make_model()
+    snapshots: dict[int, object] = {}
+    batch_iter = iter(batches)
+    for version, t in publish_log:
+        while model.t < t:
+            try:
+                model.fit_batch(next(batch_iter))
+            except StopIteration:
+                raise ConsistencyError(
+                    f"stream exhausted at t={model.t} rebuilding version "
+                    f"{version} (t={t})"
+                ) from None
+        if model.t != t:
+            raise ConsistencyError(
+                f"publish t={t} (version {version}) is not a batch "
+                f"boundary of the replayed stream (reached t={model.t})"
+            )
+        snapshots[version] = model.snapshot()
+
+    reads_checked = 0
+    for client_idx, records in enumerate(client_records):
+        last_version = -1
+        for read_idx, rec in enumerate(records):
+            where = f"client {client_idx} read {read_idx} ({rec.op})"
+            if rec.version < last_version:
+                raise ConsistencyError(
+                    f"{where}: version {rec.version} after {last_version} "
+                    "(non-monotone reads)"
+                )
+            last_version = rec.version
+            if rec.version not in snapshots:
+                raise ConsistencyError(
+                    f"{where}: version {rec.version} never published "
+                    f"(log has {sorted(snapshots)})"
+                )
+            expected = scalar_answer(snapshots[rec.version], rec.op, rec.payload)
+            if not _results_equal(expected, rec.result):
+                raise ConsistencyError(
+                    f"{where}: result differs from sequential reference at "
+                    f"version {rec.version}\n  served:    {rec.result!r}\n"
+                    f"  reference: {expected!r}"
+                )
+            reads_checked += 1
+
+    return {"snapshots_rebuilt": len(snapshots), "reads_checked": reads_checked}

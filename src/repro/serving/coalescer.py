@@ -1,0 +1,248 @@
+"""Micro-batching request coalescer — the serving perf core.
+
+Concurrent callers submit single requests; the coalescer accumulates
+them in per-operation queues and flushes each queue as **one** batched
+kernel call against the latest published snapshot.  A queue is flushed
+when either
+
+* its oldest request has waited ``latency_budget`` seconds, or
+* it holds ``max_batch`` requests, or
+* the coalescer is closing (drain).
+
+All flushes run on a single worker thread, which is what licenses the
+snapshots' shared :class:`~repro.hashing.batch.BatchHasher` /
+:class:`~repro.kernels.workspace.KernelWorkspace` reader caches: the
+batched read paths are the only code that touches them, and they only
+ever run here.
+
+Because the batched kernels are bit-identical to their scalar twins
+(PR 3-5's equivalence discipline), coalescing is *invisible* to
+callers: a coalesced answer equals the serial-scalar answer on the
+same snapshot bit for bit — the tests and the serving benchmark both
+assert this.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.data.batch import SparseBatch
+
+__all__ = ["MicroBatchCoalescer"]
+
+#: Supported operations and their payload / result conventions:
+#: ``predict``: payload is a :class:`SparseBatch`, result is the
+#: ``predict_batch`` margin array for that payload's rows;
+#: ``query``:   payload is an int64 key array, result is the
+#: ``query_many`` / ``estimate_weights`` estimate array;
+#: ``top_k``:   payload is an int k, result is ``top_weights(k)``.
+_OPS = ("predict", "query", "top_k")
+
+
+class _Request:
+    """One in-flight request (internal)."""
+
+    __slots__ = ("op", "payload", "event", "result", "error", "version", "done_at")
+
+    def __init__(self, op, payload):
+        self.op = op
+        self.payload = payload
+        self.event = threading.Event()
+        self.result = None
+        self.error = None
+        self.version = -1
+        self.done_at = 0.0
+
+    def wait(self, timeout=None):
+        """Block until flushed; return ``(result, version)`` or raise."""
+        if not self.event.wait(timeout):
+            raise TimeoutError(f"{self.op} request not flushed within {timeout}s")
+        if self.error is not None:
+            raise self.error
+        return self.result, self.version
+
+
+class MicroBatchCoalescer:
+    """Accumulate concurrent requests; flush each op as one batched call.
+
+    Parameters
+    ----------
+    snapshots:
+        A :class:`~repro.serving.snapshot.SnapshotManager`; every flush
+        is answered entirely from ``snapshots.current``.
+    latency_budget:
+        Max seconds a request may wait for batch-mates before its queue
+        is flushed anyway.  The knob trades tail latency for batch size.
+    max_batch:
+        Flush a queue as soon as it holds this many requests, budget
+        notwithstanding.
+    """
+
+    def __init__(self, snapshots, *, latency_budget: float = 1e-3, max_batch: int = 64):
+        if latency_budget < 0:
+            raise ValueError("latency_budget must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._snapshots = snapshots
+        self.latency_budget = float(latency_budget)
+        self.max_batch = int(max_batch)
+        self._cond = threading.Condition()
+        self._queues = {op: deque() for op in _OPS}
+        self._closing = False
+        # Observability (mutated only under self._cond or on the worker).
+        self.requests = {op: 0 for op in _OPS}
+        self.flushes = {op: 0 for op in _OPS}
+        self.flush_reasons = {"budget": 0, "max_batch": 0, "drain": 0}
+        self.batch_size_hist = {op: {} for op in _OPS}
+        self._worker = threading.Thread(
+            target=self._run, name="repro-coalescer", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit_nowait(self, op: str, payload) -> _Request:
+        """Enqueue without blocking; caller waits on the returned request."""
+        if op not in self._queues:
+            raise ValueError(f"unknown op {op!r}; expected one of {_OPS}")
+        req = _Request(op, payload)
+        with self._cond:
+            if self._closing:
+                raise RuntimeError("coalescer is closed")
+            self._queues[op].append((time.monotonic(), req))
+            self.requests[op] += 1
+            self._cond.notify()
+        return req
+
+    def submit(self, op: str, payload, timeout: float | None = None):
+        """Enqueue and block for the flushed answer: ``(result, version)``."""
+        return self.submit_nowait(op, payload).wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _run(self):
+        while True:
+            with self._cond:
+                while True:
+                    now = time.monotonic()
+                    ready = None
+                    deadline = None
+                    for op, q in self._queues.items():
+                        if not q:
+                            continue
+                        if self._closing:
+                            ready = (op, "drain")
+                            break
+                        if len(q) >= self.max_batch:
+                            ready = (op, "max_batch")
+                            break
+                        due = q[0][0] + self.latency_budget
+                        if due <= now:
+                            ready = (op, "budget")
+                            break
+                        if deadline is None or due < deadline:
+                            deadline = due
+                    if ready is not None:
+                        op, reason = ready
+                        q = self._queues[op]
+                        batch = [q.popleft()[1] for _ in range(min(len(q), self.max_batch))]
+                        break
+                    if self._closing:
+                        return
+                    self._cond.wait(None if deadline is None else deadline - now)
+            self._flush(op, batch, reason)
+
+    def _flush(self, op, reqs, reason):
+        self.flushes[op] += 1
+        self.flush_reasons[reason] += 1
+        hist = self.batch_size_hist[op]
+        hist[len(reqs)] = hist.get(len(reqs), 0) + 1
+        snap = self._snapshots.current
+        try:
+            results = self._HANDLERS[op](snap.model, [r.payload for r in reqs])
+        except BaseException as exc:  # propagate to every waiter in the batch
+            for r in reqs:
+                r.error = exc
+                r.event.set()
+            return
+        done = time.monotonic()
+        for r, res in zip(reqs, results):
+            r.result = res
+            r.version = snap.version
+            r.done_at = done
+            r.event.set()
+
+    # ------------------------------------------------------------------
+    # Batched handlers — ONE kernel call per flush.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _flush_predict(model, payloads):
+        if len(payloads) == 1:
+            return [model.predict_batch(payloads[0])]
+        sizes = [len(b) for b in payloads]
+        n = sum(sizes)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        counts = np.concatenate([np.diff(b.indptr) for b in payloads])
+        np.cumsum(counts, out=indptr[1:])
+        # Every part comes from an already-validated batch, so the
+        # merge skips re-validation (labels are ignored by predict).
+        merged = SparseBatch._trusted(
+            indptr,
+            np.concatenate([b.indices for b in payloads]),
+            np.concatenate([b.values for b in payloads]),
+            np.ones(n, dtype=np.int64),
+        )
+        out = model.predict_batch(merged)
+        return np.split(out, np.cumsum(sizes)[:-1])
+
+    @staticmethod
+    def _flush_query(model, payloads):
+        if len(payloads) == 1:
+            return [model.query_many(payloads[0])]
+        sizes = [p.size for p in payloads]
+        out = model.query_many(np.concatenate(payloads))
+        return np.split(out, np.cumsum(sizes)[:-1])
+
+    @staticmethod
+    def _flush_top_k(model, payloads):
+        # top_weights(k) computes one full ranking and slices, so the
+        # answer for any k is a prefix of the answer for max(payloads).
+        top = model.top_weights(max(payloads))
+        return [top[:k] for k in payloads]
+
+    #: op -> batched handler; a dict lookup on the flush path instead of
+    #: a per-flush getattr/name-mangling round trip.
+    _HANDLERS = {
+        "predict": _flush_predict.__func__,
+        "query": _flush_query.__func__,
+        "top_k": _flush_top_k.__func__,
+    }
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._cond:
+            pending = {op: len(q) for op, q in self._queues.items()}
+            return {
+                "latency_budget": self.latency_budget,
+                "max_batch": self.max_batch,
+                "requests": dict(self.requests),
+                "flushes": dict(self.flushes),
+                "flush_reasons": dict(self.flush_reasons),
+                "batch_size_hist": {
+                    op: dict(sorted(h.items())) for op, h in self.batch_size_hist.items()
+                },
+                "pending": pending,
+            }
+
+    def close(self):
+        """Drain all pending requests, then stop the worker thread."""
+        with self._cond:
+            self._closing = True
+            self._cond.notify()
+        self._worker.join()

@@ -1,0 +1,167 @@
+"""Workload generation and load drivers for the serving benchmark.
+
+Two driver shapes, matching the two questions the benchmark answers:
+
+* **closed loop** (:func:`run_closed_loop`) — N client threads each
+  issue their next request the moment the previous one completes.
+  Measures *saturation throughput*; run once coalesced and once
+  against the serial-scalar baseline to get the coalescing-speedup
+  ratio the CI gate floors.
+* **open loop** (:func:`run_open_loop`) — requests arrive on a Poisson
+  schedule at a configured offered rate, regardless of completions
+  (no coordinated omission).  Measures the latency distribution
+  (p50/p99) under load.
+
+Request streams (:func:`build_requests`) follow the paper's serving
+assumptions: Zipf-distributed query keys (hot features dominate),
+heavy-tailed predict sizes (Pareto example counts), and a
+query-heavy op mix.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+import numpy as np
+
+from repro.data.batch import SparseBatch
+
+__all__ = [
+    "build_requests",
+    "percentile",
+    "run_closed_loop",
+    "run_open_loop",
+]
+
+
+def build_requests(
+    n_requests: int,
+    *,
+    key_space: int,
+    examples,
+    seed: int = 0,
+    zipf_a: float = 1.3,
+    mix=(("query", 0.6), ("predict", 0.3), ("top_k", 0.1)),
+    max_keys: int = 64,
+    max_examples: int = 16,
+    top_k_max: int = 32,
+    query_size_scale: float = 8.0,
+    predict_size_scale: float = 2.0,
+) -> list[tuple[str, object]]:
+    """Generate ``(op, payload)`` pairs for the drivers below.
+
+    ``examples`` supplies held-out :class:`~repro.data.sparse.SparseExample`
+    rows that predict payloads draw from (with replacement).  Query
+    keys are Zipf over ``[0, key_space)``; request sizes are
+    heavy-tailed — ``1 + min(scale * Pareto(1.5), cap)`` keys or
+    examples per request, the dashboard/monitor regime where one
+    request asks about many features (or scores a burst of traffic)
+    at once.
+    """
+    rng = np.random.default_rng(seed)
+    ops = [op for op, _ in mix]
+    probs = np.array([w for _, w in mix], dtype=np.float64)
+    probs /= probs.sum()
+    choices = rng.choice(len(ops), size=n_requests, p=probs)
+    requests: list[tuple[str, object]] = []
+    for c in choices:
+        op = ops[c]
+        if op == "query":
+            n = 1 + min(int(query_size_scale * rng.pareto(1.5)), max_keys - 1)
+            keys = (rng.zipf(zipf_a, size=n) - 1) % key_space
+            requests.append((op, keys.astype(np.int64)))
+        elif op == "predict":
+            n = 1 + min(
+                int(predict_size_scale * rng.pareto(1.5)), max_examples - 1
+            )
+            rows = [examples[int(i)] for i in rng.integers(0, len(examples), n)]
+            requests.append((op, SparseBatch.from_examples(rows)))
+        else:
+            requests.append((op, 1 + int(rng.integers(0, top_k_max))))
+    return requests
+
+
+def percentile(values, q: float) -> float:
+    """Linear-interpolation percentile of a sequence (q in [0, 100])."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, q))
+
+
+def run_closed_loop(
+    server,
+    requests,
+    *,
+    n_clients: int = 16,
+    serial: bool = False,
+):
+    """Drive ``requests`` through ``n_clients`` threads, each issuing its
+    next request as soon as the previous completes.
+
+    Returns ``(elapsed_seconds, results)`` where ``results[i]`` is the
+    ``(result, version)`` pair for ``requests[i]``.
+    """
+    work: queue.SimpleQueue = queue.SimpleQueue()
+    for item in enumerate(requests):
+        work.put(item)
+    results: list = [None] * len(requests)
+    issue = server.serial_request if serial else server.request
+
+    def client():
+        while True:
+            try:
+                i, (op, payload) = work.get_nowait()
+            except queue.Empty:
+                return
+            results[i] = issue(op, payload)
+
+    threads = [
+        threading.Thread(target=client, name=f"repro-loadgen-{k}", daemon=True)
+        for k in range(n_clients)
+    ]
+    start = time.monotonic()
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    elapsed = time.monotonic() - start
+    return elapsed, results
+
+
+def run_open_loop(server, requests, *, offered_rps: float, seed: int = 0):
+    """Submit ``requests`` on a Poisson arrival schedule at ``offered_rps``.
+
+    A single dispatcher thread sleeps to each scheduled arrival and
+    submits without waiting (``submit_nowait``); if it falls behind the
+    schedule it submits immediately — the schedule never slows to match
+    the server (open loop, so no coordinated omission).  Latency per
+    request is measured from its *scheduled* arrival to its flush
+    completion.
+
+    Returns ``(latencies_seconds, elapsed_seconds)``.
+    """
+    if offered_rps <= 0:
+        raise ValueError("offered_rps must be > 0")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / offered_rps, size=len(requests))
+    schedule = np.cumsum(gaps)
+    pending = []
+    t0 = time.monotonic()
+    for (op, payload), at in zip(requests, schedule):
+        delay = (t0 + at) - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        pending.append((at, server.submit_nowait(op, payload)))
+    for _, req in pending:
+        req.event.wait()
+    elapsed = time.monotonic() - t0
+    latencies = np.array(
+        [req.done_at - (t0 + at) for at, req in pending], dtype=np.float64
+    )
+    for _, req in pending:
+        if req.error is not None:
+            raise req.error
+    return latencies, elapsed

@@ -1,0 +1,216 @@
+"""A live sketch model behind the micro-batching coalescer.
+
+:class:`SketchServer` glues the pieces together: it owns the model, a
+:class:`~repro.serving.snapshot.SnapshotManager` that the trainer
+publishes into, and a
+:class:`~repro.serving.coalescer.MicroBatchCoalescer` that answers
+reads from the latest snapshot.  Training runs either inline
+(:meth:`SketchServer.train`) or on a background daemon thread
+(:meth:`SketchServer.start_training`); reads can be issued from any
+number of client threads concurrently.
+
+:func:`scalar_answer` is the serving-level scalar reference: it
+answers any op one element at a time through the model's scalar code
+paths (``predict_margin`` / ``estimate_weights`` / ``top_weights``),
+touching no shared caches.  :meth:`SketchServer.serial_request` routes
+through it under a lock — the baseline the benchmark's
+coalescing-speedup ratio is measured against, and the oracle the
+consistency checker compares coalesced answers to.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.data.sparse import SparseExample
+from repro.serving.coalescer import MicroBatchCoalescer
+from repro.serving.snapshot import SnapshotManager
+
+__all__ = ["SketchServer", "scalar_answer"]
+
+
+def scalar_answer(model, op: str, payload):
+    """Answer one request through the model's scalar paths only.
+
+    Payload conventions match the coalescer's: ``predict`` takes a
+    :class:`~repro.data.batch.SparseBatch` and returns its per-row
+    margins, ``query`` takes an int64 key array and returns per-key
+    estimates, ``top_k`` takes ``k`` and returns ``top_weights(k)``.
+    Pure reads — safe from any thread as long as calls to *this
+    function* are serialized with each other per model.
+    """
+    if op == "predict":
+        batch = payload
+        out = np.empty(len(batch), dtype=np.float64)
+        for i in range(len(batch)):
+            lo = batch.indptr[i]
+            hi = batch.indptr[i + 1]
+            out[i] = model.predict_margin(
+                SparseExample(batch.indices[lo:hi], batch.values[lo:hi], 1)
+            )
+        return out
+    if op == "query":
+        keys = np.atleast_1d(np.asarray(payload, dtype=np.int64))
+        out = np.empty(keys.size, dtype=np.float64)
+        for i, key in enumerate(keys):
+            out[i] = float(
+                model.estimate_weights(np.array([key], dtype=np.int64))[0]
+            )
+        return out
+    if op == "top_k":
+        return model.top_weights(payload)
+    raise ValueError(f"unknown op {op!r}")
+
+
+class SketchServer:
+    """Own a live model; train in the background; serve coalesced reads.
+
+    Parameters
+    ----------
+    model:
+        A WM / AWM / feature-hashing model exposing ``fit_batch``,
+        the batched read paths, and ``snapshot()``.
+    latency_budget, max_batch:
+        Coalescer knobs (see
+        :class:`~repro.serving.coalescer.MicroBatchCoalescer`).
+    publish_every:
+        Default number of training batches between snapshot publishes.
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        latency_budget: float = 1e-3,
+        max_batch: int = 64,
+        publish_every: int = 1,
+    ):
+        if publish_every < 1:
+            raise ValueError("publish_every must be >= 1")
+        self.model = model
+        self.publish_every = int(publish_every)
+        self.snapshots = SnapshotManager(model)
+        self.coalescer = MicroBatchCoalescer(
+            self.snapshots, latency_budget=latency_budget, max_batch=max_batch
+        )
+        self._serial_lock = threading.Lock()
+        self.training_done = threading.Event()
+        self._stop_training = threading.Event()
+        self._train_thread = None
+        self.batches_trained = 0
+        self.examples_trained = 0
+        self.train_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(self, batches, publish_every: int | None = None):
+        """Consume ``batches`` (iterable of SparseBatch), publishing as we go.
+
+        Blocks until the stream is exhausted (or :meth:`stop_training`
+        is set); publishes a final snapshot and sets ``training_done``.
+        """
+        pe = self.publish_every if publish_every is None else int(publish_every)
+        start = time.monotonic()
+        try:
+            for batch in batches:
+                if self._stop_training.is_set():
+                    break
+                self.model.fit_batch(batch)
+                self.batches_trained += 1
+                self.examples_trained += len(batch)
+                if self.batches_trained % pe == 0:
+                    self.snapshots.publish()
+        finally:
+            self.snapshots.publish()
+            self.train_seconds += time.monotonic() - start
+            self.training_done.set()
+
+    def start_training(self, batches, publish_every: int | None = None):
+        """Run :meth:`train` on a background daemon thread."""
+        if self._train_thread is not None and self._train_thread.is_alive():
+            raise RuntimeError("training already running")
+        self.training_done.clear()
+        self._stop_training.clear()
+        self._train_thread = threading.Thread(
+            target=self.train,
+            args=(batches, publish_every),
+            name="repro-trainer",
+            daemon=True,
+        )
+        self._train_thread.start()
+        return self._train_thread
+
+    def stop_training(self, timeout: float | None = None):
+        """Ask the trainer to stop at the next batch boundary and wait."""
+        self._stop_training.set()
+        if self._train_thread is not None:
+            self._train_thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def request(self, op: str, payload, timeout: float | None = None):
+        """Coalesced read: ``(result, snapshot_version)``."""
+        return self.coalescer.submit(op, payload, timeout)
+
+    def submit_nowait(self, op: str, payload):
+        """Coalesced read without blocking (open-loop load generation)."""
+        return self.coalescer.submit_nowait(op, payload)
+
+    def serial_request(self, op: str, payload):
+        """Serial-scalar read: ``(result, snapshot_version)``.
+
+        The non-coalesced baseline — one request at a time, scalar
+        kernels, same snapshot discipline.
+        """
+        with self._serial_lock:
+            snap = self.snapshots.current
+            return scalar_answer(snap.model, op, payload), snap.version
+
+    def predict(self, batch, timeout: float | None = None):
+        return self.request("predict", batch, timeout)[0]
+
+    def query(self, keys, timeout: float | None = None):
+        return self.request("query", keys, timeout)[0]
+
+    def top_k(self, k: int, timeout: float | None = None):
+        return self.request("top_k", k, timeout)[0]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Serving observability: training, snapshots, hasher, coalescer."""
+        hasher = self.snapshots.reader_hasher
+        hits = getattr(hasher, "hits", 0)
+        misses = getattr(hasher, "misses", 0)
+        total = hits + misses
+        return {
+            "model": type(self.model).__name__,
+            "train": {
+                "batches": self.batches_trained,
+                "examples": self.examples_trained,
+                "seconds": self.train_seconds,
+                "done": self.training_done.is_set(),
+            },
+            "snapshots": {
+                "published": len(self.snapshots.publish_log),
+                "current_version": self.snapshots.current.version,
+                "current_t": self.snapshots.current.t,
+            },
+            "reader_hasher": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / total if total else 0.0,
+                "evictions": getattr(hasher, "evictions", 0),
+                "cached_keys": len(hasher),
+            },
+            "coalescer": self.coalescer.stats(),
+        }
+
+    def close(self):
+        """Stop training (if running) and drain the coalescer."""
+        self.stop_training(timeout=30.0)
+        self.coalescer.close()

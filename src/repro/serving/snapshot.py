@@ -1,0 +1,95 @@
+"""Publish/read coordination for consistent serving snapshots.
+
+The trainer thread mutates the live model; readers must never observe a
+half-applied update (a table written but its scale not yet decayed, an
+active-set entry stepped but its evictee not yet folded back).  Rather
+than locking every kernel, the trainer **publishes** at example
+boundaries: :meth:`SnapshotManager.publish` asks the model for a
+scale-folded consistent copy (one vectorized multiply per array — see
+:meth:`~repro.core.sketch_table.ScaledSketchTable.snapshot` and
+:meth:`~repro.heap.topk.TopKStore.snapshot_view`) and swaps it in as
+:attr:`SnapshotManager.current`.  The swap is a single reference
+assignment, which the CPython memory model makes atomic for readers: a
+reader sees either the old snapshot or the new one, both internally
+consistent, and versions only ever increase.
+
+The manager also owns the *reader-side* caches that successive
+snapshots thread through: one :class:`~repro.hashing.batch.BatchHasher`
+(hash functions are pure and shared with the live model, so LRU warmth
+survives every publish) and one
+:class:`~repro.kernels.workspace.KernelWorkspace` (so steady-state
+reads stay zero-allocation).  Those caches are mutable, which is why
+batched reads on the current snapshot must stay on a single thread —
+the coalescer's flush thread in practice; scalar reads don't touch
+them.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import kernels
+from repro.hashing.batch import BatchHasher
+
+
+class Snapshot:
+    """One published model state: ``(version, t, model)``.
+
+    ``version`` is the publish sequence number (0 = construction),
+    ``t`` the number of training examples the model had consumed at
+    publish time, ``model`` the read-only snapshot object answering
+    ``predict_batch`` / ``query_many`` / ``top_weights`` and their
+    scalar twins.
+    """
+
+    __slots__ = ("version", "t", "model")
+
+    def __init__(self, version: int, t: int, model):
+        self.version = version
+        self.t = t
+        self.model = model
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Snapshot v{self.version} t={self.t}>"
+
+
+class SnapshotManager:
+    """Monotone snapshot chain over one live model.
+
+    Construction publishes version 0 (the model's state as handed in);
+    :meth:`publish` folds and swaps the next version.  ``publish`` is
+    called from the trainer thread (a lock serializes stray concurrent
+    publishers); :attr:`current` may be read from any thread.
+    :attr:`publish_log` records ``(version, t)`` per publish — the
+    observable history the black-box consistency checker replays.
+    """
+
+    def __init__(self, model):
+        self._model = model
+        self._lock = threading.Lock()
+        #: Reader-side caches threaded through every snapshot (see the
+        #: module docstring for the single-reader contract).
+        self.reader_hasher = BatchHasher(model.family)
+        self.reader_workspace = kernels.KernelWorkspace()
+        #: ``(version, t)`` per publish, in publish order.
+        self.publish_log: list[tuple[int, int]] = []
+        self._current: Snapshot | None = None
+        self.publish()
+
+    @property
+    def current(self) -> Snapshot:
+        """The latest published snapshot (atomic reference read)."""
+        return self._current
+
+    def publish(self) -> Snapshot:
+        """Fold the live model into a new snapshot and swap it in."""
+        with self._lock:
+            version = 0 if self._current is None else self._current.version + 1
+            model = self._model.snapshot(
+                batch_hasher=self.reader_hasher,
+                workspace=self.reader_workspace,
+            )
+            snap = Snapshot(version, int(self._model.t), model)
+            self.publish_log.append((snap.version, snap.t))
+            self._current = snap
+            return snap

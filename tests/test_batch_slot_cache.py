@@ -1,0 +1,137 @@
+"""Workspace-aware :class:`BatchSlotCache`: equality and allocation reuse.
+
+The batch-membership cache gained workspace-backed construction (its
+three batch-lifetime arrays — argsort order, sorted index copy, slot
+array — come from grow-only arenas).  Arena reuse must be invisible:
+slots, patches and staleness behave identically with and without a
+workspace, and steady-state construction stops growing the arenas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.heap.topk import BatchSlotCache, TopKStore
+
+
+def _store(rng, capacity=16, n_keys=12, key_space=200):
+    store = TopKStore(capacity)
+    keys = rng.choice(key_space, size=n_keys, replace=False)
+    for key in keys.tolist():
+        store.push(int(key), float(rng.standard_normal() + 2.0))
+    return store
+
+
+class TestWorkspaceEquality:
+    def test_slots_identical_random(self):
+        """Random stores x random batches: ws and non-ws caches agree."""
+        rng = np.random.default_rng(0)
+        ws = kernels.KernelWorkspace()
+        for trial in range(50):
+            store = _store(rng, n_keys=int(rng.integers(0, 16)))
+            indices = rng.integers(0, 200, size=int(rng.integers(1, 80)))
+            indices = indices.astype(np.int64)
+            plain = BatchSlotCache(store, indices)
+            with_ws = BatchSlotCache(store, indices, ws=ws)
+            np.testing.assert_array_equal(
+                with_ws.slots, plain.slots, err_msg=f"trial {trial}"
+            )
+            # Both reflect the store's member slots position by position.
+            np.testing.assert_array_equal(
+                plain.slots, store.member_slots(indices)
+            )
+            assert not plain.stale and not with_ws.stale
+
+    def test_patch_after_promotion(self):
+        """apply() keeps ws-backed caches in sync through replace_min."""
+        rng = np.random.default_rng(1)
+        ws = kernels.KernelWorkspace()
+        store = _store(rng, capacity=8, n_keys=8)
+        indices = np.repeat(
+            np.concatenate([store._keys[:8], np.array([500, 501])]), 3
+        ).astype(np.int64)
+        plain = BatchSlotCache(store, indices)
+        with_ws = BatchSlotCache(store, indices, ws=ws)
+        evicted, _ = store.min_entry()
+        store.replace_min(500, 99.0)
+        for cache in (plain, with_ws):
+            assert cache.stale
+            cache.apply(500, evicted)
+            assert not cache.stale
+        np.testing.assert_array_equal(with_ws.slots, plain.slots)
+        np.testing.assert_array_equal(plain.slots, store.member_slots(indices))
+
+    def test_reuse_donation_beats_ws(self):
+        """A same-size stale cache donates its argsort even when a ws is
+        also supplied (donation is cheaper than re-sorting into arenas)."""
+        rng = np.random.default_rng(2)
+        ws = kernels.KernelWorkspace()
+        store = _store(rng)
+        indices = rng.integers(0, 200, size=40).astype(np.int64)
+        first = BatchSlotCache(store, indices, ws=ws)
+        rebuilt = BatchSlotCache(store, indices, reuse=first, ws=ws)
+        assert rebuilt._order is first._order
+        assert rebuilt._sorted_indices is first._sorted_indices
+        np.testing.assert_array_equal(
+            rebuilt.slots, store.member_slots(indices)
+        )
+
+    def test_arena_growth_stabilizes(self):
+        """Steady-state batches stop growing the workspace arenas."""
+        rng = np.random.default_rng(3)
+        ws = kernels.KernelWorkspace()
+        store = _store(rng)
+        batches = [
+            rng.integers(0, 200, size=64).astype(np.int64) for _ in range(10)
+        ]
+        BatchSlotCache(store, batches[0], ws=ws)
+        grown_after_first = ws.grown
+        for indices in batches[1:]:
+            cache = BatchSlotCache(store, indices, ws=ws)
+            np.testing.assert_array_equal(
+                cache.slots, store.member_slots(indices)
+            )
+        assert ws.grown == grown_after_first
+
+    def test_views_invalidated_by_next_batch(self):
+        """Workspace contract: a cache's arrays are views into shared
+        arenas, overwritten when the next batch's cache is built."""
+        rng = np.random.default_rng(4)
+        ws = kernels.KernelWorkspace()
+        store = _store(rng)
+        a = BatchSlotCache(store, rng.integers(0, 200, 32).astype(np.int64), ws=ws)
+        slots_a = a.slots
+        b = BatchSlotCache(store, rng.integers(0, 200, 32).astype(np.int64), ws=ws)
+        assert b.slots.base is not None
+        assert slots_a.base is b.slots.base  # same arena
+
+
+class TestModelIntegration:
+    @pytest.mark.parametrize("model_kind", ["wm", "awm"])
+    def test_fit_batch_state_unchanged(self, model_kind):
+        """The fused fit_batch paths now build their slot caches from the
+        model workspace; end state must equal per-example updates."""
+        from repro.core.awm_sketch import AWMSketch
+        from repro.core.wm_sketch import WMSketch
+        from repro.data.batch import iter_batches
+        from repro.data.synthetic import SyntheticStream
+
+        stream = SyntheticStream(d=500, n_signal=50, avg_nnz=10.0, seed=5)
+        examples = stream.materialize(300)
+
+        def make():
+            if model_kind == "wm":
+                return WMSketch(128, 3, seed=1, heap_capacity=32)
+            return AWMSketch(64, depth=1, heap_capacity=32, seed=1)
+
+        scalar = make()
+        for ex in examples:
+            scalar.update(ex)
+        batched = make()
+        for batch in iter_batches(examples, 50):
+            batched.fit_batch(batch)
+        np.testing.assert_array_equal(batched.table, scalar.table)
+        assert batched._scale == scalar._scale
+        assert dict(batched.heap.items()) == dict(scalar.heap.items())

@@ -267,7 +267,7 @@ class TestQueryGate:
 # ----------------------------------------------------------------------
 # Allocation gate (--kind alloc, PR 5)
 # ----------------------------------------------------------------------
-def _alloc_doc(headline=12.0, heap=3.5):
+def _alloc_doc(headline=12.0, heap=10.0):
     return {
         "workload": {"dataset": "x"},
         "wm_algorithm1": {"peak_reduction_x": headline},
@@ -291,6 +291,60 @@ class TestAllocGate:
             {"workload": {}}, _alloc_doc(), 0.30
         )
         assert failures
+
+
+# ----------------------------------------------------------------------
+# Serving-coalescer gate (--kind serving, PR 6)
+# ----------------------------------------------------------------------
+def _serving_doc(wm=5.0, awm=1.7, n_requests=2000):
+    return {
+        "workload": {"dataset": "x", "n_requests": n_requests},
+        "wm": {"coalescing_speedup": wm, "serial_rps": 2_500.0},
+        "awm_half_budget": {"coalescing_speedup": awm},
+        "coalescing_speedup": wm,
+    }
+
+
+class TestServingGate:
+    def test_identical_runs_pass(self):
+        doc = _serving_doc()
+        assert check_regression.check_serving(doc, doc, 0.30) == []
+
+    def test_ratio_regression_fails(self):
+        # 5.0 -> 3.2 stays above the 3x floor but is a >30% collapse.
+        failures = check_regression.check_serving(
+            _serving_doc(wm=3.2), _serving_doc(wm=5.0), 0.30
+        )
+        assert any("wm.coalescing_speedup" in f for f in failures)
+
+    def test_floor_violation_fails_even_with_agreeing_baseline(self):
+        low = _serving_doc(wm=2.5)
+        failures = check_regression.check_serving(low, low, 0.30)
+        assert any("floor" in f for f in failures)
+
+    def test_awm_anti_collapse_floor(self):
+        low = _serving_doc(awm=0.5)
+        failures = check_regression.check_serving(low, low, 0.30)
+        assert any("awm_half_budget" in f for f in failures)
+
+    def test_empty_current_cannot_pass_vacuously(self):
+        failures = check_regression.check_serving(
+            {"workload": {}}, _serving_doc(), 0.30
+        )
+        assert failures
+
+    def test_request_count_mismatch_warns(self, capsys):
+        assert (
+            check_regression.check_serving(
+                _serving_doc(n_requests=400), _serving_doc(), 0.50
+            )
+            == []
+        )
+        assert "n_requests" in capsys.readouterr().out
+
+    def test_default_floors_cover_the_headline_config(self):
+        assert "wm" in check_regression.SERVING_FLOORS
+        assert check_regression.SERVING_FLOORS["wm"]["coalescing_speedup"] >= 3.0
 
 
 # ----------------------------------------------------------------------

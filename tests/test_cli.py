@@ -82,3 +82,50 @@ class TestParallelCommand:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args(["parallel", "--method", "nonsense"])
+
+
+class TestServingCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.method == "wm"
+        assert args.latency_budget_ms == 1.0
+        assert args.max_batch == 64
+        assert args.publish_every == 2
+
+    def test_serve_smoke(self, capsys):
+        code = main([
+            "serve", "--examples", "1200", "--readers", "2",
+            "--reads", "8", "--batch-size", "128",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "consistency check: PASS" in out
+        assert "snapshots published" in out
+        assert "coalescer" in out
+
+    def test_loadgen_closed_smoke(self, capsys):
+        code = main([
+            "loadgen", "--mode", "closed", "--requests", "120",
+            "--examples", "1200", "--clients", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coalesced" in out
+        assert "req/s" in out
+
+    def test_loadgen_serial_smoke(self, capsys):
+        code = main([
+            "loadgen", "--mode", "closed", "--requests", "80",
+            "--examples", "1200", "--clients", "4", "--serial",
+        ])
+        assert code == 0
+        assert "serial-scalar" in capsys.readouterr().out
+
+    def test_loadgen_open_smoke(self, capsys):
+        code = main([
+            "loadgen", "--mode", "open", "--requests", "80",
+            "--rps", "4000", "--examples", "1200",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency p50" in out and "p99" in out

@@ -1,0 +1,353 @@
+"""Serving layer: snapshots, coalescer, server, and the consistency checker.
+
+Covers the PR's serving acceptance criteria:
+
+* snapshot publish hooks on all three model families — scale-folded,
+  immutable under continued training, batched == scalar bit-equal on
+  the snapshot;
+* coalescer unit behavior — latency-budget flush, max-batch flush,
+  answers bit-equal to serial-scalar answers on the same snapshot,
+  error propagation, batch-size accounting;
+* the black-box snapshot-consistency checker — accepts real concurrent
+  histories, rejects tampered results, stale versions and non-monotone
+  reads;
+* the server ``stats()`` endpoint — hasher hit-rate/evictions and the
+  coalesced-batch-size histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.awm_sketch import AWMSketch
+from repro.core.wm_sketch import WMSketch
+from repro.data.batch import SparseBatch, iter_batches
+from repro.data.synthetic import SyntheticStream
+from repro.learning.feature_hashing import FeatureHashing
+from repro.serving import (
+    ConsistencyError,
+    ServingClient,
+    SketchServer,
+    SnapshotManager,
+    check_snapshot_consistency,
+    scalar_answer,
+)
+
+STREAM = SyntheticStream(d=800, n_signal=80, avg_nnz=12.0, seed=0)
+EXAMPLES = STREAM.materialize(600)
+BATCHES = list(iter_batches(EXAMPLES, 64))
+
+MODEL_FACTORIES = {
+    "wm": lambda: WMSketch(256, 3, seed=0, heap_capacity=64),
+    "awm": lambda: AWMSketch(128, depth=1, heap_capacity=64, seed=0),
+    "hash": lambda: FeatureHashing(256, seed=0),
+}
+
+
+def _trained(kind, n_batches=4):
+    model = MODEL_FACTORIES[kind]()
+    for batch in BATCHES[:n_batches]:
+        model.fit_batch(batch)
+    return model
+
+
+class TestSnapshotHooks:
+    @pytest.mark.parametrize("kind", list(MODEL_FACTORIES))
+    def test_snapshot_answers_bit_equal(self, kind):
+        """Batched reads on a snapshot == scalar reads on the same
+        snapshot (the serving equivalence contract: coalescing must be
+        invisible given a fixed published state).  The fold itself may
+        move live-model answers by an ulp — which is why the checker
+        replays snapshots rather than live states."""
+        model = _trained(kind)
+        snap = model.snapshot()
+        batch = BATCHES[5]
+        keys = np.arange(0, 300, 7, dtype=np.int64)
+        np.testing.assert_array_equal(
+            snap.predict_batch(batch), scalar_answer(snap, "predict", batch)
+        )
+        np.testing.assert_array_equal(
+            snap.query_many(keys), scalar_answer(snap, "query", keys)
+        )
+        assert snap._scale == 1.0
+
+    @pytest.mark.parametrize("kind", list(MODEL_FACTORIES))
+    def test_snapshot_immutable_under_training(self, kind):
+        model = _trained(kind)
+        snap = model.snapshot()
+        table = snap.table.copy()
+        keys = np.arange(50, dtype=np.int64)
+        before = snap.query_many(keys).copy()
+        for batch in BATCHES[4:8]:
+            model.fit_batch(batch)
+        np.testing.assert_array_equal(snap.table, table)
+        np.testing.assert_array_equal(snap.query_many(keys), before)
+
+    def test_snapshot_heap_is_folded_view(self):
+        model = _trained("awm")
+        snap = model.snapshot()
+        assert snap.heap._scale == 1.0
+        assert dict(snap.heap.items()) == dict(model.heap.items())
+        # Continued training must not leak into the snapshot's heap.
+        frozen = dict(snap.heap.items())
+        for batch in BATCHES[4:8]:
+            model.fit_batch(batch)
+        assert dict(snap.heap.items()) == frozen
+
+    def test_hasher_identity_guard(self):
+        model = _trained("wm")
+        other = MODEL_FACTORIES["wm"]()
+        from repro.hashing.batch import BatchHasher
+
+        with pytest.raises(ValueError, match="own hash family"):
+            model.snapshot(batch_hasher=BatchHasher(other.family))
+
+    def test_manager_versions_and_log(self):
+        model = MODEL_FACTORIES["wm"]()
+        mgr = SnapshotManager(model)
+        assert mgr.current.version == 0
+        assert mgr.publish_log == [(0, 0)]
+        model.fit_batch(BATCHES[0])
+        snap = mgr.publish()
+        assert snap.version == 1 and snap.t == len(BATCHES[0])
+        assert mgr.current is snap
+        assert mgr.publish_log == [(0, 0), (1, len(BATCHES[0]))]
+
+
+class TestCoalescer:
+    def _server(self, **kwargs):
+        kwargs.setdefault("latency_budget", 5e-3)
+        kwargs.setdefault("max_batch", 8)
+        return SketchServer(_trained("wm"), **kwargs)
+
+    def test_latency_budget_flush(self):
+        """A lone request flushes after ~latency_budget, not immediately
+        as part of a full batch and not never."""
+        server = self._server(latency_budget=20e-3)
+        try:
+            start = time.monotonic()
+            result, version = server.request(
+                "query", np.array([3], dtype=np.int64), timeout=5.0
+            )
+            waited = time.monotonic() - start
+            assert version == 0
+            assert waited >= 15e-3, f"flushed too early ({waited * 1e3:.1f}ms)"
+            assert server.coalescer.flush_reasons["budget"] == 1
+        finally:
+            server.close()
+
+    def test_max_batch_flush(self):
+        """max_batch queued requests flush at once without waiting for
+        the (long) budget, in one batch of exactly max_batch."""
+        server = self._server(latency_budget=10.0, max_batch=6)
+        try:
+            start = time.monotonic()
+            reqs = [
+                server.submit_nowait("query", np.array([i], dtype=np.int64))
+                for i in range(6)
+            ]
+            for req in reqs:
+                req.wait(timeout=5.0)
+            waited = time.monotonic() - start
+            assert waited < 5.0, "waited for the latency budget"
+            assert server.coalescer.flush_reasons["max_batch"] >= 1
+            assert server.coalescer.batch_size_hist["query"].get(6) == 1
+        finally:
+            server.close()
+
+    def test_coalesced_bit_equal_serial(self):
+        """Concurrent coalesced answers == serial-scalar answers on the
+        same snapshot, for every op."""
+        server = self._server()
+        try:
+            rng = np.random.default_rng(7)
+            payloads = []
+            for i in range(40):
+                kind = i % 3
+                if kind == 0:
+                    payloads.append(
+                        ("query", rng.integers(0, 800, size=5).astype(np.int64))
+                    )
+                elif kind == 1:
+                    lo = int(rng.integers(0, len(EXAMPLES) - 4))
+                    payloads.append(
+                        ("predict", SparseBatch.from_examples(EXAMPLES[lo : lo + 3]))
+                    )
+                else:
+                    payloads.append(("top_k", 1 + int(rng.integers(0, 32))))
+            results = [None] * len(payloads)
+
+            def worker(i):
+                results[i] = server.request(*payloads[i], timeout=10.0)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(len(payloads))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            coalesced = any(
+                size > 1
+                for hist in server.coalescer.batch_size_hist.values()
+                for size in hist
+            )
+            assert coalesced, "no multi-request batch formed"
+            for (op, payload), (result, version) in zip(payloads, results):
+                expected, serial_version = server.serial_request(op, payload)
+                assert version == serial_version == 0
+                if isinstance(expected, np.ndarray):
+                    np.testing.assert_array_equal(result, expected)
+                else:
+                    assert result == expected
+        finally:
+            server.close()
+
+    def test_error_propagates_to_all_waiters(self):
+        """A flush that raises (top_k on feature hashing) fails every
+        request in the batch with the original exception."""
+        server = SketchServer(
+            _trained("hash"), latency_budget=50e-3, max_batch=4
+        )
+        try:
+            reqs = [server.submit_nowait("top_k", 5) for _ in range(3)]
+            for req in reqs:
+                with pytest.raises(NotImplementedError):
+                    req.wait(timeout=5.0)
+        finally:
+            server.close()
+
+    def test_close_drains_pending(self):
+        server = self._server(latency_budget=60.0)
+        req = server.submit_nowait("query", np.array([1], dtype=np.int64))
+        server.close()
+        result, version = req.wait(timeout=0.0)
+        assert result.shape == (1,)
+        with pytest.raises(RuntimeError, match="closed"):
+            server.coalescer.submit_nowait("top_k", 1)
+
+    def test_unknown_op_rejected(self):
+        server = self._server()
+        try:
+            with pytest.raises(ValueError, match="unknown op"):
+                server.request("delete_table", 1)
+        finally:
+            server.close()
+
+
+class TestStatsEndpoint:
+    def test_hasher_and_histogram_surfaced(self):
+        server = SketchServer(
+            _trained("wm"), latency_budget=2e-3, max_batch=16
+        )
+        try:
+            rng = np.random.default_rng(11)
+            # Zipf keys: the head repeats, so the reader cache must hit.
+            for _ in range(30):
+                keys = ((rng.zipf(1.2, size=16) - 1) % 800).astype(np.int64)
+                server.query(keys)
+            stats = server.stats()
+            hasher = stats["reader_hasher"]
+            assert hasher["hits"] + hasher["misses"] > 0
+            assert hasher["hit_rate"] > 0.3
+            assert "evictions" in hasher
+            hist = stats["coalescer"]["batch_size_hist"]["query"]
+            assert sum(size * count for size, count in hist.items()) == 30
+            assert stats["coalescer"]["requests"]["query"] == 30
+            assert stats["snapshots"]["current_version"] == 0
+        finally:
+            server.close()
+
+
+class TestEndToEndConsistency:
+    def test_concurrent_history_checks(self):
+        """Live training + concurrent coalesced/serial readers; the
+        black-box checker validates every read against a sequential
+        re-execution."""
+        make = MODEL_FACTORIES["wm"]
+        server = SketchServer(
+            make(), latency_budget=1e-3, max_batch=16, publish_every=2
+        )
+        server.start_training(BATCHES)
+        clients = [ServingClient(server, record=True) for _ in range(4)]
+        clients.append(ServingClient(server, record=True, serial=True))
+
+        def reader(client, seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(25):
+                op = int(rng.integers(0, 3))
+                if op == 0:
+                    client.query(rng.integers(0, 800, size=4).astype(np.int64))
+                elif op == 1:
+                    i = int(rng.integers(0, len(EXAMPLES)))
+                    client.predict(EXAMPLES[i].indices, EXAMPLES[i].values)
+                else:
+                    client.top_k(1 + int(rng.integers(0, 10)))
+
+        threads = [
+            threading.Thread(target=reader, args=(c, 50 + i))
+            for i, c in enumerate(clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert server.training_done.wait(60.0)
+        server.close()
+        report = check_snapshot_consistency(
+            make,
+            BATCHES,
+            server.snapshots.publish_log,
+            [c.records for c in clients],
+        )
+        assert report["reads_checked"] == 5 * 25
+        assert report["snapshots_rebuilt"] == len(server.snapshots.publish_log)
+
+    def test_checker_rejects_tampered_result(self):
+        make = MODEL_FACTORIES["wm"]
+        server = SketchServer(make(), latency_budget=1e-3)
+        server.start_training(BATCHES[:4])
+        assert server.training_done.wait(60.0)
+        client = ServingClient(server, record=True)
+        client.query(np.array([1, 2, 3], dtype=np.int64))
+        server.close()
+        client.records[0].result = client.records[0].result + 1e-9
+        with pytest.raises(ConsistencyError, match="differs"):
+            check_snapshot_consistency(
+                make, BATCHES[:4], server.snapshots.publish_log,
+                [client.records],
+            )
+
+    def test_checker_rejects_unpublished_version(self):
+        make = MODEL_FACTORIES["wm"]
+        server = SketchServer(make(), latency_budget=1e-3)
+        client = ServingClient(server, record=True)
+        client.top_k(3)
+        server.close()
+        client.records[0].version = 99
+        with pytest.raises(ConsistencyError, match="never published"):
+            check_snapshot_consistency(
+                make, [], server.snapshots.publish_log, [client.records]
+            )
+
+    def test_checker_rejects_non_monotone_reads(self):
+        make = MODEL_FACTORIES["wm"]
+        model = make()
+        server = SketchServer(model, latency_budget=1e-3)
+        client = ServingClient(server, record=True)
+        client.top_k(3)
+        model.fit_batch(BATCHES[0])
+        server.snapshots.publish()
+        client.top_k(3)
+        server.close()
+        client.records.reverse()
+        with pytest.raises(ConsistencyError, match="non-monotone"):
+            check_snapshot_consistency(
+                make, BATCHES[:1], server.snapshots.publish_log,
+                [client.records],
+            )
