@@ -45,10 +45,10 @@ from repro.data.datasets import rcv1_like
 from repro.serving import SketchServer
 from repro.serving.loadgen import (
     build_requests,
-    percentile,
     run_closed_loop,
     run_open_loop,
 )
+from repro.telemetry import hooks
 
 WIDTH = 2**13
 DEPTH = 3
@@ -102,22 +102,43 @@ def bench_config(
     serial_rps = 0.0
     coalesced_rps = 0.0
     batch_hist: dict[int, int] = {}
-    for _ in range(args.repeats):
-        server = _server(model, args.latency_budget, args.max_batch)
-        try:
-            elapsed, _ = run_closed_loop(
-                server, requests, n_clients=args.clients, serial=True
-            )
-            serial_rps = max(serial_rps, len(requests) / elapsed)
-            elapsed, _ = run_closed_loop(
-                server, requests, n_clients=args.clients, serial=False
-            )
-            coalesced_rps = max(coalesced_rps, len(requests) / elapsed)
-            for hist in server.coalescer.stats()["batch_size_hist"].values():
-                for size, count in hist.items():
-                    batch_hist[size] = batch_hist.get(size, 0) + count
-        finally:
-            server.close()
+    # Timing breakdown via the on_flush profiling hook: where coalesced
+    # wall time goes (queue wait vs flush work), per op.
+    flush_profile: dict[str, dict] = {}
+
+    def _on_flush(op, batch_size, reason, queue_wait, seconds):
+        row = flush_profile.setdefault(
+            op,
+            {"flushes": 0, "requests": 0, "flush_seconds": 0.0,
+             "max_queue_wait_seconds": 0.0},
+        )
+        row["flushes"] += 1
+        row["requests"] += batch_size
+        row["flush_seconds"] += seconds
+        if queue_wait > row["max_queue_wait_seconds"]:
+            row["max_queue_wait_seconds"] = queue_wait
+
+    hooks.on_flush.append(_on_flush)
+    try:
+        for _ in range(args.repeats):
+            server = _server(model, args.latency_budget, args.max_batch)
+            try:
+                elapsed, _ = run_closed_loop(
+                    server, requests, n_clients=args.clients, serial=True
+                )
+                serial_rps = max(serial_rps, len(requests) / elapsed)
+                elapsed, _ = run_closed_loop(
+                    server, requests, n_clients=args.clients, serial=False
+                )
+                coalesced_rps = max(coalesced_rps, len(requests) / elapsed)
+                stats = server.coalescer.stats()
+                for hist in stats["batch_size_hist"].values():
+                    for size, count in hist.items():
+                        batch_hist[size] = batch_hist.get(size, 0) + count
+            finally:
+                server.close()
+    finally:
+        hooks.on_flush.remove(_on_flush)
 
     # --- equivalence guard (same snapshot, subset of the stream) ------
     server = _server(model, args.latency_budget, args.max_batch)
@@ -127,10 +148,12 @@ def bench_config(
         server.close()
 
     # --- open-loop latency at a fraction of saturation ----------------
+    # Latencies land in the bounded telemetry histogram (O(buckets)
+    # memory however long the run), percentiles read from it.
     server = _server(model, args.latency_budget, args.max_batch)
     try:
         offered = args.offered_fraction * coalesced_rps
-        latencies, elapsed = run_open_loop(
+        lat_hist, elapsed = run_open_loop(
             server, requests, offered_rps=offered, seed=1
         )
         stats = server.stats()
@@ -141,18 +164,24 @@ def bench_config(
     mean_batch = (
         sum(s * c for s, c in batch_hist.items()) / total if total else 0.0
     )
+    for row in flush_profile.values():
+        row["mean_flush_ms"] = 1e3 * row["flush_seconds"] / row["flushes"]
+        row["max_queue_wait_ms"] = 1e3 * row.pop("max_queue_wait_seconds")
     return {
         "serial_rps": serial_rps,
         "coalesced_rps": coalesced_rps,
         "coalescing_speedup": coalesced_rps / serial_rps,
         "open_loop_offered_rps": offered,
-        "open_loop_completed_rps": latencies.size / elapsed,
-        "latency_p50_ms": percentile(latencies, 50) * 1e3,
-        "latency_p99_ms": percentile(latencies, 99) * 1e3,
+        "open_loop_completed_rps": lat_hist.count / elapsed,
+        "latency_p50_ms": lat_hist.percentile(50) * 1e3,
+        "latency_p90_ms": lat_hist.percentile(90) * 1e3,
+        "latency_p99_ms": lat_hist.percentile(99) * 1e3,
+        "latency_max_ms": lat_hist.max_value * 1e3,
         "batch_size_hist": {str(k): v for k, v in sorted(batch_hist.items())},
         "mean_batch_size": mean_batch,
         "max_batch_size": max(batch_hist) if batch_hist else 0,
         "reader_hit_rate": stats["reader_hasher"]["hit_rate"],
+        "timing_breakdown": flush_profile,
     }
 
 

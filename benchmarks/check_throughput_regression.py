@@ -30,7 +30,14 @@ from one process, so it is fully machine-independent).
 
 ``--kind serving`` gates ``BENCH_serving.json`` (the micro-batching
 coalescer's coalesced-vs-serial saturation-throughput ratios plus
-absolute floors — the WM floor is PR 6's 3x acceptance bar).
+absolute floors — the WM floor is PR 6's 3x acceptance bar), and
+``--kind telemetry`` gates ``BENCH_telemetry.json`` (the telemetry
+overhead contract: tracing-enabled training throughput within 3% of
+disabled).
+
+Every absolute floor is declared once in ``benchmarks/gates.json`` —
+the policy file this checker loads at import (one section per
+``--kind``); edit the floors there, not here.
 
 Run::
 
@@ -57,33 +64,36 @@ EPS_KEYS = (
     "per_example_eps",
     "batched_eps",
 )
+
+#: The declared gate policy: every absolute floor lives in
+#: benchmarks/gates.json (one section per --kind), loaded here so the
+#: floors the CLI enforces and the policy the repo declares cannot
+#: drift apart (tests/test_bench_regression_check.py asserts they
+#: agree).  The legacy module-level constants below are views into it.
+GATES_PATH = Path(__file__).resolve().with_name("gates.json")
+GATES = json.loads(GATES_PATH.read_text())
+
+#: The benchmark kinds the CLI accepts — exactly the policy sections.
+KINDS = tuple(sorted(GATES.keys() - {"_comment"}))
+
 #: Absolute floors on the *current* run's batched-vs-per-example
 #: speedup ratios for the store-carrying configurations (PR 3's
-#: array-backed top-K layer).  Unlike the baseline diff above, these
-#: hold regardless of what is committed: a "refresh" of the baseline
-#: cannot quietly ratify a collapse of the vectorized heap layer back
-#: toward the sequential-Python era (wm_with_heap ~3.0x, awm ~1.4x at
-#: the PR 2 seed).  Values sit ~30% under the committed-baseline
-#: ratios, the same noise allowance the relative gate uses, because a
-#: ratio still moves when CPU-frequency drift lands unevenly across a
-#: run's timing rounds.
-SPEEDUP_FLOORS = {
-    "wm_algorithm1": 5.3,  # committed 7.41 (PR 5 fused-kernel refresh)
-    "wm_with_heap": 3.0,   # committed 4.40
-    "awm": 1.6,            # committed 2.42
-    "awm_half_budget": 1.9,  # committed 2.64
-}
+#: array-backed top-K layer).  Unlike the baseline diff, these hold
+#: regardless of what is committed: a "refresh" of the baseline cannot
+#: quietly ratify a collapse of the vectorized heap layer back toward
+#: the sequential-Python era (wm_with_heap ~3.0x, awm ~1.4x at the
+#: PR 2 seed).  Values sit ~30% under the committed-baseline ratios,
+#: the same noise allowance the relative gate uses, because a ratio
+#: still moves when CPU-frequency drift lands unevenly across a run's
+#: timing rounds.
+SPEEDUP_FLOORS = GATES["throughput"]["floors"]
 
 #: Floors for BENCH_query.json (--kind query): batched-vs-scalar
 #: serving speedups per configuration.  Ratios of same-process timings,
 #: so machine speed cancels; values sit ~35-50% under the committed
 #: numbers (query_speedup is large and noisy — the scalar side is
 #: per-key Python — so it gets the wider allowance).
-QUERY_FLOORS = {
-    "wm": {"predict_speedup": 3.0, "query_speedup": 40.0},
-    "awm_half_budget": {"predict_speedup": 1.3, "query_speedup": 15.0},
-    "hash": {"predict_speedup": 3.0, "query_speedup": 40.0},
-}
+QUERY_FLOORS = GATES["query"]["floors"]
 #: Ratio metrics diffed against the baseline for --kind query.
 QUERY_RATIO_KEYS = ("predict_speedup", "query_speedup", "hot_over_cold")
 
@@ -93,10 +103,7 @@ QUERY_RATIO_KEYS = ("predict_speedup", "query_speedup", "hot_over_cold")
 #: their order-of-magnitude win — the heap config joined the club when
 #: PR 6's workspace-aware BatchSlotCache moved the maintain pass's
 #: scratch onto KernelWorkspace arenas (3.6x -> 10.7x).
-ALLOC_FLOORS = {
-    "wm_algorithm1": 5.0,   # committed 12.1
-    "wm_with_heap": 6.0,    # committed 10.7 (was 3.6 pre-PR 6)
-}
+ALLOC_FLOORS = GATES["alloc"]["floors"]
 
 #: Floors for BENCH_serving.json (--kind serving): coalesced-vs-serial
 #: saturation throughput per configuration.  Both sides of the ratio
@@ -106,12 +113,19 @@ ALLOC_FLOORS = {
 #: the AWM config is structurally low-speedup (most Zipf keys are exact
 #: active-set members, so the scalar query path is already cheap) and
 #: gets an anti-collapse floor only.
-SERVING_FLOORS = {
-    "wm": {"coalescing_speedup": 3.0},              # committed 5.44
-    "awm_half_budget": {"coalescing_speedup": 0.8},  # committed 1.80
-}
+SERVING_FLOORS = GATES["serving"]["floors"]
 #: Ratio metrics diffed against the baseline for --kind serving.
 SERVING_RATIO_KEYS = ("coalescing_speedup",)
+
+#: Floors for BENCH_telemetry.json (--kind telemetry): the telemetry
+#: overhead contract.  ``telemetry_overhead_ratio`` divides
+#: tracing-enabled by tracing-disabled Fig. 7 training throughput
+#: measured interleaved in one process (best-of-rounds per side), so
+#: machine speed cancels; the 0.97 floor is the PR's "within 3%"
+#: acceptance bar.
+TELEMETRY_FLOORS = GATES["telemetry"]["floors"]
+#: Ratio metrics diffed against the baseline for --kind telemetry.
+TELEMETRY_RATIO_KEYS = ("telemetry_overhead_ratio",)
 
 
 def _load(path: str) -> dict:
@@ -398,6 +412,76 @@ def check_serving(
     return failures
 
 
+def check_telemetry(
+    current: dict, baseline: dict, threshold: float
+) -> list[str]:
+    """Gate for BENCH_telemetry.json: the telemetry overhead contract.
+
+    ``telemetry_overhead_ratio`` = tracing-enabled / tracing-disabled
+    Fig. 7 training throughput, both sides best-of-interleaved-rounds
+    from one process — so the ratio is machine-independent and the
+    absolute 0.97 floor ("within 3% of disabled") is the binding gate.
+    The baseline diff only catches a *collapse* of the ratio (the
+    generous --threshold applies; a ratio hovering at ~1.0 barely
+    moves otherwise).
+    """
+    failures: list[str] = []
+    curr_rows = {
+        name: row
+        for name, row in current.items()
+        if isinstance(row, dict) and "telemetry_overhead_ratio" in row
+    }
+    base_rows = {
+        name: row
+        for name, row in baseline.items()
+        if isinstance(row, dict) and "telemetry_overhead_ratio" in row
+    }
+    if not curr_rows:
+        failures.append(
+            "no per-config rows in the current telemetry benchmark — "
+            "malformed / stale-schema JSON"
+        )
+        return failures
+    for name, base_row in sorted(base_rows.items()):
+        curr_row = curr_rows.get(name)
+        if curr_row is None:
+            failures.append(f"{name}: missing from current telemetry run")
+            continue
+        for key in TELEMETRY_RATIO_KEYS:
+            if key not in base_row or key not in curr_row:
+                continue
+            base_v, curr_v = base_row[key], curr_row[key]
+            if base_v <= 0:
+                continue
+            change = curr_v / base_v - 1.0
+            marker = "FAIL" if change < -threshold else "ok"
+            print(f"  {name:>16}.{key:<26} {base_v:>6.3f} -> "
+                  f"{curr_v:>6.3f}  ({change:+.1%}) {marker}")
+            if change < -threshold:
+                failures.append(
+                    f"{name}.{key}: {base_v:.3f} -> {curr_v:.3f} "
+                    f"({change:+.1%} < -{threshold:.0%})"
+                )
+    for name, floors in sorted(TELEMETRY_FLOORS.items()):
+        row = curr_rows.get(name)
+        if row is None:
+            failures.append(
+                f"{name}: floor-gated config missing from telemetry run"
+            )
+            continue
+        for key, floor in sorted(floors.items()):
+            value = row.get(key, 0.0)
+            marker = "FAIL" if value < floor else "ok"
+            print(f"  {name:>16}.{key} floor {floor:>5.2f}  "
+                  f"current {value:>6.3f}  {marker}")
+            if value < floor:
+                failures.append(
+                    f"{name}.{key}: {value:.3f} below the {floor:.2f} "
+                    f"floor (telemetry overhead exceeds the 3% contract)"
+                )
+    return failures
+
+
 def check_parallel(
     current: dict, baseline: dict, threshold: float
 ) -> list[str]:
@@ -452,7 +536,7 @@ def main(argv=None) -> int:
                         help="fractional regression that fails (0.30 = 30%%)")
     parser.add_argument(
         "--kind",
-        choices=("throughput", "parallel", "query", "alloc", "serving"),
+        choices=KINDS,
         default="throughput",
     )
     parser.add_argument(
@@ -512,6 +596,8 @@ def main(argv=None) -> int:
         failures = check_alloc(current, baseline, args.threshold)
     elif args.kind == "serving":
         failures = check_serving(current, baseline, args.threshold)
+    elif args.kind == "telemetry":
+        failures = check_telemetry(current, baseline, args.threshold)
     else:
         failures = check_throughput(
             current, baseline, args.threshold, args.strict_eps

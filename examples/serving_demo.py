@@ -15,7 +15,11 @@ What to look at in the output:
 * the reader hash-cache hit rate — Zipf-skewed query keys keep the
   shared BatchHasher warm across snapshot publishes;
 * the consistency verdict — coalescing and snapshotting changed
-  *nothing* about any answer.
+  *nothing* about any answer;
+* the live telemetry view — the server's
+  :class:`~repro.telemetry.MetricsRegistry` rendered as a terminal
+  dashboard (counters, gauges, latency histograms with sparklines),
+  plus a span-trace summary of where the run's wall time went.
 
 Run:  PYTHONPATH=src python examples/serving_demo.py
 """
@@ -30,6 +34,7 @@ from repro import WMSketch
 from repro.data.batch import iter_batches
 from repro.data.datasets import rcv1_like
 from repro.serving import ServingClient, SketchServer, check_snapshot_consistency
+from repro.telemetry import render_terminal, trace, validate_span_tree
 
 TRAIN_EXAMPLES = 6_000
 BATCH_SIZE = 256
@@ -67,6 +72,8 @@ def main() -> None:
     batches = list(iter_batches(stream, BATCH_SIZE))
 
     server = SketchServer(make_model(), latency_budget=1e-3, max_batch=64)
+    trace.clear()
+    trace.enable()
     try:
         server.start_training(batches, publish_every=PUBLISH_EVERY)
 
@@ -99,8 +106,26 @@ def main() -> None:
         rh = stats["reader_hasher"]
         print(f"reader hash cache: hit_rate={rh['hit_rate']:.2f} "
               f"over {rh['hits'] + rh['misses']} lookups")
+
+        # --- live telemetry: the registry behind all of the above ----
+        print("\n=== live telemetry (server.telemetry.snapshot()) ===")
+        print(render_terminal(server.telemetry.snapshot()))
     finally:
+        trace.disable()
         server.close()
+
+    # Span traces: every timed tree from the run, validated (children
+    # nested inside parents, no lost or double-counted time).
+    roots = trace.drain()
+    spans = sum(validate_span_tree(r) for r in roots)
+    by_name: dict[str, float] = {}
+    for r in roots:
+        by_name[r.name] = by_name.get(r.name, 0.0) + r.seconds
+    summary = ", ".join(
+        f"{name} {1e3 * s:.1f}ms" for name, s in sorted(by_name.items())
+    )
+    print(f"trace reconstruction: OK ({len(roots)} roots, {spans} spans; "
+          f"{summary})")
 
     # --- the receipt: replay every read against rebuilt snapshots ----
     records = [rec for c in clients for rec in c.records]

@@ -49,6 +49,15 @@ Commands
 
         python -m repro loadgen --mode closed --clients 16
         python -m repro loadgen --mode open --rps 2000
+
+``telemetry``
+    Render a :mod:`repro.telemetry` registry snapshot — a terminal
+    dashboard, Prometheus text exposition, or raw JSON — either from a
+    dump written by ``serve --telemetry-json`` or from a fresh live
+    serving run::
+
+        python -m repro telemetry --format terminal
+        python -m repro telemetry --json snap.json --format prometheus
 """
 
 from __future__ import annotations
@@ -358,12 +367,15 @@ def _serving_model(args, backend: str | None):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
     import threading
+    from pathlib import Path
 
     import numpy as np
 
     from repro.data.batch import iter_batches
     from repro.serving import ServingClient, SketchServer, check_snapshot_consistency
+    from repro.telemetry import to_json, trace, validate_span_tree
 
     preset = ALL_PRESETS.get(f"{args.dataset}_like")
     if preset is None:
@@ -386,6 +398,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         publish_every=args.publish_every,
     )
+    want_trace = args.trace or args.trace_json is not None
+    if want_trace:
+        trace.clear()
+        trace.enable()
     server.start_training(batches)
     clients = [
         ServingClient(server, record=True) for _ in range(args.readers)
@@ -415,6 +431,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         t.join()
     server.training_done.wait(300.0)
     server.close()
+    if want_trace:
+        trace.disable()
+        roots = trace.drain()
 
     report = check_snapshot_consistency(
         make, batches, server.snapshots.publish_log,
@@ -438,6 +457,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"  {op:>8} batch sizes: {hist}")
     print(f"consistency check: PASS ({report['reads_checked']} reads "
           f"vs {report['snapshots_rebuilt']} rebuilt snapshots)")
+    if want_trace:
+        spans = sum(validate_span_tree(r) for r in roots)
+        names = sorted({r.name for r in roots})
+        print(f"trace reconstruction: OK ({len(roots)} roots, "
+              f"{spans} spans; roots {names})")
+        if args.trace_json is not None:
+            Path(args.trace_json).write_text(json.dumps(
+                [r.to_dict() for r in roots], indent=2
+            ) + "\n")
+            print(f"trace trees -> {args.trace_json}")
+    if args.telemetry_json is not None:
+        Path(args.telemetry_json).write_text(
+            to_json(server.telemetry.snapshot()) + "\n"
+        )
+        print(f"telemetry snapshot -> {args.telemetry_json}")
     return 0
 
 
@@ -446,7 +480,6 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.serving import SketchServer
     from repro.serving.loadgen import (
         build_requests,
-        percentile,
         run_closed_loop,
         run_open_loop,
     )
@@ -487,14 +520,17 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                   f"({args.clients} closed-loop clients, "
                   f"{elapsed:.2f}s)")
         else:
-            latencies, elapsed = run_open_loop(
+            # Latencies accumulate in a bounded telemetry histogram
+            # (O(buckets) memory however long the run).
+            lat_hist, elapsed = run_open_loop(
                 server, requests, offered_rps=args.rps, seed=args.seed
             )
             print(f"offered {args.rps:,.0f} req/s, completed "
-                  f"{latencies.size / elapsed:,.0f} req/s")
-            print(f"latency p50={percentile(latencies, 50) * 1e3:.2f}ms "
-                  f"p99={percentile(latencies, 99) * 1e3:.2f}ms "
-                  f"max={latencies.max() * 1e3:.2f}ms")
+                  f"{lat_hist.count / elapsed:,.0f} req/s")
+            print(f"latency p50={lat_hist.percentile(50) * 1e3:.2f}ms "
+                  f"p90={lat_hist.percentile(90) * 1e3:.2f}ms "
+                  f"p99={lat_hist.percentile(99) * 1e3:.2f}ms "
+                  f"max={lat_hist.max_value * 1e3:.2f}ms")
         co = server.coalescer.stats()
         sizes = {}
         for hist in co["batch_size_hist"].values():
@@ -506,6 +542,58 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                   f"max {max(sizes)}")
     finally:
         server.close()
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    """Render a telemetry snapshot, from a dump or a fresh live run."""
+    import json
+
+    from repro.telemetry import render_terminal, to_json, to_prometheus
+
+    if args.json is not None:
+        with open(args.json) as fh:
+            snapshot = json.load(fh)
+    else:
+        # No dump given: run a short live workload (train + concurrent
+        # coalesced reads) and render the server's own registry.
+        import numpy as np
+
+        from repro.data.batch import iter_batches
+        from repro.serving import ServingClient, SketchServer
+
+        preset = ALL_PRESETS.get(f"{args.dataset}_like")
+        if preset is None:
+            print(f"unknown dataset {args.dataset!r}; "
+                  f"choose from rcv1, url, kdda", file=sys.stderr)
+            return 2
+        spec = preset(seed=args.seed)
+        backend = _apply_backend(args.backend)
+        examples = spec.stream.materialize(args.examples)
+        batches = list(iter_batches(examples, args.batch_size))
+        server = SketchServer(
+            _serving_model(args, backend),
+            latency_budget=args.latency_budget_ms * 1e-3,
+            max_batch=args.max_batch,
+        )
+        try:
+            server.start_training(batches)
+            client = ServingClient(server)
+            rng = np.random.default_rng(args.seed)
+            for _ in range(args.reads):
+                keys = ((rng.zipf(1.3, size=8) - 1) % spec.stream.d)
+                client.query(keys.astype(np.int64))
+            server.training_done.wait(300.0)
+        finally:
+            server.close()
+        snapshot = server.telemetry.snapshot()
+
+    if args.format == "json":
+        print(to_json(snapshot))
+    elif args.format == "prometheus":
+        print(to_prometheus(snapshot), end="")
+    else:
+        print(render_terminal(snapshot))
     return 0
 
 
@@ -626,6 +714,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reads issued per reader thread")
     serve.add_argument("--publish-every", type=int, default=2,
                        help="training batches between snapshot publishes")
+    serve.add_argument("--trace", action="store_true",
+                       help="enable span tracing for the run and print a "
+                            "trace-reconstruction summary")
+    serve.add_argument("--telemetry-json", default=None, metavar="PATH",
+                       help="dump the server's telemetry registry "
+                            "snapshot to PATH as JSON")
+    serve.add_argument("--trace-json", default=None, metavar="PATH",
+                       help="dump the run's trace trees to PATH as JSON "
+                            "(implies --trace)")
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -644,6 +741,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bypass the coalescer (serial-scalar "
                               "baseline)")
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="render a telemetry snapshot (terminal / prometheus / "
+             "json), from a JSON dump or a fresh live serving run",
+    )
+    _serving_common(telemetry)
+    telemetry.add_argument("--json", default=None, metavar="PATH",
+                           help="render an existing snapshot dump "
+                                "instead of running a live workload")
+    telemetry.add_argument("--format", default="terminal",
+                           choices=("terminal", "prometheus", "json"))
+    telemetry.add_argument("--reads", type=int, default=64,
+                           help="coalesced reads issued during the live "
+                                "workload (ignored with --json)")
+    telemetry.set_defaults(func=_cmd_telemetry)
 
     theory = sub.add_parser(
         "theory", help="evaluate Theorem 1/2 sizing"

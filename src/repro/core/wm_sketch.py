@@ -50,6 +50,7 @@ from repro.heap.topk import BatchSlotCache, TopKStore
 from repro.learning.base import CELL_BYTES
 from repro.learning.losses import Loss
 from repro.learning.schedules import Schedule
+from repro.telemetry import trace as _trace
 
 __all__ = ["WMSketch", "_RENORM_THRESHOLD"]
 
@@ -210,7 +211,24 @@ class WMSketch(ScaledSketchTable):
             return np.empty(0, dtype=np.float64)
         if not self.use_fused or self.loss.kernel_id is None:
             return self._fit_batch_unfused(batch, rows)
-        buckets, signs, sign_values, flat = self._batch_rows(batch, rows)
+        # The enabled check runs before any span allocation, so the
+        # disabled cost is one flag read plus one extra call — the
+        # telemetry overhead contract gated by BENCH_telemetry.json.
+        if _trace.enabled:
+            with _trace.span("fit_batch", model="WMSketch", n=n):
+                return self._fit_batch_fused(batch, rows, n)
+        return self._fit_batch_fused(batch, rows, n)
+
+    def _fit_batch_fused(
+        self,
+        batch: SparseBatch,
+        rows: tuple[np.ndarray, np.ndarray] | None,
+        n: int,
+    ) -> np.ndarray:
+        """The fused :meth:`fit_batch` body, with per-phase trace spans
+        (no-ops while tracing is disabled)."""
+        with _trace.span("hash"):
+            buckets, signs, sign_values, flat = self._batch_rows(batch, rows)
         ws = self._ws
         nnz = batch.indices.size
         etas = ws.array("etas", n)
@@ -224,15 +242,17 @@ class WMSketch(ScaledSketchTable):
         else:
             gathered = ws.array("gathered", (nnz, self.depth))
             scales = ws.array("scales", n)
-        self._scale = self.kernels.fused_update(
-            self._table_flat, flat, sign_values, batch.indptr,
-            batch.labels, etas, self.lambda_, self._scale, self._sqrt_s,
-            self.loss.kernel_id, self.loss.kernel_param,
-            margins, gathered, scales, kernels.EMPTY_SCRATCH,
-        )
+        with _trace.span("fused_update"):
+            self._scale = self.kernels.fused_update(
+                self._table_flat, flat, sign_values, batch.indptr,
+                batch.labels, etas, self.lambda_, self._scale, self._sqrt_s,
+                self.loss.kernel_id, self.loss.kernel_param,
+                margins, gathered, scales, kernels.EMPTY_SCRATCH,
+            )
         self.t += n
         if heap is not None and nnz:
-            self._maintain_batch_recorded(batch, signs, gathered, scales)
+            with _trace.span("heap_maintain"):
+                self._maintain_batch_recorded(batch, signs, gathered, scales)
         return margins
 
     def _maintain_batch_recorded(

@@ -34,6 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hashing.family import HashFamily
+from repro.telemetry.registry import MetricsRegistry
 
 
 class BatchHasher:
@@ -48,15 +49,34 @@ class BatchHasher:
         an insert would overflow, the least-recently-used half of the
         incumbents is evicted in bulk (see the module docstring).
         0 disables cross-batch caching (dedup still applies).
+    registry:
+        A :class:`~repro.telemetry.MetricsRegistry` to publish the
+        hit/miss/eviction counters into (a private registry is created
+        when omitted, so the counters always exist).  The legacy
+        :attr:`hits` / :attr:`misses` / :attr:`evictions` ints are
+        preserved as read-only views over those counters.
+    metrics_prefix:
+        Instrument name prefix inside ``registry`` (lets the serving
+        layer distinguish the shared reader hasher from trainer-side
+        ones).
     """
 
-    def __init__(self, family: HashFamily, cache_capacity: int = 1 << 16):
+    def __init__(
+        self,
+        family: HashFamily,
+        cache_capacity: int = 1 << 16,
+        *,
+        registry: MetricsRegistry | None = None,
+        metrics_prefix: str = "hasher",
+    ):
         if cache_capacity < 0:
             raise ValueError(
                 f"cache_capacity must be >= 0, got {cache_capacity}"
             )
         self.family = family
         self.cache_capacity = cache_capacity
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.metrics_prefix = metrics_prefix
         depth = family.depth
         self._keys = np.empty(0, dtype=np.int64)  # sorted
         self._buckets = np.empty((depth, 0), dtype=np.int64)
@@ -66,10 +86,14 @@ class BatchHasher:
         self._tick = 0
         #: Diagnostics: lookups served from / missing in the cache
         #: (unique keys on the dedup path, key positions on the all-hit
-        #: fast path), and entries dropped by bulk LRU eviction.
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        #: fast path), and entries dropped by bulk LRU eviction —
+        #: registry counters, mutated once per *batch* (the legacy int
+        #: attributes live on as the properties below).
+        self._m_hits = self.registry.counter(f"{metrics_prefix}.hits")
+        self._m_misses = self.registry.counter(f"{metrics_prefix}.misses")
+        self._m_evictions = self.registry.counter(
+            f"{metrics_prefix}.evictions"
+        )
         #: Key-universe bound under which the all-hit fast path keeps a
         #: dense key -> cache-position map (int32, so the default costs
         #: at most 4 MB).  Streams with larger ids simply keep the
@@ -118,6 +142,22 @@ class BatchHasher:
 
     def __len__(self) -> int:
         return int(self._keys.size)
+
+    # -- legacy counter views (deprecated: read the registry instead) --
+    @property
+    def hits(self) -> int:
+        """Deprecated view of the ``<prefix>.hits`` registry counter."""
+        return self._m_hits.value
+
+    @property
+    def misses(self) -> int:
+        """Deprecated view of the ``<prefix>.misses`` registry counter."""
+        return self._m_misses.value
+
+    @property
+    def evictions(self) -> int:
+        """Deprecated view of the ``<prefix>.evictions`` counter."""
+        return self._m_evictions.value
 
     @property
     def hit_rate(self) -> float:
@@ -177,7 +217,7 @@ class BatchHasher:
             self._buckets = self._buckets[:, keep_mask]
             self._signs = self._signs[:, keep_mask]
             self._last_used = self._last_used[keep_mask]
-            self.evictions += int(evict)
+            self._m_evictions.inc(int(evict))
         at = np.searchsorted(self._keys, keys)
         self._keys = np.insert(self._keys, at, keys)
         self._buckets = np.insert(self._buckets, at, buckets, axis=1)
@@ -248,7 +288,7 @@ class BatchHasher:
         np.copyto(pos, pos32)
         self._tick += 1
         self._last_used[pos] = self._tick
-        self.hits += n
+        self._m_hits.inc(n)
         if buckets_out is None:
             return self._buckets[:, pos], self._signs[:, pos]
         for j in range(self.family.depth):
@@ -281,8 +321,9 @@ class BatchHasher:
             ubuckets[:, miss] = mb
             usigns[:, miss] = ms
             self._insert(uniq[miss], mb, ms)
-        self.hits += n_hit
-        self.misses += uniq.size - n_hit
+        with self.registry.locked():
+            self._m_hits.inc(n_hit)
+            self._m_misses.inc(uniq.size - n_hit)
         return ubuckets, usigns, inv
 
     def rows(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

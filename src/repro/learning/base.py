@@ -34,6 +34,7 @@ hot classifiers override ``fit_batch`` with vectorized kernels.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -42,6 +43,7 @@ import numpy as np
 
 from repro.data.batch import SparseBatch, iter_batches
 from repro.data.sparse import SparseExample
+from repro.telemetry.hooks import hooks as _hooks
 
 #: Bytes charged per feature identifier, weight, or auxiliary value
 #: (Section 7.1's memory cost model).
@@ -188,7 +190,12 @@ class StreamingClassifier(ABC):
         if tracker is None:
             tracker = OnlineErrorTracker()
         for batch in iter_batches(stream, batch_size):
-            margins = self.fit_batch(batch)
+            if _hooks.on_batch_end:
+                t0 = time.perf_counter()
+                margins = self.fit_batch(batch)
+                _hooks.batch_end(self, len(batch), time.perf_counter() - t0)
+            else:
+                margins = self.fit_batch(batch)
             for m, y in zip(margins.tolist(), batch.labels.tolist()):
                 tracker.record(1 if m >= 0.0 else -1, y)
         return tracker

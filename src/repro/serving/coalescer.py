@@ -31,8 +31,26 @@ from collections import deque
 import numpy as np
 
 from repro.data.batch import SparseBatch
+from repro.telemetry import MetricsRegistry, hooks, trace
 
 __all__ = ["MicroBatchCoalescer"]
+
+#: Flush trigger classification (see the module docstring).
+_REASONS = ("budget", "max_batch", "drain")
+
+
+def _hist_summary_ms(hist) -> dict:
+    """Compact ms-scale summary of a latency histogram (caller holds
+    the registry lock, so the fields are one consistent cut)."""
+    if hist.count == 0:
+        return {"count": 0}
+    return {
+        "count": hist.count,
+        "p50": 1e3 * hist.percentile(50.0),
+        "p90": 1e3 * hist.percentile(90.0),
+        "p99": 1e3 * hist.percentile(99.0),
+        "max": 1e3 * hist.max_value,
+    }
 
 #: Supported operations and their payload / result conventions:
 #: ``predict``: payload is a :class:`SparseBatch`, result is the
@@ -80,9 +98,23 @@ class MicroBatchCoalescer:
     max_batch:
         Flush a queue as soon as it holds this many requests, budget
         notwithstanding.
+    registry:
+        The :class:`~repro.telemetry.MetricsRegistry` all observability
+        lives in (a private one is created when omitted).  The legacy
+        dict attributes (``requests`` / ``flushes`` / ``flush_reasons``
+        / ``batch_size_hist``) are preserved as read-only *views* over
+        registry counters — deprecated; read :meth:`stats` or the
+        registry snapshot instead.
     """
 
-    def __init__(self, snapshots, *, latency_budget: float = 1e-3, max_batch: int = 64):
+    def __init__(
+        self,
+        snapshots,
+        *,
+        latency_budget: float = 1e-3,
+        max_batch: int = 64,
+        registry: MetricsRegistry | None = None,
+    ):
         if latency_budget < 0:
             raise ValueError("latency_budget must be >= 0")
         if max_batch < 1:
@@ -93,15 +125,68 @@ class MicroBatchCoalescer:
         self._cond = threading.Condition()
         self._queues = {op: deque() for op in _OPS}
         self._closing = False
-        # Observability (mutated only under self._cond or on the worker).
-        self.requests = {op: 0 for op in _OPS}
-        self.flushes = {op: 0 for op in _OPS}
-        self.flush_reasons = {"budget": 0, "max_batch": 0, "drain": 0}
-        self.batch_size_hist = {op: {} for op in _OPS}
+        # Observability: every counter/gauge/histogram lives in one
+        # registry, so stats() is a single consistent cut (no more
+        # field-by-field reads racing the flush thread).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._m_requests = {
+            op: reg.counter("serve.requests", op=op) for op in _OPS
+        }
+        self._m_flushes = {
+            op: reg.counter("serve.flushes", op=op) for op in _OPS
+        }
+        self._m_flush_reasons = {
+            r: reg.counter("serve.flush_reasons", reason=r) for r in _REASONS
+        }
+        #: Exact per-(op, size) flush counters — the legacy
+        #: ``batch_size_hist`` integer histogram, registry-backed.
+        self._m_batch_sizes: dict[str, dict[int, object]] = {
+            op: {} for op in _OPS
+        }
+        self._m_pending = {
+            op: reg.gauge("serve.pending", op=op) for op in _OPS
+        }
+        self._m_queue_wait = {
+            op: reg.histogram("serve.queue_wait_seconds", op=op)
+            for op in _OPS
+        }
+        self._m_flush_seconds = {
+            op: reg.histogram("serve.flush_seconds", op=op) for op in _OPS
+        }
         self._worker = threading.Thread(
             target=self._run, name="repro-coalescer", daemon=True
         )
         self._worker.start()
+
+    # -- legacy dict views (deprecated: read stats() / the registry) ---
+    @property
+    def requests(self) -> dict:
+        """Deprecated view of the ``serve.requests`` counters."""
+        with self.registry.locked():
+            return {op: c._value for op, c in self._m_requests.items()}
+
+    @property
+    def flushes(self) -> dict:
+        """Deprecated view of the ``serve.flushes`` counters."""
+        with self.registry.locked():
+            return {op: c._value for op, c in self._m_flushes.items()}
+
+    @property
+    def flush_reasons(self) -> dict:
+        """Deprecated view of the ``serve.flush_reasons`` counters."""
+        with self.registry.locked():
+            return {r: c._value for r, c in self._m_flush_reasons.items()}
+
+    @property
+    def batch_size_hist(self) -> dict:
+        """Deprecated view of the ``serve.batch_size`` counters
+        (op -> {batch size -> flush count}, sizes ascending)."""
+        with self.registry.locked():
+            return {
+                op: {size: c._value for size, c in sorted(sizes.items())}
+                for op, sizes in self._m_batch_sizes.items()
+            }
 
     # ------------------------------------------------------------------
     # Submission
@@ -115,7 +200,9 @@ class MicroBatchCoalescer:
             if self._closing:
                 raise RuntimeError("coalescer is closed")
             self._queues[op].append((time.monotonic(), req))
-            self.requests[op] += 1
+            with self.registry.locked():
+                self._m_requests[op].inc()
+                self._m_pending[op].inc()
             self._cond.notify()
         return req
 
@@ -151,25 +238,49 @@ class MicroBatchCoalescer:
                     if ready is not None:
                         op, reason = ready
                         q = self._queues[op]
-                        batch = [q.popleft()[1] for _ in range(min(len(q), self.max_batch))]
+                        # Keep each entry's enqueue stamp: the flush
+                        # records the queue-wait distribution from it.
+                        batch = [q.popleft() for _ in range(min(len(q), self.max_batch))]
+                        self._m_pending[op].dec(len(batch))
                         break
                     if self._closing:
                         return
                     self._cond.wait(None if deadline is None else deadline - now)
             self._flush(op, batch, reason)
 
-    def _flush(self, op, reqs, reason):
-        self.flushes[op] += 1
-        self.flush_reasons[reason] += 1
-        hist = self.batch_size_hist[op]
-        hist[len(reqs)] = hist.get(len(reqs), 0) + 1
+    def _flush(self, op, entries, reason):
+        n = len(entries)
+        start = time.monotonic()
+        reg = self.registry
+        with reg.locked():
+            self._m_flushes[op].inc()
+            self._m_flush_reasons[reason].inc()
+            sizes = self._m_batch_sizes[op]
+            size_counter = sizes.get(n)
+            if size_counter is None:
+                size_counter = reg.counter("serve.batch_size", op=op, size=n)
+                sizes[n] = size_counter
+            size_counter.inc()
+        # One vectorized record for the whole batch's queue waits; the
+        # oldest entry is first, so entries[0] carries the max wait.
+        self._m_queue_wait[op].record_many(
+            [start - enq for enq, _ in entries]
+        )
+        reqs = [r for _, r in entries]
         snap = self._snapshots.current
         try:
-            results = self._HANDLERS[op](snap.model, [r.payload for r in reqs])
+            with trace.span(
+                "serve.flush", op=op, n=n, reason=reason,
+                version=snap.version,
+            ):
+                results = self._HANDLERS[op](
+                    snap.model, [r.payload for r in reqs]
+                )
         except BaseException as exc:  # propagate to every waiter in the batch
             for r in reqs:
                 r.error = exc
                 r.event.set()
+            self._m_flush_seconds[op].record(time.monotonic() - start)
             return
         done = time.monotonic()
         for r, res in zip(reqs, results):
@@ -177,6 +288,9 @@ class MicroBatchCoalescer:
             r.version = snap.version
             r.done_at = done
             r.event.set()
+        self._m_flush_seconds[op].record(done - start)
+        if hooks.on_flush:
+            hooks.flush(op, n, reason, start - entries[0][0], done - start)
 
     # ------------------------------------------------------------------
     # Batched handlers — ONE kernel call per flush.
@@ -226,18 +340,37 @@ class MicroBatchCoalescer:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        with self._cond:
-            pending = {op: len(q) for op, q in self._queues.items()}
+        """One *consistent* observability cut (legacy dict shape plus
+        latency summaries), taken under the registry mutex so a
+        histogram can never pair with stale counters."""
+        with self.registry.locked():
             return {
                 "latency_budget": self.latency_budget,
                 "max_batch": self.max_batch,
-                "requests": dict(self.requests),
-                "flushes": dict(self.flushes),
-                "flush_reasons": dict(self.flush_reasons),
-                "batch_size_hist": {
-                    op: dict(sorted(h.items())) for op, h in self.batch_size_hist.items()
+                "requests": {
+                    op: c._value for op, c in self._m_requests.items()
                 },
-                "pending": pending,
+                "flushes": {
+                    op: c._value for op, c in self._m_flushes.items()
+                },
+                "flush_reasons": {
+                    r: c._value for r, c in self._m_flush_reasons.items()
+                },
+                "batch_size_hist": {
+                    op: {s: c._value for s, c in sorted(sizes.items())}
+                    for op, sizes in self._m_batch_sizes.items()
+                },
+                "pending": {
+                    op: g._value for op, g in self._m_pending.items()
+                },
+                "queue_wait_ms": {
+                    op: _hist_summary_ms(h)
+                    for op, h in self._m_queue_wait.items()
+                },
+                "flush_ms": {
+                    op: _hist_summary_ms(h)
+                    for op, h in self._m_flush_seconds.items()
+                },
             }
 
     def close(self):

@@ -9,8 +9,10 @@ Two driver shapes, matching the two questions the benchmark answers:
   ratio the CI gate floors.
 * **open loop** (:func:`run_open_loop`) — requests arrive on a Poisson
   schedule at a configured offered rate, regardless of completions
-  (no coordinated omission).  Measures the latency distribution
-  (p50/p99) under load.
+  (no coordinated omission).  Measures the latency distribution under
+  load, recorded into a bounded telemetry
+  :class:`~repro.telemetry.Histogram` (p50/p90/p99/max) instead of a
+  raw per-request list, so long runs hold constant memory.
 
 Request streams (:func:`build_requests`) follow the paper's serving
 assumptions: Zipf-distributed query keys (hot features dominate),
@@ -23,17 +25,27 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 
 import numpy as np
 
 from repro.data.batch import SparseBatch
+from repro.telemetry import Histogram
 
 __all__ = [
     "build_requests",
+    "latency_histogram",
     "percentile",
     "run_closed_loop",
     "run_open_loop",
 ]
+
+
+def latency_histogram(name: str = "loadgen.latency_seconds") -> Histogram:
+    """The standard loadgen latency histogram: 1 µs – 1000 s log-scale
+    buckets, 9 per decade (~±12% bucket width — comfortably inside the
+    run-to-run noise of any latency percentile it feeds)."""
+    return Histogram(name, lo=1e-6, hi=1e3, buckets_per_decade=9)
 
 
 def build_requests(
@@ -131,7 +143,15 @@ def run_closed_loop(
     return elapsed, results
 
 
-def run_open_loop(server, requests, *, offered_rps: float, seed: int = 0):
+def run_open_loop(
+    server,
+    requests,
+    *,
+    offered_rps: float,
+    seed: int = 0,
+    histogram: Histogram | None = None,
+    reap_every: int = 512,
+):
     """Submit ``requests`` on a Poisson arrival schedule at ``offered_rps``.
 
     A single dispatcher thread sleeps to each scheduled arrival and
@@ -141,27 +161,52 @@ def run_open_loop(server, requests, *, offered_rps: float, seed: int = 0):
     request is measured from its *scheduled* arrival to its flush
     completion.
 
-    Returns ``(latencies_seconds, elapsed_seconds)``.
+    Latencies land in a telemetry :class:`Histogram` (pass one via
+    ``histogram`` to aggregate across runs), and completed requests are
+    reaped from the in-flight deque every ``reap_every`` submissions —
+    so an arbitrarily long open-loop run holds O(buckets + in-flight)
+    memory instead of one record per request, and a server that keeps
+    up bounds "in-flight" at its queue depth.
+
+    Returns ``(histogram, elapsed_seconds)``; read
+    ``histogram.percentile(50/90/99)`` / ``histogram.max_value`` /
+    ``histogram.count`` for the latency report.
     """
     if offered_rps <= 0:
         raise ValueError("offered_rps must be > 0")
     rng = np.random.default_rng(seed)
     gaps = rng.exponential(1.0 / offered_rps, size=len(requests))
     schedule = np.cumsum(gaps)
-    pending = []
+    hist = histogram if histogram is not None else latency_histogram(
+        "open_loop.latency_seconds"
+    )
+    pending: deque = deque()
     t0 = time.monotonic()
+
+    def reap(block: bool) -> None:
+        # Flushes complete roughly in submission order, so draining
+        # completed requests from the left keeps the deque short.
+        batch: list[float] = []
+        while pending:
+            at, req = pending[0]
+            if not req.event.is_set():
+                if not block:
+                    break
+                req.event.wait()
+            pending.popleft()
+            if req.error is not None:
+                raise req.error
+            batch.append(req.done_at - (t0 + at))
+        if batch:
+            hist.record_many(batch)
+
     for (op, payload), at in zip(requests, schedule):
         delay = (t0 + at) - time.monotonic()
         if delay > 0:
             time.sleep(delay)
         pending.append((at, server.submit_nowait(op, payload)))
-    for _, req in pending:
-        req.event.wait()
+        if len(pending) >= reap_every:
+            reap(block=False)
+    reap(block=True)
     elapsed = time.monotonic() - t0
-    latencies = np.array(
-        [req.done_at - (t0 + at) for at, req in pending], dtype=np.float64
-    )
-    for _, req in pending:
-        if req.error is not None:
-            raise req.error
-    return latencies, elapsed
+    return hist, elapsed

@@ -28,6 +28,7 @@ import numpy as np
 from repro.data.sparse import SparseExample
 from repro.serving.coalescer import MicroBatchCoalescer
 from repro.serving.snapshot import SnapshotManager
+from repro.telemetry import MetricsRegistry, hooks, trace
 
 __all__ = ["SketchServer", "scalar_answer"]
 
@@ -78,6 +79,11 @@ class SketchServer:
         :class:`~repro.serving.coalescer.MicroBatchCoalescer`).
     publish_every:
         Default number of training batches between snapshot publishes.
+    registry:
+        The unified :class:`~repro.telemetry.MetricsRegistry` for the
+        whole server (training counters, publish timings, coalescer,
+        reader hasher).  A private one is created when omitted;
+        :meth:`stats` always reads one consistent cut of it.
     """
 
     def __init__(
@@ -87,22 +93,44 @@ class SketchServer:
         latency_budget: float = 1e-3,
         max_batch: int = 64,
         publish_every: int = 1,
+        registry: MetricsRegistry | None = None,
     ):
         if publish_every < 1:
             raise ValueError("publish_every must be >= 1")
         self.model = model
         self.publish_every = int(publish_every)
-        self.snapshots = SnapshotManager(model)
+        self.telemetry = registry if registry is not None else MetricsRegistry()
+        self.snapshots = SnapshotManager(model, registry=self.telemetry)
         self.coalescer = MicroBatchCoalescer(
-            self.snapshots, latency_budget=latency_budget, max_batch=max_batch
+            self.snapshots, latency_budget=latency_budget,
+            max_batch=max_batch, registry=self.telemetry,
         )
         self._serial_lock = threading.Lock()
         self.training_done = threading.Event()
         self._stop_training = threading.Event()
         self._train_thread = None
-        self.batches_trained = 0
-        self.examples_trained = 0
-        self.train_seconds = 0.0
+        self._m_batches = self.telemetry.counter("train.batches")
+        self._m_examples = self.telemetry.counter("train.examples")
+        self._m_seconds = self.telemetry.counter("train.seconds")
+        self._m_batch_seconds = self.telemetry.histogram(
+            "train.batch_seconds"
+        )
+
+    # -- legacy counter views (deprecated: read stats() / the registry) -
+    @property
+    def batches_trained(self) -> int:
+        """Deprecated view of the ``train.batches`` registry counter."""
+        return self._m_batches.value
+
+    @property
+    def examples_trained(self) -> int:
+        """Deprecated view of the ``train.examples`` registry counter."""
+        return self._m_examples.value
+
+    @property
+    def train_seconds(self) -> float:
+        """Deprecated view of the ``train.seconds`` registry counter."""
+        return self._m_seconds.value
 
     # ------------------------------------------------------------------
     # Training
@@ -119,14 +147,21 @@ class SketchServer:
             for batch in batches:
                 if self._stop_training.is_set():
                     break
-                self.model.fit_batch(batch)
-                self.batches_trained += 1
-                self.examples_trained += len(batch)
-                if self.batches_trained % pe == 0:
+                t0 = time.perf_counter()
+                with trace.span("train.batch", n=len(batch)):
+                    self.model.fit_batch(batch)
+                seconds = time.perf_counter() - t0
+                with self.telemetry.locked():
+                    self._m_batches.inc()
+                    self._m_examples.inc(len(batch))
+                self._m_batch_seconds.record(seconds)
+                if hooks.on_batch_end:
+                    hooks.batch_end(self.model, len(batch), seconds)
+                if self._m_batches.value % pe == 0:
                     self.snapshots.publish()
         finally:
             self.snapshots.publish()
-            self.train_seconds += time.monotonic() - start
+            self._m_seconds.inc(time.monotonic() - start)
             self.training_done.set()
 
     def start_training(self, batches, publish_every: int | None = None):
@@ -182,33 +217,42 @@ class SketchServer:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Serving observability: training, snapshots, hasher, coalescer."""
+        """Serving observability: training, snapshots, hasher, coalescer.
+
+        Every layer records into the one shared registry
+        (:attr:`telemetry`), and this method holds that registry's
+        mutex across the whole assembly — the snapshot is a single
+        consistent cut, never a new histogram paired with stale
+        counters.  The dict shape is the legacy (pre-telemetry) one.
+        """
         hasher = self.snapshots.reader_hasher
-        hits = getattr(hasher, "hits", 0)
-        misses = getattr(hasher, "misses", 0)
-        total = hits + misses
-        return {
-            "model": type(self.model).__name__,
-            "train": {
-                "batches": self.batches_trained,
-                "examples": self.examples_trained,
-                "seconds": self.train_seconds,
-                "done": self.training_done.is_set(),
-            },
-            "snapshots": {
-                "published": len(self.snapshots.publish_log),
-                "current_version": self.snapshots.current.version,
-                "current_t": self.snapshots.current.t,
-            },
-            "reader_hasher": {
-                "hits": hits,
-                "misses": misses,
-                "hit_rate": hits / total if total else 0.0,
-                "evictions": getattr(hasher, "evictions", 0),
-                "cached_keys": len(hasher),
-            },
-            "coalescer": self.coalescer.stats(),
-        }
+        snap = self.snapshots.current
+        with self.telemetry.locked():
+            hits = getattr(hasher, "hits", 0)
+            misses = getattr(hasher, "misses", 0)
+            total = hits + misses
+            return {
+                "model": type(self.model).__name__,
+                "train": {
+                    "batches": self._m_batches.value,
+                    "examples": self._m_examples.value,
+                    "seconds": self._m_seconds.value,
+                    "done": self.training_done.is_set(),
+                },
+                "snapshots": {
+                    "published": len(self.snapshots.publish_log),
+                    "current_version": snap.version,
+                    "current_t": snap.t,
+                },
+                "reader_hasher": {
+                    "hits": hits,
+                    "misses": misses,
+                    "hit_rate": hits / total if total else 0.0,
+                    "evictions": getattr(hasher, "evictions", 0),
+                    "cached_keys": len(hasher),
+                },
+                "coalescer": self.coalescer.stats(),
+            }
 
     def close(self):
         """Stop training (if running) and drain the coalescer."""

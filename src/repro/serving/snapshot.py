@@ -27,9 +27,11 @@ them.
 from __future__ import annotations
 
 import threading
+from time import perf_counter
 
 from repro import kernels
 from repro.hashing.batch import BatchHasher
+from repro.telemetry import MetricsRegistry, hooks, trace
 
 
 class Snapshot:
@@ -64,12 +66,21 @@ class SnapshotManager:
     observable history the black-box consistency checker replays.
     """
 
-    def __init__(self, model):
+    def __init__(self, model, *, registry: MetricsRegistry | None = None):
         self._model = model
         self._lock = threading.Lock()
+        #: Unified telemetry registry (shared with the owning server
+        #: when one is passed in, so ``stats()`` reads one cut).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_publishes = self.registry.counter("publish.count")
+        self._m_publish_seconds = self.registry.histogram("publish.seconds")
         #: Reader-side caches threaded through every snapshot (see the
         #: module docstring for the single-reader contract).
-        self.reader_hasher = BatchHasher(model.family)
+        self.reader_hasher = BatchHasher(
+            model.family,
+            registry=self.registry,
+            metrics_prefix="serve.reader_hasher",
+        )
         self.reader_workspace = kernels.KernelWorkspace()
         #: ``(version, t)`` per publish, in publish order.
         self.publish_log: list[tuple[int, int]] = []
@@ -84,12 +95,19 @@ class SnapshotManager:
     def publish(self) -> Snapshot:
         """Fold the live model into a new snapshot and swap it in."""
         with self._lock:
+            start = perf_counter()
             version = 0 if self._current is None else self._current.version + 1
-            model = self._model.snapshot(
-                batch_hasher=self.reader_hasher,
-                workspace=self.reader_workspace,
-            )
-            snap = Snapshot(version, int(self._model.t), model)
-            self.publish_log.append((snap.version, snap.t))
-            self._current = snap
+            with trace.span("publish", version=version):
+                model = self._model.snapshot(
+                    batch_hasher=self.reader_hasher,
+                    workspace=self.reader_workspace,
+                )
+                snap = Snapshot(version, int(self._model.t), model)
+                self.publish_log.append((snap.version, snap.t))
+                self._current = snap
+            seconds = perf_counter() - start
+            self._m_publishes.inc()
+            self._m_publish_seconds.record(seconds)
+            if hooks.on_publish:
+                hooks.publish(snap.version, snap.t, seconds)
             return snap

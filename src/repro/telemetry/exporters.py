@@ -1,0 +1,119 @@
+"""Snapshot exporters: Prometheus text, JSON dump, terminal view.
+
+All three render the same input — a :meth:`MetricsRegistry.snapshot`
+dict — so anything a scraper sees is exactly the consistent cut the
+in-process views see.  ``repro telemetry`` (the CLI) renders the
+terminal view from a live run or from a dumped JSON file.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.registry import _edges, _parse_key
+
+__all__ = ["to_json", "to_prometheus", "render_terminal"]
+
+
+def to_json(snapshot: dict, indent: int = 2) -> str:
+    """The snapshot as a JSON document (the CI-uploaded artifact)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Prometheus text exposition format (0.0.4) for the snapshot."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def _emit_type(pname: str, kind: str) -> None:
+        if pname not in typed:
+            lines.append(f"# TYPE {pname} {kind}")
+            typed.add(pname)
+
+    for key, value in sorted((snapshot.get("counters") or {}).items()):
+        name, labels = _parse_key(key)
+        pname = _prom_name(name) + "_total"
+        _emit_type(pname, "counter")
+        lines.append(f"{pname}{_prom_labels(labels)} {value}")
+    for key, value in sorted((snapshot.get("gauges") or {}).items()):
+        name, labels = _parse_key(key)
+        pname = _prom_name(name)
+        _emit_type(pname, "gauge")
+        lines.append(f"{pname}{_prom_labels(labels)} {value}")
+    for key, h in sorted((snapshot.get("histograms") or {}).items()):
+        name, labels = _parse_key(key)
+        pname = _prom_name(name)
+        _emit_type(pname, "histogram")
+        edges = _edges(h["lo"], h["hi"], h["buckets_per_decade"])
+        cum = 0
+        for edge, count in zip(edges, h["counts"]):
+            # counts[i] covers observations below edges[i] (bucket 0 is
+            # the underflow bucket), matching Prometheus's cumulative
+            # ``le`` convention exactly.
+            cum += count
+            le = dict(labels, le=f"{edge:.9g}")
+            lines.append(f"{pname}_bucket{_prom_labels(le)} {cum}")
+        cum += h["counts"][-1]
+        inf = dict(labels, le="+Inf")
+        lines.append(f"{pname}_bucket{_prom_labels(inf)} {cum}")
+        lines.append(f"{pname}_sum{_prom_labels(labels)} {h['sum']:.9g}")
+        lines.append(f"{pname}_count{_prom_labels(labels)} {h['count']}")
+    return "\n".join(lines) + "\n"
+
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _sparkline(counts: list) -> str:
+    peak = max(counts) if counts else 0
+    if peak == 0:
+        return ""
+    return "".join(
+        _BLOCKS[min(8, 1 + (8 * c) // peak) if c else 0] for c in counts
+    )
+
+
+def render_terminal(snapshot: dict) -> str:
+    """Human-oriented view for ``repro telemetry`` / the serving demo."""
+    out: list[str] = []
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    histograms = snapshot.get("histograms") or {}
+    if counters:
+        out.append("counters")
+        width = max(len(k) for k in counters)
+        for key, value in sorted(counters.items()):
+            shown = f"{value:,}" if isinstance(value, int) else f"{value:,.3f}"
+            out.append(f"  {key:<{width}}  {shown}")
+    if gauges:
+        out.append("gauges")
+        width = max(len(k) for k in gauges)
+        for key, value in sorted(gauges.items()):
+            out.append(f"  {key:<{width}}  {value:,}")
+    if histograms:
+        out.append("histograms (seconds)")
+        width = max(len(k) for k in histograms)
+        for key, h in sorted(histograms.items()):
+            if h["count"] == 0:
+                out.append(f"  {key:<{width}}  (empty)")
+                continue
+            out.append(
+                f"  {key:<{width}}  n={h['count']:<8,} "
+                f"p50={1e3 * h['p50']:.3f}ms p90={1e3 * h['p90']:.3f}ms "
+                f"p99={1e3 * h['p99']:.3f}ms max={1e3 * h['max']:.3f}ms"
+            )
+            spark = _sparkline(h["counts"])
+            if spark:
+                out.append(f"  {'':<{width}}  |{spark}|")
+    return "\n".join(out) + ("\n" if out else "")

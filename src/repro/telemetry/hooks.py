@@ -1,0 +1,62 @@
+"""Profiling hook points fired by the train → publish → serve layers.
+
+Benchmarks (and any external profiler) register plain callables; the
+instrumented code fires them with already-measured timings, so BENCH
+JSONs can carry timing-breakdown sections without re-instrumenting the
+layers themselves.  Every call site guards on list truthiness
+(``if hooks.on_batch_end: ...``), so an unregistered hook costs one
+attribute read.
+
+Hook signatures:
+
+* ``on_batch_end(model, n_examples, seconds)`` — one training batch
+  consumed (fired by :meth:`repro.serving.server.SketchServer.train`
+  and :meth:`repro.learning.base.StreamingClassifier.fit_stream`).
+* ``on_publish(version, t, seconds)`` — one snapshot published.
+* ``on_flush(op, batch_size, reason, queue_wait_seconds, seconds)`` —
+  one coalescer flush completed (``queue_wait_seconds`` is the oldest
+  request's wait).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ProfilingHooks", "hooks"]
+
+
+class ProfilingHooks:
+    """Registered callbacks per hook point (plain lists; append/remove)."""
+
+    def __init__(self):
+        self.on_batch_end: list = []
+        self.on_publish: list = []
+        self.on_flush: list = []
+
+    def clear(self) -> None:
+        """Deregister every callback (used by benchmarks/tests)."""
+        del self.on_batch_end[:]
+        del self.on_publish[:]
+        del self.on_flush[:]
+
+    # -- firing (called by the instrumented layers) ---------------------
+    def batch_end(self, model, n_examples: int, seconds: float) -> None:
+        for fn in self.on_batch_end:
+            fn(model, n_examples, seconds)
+
+    def publish(self, version: int, t: int, seconds: float) -> None:
+        for fn in self.on_publish:
+            fn(version, t, seconds)
+
+    def flush(
+        self,
+        op: str,
+        batch_size: int,
+        reason: str,
+        queue_wait_seconds: float,
+        seconds: float,
+    ) -> None:
+        for fn in self.on_flush:
+            fn(op, batch_size, reason, queue_wait_seconds, seconds)
+
+
+#: The process-wide hook registry every instrumentation point fires.
+hooks = ProfilingHooks()

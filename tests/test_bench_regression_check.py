@@ -399,3 +399,91 @@ class TestRecordBackendArtifacts:
             record_backend.merge_backend_sections(
                 _doc(7.0), {"backends": {}}
             )
+
+
+def _telemetry_doc(wm=0.995, heap=0.99):
+    return {
+        "workload": {"dataset": "x"},
+        "wm_algorithm1": {"telemetry_overhead_ratio": wm},
+        "wm_with_heap": {"telemetry_overhead_ratio": heap},
+    }
+
+
+class TestTelemetryGate:
+    def test_identical_runs_pass(self):
+        doc = _telemetry_doc()
+        assert check_regression.check_telemetry(doc, doc, 0.30) == []
+
+    def test_overhead_beyond_contract_fails(self):
+        failures = check_regression.check_telemetry(
+            _telemetry_doc(wm=0.90), _telemetry_doc(), 0.30
+        )
+        assert any("telemetry_overhead_ratio" in f for f in failures)
+        assert any("0.97" in f for f in failures)
+
+    def test_ratio_at_the_floor_passes(self):
+        doc = _telemetry_doc(wm=0.97, heap=0.97)
+        assert check_regression.check_telemetry(doc, doc, 0.30) == []
+
+    def test_empty_current_cannot_pass_vacuously(self):
+        failures = check_regression.check_telemetry(
+            {"workload": {}}, _telemetry_doc(), 0.30
+        )
+        assert failures
+
+    def test_missing_floor_config_fails(self):
+        doc = _telemetry_doc()
+        del doc["wm_with_heap"]
+        failures = check_regression.check_telemetry(doc, doc, 0.30)
+        assert any("wm_with_heap" in f for f in failures)
+
+
+class TestGatesPolicyFile:
+    """benchmarks/gates.json is THE gate policy; the CLI must agree."""
+
+    def _policy(self):
+        import json
+
+        return json.loads(check_regression.GATES_PATH.read_text())
+
+    def test_policy_file_exists_and_parses(self):
+        policy = self._policy()
+        assert isinstance(policy, dict)
+
+    def test_cli_kinds_cover_exactly_the_policy_sections(self):
+        policy = self._policy()
+        sections = set(policy) - {"_comment"}
+        assert set(check_regression.KINDS) == sections
+        # The CLI must accept every policy section as a --kind choice.
+        for kind in sections:
+            rc_args = ["--current", "x", "--kind", kind]
+            # parse_args would exit on invalid choices before touching
+            # the filesystem; valid choices proceed past parsing (the
+            # missing file then returns 1, not an argparse error).
+            assert check_regression.main(rc_args) == 1
+
+    def test_module_constants_are_views_of_the_policy(self):
+        policy = self._policy()
+        assert check_regression.SPEEDUP_FLOORS == (
+            policy["throughput"]["floors"]
+        )
+        assert check_regression.QUERY_FLOORS == policy["query"]["floors"]
+        assert check_regression.ALLOC_FLOORS == policy["alloc"]["floors"]
+        assert check_regression.SERVING_FLOORS == (
+            policy["serving"]["floors"]
+        )
+        assert check_regression.TELEMETRY_FLOORS == (
+            policy["telemetry"]["floors"]
+        )
+
+    def test_telemetry_floor_is_the_three_percent_contract(self):
+        policy = self._policy()
+        for row in policy["telemetry"]["floors"].values():
+            assert row["telemetry_overhead_ratio"] == 0.97
+
+    def test_unknown_kind_is_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit) as exc:
+            check_regression.main(["--current", "x", "--kind", "nonsense"])
+        assert exc.value.code == 2
