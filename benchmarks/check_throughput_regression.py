@@ -30,10 +30,12 @@ from one process, so it is fully machine-independent).
 
 ``--kind serving`` gates ``BENCH_serving.json`` (the micro-batching
 coalescer's coalesced-vs-serial saturation-throughput ratios plus
-absolute floors — the WM floor is PR 6's 3x acceptance bar), and
+absolute floors — the WM floor is PR 6's 3x acceptance bar),
 ``--kind telemetry`` gates ``BENCH_telemetry.json`` (the telemetry
 overhead contract: tracing-enabled training throughput within 3% of
-disabled).
+disabled), and ``--kind publish`` gates ``BENCH_publish.json`` (the
+O(dirty) incremental snapshot publication: full-copy vs incremental
+publish latency, headline speedup at 2^20 buckets).
 
 Every absolute floor is declared once in ``benchmarks/gates.json`` —
 the policy file this checker loads at import (one section per
@@ -126,6 +128,14 @@ SERVING_RATIO_KEYS = ("coalescing_speedup",)
 TELEMETRY_FLOORS = GATES["telemetry"]["floors"]
 #: Ratio metrics diffed against the baseline for --kind telemetry.
 TELEMETRY_RATIO_KEYS = ("telemetry_overhead_ratio",)
+
+#: Floors for BENCH_publish.json (--kind publish): the headline
+#: incremental-vs-full publish speedup at 2^20 buckets.  Both sides of
+#: the ratio come from the same process on the same dirty state, so
+#: machine speed cancels; the 5.0 floor is the PR's acceptance bar
+#: ("incremental >= 5x faster than the full copy at 2^20"), the same
+#: convention as the serving coalescer floor.
+PUBLISH_FLOORS = GATES["publish"]["floors"]
 
 
 def _load(path: str) -> dict:
@@ -482,6 +492,58 @@ def check_telemetry(
     return failures
 
 
+def check_publish(
+    current: dict, baseline: dict, threshold: float
+) -> list[str]:
+    """Gate for BENCH_publish.json: the O(dirty) publication win.
+
+    The binding gate is the absolute floor on the headline
+    ``incremental_speedup`` (full-copy publish time / incremental
+    publish time at 2^20 buckets, both medians from one process on the
+    same dirty state — machine speed cancels).  The baseline diff
+    additionally catches a collapse of the headline; per-width rows are
+    printed informationally so a drifting crossover is visible in the
+    log without making every width a flaky gate.
+    """
+    failures: list[str] = []
+    curr_sp = current.get("incremental_speedup", 0.0)
+    base_sp = baseline.get("incremental_speedup", 0.0)
+    if not isinstance(curr_sp, (int, float)) or curr_sp <= 0:
+        failures.append(
+            "current publish benchmark carries no positive "
+            "incremental_speedup headline — malformed / stale-schema "
+            "JSON"
+        )
+        return failures
+    for width, row in sorted(
+        (current.get("widths") or {}).items(), key=lambda kv: int(kv[0])
+    ):
+        print(f"  width {int(width):>9}: full {row['full_publish_ms']:>7.3f}ms "
+              f"incr {row['incremental_publish_ms']:>7.3f}ms "
+              f"({row['incremental_speedup']:>5.1f}x, "
+              f"dirty {row['dirty_fraction_mean']:.1%}) info-only")
+    if base_sp > 0:
+        change = curr_sp / base_sp - 1.0
+        marker = "FAIL" if change < -threshold else "ok"
+        print(f"  incremental_speedup {base_sp:.2f} -> {curr_sp:.2f} "
+              f"({change:+.1%}) {marker}")
+        if change < -threshold:
+            failures.append(
+                f"incremental_speedup: {base_sp:.2f} -> {curr_sp:.2f} "
+                f"({change:+.1%} < -{threshold:.0%})"
+            )
+    for key, floor in sorted(PUBLISH_FLOORS.items()):
+        value = current.get(key, 0.0)
+        marker = "FAIL" if value < floor else "ok"
+        print(f"  {key} floor {floor:>5.2f}  current {value:>6.2f}  {marker}")
+        if value < floor:
+            failures.append(
+                f"{key}: {value:.2f} below the {floor:.2f} floor "
+                f"(O(dirty) incremental publication regressed)"
+            )
+    return failures
+
+
 def check_parallel(
     current: dict, baseline: dict, threshold: float
 ) -> list[str]:
@@ -598,6 +660,8 @@ def main(argv=None) -> int:
         failures = check_serving(current, baseline, args.threshold)
     elif args.kind == "telemetry":
         failures = check_telemetry(current, baseline, args.threshold)
+    elif args.kind == "publish":
+        failures = check_publish(current, baseline, args.threshold)
     else:
         failures = check_throughput(
             current, baseline, args.threshold, args.strict_eps

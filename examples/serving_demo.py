@@ -34,17 +34,22 @@ from repro import WMSketch
 from repro.data.batch import iter_batches
 from repro.data.datasets import rcv1_like
 from repro.serving import ServingClient, SketchServer, check_snapshot_consistency
-from repro.telemetry import render_terminal, trace, validate_span_tree
+from repro.telemetry import hooks, render_terminal, trace, validate_span_tree
 
 TRAIN_EXAMPLES = 6_000
-BATCH_SIZE = 256
-PUBLISH_EVERY = 2      # snapshot every 2 training batches
+BATCH_SIZE = 8
+PUBLISH_EVERY = 1      # snapshot every training batch
 READERS = 4
 READS_PER_READER = 40
 
 
 def make_model():
-    return WMSketch(width=2_048, depth=3, seed=0, heap_capacity=128)
+    # Wide enough (2^17 x 3 buckets = 1536 chunks) that one publish
+    # interval's writes (~32 examples x ~50 nnz x 3 rows) dirty only a
+    # fraction of the chunks — the per-publish dirty-fraction lines
+    # below then show the O(dirty) incremental path sharing clean
+    # chunks instead of rebasing every time.
+    return WMSketch(width=131_072, depth=3, seed=0, heap_capacity=128)
 
 
 def reader(client, key_space, seed):
@@ -72,6 +77,28 @@ def main() -> None:
     batches = list(iter_batches(stream, BATCH_SIZE))
 
     server = SketchServer(make_model(), latency_budget=1e-3, max_batch=64)
+
+    # Per-publish O(dirty) receipts: the on_publish hook fires on the
+    # trainer thread right after the manager records the publish, so
+    # reading the dirty-fraction gauge / chunks-copied counter here
+    # captures each publish's own numbers (the counter is cumulative;
+    # differencing it yields the per-publish chunk copies).
+    publish_rows: list[tuple[int, float, int]] = []
+
+    def record_publish(version, t, seconds):
+        registry = server.telemetry
+        copied = registry.counter("publish.chunks_copied").value
+        prev_copied = publish_rows[-1][2] if publish_rows else 0
+        fraction = registry.gauge("publish.dirty_fraction").value
+        publish_rows.append((version, fraction, copied))
+        # One publish per batch adds up to hundreds of lines; show the
+        # first few (the rebase, then the chain settling) and every
+        # 50th after that — the summary below aggregates the rest.
+        if version <= 5 or version % 50 == 0:
+            print(f"  publish v{version} @t={t}: dirty_fraction="
+                  f"{fraction:.3f} chunks_copied={copied - prev_copied}")
+
+    hooks.on_publish.append(record_publish)
     trace.clear()
     trace.enable()
     try:
@@ -110,9 +137,17 @@ def main() -> None:
         # --- live telemetry: the registry behind all of the above ----
         print("\n=== live telemetry (server.telemetry.snapshot()) ===")
         print(render_terminal(server.telemetry.snapshot()))
+        if publish_rows:
+            fractions = [f for _, f, _ in publish_rows]
+            print(f"incremental publishes: {len(publish_rows)} total, "
+                  f"dirty fraction min/mean/max = {min(fractions):.3f}/"
+                  f"{sum(fractions) / len(fractions):.3f}/"
+                  f"{max(fractions):.3f}, "
+                  f"{publish_rows[-1][2]} chunks copied overall")
     finally:
         trace.disable()
         server.close()
+        hooks.on_publish.remove(record_publish)
 
     # Span traces: every timed tree from the run, validated (children
     # nested inside parents, no lost or double-counted time).

@@ -137,6 +137,7 @@ class AWMSketch(ScaledSketchTable):
         for j in range(self.depth):
             bucket = self.family.buckets(key, j)[0]
             sign = self.family.signs(key, j)[0]
+            self._mark_dirty_bucket(j, int(bucket))
             self.table[j, bucket] += coeff * sign
 
     # ------------------------------------------------------------------
@@ -190,6 +191,7 @@ class AWMSketch(ScaledSketchTable):
         self._batch_hasher.rows_into(batch.indices, buckets, signs)
         flat = ws.array("p_flat", (self.depth, nnz), np.int64)
         np.add(buckets, self._row_offsets, out=flat)
+        flat = self._translate_flat(flat)
         sv = ws.array("p_sv", (self.depth, nnz))
         np.multiply(signs, batch.values, out=sv)
         slots = heap.member_slots(batch.indices)
@@ -339,6 +341,7 @@ class AWMSketch(ScaledSketchTable):
         coeff = delta / (self._sqrt_s * self._scale)
         for j in range(self.depth):
             bucket, sign = self.family.bucket_sign_one(index, j)
+            self._mark_dirty_bucket(j, int(bucket))
             self.table[j, bucket] += coeff * sign
 
     # ------------------------------------------------------------------
@@ -634,6 +637,12 @@ class AWMSketch(ScaledSketchTable):
         if heap_slots is None:
             heap_slots = _EMPTY_SLOTS
             heap_val = _EMPTY_VALUES
+        # The kernel's only table writes are the tail stay-scatter (at
+        # flat_tail) and a possible renorm fold; mark the scatter
+        # targets up front (over-marking is safe; the no-stay-scatter
+        # promotion bail-out over-marks at most one example's tail) and
+        # detect the fold below.
+        self._mark_dirty_flat(flat_tail)
         tau, new_scale, new_heap_scale, handled = kb.fused_awm_update(
             self._table_flat, flat_tail, tail_signs, tail_val,
             heap._raw, heap_slots, heap_val, heap._n, y,
@@ -643,6 +652,12 @@ class AWMSketch(ScaledSketchTable):
         )
         tau = float(tau)
         self._scale = float(new_scale)
+        # Exact fold detection: the kernel applies one decay per
+        # example, and a renorm leaves the scale at exactly 1.0 — any
+        # other post-decay value is a plain multiply.  (A scale that was
+        # already exactly 1.0 over-marks harmlessly.)
+        if self.lambda_ > 0.0 and self._scale == 1.0:
+            self._mark_dirty_all()
         heap._scale = float(new_heap_scale)
         if heap_slots.size:
             # add_many semantics: any touched slot can sink below the
@@ -722,6 +737,7 @@ class AWMSketch(ScaledSketchTable):
             evict_query = 0.5 * (vals[mid - 1] + vals[mid])
         coeff = (min_weight - evict_query) / factor
         for j, (bucket, sign) in enumerate(rows):
+            self._mark_dirty_bucket(j, int(bucket))
             table[j, bucket] += coeff * sign
 
     def fit_batch(

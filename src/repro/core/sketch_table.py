@@ -43,6 +43,36 @@ from repro.learning.schedules import Schedule, as_schedule
 #: the raw table to avoid float underflow.
 _RENORM_THRESHOLD = 1e-150
 
+#: Dirty-bitmap chunk geometry for incremental snapshot publication.
+#: Publishes copy whole chunks, so the chunk size trades copy
+#: granularity against bitmap overhead: with ``B`` hash-scattered
+#: touched buckets per publish interval the expected dirty fraction is
+#: roughly ``1 - exp(-B * chunk / size)``.  256 buckets (2 KiB) keeps
+#: Fig. 7-scale per-interval write sets at ~10-20% dirty on
+#: million-bucket tables, where 4K-bucket chunks would already be
+#: nearly 100% dirty (no publish win at all).
+_CHUNK_LOG = 8
+_CHUNK = 1 << _CHUNK_LOG
+_CHUNK_MASK = _CHUNK - 1
+
+#: :meth:`ScaledSketchTable.snapshot_incremental` rebases (one full
+#: vectorized copy into a fresh pool) when the dirty fraction reaches
+#: this crossover — near-full chunked copies cost more than one
+#: contiguous copy — ...
+_REBASE_DIRTY_FRACTION = 0.5
+#: ... and when the append-only chunk pool would exceed this many times
+#: the table's own chunk count (bounds chain memory growth; published
+#: snapshots pin whatever pool they reference).
+_POOL_MAX_FACTOR = 4
+
+#: Attributes a snapshot never inherits from the live model's __dict__
+#: (each is re-established explicitly by the snapshot builders).
+_SNAPSHOT_DROPPED = (
+    "table", "_scale", "_table_flat", "_batch_hasher", "_kb", "_ws",
+    "heap", "_dirty", "_pool", "_chunk_map",
+    "_chain_token", "_chain_seq", "_snap_pool", "_snap_used", "_snap_map",
+)
+
 
 class ScaledSketchTable(StreamingClassifier):
     """Count-Sketch table + lazy L2 scale shared by WM/AWM sketches.
@@ -124,6 +154,17 @@ class ScaledSketchTable(StreamingClassifier):
             np.arange(depth, dtype=np.int64) * width
         ).reshape(-1, 1)
         self._table_flat = self.table.ravel()
+        # Dirty-chunk tracking for O(dirty) incremental snapshot
+        # publication: live models keep a contiguous table and a chunked
+        # write bitmap; chunk-shared snapshots instead carry a
+        # (rows, _CHUNK) pool plus a chunk -> pool-row map (table is
+        # then None; reads translate indices through _translate_flat).
+        self._dirty: np.ndarray | None = np.ones(
+            self._n_chunks(), dtype=bool
+        )
+        self._pool: np.ndarray | None = None
+        self._chunk_map: np.ndarray | None = None
+        self._reset_chain()
         # Dispatch-free kernel binding + lazily-built workspace (both
         # per-process caches: dropped on pickling, rebuilt on load).
         self._kb = kernels.BackendHandle(backend)
@@ -151,6 +192,110 @@ class ScaledSketchTable(StreamingClassifier):
         return ws
 
     # ------------------------------------------------------------------
+    # Dirty-chunk tracking (incremental snapshot publication)
+    # ------------------------------------------------------------------
+    def _n_chunks(self) -> int:
+        """Number of ``_CHUNK``-bucket chunks covering the flat table."""
+        return (self.size + _CHUNK_MASK) >> _CHUNK_LOG
+
+    def _reset_chain(self) -> None:
+        """Forget any snapshot chain (fresh model / after unpickling).
+
+        The chain token is an identity sentinel: a previous snapshot may
+        seed :meth:`snapshot_incremental` only if it carries *this*
+        model's token and the latest sequence number — the dirty bitmap
+        records changes since the last chain publish, so any other
+        ``prev`` forces a rebase.
+        """
+        self._chain_token: object = object()
+        self._chain_seq = 0
+        self._snap_pool: np.ndarray | None = None
+        self._snap_used = 0
+        self._snap_map: np.ndarray | None = None
+
+    def _mark_dirty_flat(self, flat: np.ndarray) -> None:
+        """Mark the chunks containing the given flat bucket indices.
+
+        ``flat`` may be any int64 array of touched indices (the fused
+        kernels' recorded touched stream, a batch's flat-bucket block,
+        ...); duplicates are free.  Runs over workspace arenas so the
+        steady-state fused paths stay allocation-free.
+        """
+        dirty = self._dirty
+        if dirty is None:
+            return
+        ids = self._workspace().array("dirty_ids", flat.size, np.int64)
+        np.right_shift(flat.reshape(-1), _CHUNK_LOG, out=ids)
+        dirty[ids] = True
+
+    def _mark_dirty_all(self) -> None:
+        """Whole-table writes (renorm folds, merges) dirty every chunk."""
+        dirty = self._dirty
+        if dirty is not None:
+            dirty[:] = True
+
+    def _mark_dirty_bucket(self, row: int, bucket: int) -> None:
+        """Scalar write path: one (row, bucket) cell touched."""
+        dirty = self._dirty
+        if dirty is not None:
+            dirty[(row * self.width + bucket) >> _CHUNK_LOG] = True
+
+    def _translate_flat(
+        self, flat: np.ndarray, scratch: bool = True
+    ) -> np.ndarray:
+        """Map flat bucket indices into this snapshot's chunk pool.
+
+        Live models (and full snapshots) store a contiguous table and
+        return ``flat`` unchanged.  Chunk-shared snapshots rewrite each
+        index ``f`` to ``(chunk_map[f >> LOG] << LOG) | (f & MASK)`` so
+        the *unchanged* read kernels (``fused_predict`` /
+        ``fused_query`` / margins / gathers) pull the identical float
+        bits out of ``_pool.ravel()`` — gathers move bits and do no
+        arithmetic, so translated reads are bit-identical to dense
+        reads.
+
+        ``scratch=True`` runs over workspace arenas (three int64 views)
+        and is for the single-threaded batched read paths only.  The
+        scalar read paths pass ``scratch=False`` for fresh temporaries:
+        serving runs serial-scalar reads concurrently with the
+        coalescer's batched reads on the same snapshot, and the
+        snapshot's workspace is a shared mutable cache — scalar reads
+        must not touch it (see the SnapshotManager module docstring).
+        """
+        cmap = self._chunk_map
+        if cmap is None:
+            return flat
+        if not scratch:
+            return (cmap[flat >> _CHUNK_LOG] << _CHUNK_LOG) | (
+                flat & _CHUNK_MASK
+            )
+        ws = self._workspace()
+        low = ws.array("t_flat_low", flat.shape, np.int64)
+        np.bitwise_and(flat, _CHUNK_MASK, out=low)
+        ids = ws.array("t_flat_ids", flat.shape, np.int64)
+        np.right_shift(flat, _CHUNK_LOG, out=ids)
+        out = ws.array("t_flat_out", flat.shape, np.int64)
+        np.take(cmap, ids, out=out)
+        np.left_shift(out, _CHUNK_LOG, out=out)
+        np.bitwise_or(out, low, out=out)
+        return out
+
+    def _dense_table_flat(self) -> np.ndarray:
+        """The raw (unscaled) flat table; materialized for chunk-shared
+        snapshots (``pool[chunk_map]`` reassembles the logical order —
+        the padded tail of the last chunk falls past ``size``)."""
+        if self._chunk_map is None:
+            return self._table_flat
+        return self._pool[self._chunk_map].ravel()[: self.size]
+
+    def _dense_table(self) -> np.ndarray:
+        """The raw table as a dense ``(depth, width)`` array (a fresh
+        copy for chunk-shared snapshots, the live array otherwise)."""
+        if self._chunk_map is None:
+            return self.table
+        return self._dense_table_flat().reshape(self.depth, self.width)
+
+    # ------------------------------------------------------------------
     # Pickling (spawn-safe worker processes)
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
@@ -158,10 +303,21 @@ class ScaledSketchTable(StreamingClassifier):
         of ``table`` — pickling it naively would materialize a detached
         copy and silently break the aliasing every scatter/gather relies
         on.  The batch hasher, the kernel-backend handle and the fused
-        workspace are pure per-process caches and restart cold."""
+        workspace are pure per-process caches and restart cold.
+
+        The dirty bitmap and snapshot-chain state are per-process too: a
+        loaded model starts all-dirty with a fresh chain token, so its
+        first incremental publish rebases.  A chunk-shared *snapshot* is
+        persisted as its dense equivalent (the pool / chunk map encode
+        sharing with sibling snapshots, which pickling cannot
+        preserve)."""
         state = self.__dict__.copy()
+        if state.get("_chunk_map") is not None:
+            state["table"] = self._dense_table()
         for key in ("_table_flat", "_row_idx", "_row_offsets",
-                    "_batch_hasher", "_kb", "_ws"):
+                    "_batch_hasher", "_kb", "_ws",
+                    "_dirty", "_pool", "_chunk_map", "_chain_token",
+                    "_chain_seq", "_snap_pool", "_snap_used", "_snap_map"):
             state.pop(key, None)
         return state
 
@@ -177,42 +333,41 @@ class ScaledSketchTable(StreamingClassifier):
         self._batch_hasher = BatchHasher(self.family)
         self._kb = kernels.BackendHandle(self.backend)
         self._ws = None  # rebuilt lazily on first fused batch
+        # All-dirty + fresh chain: the safest (and only correct) restart
+        # state — nothing is known about pre-pickle publishes.
+        self._dirty = np.ones(self._n_chunks(), dtype=bool)
+        self._pool = None
+        self._chunk_map = None
+        self._reset_chain()
 
     # ------------------------------------------------------------------
     # Serving snapshots
     # ------------------------------------------------------------------
-    def snapshot(
+    def _snapshot_shell(
         self,
-        batch_hasher: "BatchHasher | None" = None,
-        workspace: "kernels.KernelWorkspace | None" = None,
+        batch_hasher: "BatchHasher | None",
+        workspace: "kernels.KernelWorkspace | None",
     ) -> "ScaledSketchTable":
-        """A consistent read-only copy for concurrent serving.
-
-        The lazy L2 scale is folded into the copied table (the fold
-        *is* the copy — one vectorized multiply), so a snapshot never
-        exposes a half-applied update and its answers are a pure
-        function of publish-time state.  The trainer keeps mutating the
-        original; readers keep answering from the snapshot.  Subclass
-        stores (the WM/AWM ``heap``) are folded the same way through
-        :meth:`~repro.heap.topk.TopKStore.snapshot_view`.
-
-        ``batch_hasher`` / ``workspace`` let a snapshot *manager* thread
-        its long-lived reader-side caches through successive publishes
-        (hash functions are pure and shared with the live model, so LRU
-        warmth carries over; the workspace arenas keep reads
-        zero-allocation).  Both default to fresh caches.  Snapshots are
-        read-only by contract and, like every model, single-threaded:
-        serving layers must serialize access per snapshot chain.
-        """
+        """The table-independent part of a snapshot: copied config,
+        carried scale, folded heap view, reader-side caches.  Callers
+        attach the table representation (dense copy or chunk pool)."""
         snap = object.__new__(type(self))
         state = self.__dict__.copy()
-        for key in ("table", "_scale", "_table_flat",
-                    "_batch_hasher", "_kb", "_ws", "heap"):
+        for key in _SNAPSHOT_DROPPED:
             state.pop(key, None)
         snap.__dict__.update(state)
-        snap.table = np.multiply(self.table, self._scale)
-        snap._scale = 1.0
-        snap._table_flat = snap.table.ravel()
+        # The per-snapshot scale multiplier: the snapshot stores the
+        # *raw* table bits and carries the publish-time lazy L2 scale
+        # alongside, exactly like the live model — raw bits are stable
+        # under decay (only renorm folds rewrite them), which is what
+        # lets clean chunks be shared across publishes bit-identically.
+        snap._scale = self._scale
+        snap._dirty = None  # snapshots are read-only; nothing to track
+        snap._chain_token = None
+        snap._chain_seq = -1
+        snap._snap_pool = None
+        snap._snap_used = 0
+        snap._snap_map = None
         if batch_hasher is not None and batch_hasher.family is not self.family:
             raise ValueError(
                 "batch_hasher must wrap the model's own hash family"
@@ -230,6 +385,169 @@ class ScaledSketchTable(StreamingClassifier):
         elif "heap" in self.__dict__:
             snap.heap = None
         return snap
+
+    def snapshot(
+        self,
+        batch_hasher: "BatchHasher | None" = None,
+        workspace: "kernels.KernelWorkspace | None" = None,
+    ) -> "ScaledSketchTable":
+        """A consistent read-only copy for concurrent serving.
+
+        The snapshot copies the *raw* table and carries the publish-time
+        lazy L2 scale alongside (every read path already multiplies by
+        the scale, so answers are identical to folding it in — and the
+        raw-bits representation is what makes the incremental chunked
+        publishes of :meth:`snapshot_incremental` bit-identical to this
+        full copy).  A snapshot never exposes a half-applied update; its
+        answers are a pure function of publish-time state.  The trainer
+        keeps mutating the original; readers keep answering from the
+        snapshot.  Subclass stores (the WM/AWM ``heap``) snapshot
+        through :meth:`~repro.heap.topk.TopKStore.snapshot_view`.
+
+        ``batch_hasher`` / ``workspace`` let a snapshot *manager* thread
+        its long-lived reader-side caches through successive publishes
+        (hash functions are pure and shared with the live model, so LRU
+        warmth carries over; the workspace arenas keep reads
+        zero-allocation).  Both default to fresh caches.  Snapshots are
+        read-only by contract and, like every model, single-threaded:
+        serving layers must serialize access per snapshot chain.
+
+        Must be called from the trainer thread (the thread mutating the
+        model): the copy reads the table and heap arrays non-atomically,
+        so an off-thread call could observe a half-applied update.
+        """
+        snap = self._snapshot_shell(batch_hasher, workspace)
+        snap.table = (
+            self.table.copy() if self._chunk_map is None
+            else self._dense_table()
+        )
+        snap._pool = None
+        snap._chunk_map = None
+        snap._table_flat = snap.table.ravel()
+        return snap
+
+    def snapshot_incremental(
+        self,
+        prev: "ScaledSketchTable | None" = None,
+        batch_hasher: "BatchHasher | None" = None,
+        workspace: "kernels.KernelWorkspace | None" = None,
+    ) -> "tuple[ScaledSketchTable, dict]":
+        """Publish a snapshot copying only the chunks written since the
+        last chain publish; clean chunks are shared with ``prev``'s
+        arrays by reference.
+
+        Returns ``(snapshot, stats)`` where ``stats`` reports
+        ``dirty_fraction`` / ``chunks_copied`` / ``n_chunks`` /
+        ``rebase`` for telemetry.  The snapshot answers every read
+        **bit-identically** to a full :meth:`snapshot` taken at the same
+        instant: both carry the same raw table bits (dense vs.
+        chunk-pool + index translation) and the same scale multiplier,
+        and gathers do no arithmetic.
+
+        Chunks live in an append-only ``(rows, _CHUNK)`` pool shared
+        along the chain: each publish appends its dirty chunks as fresh
+        rows (write-once, so earlier snapshots stay immutable) and maps
+        clean chunks to the rows the previous publish used.  The chain
+        *rebases* — one vectorized full copy into a fresh pool — on the
+        first publish, when ``prev`` is not this model's latest chain
+        snapshot (the bitmap records changes since that publish, so
+        nothing else can be patched), when the dirty fraction reaches
+        the ``_REBASE_DIRTY_FRACTION`` crossover, or when the pool would
+        outgrow ``_POOL_MAX_FACTOR`` times the table (memory bound).
+        The dirty bitmap is cleared either way.
+
+        Trainer-thread-only, like :meth:`snapshot`.
+        """
+        if self._dirty is None:
+            raise TypeError(
+                "snapshots are read-only; publish from the live model"
+            )
+        size = self.size
+        n_chunks = self._dirty.shape[0]
+        dirty_ids = np.flatnonzero(self._dirty)
+        k = int(dirty_ids.size)
+        dirty_fraction = k / n_chunks
+        chain_ok = (
+            prev is not None
+            and self._snap_pool is not None
+            and getattr(prev, "_chain_token", None) is self._chain_token
+            and getattr(prev, "_chain_seq", None) == self._chain_seq
+        )
+        rebase = (
+            not chain_ok
+            or dirty_fraction >= _REBASE_DIRTY_FRACTION
+            or self._snap_used + k > _POOL_MAX_FACTOR * n_chunks
+        )
+        tf = self._table_flat
+        if rebase:
+            # 2x headroom so the publishes after a rebase append in
+            # place instead of regrowing immediately.  The headroom is
+            # pre-faulted here (one amortized fill on the slow path) so
+            # each later publish's gather writes into resident pages —
+            # soft page faults would otherwise dominate the
+            # latency-critical O(dirty) append.
+            pool = np.empty((2 * n_chunks, _CHUNK), dtype=np.float64)
+            pool.ravel()[:size] = tf
+            pool[n_chunks:].fill(0.0)
+            cmap = np.arange(n_chunks, dtype=np.int64)
+            self._snap_pool = pool
+            self._snap_used = n_chunks
+            self._snap_map = cmap
+            chunks_copied = n_chunks
+        else:
+            pool = self._snap_pool
+            used = self._snap_used
+            if used + k > pool.shape[0]:
+                # Geometric regrowth; the bytewise prefix copy preserves
+                # every published bit, and earlier snapshots keep (and
+                # pin) the old pool object untouched.
+                rows = max(used + k, 2 * pool.shape[0])
+                new_pool = np.empty((rows, _CHUNK), dtype=np.float64)
+                new_pool[:used] = pool[:used]
+                new_pool[used:].fill(0.0)  # pre-fault, as at rebase
+                pool = self._snap_pool = new_pool
+            full = size >> _CHUNK_LOG  # number of complete chunks
+            tail_len = size - (full << _CHUNK_LOG)
+            tail_dirty = (
+                tail_len > 0 and k > 0 and int(dirty_ids[-1]) == n_chunks - 1
+            )
+            body_ids = dirty_ids[:-1] if tail_dirty else dirty_ids
+            nb = body_ids.size
+            if nb:
+                # take-with-out writes the gathered rows straight into
+                # the pool; mode="clip" skips the bounds check that
+                # would force a temporary (ids come from flatnonzero of
+                # the bitmap, so they are in range by construction).
+                np.take(
+                    tf[: full << _CHUNK_LOG].reshape(full, _CHUNK),
+                    body_ids,
+                    axis=0,
+                    out=pool[used:used + nb],
+                    mode="clip",
+                )
+            if tail_dirty:
+                pool[used + k - 1, :tail_len] = tf[full << _CHUNK_LOG:]
+            cmap = self._snap_map.copy()
+            cmap[dirty_ids] = np.arange(used, used + k, dtype=np.int64)
+            self._snap_map = cmap
+            self._snap_used = used + k
+            chunks_copied = k
+        self._dirty[:] = False
+        self._chain_seq += 1
+        snap = self._snapshot_shell(batch_hasher, workspace)
+        snap.table = None
+        snap._pool = pool
+        snap._chunk_map = cmap
+        snap._table_flat = pool.ravel()
+        snap._chain_token = self._chain_token
+        snap._chain_seq = self._chain_seq
+        stats = {
+            "dirty_fraction": dirty_fraction,
+            "chunks_copied": int(chunks_copied),
+            "n_chunks": int(n_chunks),
+            "rebase": bool(rebase),
+        }
+        return snap, stats
 
     # ------------------------------------------------------------------
     # Merging (distributed / sharded training)
@@ -286,6 +604,7 @@ class ScaledSketchTable(StreamingClassifier):
         for other in others:
             self._check_mergeable(other)
         sum_merge_scaled_tables(self, others)
+        self._mark_dirty_all()
         return self
 
     def _repromote(self, heap, candidates, estimator) -> int:
@@ -395,8 +714,8 @@ class ScaledSketchTable(StreamingClassifier):
         else:
             factor = self._sqrt_s * self._scale
         self.kernels.fused_query(
-            self._table_flat, flat, signs.T, factor, gathered, est,
-            kernels.EMPTY_SCRATCH,
+            self._table_flat, self._translate_flat(flat), signs.T,
+            factor, gathered, est, kernels.EMPTY_SCRATCH,
         )
         if self.l1 > 0.0:
             est = np.sign(est) * np.maximum(np.abs(est) - self.l1, 0.0)
@@ -428,9 +747,13 @@ class ScaledSketchTable(StreamingClassifier):
         """
         if flat_buckets is None:
             flat_buckets = buckets + self._row_offsets
+        # scratch=False: reached from the serial-scalar serving path,
+        # which runs concurrently with the coalescer's batched reads on
+        # the same snapshot and must not touch the shared workspace.
         return self.kernels.margin(
-            self._table_flat, flat_buckets, sign_values,
-            self._scale, self._sqrt_s,
+            self._table_flat,
+            self._translate_flat(flat_buckets, scratch=False),
+            sign_values, self._scale, self._sqrt_s,
         )
 
     def _scatter_add(
@@ -448,6 +771,7 @@ class ScaledSketchTable(StreamingClassifier):
         """
         if flat_buckets is None:
             flat_buckets = buckets + self._row_offsets
+        self._mark_dirty_flat(flat_buckets)
         self.kernels.scatter_add(self._table_flat, flat_buckets, deltas)
 
     # ------------------------------------------------------------------
@@ -477,7 +801,13 @@ class ScaledSketchTable(StreamingClassifier):
         if gathered_t is None:
             if flat_buckets is None:
                 flat_buckets = buckets + self._row_offsets
-            gathered_t = kb.gather_rows_t(self._table_flat, flat_buckets)
+            # scratch=False: top_weights / scalar estimates land here
+            # from both the serial thread and the coalescer thread on a
+            # shared snapshot — no workspace scratch allowed.
+            gathered_t = kb.gather_rows_t(
+                self._table_flat,
+                self._translate_flat(flat_buckets, scratch=False),
+            )
         if self.depth == 1:
             factor = self._scale
         else:
@@ -505,7 +835,10 @@ class ScaledSketchTable(StreamingClassifier):
             return 0.0
         if flat_buckets is None:
             flat_buckets = buckets + self._row_offsets
-        hi = self.kernels.estimate_bound(self._table_flat, flat_buckets)
+        hi = self.kernels.estimate_bound(
+            self._table_flat,
+            self._translate_flat(flat_buckets, scratch=False),
+        )
         if self.depth == 1:
             bound = self._scale * hi
         else:
@@ -542,11 +875,17 @@ class ScaledSketchTable(StreamingClassifier):
 
     def _decay_scale(self, decay: float) -> None:
         """Apply one decay step to the global scale, renormalizing the
-        raw table when the scale underflows toward zero."""
+        raw table when the scale underflows toward zero.
+
+        A plain decay moves only the scale — the raw table bits stay
+        put, so no chunk becomes dirty; the renorm fold rewrites every
+        cell and dirties the whole bitmap.
+        """
         self._scale *= decay
         if self._scale < _RENORM_THRESHOLD:
             self.table *= self._scale
             self._scale = 1.0
+            self._mark_dirty_all()
 
     # ------------------------------------------------------------------
     # Common introspection
@@ -558,4 +897,4 @@ class ScaledSketchTable(StreamingClassifier):
 
     def sketch_state(self) -> np.ndarray:
         """The current (scaled) sketch vector z as a flat array."""
-        return (self._scale * self.table).ravel()
+        return self._scale * self._dense_table_flat()

@@ -146,8 +146,9 @@ class WMSketch(ScaledSketchTable):
         _, _, sign_values, flat = self._batch_rows(batch, None)
         out = np.empty(n, dtype=np.float64)
         self.kernels.fused_predict(
-            self._table_flat, flat, sign_values, batch.indptr,
-            self._scale, self._sqrt_s, out, kernels.EMPTY_SCRATCH,
+            self._table_flat, self._translate_flat(flat), sign_values,
+            batch.indptr, self._scale, self._sqrt_s, out,
+            kernels.EMPTY_SCRATCH,
         )
         return out
 
@@ -242,13 +243,25 @@ class WMSketch(ScaledSketchTable):
         else:
             gathered = ws.array("gathered", (nnz, self.depth))
             scales = ws.array("scales", n)
+        # Full-recording touched stream: the kernel writes every
+        # scattered flat index (plus the renorm-fold count in slot 0),
+        # and the dirty bitmap is fed from the recording afterwards —
+        # the kernel has no mid-batch raise paths (the decay window was
+        # validated above), so marking after the call cannot miss
+        # writes.
+        touched = ws.array("touched", 1 + self.depth * nnz, np.int64)
         with _trace.span("fused_update"):
             self._scale = self.kernels.fused_update(
                 self._table_flat, flat, sign_values, batch.indptr,
                 batch.labels, etas, self.lambda_, self._scale, self._sqrt_s,
                 self.loss.kernel_id, self.loss.kernel_param,
-                margins, gathered, scales, kernels.EMPTY_SCRATCH,
+                margins, gathered, scales, kernels.EMPTY_SCRATCH, touched,
             )
+        if touched[0]:
+            # A renorm fold rewrote every bucket mid-batch.
+            self._mark_dirty_all()
+        else:
+            self._mark_dirty_flat(touched[1:])
         self.t += n
         if heap is not None and nnz:
             with _trace.span("heap_maintain"):
@@ -469,6 +482,11 @@ class WMSketch(ScaledSketchTable):
             buckets, signs = rows
         sign_values = signs * batch.values
         flat = buckets + self._row_offsets
+        # Mark the whole batch's scatter targets dirty up front: the
+        # decay check below can raise mid-batch, after some examples
+        # already scattered — over-marking is always safe, a missed
+        # write never is.
+        self._mark_dirty_flat(flat)
         etas = self.schedule.many(self.t, n)
         indptr = batch.indptr.tolist()
         labels = batch.labels.tolist()
@@ -514,6 +532,7 @@ class WMSketch(ScaledSketchTable):
                 if scale < _RENORM_THRESHOLD:
                     self.table *= scale
                     scale = 1.0
+                    self._mark_dirty_all()
                 self._scale = scale
             scatter_k(table_flat, fb, (-eta * y * g / (sqrt_s * scale)) * sv)
             self.t += 1

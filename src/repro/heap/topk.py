@@ -56,6 +56,7 @@ qualify.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterator
 
 import numpy as np
@@ -138,6 +139,11 @@ class TopKStore:
         # Dispatch-free backend binding for the push_many pre-screen
         # (dropped by __getstate__'s whitelist; rebuilt on load).
         self._kb = kernels.BackendHandle(backend)
+        #: Debug-only owning-thread witness: the last thread that ran a
+        #: batched mutation (see :meth:`push_many`).  ``snapshot_view``
+        #: asserts against it — an off-thread publish would read the
+        #: slot arrays mid-mutation.
+        self._writer_thread: int | None = None
 
     # ------------------------------------------------------------------
     # Pickling (spawn-safe shard transport)
@@ -176,6 +182,7 @@ class TopKStore:
         self._sorted_slots = None
         self.version = 0
         self._kb = kernels.BackendHandle(self.backend)
+        self._writer_thread = None
 
     def snapshot_view(self) -> "TopKStore":
         """A read-only consistent copy for concurrent serving.
@@ -195,7 +202,22 @@ class TopKStore:
         (``_min_slot``, ``_sorted_keys``) may still materialize on first
         read — single-reader or externally serialized use only, the same
         single-threaded discipline as every other model structure.
+
+        **Trainer-thread-only**: this method reads ``_keys`` / ``_raw``
+        / ``_n`` without synchronization, so calling it from a thread
+        other than the one mutating the store (mid-``push_many``, a
+        half-applied ``replace_min``) can observe torn state — a key
+        written but its value not yet, a compaction in flight.  The
+        debug-gated assert below catches off-thread publishes cheaply;
+        ``python -O`` removes it entirely.
         """
+        if __debug__:
+            owner = self._writer_thread
+            assert owner is None or owner == threading.get_ident(), (
+                "snapshot_view must run on the store's writer (trainer) "
+                "thread; an off-thread call can read slot arrays "
+                "mid-push_many"
+            )
         snap = TopKStore.__new__(TopKStore)
         n = self._n
         snap.capacity = self.capacity
@@ -214,6 +236,7 @@ class TopKStore:
         snap._sorted_slots = None
         snap.version = 0
         snap._kb = self._kb
+        snap._writer_thread = None
         return snap
 
     # ------------------------------------------------------------------
@@ -513,6 +536,10 @@ class TopKStore:
         """
         keys = np.asarray(keys, dtype=np.int64)
         values = np.asarray(values, dtype=np.float64)
+        if __debug__:
+            # Witness for snapshot_view's owning-thread assert: reads
+            # of the slot arrays are only consistent from this thread.
+            self._writer_thread = threading.get_ident()
         admitted = 0
         i = 0
         n = int(keys.size)

@@ -56,6 +56,7 @@ from repro.kernels.workspace import (
     EMPTY_GATHER,
     EMPTY_SCALES,
     EMPTY_SCRATCH,
+    EMPTY_TOUCHED,
     KernelWorkspace,
 )
 
@@ -67,6 +68,7 @@ __all__ = [
     "EMPTY_GATHER",
     "EMPTY_SCALES",
     "EMPTY_SCRATCH",
+    "EMPTY_TOUCHED",
     "BackendHandle",
     "BackendUnavailableError",
     "KernelBackendWarning",

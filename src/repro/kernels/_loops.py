@@ -394,17 +394,24 @@ def fused_update(
     gathered_out: np.ndarray,
     scales_out: np.ndarray,
     scratch: np.ndarray,
+    touched_out: np.ndarray,
 ) -> float:
     # The whole per-example chain of the batched fit_batch loop — margin
     # (inlined exact fsum, as in :func:`margin`), loss derivative, lazy
     # decay + renorm, eta-scaled scatter — in one call; optionally
     # records each example's post-update gathered cells and scale for
-    # the decoupled heap-maintain pass.  ``scratch`` is unused here
-    # (partials live on the stack); the signature matches the numpy
-    # composition, which needs it.
+    # the decoupled heap-maintain pass, plus the touched flat indices /
+    # renorm-fold count into ``touched_out`` (see kernels.api).
+    # ``scratch`` is unused here (partials live on the stack); the
+    # signature matches the numpy composition, which needs it.
     n = margins_out.shape[0]
     depth = flat_buckets.shape[0]
     record = gathered_out.shape[0] > 0
+    n_touched = touched_out.shape[0]
+    record_touched = n_touched > 1
+    if n_touched > 0:
+        touched_out[0] = 0
+    pos = 1
     partials = np.empty(_MAX_PARTIALS, dtype=np.float64)
     for i in range(n):
         lo = indptr[i]
@@ -486,10 +493,15 @@ def fused_update(
                 for c in range(table_flat.shape[0]):
                     table_flat[c] *= scale
                 scale = 1.0
+                if n_touched > 0:
+                    touched_out[0] += 1
         coeff = -eta * y_i * g / (sqrt_s * scale)
         for j in range(depth):
             for p in range(lo, hi):
                 table_flat[flat_buckets[j, p]] += coeff * sign_values[j, p]
+                if record_touched:
+                    touched_out[pos] = flat_buckets[j, p]
+                    pos += 1
         if record:
             for p in range(lo, hi):
                 for j in range(depth):

@@ -93,7 +93,7 @@ a ``kernel_id`` simply keeps the unfused path.
 
 ``fused_update(table_flat, flat_buckets, sign_values, indptr, labels,
 etas, lam, scale, sqrt_s, loss_id, loss_param, margins_out,
-gathered_out, scales_out, scratch) -> float``
+gathered_out, scales_out, scratch, touched_out) -> float``
     One mini-batch of sequential OGD updates: per example ``i`` (CSR
     slice ``indptr[i]:indptr[i+1]``) compute the exactly-rounded margin
     (the ``margin`` kernel), the loss derivative, the lazy L2 decay of
@@ -104,10 +104,27 @@ gathered_out, scales_out, scratch) -> float``
     (shape ``(nnz, depth)``), the example's *post-update* table cells
     are recorded into its rows and the post-decay scale into
     ``scales_out[i]`` — exactly what the decoupled WM heap-maintain
-    pass needs to replay admission decisions bit-identically.  Returns
-    the final scale.  Callers must pre-validate ``eta * lam < 1`` for
-    the whole window (the unfused chain raises mid-batch; the fused
-    kernel assumes validity).
+    pass needs to replay admission decisions bit-identically.
+
+    ``touched_out`` is the int64 dirty-set recording stream (the
+    fourth recorded stream, alongside margins / gathers / scales; same
+    bit-equivalence obligations).  Size 0
+    (:data:`repro.kernels.workspace.EMPTY_TOUCHED`) disables it.  Size
+    >= 1: ``touched_out[0]`` receives the number of underflow
+    renormalizations the call performed (a fold rewrites *every*
+    bucket, so callers tracking dirtiness must mark the whole table
+    when it is nonzero — the scale-comparison shortcut is not exact
+    over pathological batch lengths).  Size >= ``1 + depth * nnz``
+    (``nnz = indptr[n] - indptr[0]``): additionally records every
+    scattered flat bucket index, in the exact element order the
+    scatters applied them (duplicates included), into
+    ``touched_out[1:1 + depth * nnz]``.  Sizes strictly between 1 and
+    the full recording length are a caller error (the kernels do not
+    bounds-check the fast path).
+
+    Returns the final scale.  Callers must pre-validate ``eta * lam <
+    1`` for the whole window (the unfused chain raises mid-batch; the
+    fused kernel assumes validity).
 
 ``fused_predict(table_flat, flat_buckets, sign_values, indptr, scale,
 sqrt_s, out, scratch) -> None``

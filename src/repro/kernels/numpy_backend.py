@@ -183,6 +183,7 @@ def fused_update(
     gathered_out: np.ndarray,
     scales_out: np.ndarray,
     scratch: np.ndarray,
+    touched_out: np.ndarray,
 ) -> float:
     # The exact per-example chain of the unfused fit_batch loop with
     # the margin / scatter kernel bodies inlined (``scratch`` unused:
@@ -191,6 +192,11 @@ def fused_update(
     # batch-lifetime arrays are the caller's workspace views).
     dloss = _loss_object(loss_id, loss_param).dloss
     record = gathered_out.shape[0] > 0
+    n_touched = touched_out.shape[0]
+    record_touched = n_touched > 1
+    if n_touched > 0:
+        touched_out[0] = 0
+    pos = 1
     ip = indptr.tolist()
     ys = labels.tolist()
     es = etas.tolist()
@@ -221,10 +227,18 @@ def fused_update(
             if scale < _RENORM:
                 table_flat *= scale
                 scale = 1.0
+                if n_touched > 0:
+                    touched_out[0] += 1
         # scatter_add kernel body: same values, same element order,
         # through the flat fast path.
         deltas = (-eta * y * g / (sqrt_s * scale)) * sv
         add_at(table_flat, fb.reshape(-1), deltas.reshape(-1))
+        if record_touched:
+            # The dirty-set stream: the scattered indices in the exact
+            # element order the ufunc.at applied them.
+            flat_fb = fb.reshape(-1)
+            touched_out[pos:pos + flat_fb.shape[0]] = flat_fb
+            pos += flat_fb.shape[0]
         if record:
             # gather_rows_t, verbatim, into the recording block.
             gathered_out[lo:hi] = take(fb.T)

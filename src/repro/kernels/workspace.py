@@ -44,6 +44,9 @@ import numpy as np
 EMPTY_GATHER = np.empty((0, 1), dtype=np.float64)
 EMPTY_SCALES = np.empty(0, dtype=np.float64)
 EMPTY_SCRATCH = np.empty(0, dtype=np.float64)
+#: Handed to ``fused_update`` when touched-index recording is off (the
+#: kernel branches on ``touched_out.shape[0]``; see kernels.api).
+EMPTY_TOUCHED = np.empty(0, dtype=np.int64)
 
 
 class KernelWorkspace:

@@ -300,7 +300,7 @@ class FeatureHashing(StreamingClassifier):
             self.lambda_, self._scale, 1.0,
             self.loss.kernel_id, self.loss.kernel_param,
             margins, kernels.EMPTY_GATHER, kernels.EMPTY_SCALES,
-            kernels.EMPTY_SCRATCH,
+            kernels.EMPTY_SCRATCH, kernels.EMPTY_TOUCHED,
         )
         self.t += n
         return margins

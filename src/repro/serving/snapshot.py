@@ -5,13 +5,35 @@ half-applied update (a table written but its scale not yet decayed, an
 active-set entry stepped but its evictee not yet folded back).  Rather
 than locking every kernel, the trainer **publishes** at example
 boundaries: :meth:`SnapshotManager.publish` asks the model for a
-scale-folded consistent copy (one vectorized multiply per array — see
-:meth:`~repro.core.sketch_table.ScaledSketchTable.snapshot` and
-:meth:`~repro.heap.topk.TopKStore.snapshot_view`) and swaps it in as
-:attr:`SnapshotManager.current`.  The swap is a single reference
-assignment, which the CPython memory model makes atomic for readers: a
-reader sees either the old snapshot or the new one, both internally
-consistent, and versions only ever increase.
+consistent copy and swaps it in as :attr:`SnapshotManager.current`.
+The swap is a single reference assignment, which the CPython memory
+model makes atomic for readers: a reader sees either the old snapshot
+or the new one, both internally consistent, and versions only ever
+increase.
+
+Publish cost is **O(dirty)**, not O(table): sketch models expose
+:meth:`~repro.core.sketch_table.ScaledSketchTable.snapshot_incremental`,
+which copies only the 256-bucket chunks training touched since the
+previous publish and shares every clean chunk with the previous
+snapshot's pool by reference (snapshots carry the raw table plus the
+lazy scale, so sharing survives decay — see the class docstring).  The
+manager chains publishes through it, falling back to a full copy on
+the first publish, whenever the dirty fraction crosses the rebase
+threshold, or for models without dirty tracking
+(:class:`~repro.learning.feature_hashing.FeatureHashing`).  Per-publish
+``publish.dirty_fraction`` and cumulative ``publish.chunks_copied``
+land in the registry alongside ``publish.count`` / ``publish.seconds``.
+
+**Threading contract** (documented, not locked): ``publish`` must run
+on the trainer thread.  The manager's lock only serializes *stray
+concurrent publishers* — it cannot make the model-side copy safe
+against a concurrent ``fit_batch``, because the copy reads the live
+table, dirty bitmap and heap slot arrays without synchronization (and
+:meth:`~repro.heap.topk.TopKStore.snapshot_view` would read slot
+arrays mid-``push_many`` if called off-thread; the store carries a
+debug-gated owning-thread assert for exactly that).  The trainer
+publishes at batch boundaries, so in the shipped server the contract
+holds by construction.
 
 The manager also owns the *reader-side* caches that successive
 snapshots thread through: one :class:`~repro.hashing.batch.BatchHasher`
@@ -74,6 +96,16 @@ class SnapshotManager:
         self.registry = registry if registry is not None else MetricsRegistry()
         self._m_publishes = self.registry.counter("publish.count")
         self._m_publish_seconds = self.registry.histogram("publish.seconds")
+        #: Incremental-publish observability: the last publish's dirty
+        #: fraction (1.0 on rebases/full copies) and the cumulative
+        #: number of 256-bucket chunks copied across all publishes.
+        self._m_dirty_fraction = self.registry.gauge("publish.dirty_fraction")
+        self._m_chunks_copied = self.registry.counter("publish.chunks_copied")
+        self._incremental = hasattr(model, "snapshot_incremental")
+        #: The previous chain snapshot's model — ``prev`` for the next
+        #: ``snapshot_incremental`` call (clean chunks are shared with
+        #: its pool).
+        self._prev_model = None
         #: Reader-side caches threaded through every snapshot (see the
         #: module docstring for the single-reader contract).
         self.reader_hasher = BatchHasher(
@@ -93,15 +125,40 @@ class SnapshotManager:
         return self._current
 
     def publish(self) -> Snapshot:
-        """Fold the live model into a new snapshot and swap it in."""
+        """Copy the live model's state into a new snapshot and swap it in.
+
+        Sketch models go through ``snapshot_incremental``: only chunks
+        dirtied since the previous publish are copied (O(dirty)), clean
+        chunks are shared with the previous snapshot's pool, and the
+        model decides per publish whether a full rebase is cheaper
+        (first publish, broken chain, dirty fraction at or above the
+        crossover threshold, or a pool grown past its bound).  Models
+        without dirty tracking take the full ``snapshot()`` path.
+
+        Must be called from the trainer thread — the lock below only
+        serializes publishers, it does **not** protect the model-side
+        copy from a concurrent ``fit_batch`` (see the module
+        docstring's threading contract).
+        """
         with self._lock:
             start = perf_counter()
             version = 0 if self._current is None else self._current.version + 1
             with trace.span("publish", version=version):
-                model = self._model.snapshot(
-                    batch_hasher=self.reader_hasher,
-                    workspace=self.reader_workspace,
-                )
+                if self._incremental:
+                    model, stats = self._model.snapshot_incremental(
+                        self._prev_model,
+                        batch_hasher=self.reader_hasher,
+                        workspace=self.reader_workspace,
+                    )
+                    self._prev_model = model
+                    self._m_dirty_fraction.set(stats["dirty_fraction"])
+                    self._m_chunks_copied.inc(stats["chunks_copied"])
+                else:
+                    model = self._model.snapshot(
+                        batch_hasher=self.reader_hasher,
+                        workspace=self.reader_workspace,
+                    )
+                    self._m_dirty_fraction.set(1.0)
                 snap = Snapshot(version, int(self._model.t), model)
                 self.publish_log.append((snap.version, snap.t))
                 self._current = snap

@@ -475,6 +475,9 @@ class TestGatesPolicyFile:
         assert check_regression.TELEMETRY_FLOORS == (
             policy["telemetry"]["floors"]
         )
+        assert check_regression.PUBLISH_FLOORS == (
+            policy["publish"]["floors"]
+        )
 
     def test_telemetry_floor_is_the_three_percent_contract(self):
         policy = self._policy()

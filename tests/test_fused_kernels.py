@@ -128,6 +128,7 @@ class TestKernelLevel:
                 t_fused, fb, sv, indptr, labels, etas, lam, 1.0, sqrt_s,
                 loss.kernel_id, loss.kernel_param,
                 margins, gathered, scales, kernels.EMPTY_SCRATCH,
+                kernels.EMPTY_TOUCHED,
             )
 
             t_ref = table.copy()
@@ -155,12 +156,15 @@ class TestKernelLevel:
         start = _RENORM_THRESHOLD * 1.000001
         margins = np.empty(n)
         t = table.copy()
+        touched = np.full(1 + fb.size, -7, dtype=np.int64)
         end_scale = kb.fused_update(
             t, fb, sv, indptr, labels, etas, 1e-2, start,
             math.sqrt(depth), 0, 0.0, margins,
             kernels.EMPTY_GATHER, kernels.EMPTY_SCALES,
-            kernels.EMPTY_SCRATCH,
+            kernels.EMPTY_SCRATCH, touched,
         )
+        # The fold that fired must be visible in the fold counter.
+        assert touched[0] >= 1
         ref = kernels.get_backend("numpy")
         t_ref = table.copy()
         _, _, _, sc_ref = TestKernelLevel._replay_unfused(
@@ -170,6 +174,61 @@ class TestKernelLevel:
         assert end_scale == sc_ref
         assert 0.5 < end_scale <= 1.0  # folded back near 1
         assert np.array_equal(t, t_ref)
+
+    @pytest.mark.parametrize("lam", [0.0, 1e-3])
+    def test_touched_stream_records_scatter_order(self, backend, lam,
+                                                  rng):
+        """The fourth recorded stream: with a full-size ``touched_out``
+        the kernel must write every scattered flat index in exact
+        scatter element order (duplicates included), leave the fold
+        counter at zero when no renorm fired, and produce *the same
+        table bits* as the recording-off call."""
+        kb = kernels.get_backend(backend)
+        for depth in (1, 3):
+            width_flat = 96 * depth
+            n = 30
+            indptr, fb, sv = _random_csr(rng, n, width_flat, depth)
+            table = rng.standard_normal(width_flat)
+            labels = rng.choice([-1, 1], size=n).astype(np.int64)
+            etas = 0.1 / np.sqrt(1.0 + np.arange(n, dtype=np.float64))
+            sqrt_s = math.sqrt(depth)
+            margins = np.empty(n)
+
+            t_rec = table.copy()
+            touched = np.full(1 + fb.size, -7, dtype=np.int64)
+            sc_rec = kb.fused_update(
+                t_rec, fb, sv, indptr, labels, etas, lam, 1.0, sqrt_s,
+                0, 0.0, margins, kernels.EMPTY_GATHER,
+                kernels.EMPTY_SCALES, kernels.EMPTY_SCRATCH, touched,
+            )
+            t_off = table.copy()
+            sc_off = kb.fused_update(
+                t_off, fb, sv, indptr, labels, etas, lam, 1.0, sqrt_s,
+                0, 0.0, margins, kernels.EMPTY_GATHER,
+                kernels.EMPTY_SCALES, kernels.EMPTY_SCRATCH,
+                kernels.EMPTY_TOUCHED,
+            )
+            assert sc_rec == sc_off
+            assert np.array_equal(t_rec, t_off)
+            assert touched[0] == 0  # no renorm in this regime
+            # Scatter element order: per example, j-major over the
+            # (depth, nnz_i) block — exactly fb's C order per slice.
+            expected = np.concatenate([
+                fb[:, indptr[i]:indptr[i + 1]].reshape(-1)
+                for i in range(n)
+            ])
+            assert np.array_equal(touched[1:], expected)
+            # Fold-count-only mode (size 1): same table bits again.
+            t_cnt = table.copy()
+            folds = np.full(1, -7, dtype=np.int64)
+            sc_cnt = kb.fused_update(
+                t_cnt, fb, sv, indptr, labels, etas, lam, 1.0, sqrt_s,
+                0, 0.0, margins, kernels.EMPTY_GATHER,
+                kernels.EMPTY_SCALES, kernels.EMPTY_SCRATCH, folds,
+            )
+            assert sc_cnt == sc_off
+            assert np.array_equal(t_cnt, t_off)
+            assert folds[0] == 0
 
     def test_fused_predict_matches_margin_kernel(self, backend, rng):
         kb = kernels.get_backend(backend)
