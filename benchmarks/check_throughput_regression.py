@@ -33,9 +33,12 @@ coalescer's coalesced-vs-serial saturation-throughput ratios plus
 absolute floors — the WM floor is PR 6's 3x acceptance bar),
 ``--kind telemetry`` gates ``BENCH_telemetry.json`` (the telemetry
 overhead contract: tracing-enabled training throughput within 3% of
-disabled), and ``--kind publish`` gates ``BENCH_publish.json`` (the
+disabled), ``--kind publish`` gates ``BENCH_publish.json`` (the
 O(dirty) incremental snapshot publication: full-copy vs incremental
-publish latency, headline speedup at 2^20 buckets).
+publish latency, headline speedup at 2^20 buckets), and ``--kind ps``
+gates ``BENCH_ps.json`` (the parameter-server sync fabric: O(dirty)
+delta bytes vs full-table bytes per push, plus the modeled 1->4 worker
+critical-path scaling).
 
 Every absolute floor is declared once in ``benchmarks/gates.json`` —
 the policy file this checker loads at import (one section per
@@ -136,6 +139,17 @@ TELEMETRY_RATIO_KEYS = ("telemetry_overhead_ratio",)
 #: ("incremental >= 5x faster than the full copy at 2^20"), the same
 #: convention as the serving coalescer floor.
 PUBLISH_FLOORS = GATES["publish"]["floors"]
+
+#: Floors for BENCH_ps.json (--kind ps): the headline full-table-bytes
+#: / delta-bytes ratio per parameter-server push at 2^20 buckets.  Pure
+#: byte accounting from one in-process run — no timing anywhere in the
+#: ratio — so it is fully machine-independent and can be floor-gated
+#: hard even on fresh CI runs.  The 5.0 floor is the PR's acceptance
+#: bar ("delta sync ships >= 5x fewer bytes than full-state sync at
+#: 2^20"); the committed run sits far above it (~45x), so the floor
+#: only trips on a real structural regression (dirty tracking gone
+#: conservative, codec shipping clean chunks).
+PS_FLOORS = GATES["ps"]["floors"]
 
 
 def _load(path: str) -> dict:
@@ -544,6 +558,82 @@ def check_publish(
     return failures
 
 
+def check_ps(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Gate for BENCH_ps.json: the O(dirty) delta-sync win.
+
+    The binding gate is the absolute floor on the headline
+    ``delta_bytes_ratio`` (full-table wire bytes / actual pushed delta
+    bytes at 2^20 buckets) — pure byte accounting, no timing, so it
+    holds on any host and a fresh run is gated as hard as the committed
+    baseline.  The modeled worker-scaling side is timing-based and gets
+    the ``--kind parallel`` treatment: a non-monotone fresh curve is a
+    warning (one CPU-steal spike inverts a step on shared runners; the
+    committed baseline demonstrates monotonicity), and only a collapse
+    of ``speedup_4_workers`` against the baseline fails.  Per-width
+    delta-bytes rows are printed informationally so a drifting dirty
+    fraction is visible in the log without making every width a gate.
+    """
+    failures: list[str] = []
+    curr_ratio = current.get("delta_bytes_ratio", 0.0)
+    if not isinstance(curr_ratio, (int, float)) or curr_ratio <= 0:
+        failures.append(
+            "current ps benchmark carries no positive delta_bytes_ratio "
+            "headline — malformed / stale-schema JSON"
+        )
+        return failures
+    for width, row in sorted(
+        (current.get("widths") or {}).items(), key=lambda kv: int(kv[0])
+    ):
+        print(f"  width {int(width):>9}: push {row['mean_push_bytes']:>12,.0f}B "
+              f"full {row['full_table_bytes']:>12,.0f}B "
+              f"({row['delta_bytes_ratio']:>5.1f}x, "
+              f"dirty {row['dirty_fraction_mean']:.1%}) info-only")
+    base_ratio = baseline.get("delta_bytes_ratio", 0.0)
+    if base_ratio > 0:
+        change = curr_ratio / base_ratio - 1.0
+        marker = "FAIL" if change < -threshold else "ok"
+        print(f"  delta_bytes_ratio {base_ratio:.2f} -> {curr_ratio:.2f} "
+              f"({change:+.1%}) {marker}")
+        if change < -threshold:
+            failures.append(
+                f"delta_bytes_ratio: {base_ratio:.2f} -> {curr_ratio:.2f} "
+                f"({change:+.1%} < -{threshold:.0%})"
+            )
+    for key, floor in sorted(PS_FLOORS.items()):
+        value = current.get(key, 0.0)
+        marker = "FAIL" if value < floor else "ok"
+        print(f"  {key} floor {floor:>5.2f}  current {value:>6.2f}  {marker}")
+        if value < floor:
+            failures.append(
+                f"{key}: {value:.2f} below the {floor:.2f} floor "
+                f"(O(dirty) delta sync regressed toward full-state sync)"
+            )
+    if not current.get("monotone_1_to_4_workers", False):
+        print(
+            "  WARNING: fresh run's modeled PS throughput not monotone "
+            "1->4 workers (timing noise on shared runners is the usual "
+            "cause; investigate if speedup_4_workers also regressed)"
+        )
+    base_sp = baseline.get("speedup_4_workers", 0.0)
+    curr_sp = current.get("speedup_4_workers", 0.0)
+    if base_sp > 0:
+        change = curr_sp / base_sp - 1.0
+        marker = "FAIL" if change < -threshold else "ok"
+        print(f"  speedup_4_workers {base_sp:.2f} -> {curr_sp:.2f} "
+              f"({change:+.1%}) {marker}")
+        if change < -threshold:
+            failures.append(
+                f"speedup_4_workers: {base_sp:.2f} -> {curr_sp:.2f} "
+                f"({change:+.1%} < -{threshold:.0%})"
+            )
+    else:
+        failures.append(
+            "baseline lacks a positive speedup_4_workers — malformed / "
+            "stale-schema ps baseline; the gate cannot vouch for anything"
+        )
+    return failures
+
+
 def check_parallel(
     current: dict, baseline: dict, threshold: float
 ) -> list[str]:
@@ -662,6 +752,8 @@ def main(argv=None) -> int:
         failures = check_telemetry(current, baseline, args.threshold)
     elif args.kind == "publish":
         failures = check_publish(current, baseline, args.threshold)
+    elif args.kind == "ps":
+        failures = check_ps(current, baseline, args.threshold)
     else:
         failures = check_throughput(
             current, baseline, args.threshold, args.strict_eps

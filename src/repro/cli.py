@@ -358,6 +358,75 @@ def _cmd_parallel_app(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ps(args: argparse.Namespace) -> int:
+    """Run the stale-synchronous parameter-server loop on a preset."""
+    from repro.parallel import PSHarness
+
+    if args.method != "wm":
+        # Delta sync needs write-site dirty tracking with no cross-model
+        # feedback; the AWM active set and the dense baseline fail that
+        # contract (PSHarness would raise the same refusal).
+        print(
+            "delta sync supports --method wm only (AWM's active set "
+            "feeds back into training and cannot be delta-merged)",
+            file=sys.stderr,
+        )
+        return 2
+    preset = ALL_PRESETS.get(f"{args.dataset}_like")
+    if preset is None:
+        print(f"unknown dataset {args.dataset!r}; "
+              f"choose from rcv1, url, kdda", file=sys.stderr)
+        return 2
+    spec = preset(seed=args.seed)
+    backend = _apply_backend(args.backend)
+    examples = spec.stream.materialize(args.examples)
+    factory, kwargs = _parallel_factory(
+        "wm", args.budget_kb * 1024, args.seed, backend=backend
+    )
+    print(f"dataset={spec.name} examples={len(examples):,} "
+          f"workers={args.workers} staleness={args.staleness} "
+          f"sync_every={args.sync_every} backend={backend}")
+
+    harness = PSHarness(
+        factory,
+        kwargs,
+        n_workers=args.workers,
+        staleness=args.staleness,
+        sync_every=args.sync_every,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        publish_every=args.publish_every,
+    )
+    model = harness.fit(examples)
+
+    stats = harness.stats()
+    counters = stats["counters"]
+    pushes = counters["ps.push.count"]
+    pulls = counters["ps.pull.count"]
+    print(f"\npushes: {pushes:,}  "
+          f"mean delta {counters['ps.push.delta_bytes'] / pushes:,.0f} B  "
+          f"vs full-state {counters['ps.push.full_table_bytes'] / pushes:,.0f} B  "
+          f"-> {harness.delta_bytes_ratio():.1f}x fewer bytes shipped")
+    if pulls:
+        print(f"pulls:  {pulls:,}  "
+              f"mean {counters['ps.pull.bytes'] / pulls:,.0f} B")
+    stale = stats["histograms"]["ps.staleness"]
+    print(f"staleness: mean {stale['sum'] / max(stale['count'], 1):.2f}  "
+          f"max {stale['max'] or 0:.0f}  "
+          f"(bound s={args.staleness}); "
+          f"SSP blocked {counters.get('ps.ssp.blocked', 0):,} rounds")
+    print(f"publishes: {counters.get('ps.publish.count', 0):,} snapshots  "
+          f"folds: {counters.get('ps.fold.count', 0):,}  "
+          f"promo keys folded: {counters.get('ps.promo.keys', 0):,}")
+    print(f"modeled critical path: "
+          f"{len(examples) / harness.modeled_wall_seconds():,.0f} ex/s "
+          f"(driver {harness.driver_seconds:.3f}s serialized)")
+    print(f"\ntop-{args.k} recovered weights (global model, t={model.t:,}):")
+    for idx, w in model.top_weights(args.k):
+        print(f"  feature {idx:>8}  weight {w:+.4f}")
+    return 0
+
+
 def _serving_model(args, backend: str | None):
     """One live model for the serve/loadgen subcommands."""
     factory, kwargs = _parallel_factory(
@@ -681,6 +750,42 @@ def build_parser() -> argparse.ArgumentParser:
              "numpy with a notice)",
     )
     parallel.set_defaults(func=_cmd_parallel)
+
+    ps = sub.add_parser(
+        "ps",
+        help="stale-synchronous parameter-server loop: workers push "
+             "O(dirty) chunk deltas, pull merged state under a bounded-"
+             "staleness barrier",
+    )
+    ps.add_argument("--dataset", default="rcv1",
+                    choices=("rcv1", "url", "kdda"))
+    ps.add_argument("--method", default="wm", choices=("wm",),
+                    help="delta sync is WM-only (the AWM active set "
+                         "feeds back into training)")
+    ps.add_argument("--budget-kb", type=int, default=8)
+    ps.add_argument("--examples", type=int, default=8_000)
+    ps.add_argument("--workers", type=int, default=4)
+    ps.add_argument("--staleness", type=int, default=1,
+                    help="SSP bound s: fastest worker may lead the "
+                         "slowest by at most s rounds (0 = bulk-"
+                         "synchronous, bit-identical to single-stream "
+                         "in the data-linear regime)")
+    ps.add_argument("--sync-every", type=int, default=256,
+                    help="examples per worker round (one push per round)")
+    ps.add_argument("--batch-size", type=int, default=64)
+    ps.add_argument("--publish-every", type=int, default=1,
+                    help="pushes between serving-snapshot publishes "
+                         "(0 disables serving integration)")
+    ps.add_argument("--k", type=int, default=10,
+                    help="top-K weights printed from the global model")
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument(
+        "--backend", default="auto",
+        choices=("auto", "numpy", "numba", "python"),
+        help="kernel backend for the hot loops (results are "
+             "bit-identical on every backend)",
+    )
+    ps.set_defaults(func=_cmd_ps)
 
     def _serving_common(p):
         p.add_argument("--dataset", default="rcv1",

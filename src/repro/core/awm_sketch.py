@@ -657,6 +657,7 @@ class AWMSketch(ScaledSketchTable):
         # other post-decay value is a plain multiply.  (A scale that was
         # already exactly 1.0 over-marks harmlessly.)
         if self.lambda_ > 0.0 and self._scale == 1.0:
+            self._note_renorm_folds(1)
             self._mark_dirty_all()
         heap._scale = float(new_heap_scale)
         if heap_slots.size:

@@ -30,6 +30,8 @@ backends in ``tests/test_kernel_backends.py``.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro import kernels
@@ -42,6 +44,14 @@ from repro.learning.schedules import Schedule, as_schedule
 #: Scale threshold below which the lazy L2 factor is folded back into
 #: the raw table to avoid float underflow.
 _RENORM_THRESHOLD = 1e-150
+
+#: Per-fold log-scale contribution assumed for folds that happen
+#: *inside* a fused kernel (the kernel reports only a fold count):
+#: every fold triggers just as the scale crosses the threshold, so the
+#: folded factor is ~_RENORM_THRESHOLD.  See
+#: :meth:`ScaledSketchTable.log_virtual_scale` for why the
+#: approximation is harmless.
+_LOG_RENORM_THRESHOLD = math.log(_RENORM_THRESHOLD)
 
 #: Dirty-bitmap chunk geometry for incremental snapshot publication.
 #: Publishes copy whole chunks, so the chunk size trades copy
@@ -102,6 +112,15 @@ class ScaledSketchTable(StreamingClassifier):
     #: in-process).  Informational — backends are bit-equivalent.
     trained_backend: str | None = None
 
+    #: Whether the model supports O(dirty) parameter-server delta sync
+    #: (:mod:`repro.parallel.ps`).  Requires that *all* state a replica
+    #: needs is (raw table chunks, scale, fold log, clock) — true for
+    #: the passive WM-Sketch, false here and for the AWM-Sketch, whose
+    #: active set feeds back into the update rule and cannot be
+    #: reconstructed from table chunks alone (it still merges via the
+    #: one-shot :meth:`merge`).
+    ps_delta_sync: bool = False
+
     #: Route batched work through the fused mega-kernels
     #: (:mod:`repro.kernels.api`) over the model's preallocated
     #: :class:`~repro.kernels.workspace.KernelWorkspace`.  On by
@@ -142,6 +161,12 @@ class ScaledSketchTable(StreamingClassifier):
         )
         self.table = np.zeros((depth, width), dtype=np.float64)
         self._scale = 1.0  # the global alpha of Section 5.1
+        # Cumulative log of every scale factor folded into the raw
+        # table (renorm folds, merge folds): log(alpha) + _fold_log is
+        # the *virtual* log-scale, monotone across folds, which is what
+        # lets the parameter-server delta codec recover the decay
+        # product between two sync points (see log_virtual_scale).
+        self._fold_log = 0.0
         self._sqrt_s = float(np.sqrt(depth))
         self._batch_hasher = BatchHasher(self.family)
         # Column vector of row ids: ``table[_row_idx, buckets]`` gathers
@@ -296,6 +321,138 @@ class ScaledSketchTable(StreamingClassifier):
         return self._dense_table_flat().reshape(self.depth, self.width)
 
     # ------------------------------------------------------------------
+    # Chunk-granular delta transport (parameter-server sync)
+    # ------------------------------------------------------------------
+    # The dirty bitmap already gives workers a natural delta encoding:
+    # ship the ``(chunk id, 256 buckets)`` pairs the bitmap names, and
+    # nothing else.  These helpers are the gather/scatter primitives the
+    # :mod:`repro.parallel.delta` codec composes into push/pull
+    # messages; they operate on *flat* float64 arrays with this table's
+    # chunk geometry — the live raw table by default, or an external
+    # base copy the worker keeps for delta subtraction.
+
+    def _chunk_split(
+        self, chunk_ids: np.ndarray
+    ) -> tuple[np.ndarray, bool, int, int]:
+        """(body ids, tail-included?, full-chunk count, tail length).
+
+        ``chunk_ids`` must be sorted ascending (``np.flatnonzero`` of
+        the bitmap is); the tail chunk, when the table size is not a
+        chunk multiple, needs a partial copy and is split off here.
+        """
+        size = self.size
+        full = size >> _CHUNK_LOG
+        tail_len = size - (full << _CHUNK_LOG)
+        has_tail = bool(
+            tail_len > 0
+            and chunk_ids.size > 0
+            and int(chunk_ids[-1]) == self._n_chunks() - 1
+        )
+        body = chunk_ids[:-1] if has_tail else chunk_ids
+        return body, has_tail, full, tail_len
+
+    def gather_chunks(
+        self, chunk_ids: np.ndarray, source: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Copy whole chunks out of a flat array as ``(k, _CHUNK)`` rows.
+
+        ``source`` defaults to the live raw table (``_table_flat``);
+        workers also pass their flat base copy.  The padded tail of a
+        partial last chunk reads as zero — both sides of a delta pad
+        identically, so padded cells subtract/accumulate to exact
+        zeros.
+        """
+        if source is None:
+            source = self._table_flat
+        body, has_tail, full, tail_len = self._chunk_split(chunk_ids)
+        out = np.zeros((chunk_ids.size, _CHUNK), dtype=np.float64)
+        nb = body.size
+        if nb:
+            np.take(
+                source[: full << _CHUNK_LOG].reshape(full, _CHUNK),
+                body, axis=0, out=out[:nb], mode="clip",
+            )
+        if has_tail:
+            out[-1, :tail_len] = source[full << _CHUNK_LOG:]
+        return out
+
+    def scatter_chunks(
+        self,
+        chunk_ids: np.ndarray,
+        data: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> None:
+        """Assign ``(k, _CHUNK)`` rows back into a flat array's chunks.
+
+        The raw-bit pull path: with ``out=None`` the live raw table is
+        overwritten (and the chunks marked dirty — the bits changed
+        relative to whatever this model last published); otherwise
+        ``out`` is an external flat base copy.
+        """
+        own = out is None
+        if own:
+            out = self._table_flat
+        body, has_tail, full, tail_len = self._chunk_split(chunk_ids)
+        nb = body.size
+        if nb:
+            out[: full << _CHUNK_LOG].reshape(full, _CHUNK)[body] = data[:nb]
+        if has_tail:
+            out[full << _CHUNK_LOG:] = data[-1, :tail_len]
+        if own and self._dirty is not None:
+            self._dirty[chunk_ids] = True
+
+    def add_scaled_chunks(
+        self, chunk_ids: np.ndarray, data: np.ndarray
+    ) -> None:
+        """Accumulate *scaled-space* chunk deltas into the live table.
+
+        The driver-side push apply: ``data`` holds each chunk's scaled
+        contribution ``U`` and the raw table absorbs ``U / alpha`` so
+        that the scaled state gains exactly ``U`` (one rounding per
+        cell).  Touched chunks are marked dirty — which is what keeps
+        the driver's own downstream publishes O(dirty).
+        """
+        body, has_tail, full, tail_len = self._chunk_split(chunk_ids)
+        contrib = data if self._scale == 1.0 else data / self._scale
+        tf = self._table_flat
+        nb = body.size
+        if nb:
+            tf[: full << _CHUNK_LOG].reshape(full, _CHUNK)[body] += (
+                contrib[:nb]
+            )
+        if has_tail:
+            tf[full << _CHUNK_LOG:] += contrib[-1, :tail_len]
+        if self._dirty is not None:
+            self._dirty[chunk_ids] = True
+
+    def log_virtual_scale(self) -> float:
+        """``log(alpha)`` plus every factor ever folded into the raw
+        bits — monotone under decay and invariant to *when* renorm
+        folds happen.
+
+        Two observations of this value bracket a training window, and
+        ``exp(now - then)`` recovers the decay product applied across
+        it even when a renorm fold reset ``alpha`` in between.  Folds
+        inside fused kernels are accounted at ``log(_RENORM_THRESHOLD)``
+        per fold (the kernel reports a count, not the folded factor);
+        the approximation only matters in the window *containing* such a
+        fold, where every chunk is dirty anyway and the delta codec
+        ships the full state — the decay factor then only weights
+        *other* workers' interleaved contributions, all of which sit at
+        least ~1e-150 below the fresh state.  Windows without folds use
+        the exact ``alpha`` ratio (see
+        :meth:`repro.parallel.delta.encode_push`).
+        """
+        return math.log(self._scale) + self._fold_log
+
+    def _note_renorm_folds(self, count: int) -> None:
+        """Account ``count`` kernel-internal renorm folds in the
+        virtual log-scale (each folds a factor of about
+        ``_RENORM_THRESHOLD``; see :meth:`log_virtual_scale`)."""
+        if count:
+            self._fold_log += count * _LOG_RENORM_THRESHOLD
+
+    # ------------------------------------------------------------------
     # Pickling (spawn-safe worker processes)
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
@@ -305,24 +462,35 @@ class ScaledSketchTable(StreamingClassifier):
         on.  The batch hasher, the kernel-backend handle and the fused
         workspace are pure per-process caches and restart cold.
 
-        The dirty bitmap and snapshot-chain state are per-process too: a
-        loaded model starts all-dirty with a fresh chain token, so its
-        first incremental publish rebases.  A chunk-shared *snapshot* is
+        The *dirty bitmap* travels with the model: it records which
+        chunks changed since the owner's last publish/sync, a fact about
+        the table bits — which the pickle preserves exactly — not about
+        this process.  A parameter-server worker round-tripped through
+        pickle therefore keeps its O(dirty) delta instead of inflating
+        the next push to full-table size.  The snapshot-chain state
+        *is* per-process (pool identity cannot cross pickling), so the
+        restored model gets a fresh chain token and its first
+        incremental publish rebases.  A chunk-shared *snapshot* is
         persisted as its dense equivalent (the pool / chunk map encode
         sharing with sibling snapshots, which pickling cannot
-        preserve)."""
+        preserve) and restores all-dirty, as does any pre-bitmap
+        pickle."""
         state = self.__dict__.copy()
         if state.get("_chunk_map") is not None:
             state["table"] = self._dense_table()
+        dirty = self._dirty
+        state["_dirty"] = None if dirty is None else dirty.copy()
         for key in ("_table_flat", "_row_idx", "_row_offsets",
                     "_batch_hasher", "_kb", "_ws",
-                    "_dirty", "_pool", "_chunk_map", "_chain_token",
+                    "_pool", "_chunk_map", "_chain_token",
                     "_chain_seq", "_snap_pool", "_snap_used", "_snap_map"):
             state.pop(key, None)
         return state
 
     def __setstate__(self, state: dict) -> None:
         state.setdefault("backend", None)  # pre-kernel pickles
+        state.setdefault("_fold_log", 0.0)  # pre-fold-log pickles
+        dirty = state.pop("_dirty", None)
         self.__dict__.update(state)
         depth, width = self.depth, self.width
         self._row_idx = np.arange(depth, dtype=np.intp).reshape(-1, 1)
@@ -333,9 +501,14 @@ class ScaledSketchTable(StreamingClassifier):
         self._batch_hasher = BatchHasher(self.family)
         self._kb = kernels.BackendHandle(self.backend)
         self._ws = None  # rebuilt lazily on first fused batch
-        # All-dirty + fresh chain: the safest (and only correct) restart
-        # state — nothing is known about pre-pickle publishes.
-        self._dirty = np.ones(self._n_chunks(), dtype=bool)
+        # Carry the pickled dirty bitmap when it is shaped for this
+        # table; anything else (old pickles, densified snapshots) falls
+        # back to all-dirty — the safe conservative restart.  The chain
+        # is always fresh: pool sharing cannot survive pickling.
+        if dirty is not None and dirty.shape == (self._n_chunks(),):
+            self._dirty = dirty
+        else:
+            self._dirty = np.ones(self._n_chunks(), dtype=bool)
         self._pool = None
         self._chunk_map = None
         self._reset_chain()
@@ -603,6 +776,10 @@ class ScaledSketchTable(StreamingClassifier):
             return self
         for other in others:
             self._check_mergeable(other)
+        if self._scale != 1.0:
+            # sum_merge folds the target's lazy scale into its raw
+            # table; account it so the virtual log-scale stays monotone.
+            self._fold_log += math.log(self._scale)
         sum_merge_scaled_tables(self, others)
         self._mark_dirty_all()
         return self
@@ -883,6 +1060,7 @@ class ScaledSketchTable(StreamingClassifier):
         """
         self._scale *= decay
         if self._scale < _RENORM_THRESHOLD:
+            self._fold_log += math.log(self._scale)
             self.table *= self._scale
             self._scale = 1.0
             self._mark_dirty_all()

@@ -40,6 +40,8 @@ sequence over the precomputed rows — bit-identical state to calling
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro import kernels
@@ -90,6 +92,11 @@ class WMSketch(ScaledSketchTable):
         default (see :mod:`repro.kernels`).  Results are bit-identical
         across backends.
     """
+
+    #: The WM-Sketch is fully described by (raw chunks, scale, fold
+    #: log, clock) + a re-estimable passive heap, so it supports the
+    #: O(dirty) parameter-server protocol (:mod:`repro.parallel.ps`).
+    ps_delta_sync = True
 
     def __init__(
         self,
@@ -259,6 +266,7 @@ class WMSketch(ScaledSketchTable):
             )
         if touched[0]:
             # A renorm fold rewrote every bucket mid-batch.
+            self._note_renorm_folds(int(touched[0]))
             self._mark_dirty_all()
         else:
             self._mark_dirty_flat(touched[1:])
@@ -530,6 +538,7 @@ class WMSketch(ScaledSketchTable):
                     )
                 scale *= decay
                 if scale < _RENORM_THRESHOLD:
+                    self._fold_log += math.log(scale)
                     self.table *= scale
                     scale = 1.0
                     self._mark_dirty_all()

@@ -144,6 +144,10 @@ class TopKStore:
         #: asserts against it — an off-thread publish would read the
         #: slot arrays mid-mutation.
         self._writer_thread: int | None = None
+        #: Promotion log (``None`` = disabled): admitted keys appended
+        #: on every membership-*adding* mutation, drained by the
+        #: parameter-server push codec (see :meth:`enable_promo_log`).
+        self._promo_log: list[int] | None = None
 
     # ------------------------------------------------------------------
     # Pickling (spawn-safe shard transport)
@@ -183,6 +187,7 @@ class TopKStore:
         self.version = 0
         self._kb = kernels.BackendHandle(self.backend)
         self._writer_thread = None
+        self._promo_log = None
 
     def snapshot_view(self) -> "TopKStore":
         """A read-only consistent copy for concurrent serving.
@@ -237,6 +242,7 @@ class TopKStore:
         snap.version = 0
         snap._kb = self._kb
         snap._writer_thread = None
+        snap._promo_log = None
         return snap
 
     # ------------------------------------------------------------------
@@ -499,6 +505,8 @@ class TopKStore:
             self._raw[n] = raw
             self._pos[key] = n
             self._n = n + 1
+            if self._promo_log is not None:
+                self._promo_log.append(key)
             ms = self._min_slot
             # Raw-space compare, ties keep the (earlier) cached slot —
             # exactly what a cold rescan's first-minimum pick does.
@@ -519,6 +527,8 @@ class TopKStore:
         self._pos[key] = ms
         self._min_slot = -1
         self._membership_changed()
+        if self._promo_log is not None:
+            self._promo_log.append(key)
         return evicted
 
     def push_many(self, keys: np.ndarray, values: np.ndarray) -> int:
@@ -573,6 +583,55 @@ class TopKStore:
                 admitted += 1
         return admitted
 
+    # ------------------------------------------------------------------
+    # Promotion log + delta fold (parameter-server sync)
+    # ------------------------------------------------------------------
+    def enable_promo_log(self) -> None:
+        """Start recording admitted keys (idempotent).
+
+        Every membership-*adding* mutation (a :meth:`push` into a free
+        slot, an evicting :meth:`push`, a :meth:`replace_min`) appends
+        the admitted key; in-place value updates are not membership
+        events and are not logged.  A store logging from construction
+        therefore has every current member covered by the log — the
+        invariant the parameter-server push codec relies on: shipping
+        the drained log names every feature the worker's table could
+        rank highly, and the driver re-estimates them against the
+        *merged* table (logged values would be stale; keys are what
+        matters).  Costs one ``is not None`` check per admission.
+        """
+        if self._promo_log is None:
+            self._promo_log = []
+
+    def drain_promo_log(self) -> list[int]:
+        """Return and clear the admitted keys logged since the last
+        drain (raises if the log was never enabled)."""
+        log = self._promo_log
+        if log is None:
+            raise RuntimeError(
+                "promo log not enabled; call enable_promo_log() first"
+            )
+        self._promo_log = []
+        return log
+
+    def fold_delta(self, keys: np.ndarray, values: np.ndarray) -> int:
+        """Fold another store's promotion log into this store.
+
+        ``keys`` are the candidate feature ids a worker's log named and
+        ``values`` their estimates against the *receiving* side's
+        table; duplicates collapse first (one re-estimate produces one
+        value per key, so any ordering tie-break is moot) and the
+        survivors replay this store's own admission rule via
+        :meth:`push_many` — sorted for determinism, exactly like the
+        merge-time re-promotion path.  Returns the number admitted.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if keys.size == 0:
+            return 0
+        uniq, first = np.unique(keys, return_index=True)
+        return self.push_many(uniq, values[first])
+
     def replace_min(self, key: int, value: float) -> tuple[int, float]:
         """Evict the minimum entry and insert ``key`` in its slot.
 
@@ -595,6 +654,8 @@ class TopKStore:
         self._pos[key] = ms
         self._min_slot = -1
         self._membership_changed()
+        if self._promo_log is not None:
+            self._promo_log.append(key)
         return evicted
 
     def add_delta(self, key: int, delta: float) -> None:

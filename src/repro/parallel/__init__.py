@@ -17,7 +17,12 @@ This package turns that observation into an executable subsystem:
 * :class:`~repro.parallel.harness.ParallelHarness` orchestrates
   partition -> pool -> merge behind one call, and
   :func:`~repro.parallel.pipeline.fit_stream_pipelined` overlaps
-  hashing of batch t+1 with training of batch t on a single node.
+  hashing of batch t+1 with training of batch t on a single node;
+* :mod:`~repro.parallel.ps` upgrades the one-shot merge to a live
+  stale-synchronous parameter-server loop — workers push O(dirty)
+  chunk deltas (:mod:`~repro.parallel.delta`) and pull merged state
+  under a bounded-staleness barrier, with serving snapshots and
+  telemetry wired through.
 
 Merge-semantics contract (tested in ``tests/test_merge.py`` and
 ``tests/test_parallel.py``): the merged sketch *table* is exactly the
@@ -26,12 +31,34 @@ approximate relative to single-stream training, with overlap verified
 on the Fig. 7 synthetic workload.
 """
 
+from repro.parallel.delta import (
+    PullDelta,
+    PushDelta,
+    SyncPoint,
+    apply_pull,
+    apply_push,
+    encode_pull,
+    encode_push,
+    full_table_bytes,
+)
 from repro.parallel.harness import ParallelHarness, train_sharded
 from repro.parallel.pipeline import fit_stream_pipelined
+from repro.parallel.ps import ParameterServer, PSHarness, PSWorker
 from repro.parallel.worker import pack_shard, train_shard
 
 __all__ = [
     "ParallelHarness",
+    "ParameterServer",
+    "PSHarness",
+    "PSWorker",
+    "PullDelta",
+    "PushDelta",
+    "SyncPoint",
+    "apply_pull",
+    "apply_push",
+    "encode_pull",
+    "encode_push",
+    "full_table_bytes",
     "train_sharded",
     "fit_stream_pipelined",
     "pack_shard",

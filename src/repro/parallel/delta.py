@@ -1,0 +1,308 @@
+"""O(dirty) delta codec for parameter-server synchronisation.
+
+The chunked dirty bitmap that makes snapshot publication O(dirty)
+(PR 8) doubles as a *wire format*: everything a worker learned since
+its last sync lives in the chunks its bitmap names, so a push ships
+``(chunk id, 256 buckets)`` pairs instead of the whole table.  This
+module is the codec — the pure encode/decode/apply functions between a
+live :class:`~repro.core.sketch_table.ScaledSketchTable` and the two
+message types crossing the driver/worker boundary:
+
+* :class:`PushDelta` (worker -> driver): the worker's *scaled-space*
+  contribution ``U`` on its dirty chunks, the decay product ``delta``
+  it applied since its last sync, the top-K promotion log, and the
+  example count.  The driver applies ``G <- delta * G + U`` — scale
+  times raw-table chunk adds, never a full-table pass.
+* :class:`PullDelta` (driver -> worker): the merged table's *raw bits*
+  on the chunks that changed since this worker's last pull, plus the
+  driver's scale.  Applying a pull makes the worker a bit-exact replica
+  of the driver (raw bits equal everywhere by induction — both sides
+  track which chunks changed — and the scale is copied).
+
+Why the decomposition is O(dirty)
+---------------------------------
+A worker's scaled state factors as ``W = delta * P + U`` where ``P`` is
+the state it pulled, ``delta`` the decay product it applied since, and
+``U`` the decayed sum of its local gradient updates.  Decays move only
+the lazy scale; gradient scatters land in dirty-marked chunks — so
+``U`` is supported entirely on the dirty set, and outside it
+``W = delta * P`` exactly.  Shipping ``(delta, U on dirty chunks)``
+loses nothing.
+
+``U`` is computed against a *base*: the worker's raw table copy at the
+last sync point (:class:`SyncPoint`).  On a fold-free window the decay
+product is the exact scale ratio ``alpha_now / alpha_ref`` and
+``delta * alpha_ref == alpha_now`` up to one rounding, so
+``U = alpha_now * (raw_now - base_raw)`` on the dirty chunks; with
+``lambda == 0`` every factor is exactly 1.0 and the identity is
+bit-exact — the regime in which the s=0 loop reproduces the
+single-stream table bit-for-bit (``tests/test_ps.py``).  A renorm fold
+inside the window marks every chunk dirty, so ``U`` then covers the
+whole table and the recovered state is exact regardless of the decay
+product's rounding (the log-space fold accounting is
+:meth:`~repro.core.sketch_table.ScaledSketchTable.log_virtual_scale`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "PushDelta",
+    "PullDelta",
+    "SyncPoint",
+    "encode_push",
+    "apply_push",
+    "encode_pull",
+    "apply_pull",
+    "full_table_bytes",
+]
+
+#: Fixed per-message overhead we account for on the wire: the decay
+#: product, the example count, worker/round ids, and the chunk count
+#: (8 bytes each).  Honest but immaterial next to the chunk payload.
+_HEADER_BYTES = 5 * 8
+
+
+def full_table_bytes(model) -> int:
+    """The bytes a *full-state* sync of ``model``'s table would ship —
+    the denominator of the headline delta-bytes ratio."""
+    return 8 * model.size
+
+
+class SyncPoint:
+    """Worker-side record of the state at the last push or pull.
+
+    ``base_raw`` is a flat copy of the model's raw table bits,
+    ``scale`` / ``fold_log`` the lazy scale and fold accumulator at the
+    same instant.  :func:`encode_push` diffs the live model against
+    this record and then advances it in place (O(dirty): only the
+    shipped chunks are re-copied); :meth:`reset` re-anchors it after a
+    pull replaced the worker's state wholesale.
+    """
+
+    __slots__ = ("base_raw", "scale", "fold_log")
+
+    def __init__(self, model):
+        self.base_raw = model._table_flat.copy()
+        self.scale = model._scale
+        self.fold_log = model._fold_log
+
+    def reset(self, model) -> None:
+        """Full re-anchor (after a pull overwrote the worker state)."""
+        np.copyto(self.base_raw, model._table_flat)
+        self.scale = model._scale
+        self.fold_log = model._fold_log
+
+
+class PushDelta:
+    """One worker -> driver sync message (see the module docstring)."""
+
+    __slots__ = (
+        "worker_id", "round_id", "decay", "n_examples",
+        "chunk_ids", "chunks", "promo_keys", "n_chunks",
+    )
+
+    def __init__(self, worker_id, round_id, decay, n_examples,
+                 chunk_ids, chunks, promo_keys, n_chunks):
+        self.worker_id = worker_id
+        self.round_id = round_id
+        self.decay = decay
+        self.n_examples = n_examples
+        self.chunk_ids = chunk_ids
+        self.chunks = chunks
+        self.promo_keys = promo_keys
+        self.n_chunks = n_chunks
+
+    @property
+    def nbytes(self) -> int:
+        """Wire bytes of this message (the headline numerator)."""
+        return (
+            _HEADER_BYTES
+            + self.chunk_ids.nbytes
+            + self.chunks.nbytes
+            + self.promo_keys.nbytes
+        )
+
+    def to_payload(self) -> tuple:
+        """A plain picklable tuple (process-boundary transport)."""
+        return (
+            self.worker_id, self.round_id, self.decay, self.n_examples,
+            self.chunk_ids, self.chunks, self.promo_keys, self.n_chunks,
+        )
+
+    @classmethod
+    def from_payload(cls, payload: tuple) -> "PushDelta":
+        return cls(*payload)
+
+
+class PullDelta:
+    """One driver -> worker sync message: raw chunk bits + scale."""
+
+    __slots__ = (
+        "chunk_ids", "chunks", "scale", "fold_log", "t", "n_chunks",
+    )
+
+    def __init__(self, chunk_ids, chunks, scale, fold_log, t, n_chunks):
+        self.chunk_ids = chunk_ids
+        self.chunks = chunks
+        self.scale = scale
+        self.fold_log = fold_log
+        self.t = t
+        self.n_chunks = n_chunks
+
+    @property
+    def nbytes(self) -> int:
+        return _HEADER_BYTES + self.chunk_ids.nbytes + self.chunks.nbytes
+
+    def to_payload(self) -> tuple:
+        return (
+            self.chunk_ids, self.chunks, self.scale, self.fold_log,
+            self.t, self.n_chunks,
+        )
+
+    @classmethod
+    def from_payload(cls, payload: tuple) -> "PullDelta":
+        return cls(*payload)
+
+
+def _check_geometry(model, n_chunks: int) -> None:
+    if n_chunks != model._n_chunks():
+        raise ValueError(
+            f"delta geometry mismatch: message carries {n_chunks} "
+            f"chunks, model has {model._n_chunks()} — different width/"
+            f"depth or chunk size"
+        )
+
+
+def encode_push(
+    model,
+    sync: SyncPoint,
+    *,
+    promo_keys=(),
+    n_examples: int = 0,
+    worker_id: int = 0,
+    round_id: int = 0,
+) -> PushDelta:
+    """Encode the worker's contribution since ``sync`` and advance it.
+
+    Consumes the model's dirty set (cleared, exactly like
+    ``snapshot_incremental``) and moves ``sync`` to the current state —
+    the next push diffs against *now*.  The encoded ``U`` satisfies
+    ``alpha_now * raw_now == decay * (sync.scale * sync.base_raw) + U``
+    on every chunk: exactly on clean chunks (raw bits untouched, so
+    both sides are the same decayed value), and by construction on the
+    shipped dirty chunks.
+    """
+    dirty = model._dirty
+    if dirty is None:
+        raise TypeError("cannot encode a push from a read-only snapshot")
+    chunk_ids = np.flatnonzero(dirty)
+    alpha_now = model._scale
+    if model._fold_log == sync.fold_log:
+        # Fold-free window: the decay product is the exact scale ratio.
+        decay = alpha_now / sync.scale
+    else:
+        # A renorm fold reset the scale mid-window; recover the product
+        # from the virtual log-scale.  Every chunk is dirty after a
+        # fold, so U carries the full state and the (approximate) decay
+        # only weights other workers' interleaved contributions — see
+        # log_virtual_scale's docstring.
+        decay = math.exp(
+            model.log_virtual_scale()
+            - (math.log(sync.scale) + sync.fold_log)
+        )
+    cur = model.gather_chunks(chunk_ids)
+    base = model.gather_chunks(chunk_ids, source=sync.base_raw)
+    # U = alpha_now * raw_now - (decay * alpha_ref) * base_raw.  On a
+    # fold-free window decay * alpha_ref is alpha_now up to one
+    # rounding (exactly alpha_now when lambda == 0: every factor is
+    # 1.0), which is what makes the data-linear loop bit-exact.
+    drift = decay * sync.scale
+    if alpha_now == 1.0 and drift == 1.0:
+        chunks = cur - base
+    else:
+        chunks = alpha_now * cur - drift * base
+    # Advance the sync point: base := current state.  Clean chunks'
+    # raw bits are untouched since the last sync, so only the shipped
+    # chunks need re-copying — O(dirty), like the message itself.
+    model.scatter_chunks(chunk_ids, cur, out=sync.base_raw)
+    sync.scale = alpha_now
+    sync.fold_log = model._fold_log
+    dirty[:] = False
+    return PushDelta(
+        worker_id=worker_id,
+        round_id=round_id,
+        decay=float(decay),
+        n_examples=int(n_examples),
+        chunk_ids=chunk_ids,
+        chunks=chunks,
+        promo_keys=np.asarray(promo_keys, dtype=np.int64),
+        n_chunks=int(dirty.shape[0]),
+    )
+
+
+def apply_push(model, delta: PushDelta) -> bool:
+    """Apply one push to the driver's global model.
+
+    ``G <- delta.decay * G + U``: the decay multiplies the lazy scale
+    (folding into the raw table only on underflow, like any decay), and
+    ``U`` accumulates into the raw bits of the named chunks — which are
+    marked dirty, keeping the driver's own snapshot publications
+    O(dirty).  Returns ``True`` if the decay triggered a renorm fold
+    (the caller must then widen every worker's pull set to the whole
+    table — the fold rewrote all raw bits).
+
+    The top-K promotion log is *not* folded here: re-estimating the
+    logged keys needs the model's recovery machinery and belongs to the
+    driver loop (:meth:`repro.parallel.ps.ParameterServer.apply_push`).
+    """
+    _check_geometry(model, delta.n_chunks)
+    fold_log_before = model._fold_log
+    if delta.decay != 1.0:
+        model._decay_scale(delta.decay)
+    model.add_scaled_chunks(delta.chunk_ids, delta.chunks)
+    model.t += delta.n_examples
+    return model._fold_log != fold_log_before
+
+
+def encode_pull(model, chunk_ids: np.ndarray, *,
+                worker_round: int = 0) -> PullDelta:
+    """Encode the driver chunks a worker needs to become a replica.
+
+    Ships *raw bits* plus the scale (not scaled values): raw bits are
+    stable under decay, so the worker-side copy reproduces the driver's
+    representation exactly and later deltas stay O(dirty) on both
+    sides.
+    """
+    return PullDelta(
+        chunk_ids=chunk_ids,
+        chunks=model.gather_chunks(chunk_ids),
+        scale=model._scale,
+        fold_log=model._fold_log,
+        t=int(model.t),
+        n_chunks=int(model._n_chunks()),
+    )
+
+
+def apply_pull(model, pull: PullDelta) -> None:
+    """Overwrite the worker's state with the pulled driver state.
+
+    Raw bits of the named chunks are assigned verbatim and the scale /
+    fold accumulator / example clock copied, making the worker's scaled
+    state a **bit-exact replica** of the driver's at encode time — the
+    un-shipped chunks already agreed by the changed-chunk-tracking
+    induction (``tests/test_ps.py`` asserts the full-table equality).
+
+    The caller owns the bookkeeping that follows: re-anchoring its
+    :class:`SyncPoint`, clearing the dirty set (the pulled state *is*
+    the new sync base), and re-estimating its top-K heap against the
+    merged table.
+    """
+    _check_geometry(model, pull.n_chunks)
+    model.scatter_chunks(pull.chunk_ids, pull.chunks)
+    model._scale = pull.scale
+    model._fold_log = pull.fold_log
+    model.t = pull.t

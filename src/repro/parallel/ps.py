@@ -1,0 +1,539 @@
+"""Stale-synchronous parameter-server loop with O(dirty) delta sync.
+
+PR 2's harness merges worker sketches **once**, after every shard is
+fully consumed — workers never see each other's updates, and the
+driver never has a servable model until the end.  This module upgrades
+that to a live loop: the driver owns the global model, workers train
+disjoint shards and periodically **push** O(dirty) deltas
+(:mod:`repro.parallel.delta`) and **pull** the merged state back,
+under a stale-synchronous barrier with a bounded-staleness knob ``s``.
+
+Roles
+-----
+:class:`PSWorker`
+    One shard-bound replica.  Trains ``sync_every``-example rounds
+    through the batched kernels, encodes its dirty chunks + top-K
+    promotion log into a :class:`~repro.parallel.delta.PushDelta`, and
+    rebuilds itself as a bit-exact replica of the driver on every pull
+    (raw chunk bits + scale copied; heap re-estimated against the
+    merged table, mirroring the one-shot merge's re-promotion).
+:class:`ParameterServer`
+    The driver.  Applies pushes to the global model
+    (``G <- delta * G + U``: a lazy-scale decay plus chunk adds — the
+    exact sum-merge of PR 2, replayed incrementally), folds promotion
+    logs by re-estimating the logged keys against the merged table,
+    sum-merges worker telemetry deltas into the fleet registry, and
+    tracks **per-worker pull bitmaps** (the OR of all chunks changed
+    since that worker's last pull) so pulls ship only what the worker
+    does not already have.
+:class:`PSHarness`
+    Deterministic in-process scheduler.  Workers advance round by
+    round under the SSP invariant — a worker may run round ``r`` only
+    while ``r <= min_round + s`` — with relative ``speeds`` modelling
+    heterogeneous hardware; the fastest eligible worker (modelled
+    completion time, ties by id) goes next, so every run with the same
+    inputs replays the same interleaving.  ``s = 0`` is bulk-synchronous:
+    everyone pushes and pulls every round, and in the data-linear
+    regime the final table is **bit-identical** to single-stream
+    training (``tests/test_ps.py``); ``s > 0`` trades freshness for
+    fewer pulls (one every ``s + 1`` rounds), with divergence bounded
+    by the decayed mass of the examples a stale worker has not yet
+    seen.
+
+Correctness sketch
+------------------
+Linearity does the heavy lifting, exactly as in the one-shot merge:
+each push satisfies ``alpha*raw == decay*(pushed-at-sync state) + U``
+per chunk, so the driver's scaled table is always the left-to-right
+sum of every update each worker has pushed, each decayed by the decays
+pushed after it — the same associativity `sum_merge_scaled_tables`
+relies on.  Pulls copy raw bits + scale, so a pulled worker *is* the
+driver (induction over changed-chunk tracking); its next push
+therefore never re-ships driver state, only its own new updates.
+
+Everything here is single-process by design (like
+``ParallelHarness(n_workers=1)``): the protocol and its costs — delta
+bytes, dirty fractions, staleness, round-trip spans — are measured
+for real (``BENCH_ps.json``), while scheduling is modelled, keeping
+every test deterministic.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.data.batch import SparseBatch
+from repro.data.partition import partition_batch
+from repro.heap.topk import TopKStore
+from repro.parallel.delta import (
+    PullDelta,
+    PushDelta,
+    SyncPoint,
+    apply_pull,
+    apply_push,
+    encode_pull,
+    encode_push,
+    full_table_bytes,
+)
+from repro.serving.snapshot import SnapshotManager
+from repro.telemetry import MetricsRegistry, merge_snapshots, trace
+
+__all__ = ["PSWorker", "ParameterServer", "PSHarness"]
+
+
+def _check_delta_capable(model) -> None:
+    if not getattr(model, "ps_delta_sync", False):
+        raise TypeError(
+            f"{type(model).__name__} does not support parameter-server "
+            f"delta sync (needs ps_delta_sync=True: full state must be "
+            f"recoverable from raw table chunks + scale; use the "
+            f"one-shot ParallelHarness merge instead)"
+        )
+
+
+class PSWorker:
+    """One shard-bound worker replica (driver-side object; the state it
+    ships is what a remote process would ship)."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        model,
+        shard: "SparseBatch | Sequence",
+        *,
+        sync_every: int = 256,
+        batch_size: int = 64,
+    ):
+        _check_delta_capable(model)
+        if sync_every < 1:
+            raise ValueError(f"sync_every must be >= 1, got {sync_every}")
+        self.worker_id = worker_id
+        self.model = model
+        self.batch_size = int(batch_size)
+        if not isinstance(shard, SparseBatch):
+            shard = SparseBatch.from_examples(list(shard))
+        self._round_windows = list(shard.windows(sync_every))
+        self.n_rounds = len(self._round_windows)
+        self.rounds_done = 0
+        self.last_pull_round = 0
+        self.train_seconds = 0.0
+        #: Worker-side codec wall (encode_push / apply_pull): runs on
+        #: the worker's own core in a real deployment, so it belongs to
+        #: the parallel track of the modeled critical path, not the
+        #: serialized driver track.
+        self.sync_seconds = 0.0
+        self._round_examples = 0
+        # A fresh model is all-dirty by construction; this worker is a
+        # bit-exact replica of the (identically fresh) global model, so
+        # nothing has diverged yet and the first push should ship only
+        # what the first round touches.
+        model._dirty[:] = False
+        self.sync = SyncPoint(model)
+        if model.heap is not None:
+            model.heap.enable_promo_log()
+        #: Worker-local telemetry, shipped as additive deltas with every
+        #: push and sum-merged into the driver registry (counters and
+        #: histograms only — levels would double-count under sum-merge).
+        self.registry = MetricsRegistry()
+        self._m_examples = self.registry.counter("ps.worker.examples")
+        self._m_batches = self.registry.counter("ps.worker.batches")
+        self._m_rounds = self.registry.counter("ps.worker.rounds")
+        self._m_train_seconds = self.registry.histogram(
+            "ps.worker.round_seconds"
+        )
+        self._metrics_mark = self.registry.snapshot()
+
+    def train_round(self) -> tuple[float, int]:
+        """Train the next ``sync_every``-example round; returns
+        (wall seconds, examples trained)."""
+        window = self._round_windows[self.rounds_done]
+        n_batches = 0
+        t0 = perf_counter()
+        for sub in window.windows(self.batch_size):
+            self.model.fit_batch(sub)
+            n_batches += 1
+        dt = perf_counter() - t0
+        n = len(window)
+        self.train_seconds += dt
+        self._round_examples = n
+        self._m_examples.inc(n)
+        self._m_batches.inc(n_batches)
+        self._m_rounds.inc()
+        self._m_train_seconds.record(dt)
+        return dt, n
+
+    def encode_push(self) -> tuple[PushDelta, dict]:
+        """Encode everything learned since the last sync point.
+
+        Returns the wire delta plus this worker's additive telemetry
+        delta (sum-merged into the driver registry on apply).  Advances
+        the round counter: a round is *complete* once its delta exists.
+        """
+        heap = self.model.heap
+        promo = heap.drain_promo_log() if heap is not None else ()
+        delta = encode_push(
+            self.model,
+            self.sync,
+            promo_keys=promo,
+            n_examples=self._round_examples,
+            worker_id=self.worker_id,
+            round_id=self.rounds_done,
+        )
+        self.rounds_done += 1
+        self._round_examples = 0
+        metrics_delta = self.registry.delta(self._metrics_mark)
+        self._metrics_mark = self.registry.snapshot()
+        return delta, metrics_delta
+
+    def apply_pull(self, pull: PullDelta) -> None:
+        """Become a bit-exact replica of the driver's encoded state.
+
+        Called push-first by the harness, so at entry the worker's raw
+        bits equal its sync base everywhere; the pull overwrites only
+        the shipped chunks, and re-anchoring the sync point is O(pull)
+        — scatter the same chunks into the base — not O(table).
+        """
+        apply_pull(self.model, pull)
+        self.model.scatter_chunks(
+            pull.chunk_ids, pull.chunks, out=self.sync.base_raw
+        )
+        self.sync.scale = pull.scale
+        self.sync.fold_log = pull.fold_log
+        self.model._dirty[:] = False
+        self.last_pull_round = self.rounds_done
+        heap = self.model.heap
+        if heap is not None:
+            # Re-estimate the tracked set against the merged table —
+            # the same re-promotion the one-shot merge performs.  The
+            # admissions this logs are driver-derived (every candidate
+            # reached the driver through an earlier push's promo log),
+            # so drain them: the next push ships only *new* promotions.
+            candidates = {k for k, _ in heap.items()}
+            fresh = TopKStore(heap.capacity, backend=self.model.backend)
+            fresh.enable_promo_log()
+            self.model.heap = fresh
+            self.model._repromote(
+                fresh, candidates, self.model.estimate_weights
+            )
+            fresh.drain_promo_log()
+
+    def residual_metrics(self) -> dict:
+        """Telemetry accrued since the last push (read-only peek —
+        does not advance the shipping mark)."""
+        return self.registry.delta(self._metrics_mark)
+
+
+class ParameterServer:
+    """The driver: global model + per-worker pull bitmaps."""
+
+    def __init__(self, model, n_workers: int, *,
+                 registry: MetricsRegistry | None = None):
+        _check_delta_capable(model)
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.model = model
+        self.n_workers = int(n_workers)
+        #: Row ``i`` ORs every chunk changed since worker ``i``'s last
+        #: pull — by its own pushes (it must see merged contributions,
+        #: not its raw local ones), by other workers', or by a renorm
+        #: fold (which rewrites all raw bits, so the row saturates).
+        self._pull_dirty = np.zeros(
+            (self.n_workers, model._n_chunks()), dtype=bool
+        )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_push_count = self.registry.counter("ps.push.count")
+        self._m_push_bytes = self.registry.counter("ps.push.delta_bytes")
+        self._m_push_full_bytes = self.registry.counter(
+            "ps.push.full_table_bytes"
+        )
+        self._m_push_chunks = self.registry.counter("ps.push.chunks")
+        self._m_dirty_fraction = self.registry.histogram(
+            "ps.push.dirty_fraction", lo=1e-6, hi=2.0
+        )
+        self._m_promo_keys = self.registry.counter("ps.promo.keys")
+        self._m_promo_admitted = self.registry.counter("ps.promo.admitted")
+        self._m_folds = self.registry.counter("ps.fold.count")
+        self._m_pull_count = self.registry.counter("ps.pull.count")
+        self._m_pull_bytes = self.registry.counter("ps.pull.bytes")
+        self._m_examples = self.registry.counter("ps.examples")
+
+    def apply_push(self, delta: PushDelta,
+                   metrics_delta: dict | None = None) -> None:
+        """Fold one worker's delta into the global model."""
+        with trace.span("ps.apply_push", worker=delta.worker_id,
+                        round=delta.round_id):
+            folded = apply_push(self.model, delta)
+            if folded:
+                self._m_folds.inc()
+                self._pull_dirty[:, :] = True
+            else:
+                self._pull_dirty[:, delta.chunk_ids] = True
+            heap = self.model.heap
+            if heap is not None and delta.promo_keys.size:
+                # Fold the promotion log: re-estimate the keys the
+                # worker admitted against the *merged* table and let
+                # the heap's own admission rule keep the heaviest.
+                uniq = np.unique(delta.promo_keys)
+                admitted = heap.fold_delta(
+                    uniq, self.model.estimate_weights(uniq)
+                )
+                self._m_promo_keys.inc(int(uniq.size))
+                self._m_promo_admitted.inc(int(admitted))
+        self._m_push_count.inc()
+        self._m_push_bytes.inc(delta.nbytes)
+        self._m_push_full_bytes.inc(full_table_bytes(self.model))
+        self._m_push_chunks.inc(int(delta.chunk_ids.size))
+        self._m_dirty_fraction.record(
+            delta.chunk_ids.size / max(1, delta.n_chunks)
+        )
+        self._m_examples.inc(delta.n_examples)
+        if metrics_delta is not None:
+            self.registry.merge_snapshot(metrics_delta)
+
+    def encode_pull(self, worker_id: int) -> PullDelta:
+        """Encode the chunks ``worker_id`` has not seen since its last
+        pull, and clear its bitmap."""
+        with trace.span("ps.encode_pull", worker=worker_id):
+            row = self._pull_dirty[worker_id]
+            chunk_ids = np.flatnonzero(row)
+            pull = encode_pull(self.model, chunk_ids)
+            row[:] = False
+        self._m_pull_count.inc()
+        self._m_pull_bytes.inc(pull.nbytes)
+        return pull
+
+
+class PSHarness:
+    """Partition -> SSP loop -> served snapshots, behind one call.
+
+    Parameters
+    ----------
+    factory / factory_kwargs:
+        Model constructor for the driver and every worker (identical
+        kwargs — mergeability requires identical hashing seeds).  Must
+        build a ``ps_delta_sync`` model (the WM-Sketch).
+    n_workers:
+        Shard count.
+    staleness:
+        The SSP bound ``s``: a worker may run round ``r`` only while
+        ``r <= min_round + s``, and pulls the merged state once every
+        ``s + 1`` rounds.  ``0`` is bulk-synchronous.
+    sync_every:
+        Examples per round (between pushes) per worker.
+    batch_size:
+        Mini-batch size inside a round.
+    speeds:
+        Relative worker speeds for the modelled schedule (default all
+        equal).  With unequal speeds and ``s`` small, fast workers hit
+        the barrier and block — counted in ``ps.ssp.blocked``.
+    publish_every:
+        Publish a serving snapshot every N pushes (0 disables the
+        :class:`~repro.serving.snapshot.SnapshotManager`); a final
+        publish always lands after the loop so the served model is the
+        fully merged one.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[..., Any],
+        factory_kwargs: dict[str, Any] | None = None,
+        *,
+        n_workers: int = 4,
+        staleness: int = 0,
+        sync_every: int = 256,
+        batch_size: int = 64,
+        seed: int = 0,
+        speeds: Sequence[float] | None = None,
+        publish_every: int = 1,
+        registry: MetricsRegistry | None = None,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if staleness < 0:
+            raise ValueError(f"staleness must be >= 0, got {staleness}")
+        if speeds is not None:
+            speeds = [float(v) for v in speeds]
+            if len(speeds) != n_workers:
+                raise ValueError(
+                    f"speeds has {len(speeds)} entries for "
+                    f"{n_workers} workers"
+                )
+            if any(v <= 0 for v in speeds):
+                raise ValueError("speeds must be positive")
+        self.factory = factory
+        self.factory_kwargs = dict(factory_kwargs or {})
+        self.n_workers = int(n_workers)
+        self.staleness = int(staleness)
+        self.sync_every = int(sync_every)
+        self.batch_size = int(batch_size)
+        self.seed = int(seed)
+        self.speeds = speeds or [1.0] * self.n_workers
+        self.publish_every = int(publish_every)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_staleness = self.registry.histogram(
+            "ps.staleness", lo=0.5, hi=128.0, buckets_per_decade=12
+        )
+        self._m_blocked = self.registry.counter("ps.ssp.blocked")
+        self._m_publishes = self.registry.counter("ps.publish.count")
+        self.model = None
+        self.server: ParameterServer | None = None
+        self.manager: SnapshotManager | None = None
+        self.workers: list[PSWorker] = []
+        #: One row per (worker, round) sync event, in schedule order —
+        #: the raw material for ``BENCH_ps.json``.
+        self.history: list[dict] = []
+        #: Wall seconds of driver-side work (applying pushes, encoding
+        #: pulls, publishing snapshots), serialized on the driver in
+        #: the modelled schedule; the worker-side codec halves live in
+        #: each worker's ``sync_seconds``.
+        self.driver_seconds = 0.0
+
+    def fit(self, examples) -> Any:
+        """Run the PS loop over ``examples``; returns the global model."""
+        batch = (
+            examples if isinstance(examples, SparseBatch)
+            else SparseBatch.from_examples(list(examples))
+        )
+        shards = partition_batch(batch, self.n_workers, seed=self.seed)
+        model = self.factory(**self.factory_kwargs)
+        _check_delta_capable(model)
+        self.model = model
+        self.server = ParameterServer(
+            model, self.n_workers, registry=self.registry
+        )
+        # The manager's construction publishes version 0 (a full
+        # rebase), so every later publish is O(chunks dirtied by
+        # pushes) — the driver model's own bitmap, distinct from the
+        # per-worker pull bitmaps.
+        self.manager = (
+            SnapshotManager(model, registry=self.registry)
+            if self.publish_every > 0 else None
+        )
+        self.workers = [
+            PSWorker(
+                i,
+                self.factory(**self.factory_kwargs),
+                shards[i],
+                sync_every=self.sync_every,
+                batch_size=self.batch_size,
+            )
+            for i in range(self.n_workers)
+        ]
+        self.history = []
+        self.driver_seconds = 0.0
+        s = self.staleness
+        active = [i for i in range(self.n_workers)
+                  if self.workers[i].n_rounds > 0]
+        pushes_since_publish = 0
+
+        def modeled_finish(i: int) -> float:
+            # Completion time of worker i's next round on its own core,
+            # under constant per-round cost 1/speed.
+            return (self.workers[i].rounds_done + 1) / self.speeds[i]
+
+        while active:
+            min_round = min(self.workers[i].rounds_done for i in active)
+            preferred = min(active, key=lambda i: (modeled_finish(i), i))
+            eligible = [
+                i for i in active
+                if self.workers[i].rounds_done <= min_round + s
+            ]
+            chosen = min(eligible, key=lambda i: (modeled_finish(i), i))
+            if chosen != preferred:
+                # The modelled-fastest worker is barred by the SSP
+                # bound: a real deployment would stall it here.
+                self._m_blocked.inc()
+            worker = self.workers[chosen]
+            stale = worker.rounds_done - min_round
+            self._m_staleness.record(stale)
+            with trace.span("ps.round", worker=chosen,
+                            round=worker.rounds_done):
+                train_dt, n_ex = worker.train_round()
+                t0 = perf_counter()
+                delta, metrics_delta = worker.encode_push()
+                t1 = perf_counter()
+                self.server.apply_push(delta, metrics_delta)
+                t2 = perf_counter()
+                sync_dt = t2 - t0
+            worker.sync_seconds += t1 - t0
+            self.driver_seconds += t2 - t1
+            row = {
+                "worker": chosen,
+                "round": worker.rounds_done,
+                "examples": n_ex,
+                "staleness": stale,
+                "train_seconds": train_dt,
+                "sync_seconds": sync_dt,
+                "push_bytes": delta.nbytes,
+                "push_chunks": int(delta.chunk_ids.size),
+                "pulled": False,
+                "pull_bytes": 0,
+            }
+            if worker.rounds_done >= worker.n_rounds:
+                active.remove(chosen)
+            elif worker.rounds_done - worker.last_pull_round > s:
+                # Pull cadence: every s+1 rounds (every round at s=0).
+                t0 = perf_counter()
+                pull = self.server.encode_pull(chosen)
+                t1 = perf_counter()
+                worker.apply_pull(pull)
+                self.driver_seconds += t1 - t0
+                worker.sync_seconds += perf_counter() - t1
+                row["pulled"] = True
+                row["pull_bytes"] = pull.nbytes
+            self.history.append(row)
+            pushes_since_publish += 1
+            if (self.manager is not None
+                    and pushes_since_publish >= self.publish_every):
+                t0 = perf_counter()
+                self.manager.publish()
+                self.driver_seconds += perf_counter() - t0
+                self._m_publishes.inc()
+                pushes_since_publish = 0
+        heap = model.heap
+        if heap is not None:
+            # Fold-time promotion estimates go stale as later pushes
+            # land; re-score the tracked set against the final table —
+            # the same re-promotion the one-shot merge ends with.
+            candidates = {k for k, _ in heap.items()}
+            fresh = TopKStore(heap.capacity, backend=model.backend)
+            model.heap = fresh
+            model._repromote(fresh, candidates, model.estimate_weights)
+        if self.manager is not None:
+            # Always land a final snapshot: the served model must be the
+            # fully merged, finally re-estimated one.
+            self.manager.publish()
+            self._m_publishes.inc()
+        return model
+
+    # -- observability ---------------------------------------------------
+    def stats(self) -> dict:
+        """One fleet-wide telemetry cut: the driver registry (which
+        already holds every pushed worker delta) plus each worker's
+        since-last-push residual."""
+        return merge_snapshots(
+            self.registry.snapshot(),
+            *[w.residual_metrics() for w in self.workers],
+        )
+
+    def modeled_wall_seconds(self) -> float:
+        """Modelled critical path: each worker's training + codec work
+        runs in parallel on its own core (the slowest binds); driver
+        work — applying pushes, encoding pulls, publishing — is
+        serialized."""
+        slowest = max(
+            (w.train_seconds + w.sync_seconds for w in self.workers),
+            default=0.0,
+        )
+        return slowest + self.driver_seconds
+
+    def delta_bytes_ratio(self) -> float:
+        """Headline: full-table sync bytes / actual delta bytes, summed
+        over every push."""
+        snap = self.registry.snapshot()
+        pushed = snap["counters"].get("ps.push.delta_bytes", 0)
+        full = snap["counters"].get("ps.push.full_table_bytes", 0)
+        return full / pushed if pushed else float("inf")

@@ -401,6 +401,68 @@ class TestRecordBackendArtifacts:
             )
 
 
+# ----------------------------------------------------------------------
+# Parameter-server delta-sync gate (--kind ps, PR 9)
+# ----------------------------------------------------------------------
+def _ps_doc(ratio=45.0, speedup=1.5, monotone=True):
+    return {
+        "workload": {"sync_every": 16},
+        "widths": {
+            "1048576": {
+                "mean_push_bytes": 180_000.0,
+                "full_table_bytes": 8_388_608.0,
+                "delta_bytes_ratio": ratio,
+                "dirty_fraction_mean": 0.02,
+            }
+        },
+        "delta_bytes_ratio": ratio,
+        "monotone_1_to_4_workers": monotone,
+        "speedup_4_workers": speedup,
+    }
+
+
+class TestPSGate:
+    def test_identical_runs_pass(self):
+        doc = _ps_doc()
+        assert check_regression.check_ps(doc, doc, 0.30) == []
+
+    def test_ratio_below_floor_fails_even_with_agreeing_baseline(self):
+        # The byte ratio is machine-independent: the floor binds on the
+        # fresh run regardless of what baseline is committed.
+        low = _ps_doc(ratio=3.0)
+        failures = check_regression.check_ps(low, low, 0.30)
+        assert any("floor" in f for f in failures)
+
+    def test_ratio_collapse_vs_baseline_fails(self):
+        failures = check_regression.check_ps(
+            _ps_doc(ratio=10.0), _ps_doc(ratio=45.0), 0.30
+        )
+        assert any("delta_bytes_ratio" in f for f in failures)
+
+    def test_non_monotone_current_warns_but_passes(self, capsys):
+        bad = _ps_doc(monotone=False)
+        good = _ps_doc(monotone=True)
+        assert check_regression.check_ps(bad, good, 0.30) == []
+        assert "WARNING" in capsys.readouterr().out
+
+    def test_speedup_collapse_fails(self):
+        failures = check_regression.check_ps(
+            _ps_doc(speedup=0.9), _ps_doc(speedup=1.5), 0.30
+        )
+        assert any("speedup_4_workers" in f for f in failures)
+
+    def test_empty_current_cannot_pass_vacuously(self):
+        failures = check_regression.check_ps(
+            {"workload": {}}, _ps_doc(), 0.30
+        )
+        assert failures
+
+    def test_schema_less_ps_baseline_fails(self):
+        curr = _ps_doc()
+        failures = check_regression.check_ps(curr, {"workload": {}}, 0.30)
+        assert any("baseline" in f for f in failures)
+
+
 def _telemetry_doc(wm=0.995, heap=0.99):
     return {
         "workload": {"dataset": "x"},
@@ -478,6 +540,7 @@ class TestGatesPolicyFile:
         assert check_regression.PUBLISH_FLOORS == (
             policy["publish"]["floors"]
         )
+        assert check_regression.PS_FLOORS == policy["ps"]["floors"]
 
     def test_telemetry_floor_is_the_three_percent_contract(self):
         policy = self._policy()

@@ -84,6 +84,34 @@ class TestParallelCommand:
             parser.parse_args(["parallel", "--method", "nonsense"])
 
 
+class TestPSCommand:
+    def test_ps_smoke(self, capsys):
+        code = main([
+            "ps", "--examples", "1200", "--workers", "3",
+            "--staleness", "1", "--sync-every", "128",
+            "--batch-size", "64", "--k", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pushes:" in out
+        assert "fewer bytes shipped" in out
+        assert "staleness: mean" in out
+        assert "top-8 recovered weights" in out
+
+    def test_ps_parser_defaults(self):
+        args = build_parser().parse_args(["ps"])
+        assert args.method == "wm"
+        assert args.staleness == 1
+        assert args.publish_every == 1
+
+    def test_ps_rejects_awm(self):
+        # Delta sync is WM-only: the AWM active set feeds back into
+        # training and cannot be merged as a table delta.
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["ps", "--method", "awm"])
+
+
 class TestServingCommands:
     def test_serve_parser_defaults(self):
         args = build_parser().parse_args(["serve"])

@@ -1,0 +1,328 @@
+"""Delta-codec correctness: encode/apply round-trips, wire transport,
+chunk-pool sharing along a delta chain, and the fold path.
+
+The single-worker configuration is the codec's executable semantics:
+with one worker pushing every delta to a driver, the driver's scaled
+table must track the worker's exactly — bit-for-bit in the data-linear
+regime (``lambda = 0``, dyadic eta, exact sqrt(depth)), and to float
+re-association tolerance under logistic loss with L2 decay (the decay
+product is one rounded scalar).  Pulls are raw-bit copies and must be
+exact in *every* regime.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.sketch_table import ScaledSketchTable
+from repro.core.wm_sketch import WMSketch
+from repro.data.batch import SparseBatch
+from repro.data.synthetic import SyntheticStream
+from repro.learning.schedules import ConstantSchedule
+from repro.parallel.delta import (
+    SyncPoint,
+    apply_pull,
+    apply_push,
+    encode_pull,
+    encode_push,
+    full_table_bytes,
+)
+from repro.serving.snapshot import SnapshotManager
+
+from tests.test_merge import _ConstGradLoss
+
+
+def _linear_factory():
+    """Data-linear regime: updates are exactly representable addends."""
+    return WMSketch(
+        64, 4,
+        loss=_ConstGradLoss(),
+        lambda_=0.0,
+        learning_rate=ConstantSchedule(0.0625),
+        seed=9,
+        heap_capacity=0,
+    )
+
+
+def _logistic_factory():
+    return WMSketch(256, 3, seed=5, lambda_=1e-3, heap_capacity=0)
+
+
+def _stream(n, d=900, seed=31, avg_nnz=15):
+    return SyntheticStream(
+        d=d, n_signal=50, avg_nnz=avg_nnz, seed=seed
+    ).materialize(n)
+
+
+def _scaled(model):
+    return model._scale * model.table
+
+
+def _all_chunks(model):
+    return np.arange(model._n_chunks())
+
+
+def _sync_pull(worker, driver, sync):
+    """Full-state pull (all chunks) + worker-side bookkeeping."""
+    pull = encode_pull(driver, _all_chunks(driver))
+    apply_pull(worker, pull)
+    worker.scatter_chunks(pull.chunk_ids, pull.chunks, out=sync.base_raw)
+    sync.scale = pull.scale
+    sync.fold_log = pull.fold_log
+    worker._dirty[:] = False
+
+
+class TestRoundTripFuzz:
+    """Random train/push/pull interleavings, driver tracks worker."""
+
+    def _run(self, factory, *, exact, seed, n=400, rounds=12):
+        rng = np.random.default_rng(seed)
+        examples = _stream(n, seed=seed)
+        batch = SparseBatch.from_examples(examples)
+        worker = factory()
+        driver = factory()
+        sync = SyncPoint(worker)
+        worker._dirty[:] = False
+        cursor = 0
+        pushes = 0
+        for _ in range(rounds):
+            # Train a random-size segment in random-size mini-batches.
+            seg = int(rng.integers(0, 80))
+            end = min(cursor + seg, len(batch))
+            trained = end - cursor
+            if trained:
+                window = SparseBatch.from_examples(examples[cursor:end])
+                bs = int(rng.integers(1, 33))
+                for sub in window.windows(bs):
+                    worker.fit_batch(sub)
+                cursor = end
+            delta = encode_push(worker, sync, n_examples=trained)
+            apply_push(driver, delta)
+            pushes += 1
+            if exact:
+                assert np.array_equal(driver.table, worker.table)
+                assert driver._scale == worker._scale
+            else:
+                # One rounded scalar product per push accumulates a few
+                # ulps between pulls; pulls below re-pin exactness.
+                np.testing.assert_allclose(
+                    _scaled(driver), _scaled(worker),
+                    rtol=1e-10, atol=1e-300,
+                )
+            if rng.random() < 0.5:
+                _sync_pull(worker, driver, sync)
+                # A pull is a raw-bit copy: exact in every regime.
+                assert np.array_equal(worker.table, driver.table)
+                assert worker._scale == driver._scale
+        assert pushes == rounds
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_data_linear_bit_exact(self, seed):
+        self._run(_linear_factory, exact=True, seed=seed)
+
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_logistic_decay_close(self, seed):
+        self._run(_logistic_factory, exact=False, seed=seed)
+
+
+class TestPushSemantics:
+    def test_empty_push_ships_nothing(self):
+        worker = _logistic_factory()
+        driver = _logistic_factory()
+        sync = SyncPoint(worker)
+        worker._dirty[:] = False
+        # No training since the sync point: nothing to ship.
+        delta = encode_push(worker, sync)
+        assert delta.chunk_ids.size == 0
+        assert delta.chunks.size == 0
+        assert delta.decay == 1.0
+        before = driver.table.copy()
+        apply_push(driver, delta)
+        assert np.array_equal(driver.table, before)
+
+    def test_successive_pushes_never_double_count(self):
+        """The sync point advances on push: two pushes ship disjoint
+        progress, and the driver ends where the worker is."""
+        worker = _linear_factory()
+        driver = _linear_factory()
+        sync = SyncPoint(worker)
+        worker._dirty[:] = False
+        examples = _stream(120)
+        batch = SparseBatch.from_examples(examples)
+        windows = list(batch.windows(40))
+        for window in windows:
+            worker.fit_batch(window)
+            apply_push(driver, encode_push(worker, sync))
+        assert np.array_equal(driver.table, worker.table)
+
+    def test_push_marks_driver_chunks_dirty(self):
+        worker = _logistic_factory()
+        driver = _logistic_factory()
+        sync = SyncPoint(worker)
+        worker._dirty[:] = False
+        driver._dirty[:] = False
+        batch = SparseBatch.from_examples(_stream(30, avg_nnz=3))
+        worker.fit_batch(batch)
+        delta = encode_push(worker, sync)
+        assert 0 < delta.chunk_ids.size
+        apply_push(driver, delta)
+        assert np.array_equal(
+            np.flatnonzero(driver._dirty), delta.chunk_ids
+        )
+
+    def test_nbytes_accounting(self):
+        worker = _logistic_factory()
+        sync = SyncPoint(worker)
+        worker._dirty[:] = False
+        worker.fit_batch(SparseBatch.from_examples(_stream(30)))
+        delta = encode_push(worker, sync)
+        k = delta.chunk_ids.size
+        assert delta.nbytes == 5 * 8 + 8 * k + 8 * 256 * k
+        assert full_table_bytes(worker) == 8 * worker.size
+
+    def test_geometry_mismatch_raises(self):
+        worker = _logistic_factory()
+        sync = SyncPoint(worker)
+        worker._dirty[:] = False
+        worker.fit_batch(SparseBatch.from_examples(_stream(10)))
+        delta = encode_push(worker, sync)
+        other = WMSketch(512, 3, seed=5, lambda_=1e-3, heap_capacity=0)
+        with pytest.raises(ValueError, match="geometry"):
+            apply_push(other, delta)
+        with pytest.raises(ValueError, match="geometry"):
+            apply_pull(other, encode_pull(worker, _all_chunks(worker)))
+
+    def test_snapshot_cannot_push(self):
+        worker = _logistic_factory()
+        snap = worker.snapshot()
+        with pytest.raises(TypeError, match="read-only"):
+            encode_push(snap, SyncPoint(worker))
+
+
+class TestWireTransport:
+    def test_payload_pickle_round_trip(self):
+        from repro.parallel.delta import PullDelta, PushDelta
+
+        worker = _linear_factory()
+        driver_a = _linear_factory()
+        driver_b = _linear_factory()
+        sync = SyncPoint(worker)
+        worker._dirty[:] = False
+        worker.fit_batch(SparseBatch.from_examples(_stream(60)))
+        delta = encode_push(worker, sync)
+        wire = pickle.loads(pickle.dumps(delta.to_payload()))
+        apply_push(driver_a, delta)
+        apply_push(driver_b, PushDelta.from_payload(wire))
+        assert np.array_equal(driver_a.table, driver_b.table)
+        pull = encode_pull(driver_a, _all_chunks(driver_a))
+        wire = pickle.loads(pickle.dumps(pull.to_payload()))
+        clone = _linear_factory()
+        apply_pull(clone, PullDelta.from_payload(wire))
+        assert np.array_equal(clone.table, driver_a.table)
+
+
+class TestFoldPath:
+    def test_decay_fold_round_trips(self):
+        """A renorm fold between pushes: every chunk is dirty, the decay
+        product is recovered from the virtual log-scale, and the driver
+        still tracks the worker."""
+        worker = _logistic_factory()
+        driver = _logistic_factory()
+        sync = SyncPoint(worker)
+        worker._dirty[:] = False
+        batch = SparseBatch.from_examples(_stream(60))
+        worker.fit_batch(batch)
+        apply_push(driver, encode_push(worker, sync))
+        fold_log_before = worker._fold_log
+        worker._decay_scale(1e-200)  # forces a fold (scale < 1e-150)
+        assert worker._fold_log != fold_log_before
+        assert bool(worker._dirty.all())
+        worker.fit_batch(SparseBatch.from_examples(_stream(20, seed=5)))
+        delta = encode_push(worker, sync)
+        assert delta.chunk_ids.size == worker._n_chunks()
+        folded = apply_push(driver, delta)
+        assert folded  # the tiny decay folds driver-side too
+        np.testing.assert_allclose(
+            _scaled(driver), _scaled(worker), rtol=1e-12, atol=1e-300
+        )
+
+    def test_log_virtual_scale_tracks_folds(self):
+        model = _logistic_factory()
+        assert model.log_virtual_scale() == 0.0
+        model._decay_scale(0.5)
+        np.testing.assert_allclose(
+            model.log_virtual_scale(), np.log(0.5), rtol=1e-15
+        )
+        model._decay_scale(1e-200)
+        np.testing.assert_allclose(
+            model.log_virtual_scale(), np.log(0.5) + np.log(1e-200),
+            rtol=1e-12,
+        )
+
+
+class TestDeltaChainPublication:
+    def test_chunk_pool_shared_along_delta_chain(self):
+        """Driver snapshots published between pushes share their chunk
+        pool: each publish copies only the chunks the pushes dirtied."""
+        factory = lambda: WMSketch(1 << 14, 2, seed=5, lambda_=0.0,
+                                   heap_capacity=0)
+        worker = factory()
+        driver = factory()
+        sync = SyncPoint(worker)
+        worker._dirty[:] = False
+        manager = SnapshotManager(driver)  # publishes v0 (full rebase)
+        examples = _stream(30, d=50_000, avg_nnz=3)
+        batch = SparseBatch.from_examples(examples)
+        n_chunks = driver._n_chunks()
+        for window in batch.windows(10):
+            worker.fit_batch(window)
+            delta = encode_push(worker, sync)
+            assert delta.chunk_ids.size < n_chunks
+            apply_push(driver, delta)
+            snap = manager.publish()
+            # Chunk-shared (not a rebase): the snapshot maps into a pool.
+            assert snap.model._chunk_map is not None
+            assert np.array_equal(snap.model._dense_table(), driver.table)
+        copied = manager.registry.snapshot()["counters"][
+            "publish.chunks_copied"
+        ]
+        # Three incremental publishes, each O(dirty) — far below three
+        # full-table copies.
+        assert copied < 3 * n_chunks
+
+
+class TestDirtyBitmapPickle:
+    """Satellite: pickling must carry the dirty bitmap, not reset it to
+    all-dirty — a restored parameter-server participant would otherwise
+    ship its whole table on the first push."""
+
+    def test_round_trip_preserves_bitmap(self):
+        model = WMSketch(1 << 14, 2, seed=5, lambda_=1e-3, heap_capacity=0)
+        model._dirty[:] = False
+        model.fit_batch(
+            SparseBatch.from_examples(_stream(10, d=50_000, avg_nnz=3))
+        )
+        before = model._dirty.copy()
+        assert before.any() and not before.all()
+        clone = pickle.loads(pickle.dumps(model))
+        assert np.array_equal(clone._dirty, before)
+        assert clone._dirty is not model._dirty
+
+    def test_legacy_state_without_bitmap_restores_all_dirty(self):
+        model = _logistic_factory()
+        model._dirty[:] = False
+        state = model.__getstate__()
+        state.pop("_dirty", None)  # a checkpoint from before the bitmap
+        clone = object.__new__(type(model))
+        clone.__setstate__(state)
+        assert bool(clone._dirty.all())
+
+    def test_clean_model_round_trips_clean(self):
+        model = _logistic_factory()
+        model._dirty[:] = False
+        clone = pickle.loads(pickle.dumps(model))
+        assert not clone._dirty.any()
+        # ... and the restored model still trains and marks dirty.
+        clone.fit_batch(SparseBatch.from_examples(_stream(10)))
+        assert clone._dirty.any()
