@@ -38,7 +38,9 @@ O(dirty) incremental snapshot publication: full-copy vs incremental
 publish latency, headline speedup at 2^20 buckets), and ``--kind ps``
 gates ``BENCH_ps.json`` (the parameter-server sync fabric: O(dirty)
 delta bytes vs full-table bytes per push, plus the modeled 1->4 worker
-critical-path scaling).
+critical-path scaling), and ``--kind resilience`` gates
+``BENCH_resilience.json`` (overload goodput at 2x saturation through
+the bounded server, plus the chaos run's bit-identical crash recovery).
 
 Every absolute floor is declared once in ``benchmarks/gates.json`` —
 the policy file this checker loads at import (one section per
@@ -150,6 +152,18 @@ PUBLISH_FLOORS = GATES["publish"]["floors"]
 #: only trips on a real structural regression (dirty tracking gone
 #: conservative, codec shipping clean chunks).
 PS_FLOORS = GATES["ps"]["floors"]
+
+#: Floors for BENCH_resilience.json (--kind resilience).
+#: ``goodput_ratio`` divides the bounded server's admitted-completion
+#: rate under a 2x-saturation open-loop drive by the same process's
+#: measured closed-loop saturation — same machine, same run, so host
+#: speed cancels; the 0.8 floor is the PR's acceptance bar ("shed the
+#: excess, keep serving at >= 0.8x saturation").
+#: ``recovery_bit_identical`` is binary and floored at 1.0: the chaos
+#: run's recovered table either equals the fault-free single-stream
+#: table bit-for-bit (and passes the snapshot-consistency check) or
+#: crash recovery is broken — there is no partial credit.
+RESILIENCE_FLOORS = GATES["resilience"]["floors"]
 
 
 def _load(path: str) -> dict:
@@ -634,6 +648,67 @@ def check_ps(current: dict, baseline: dict, threshold: float) -> list[str]:
     return failures
 
 
+def check_resilience(
+    current: dict, baseline: dict, threshold: float
+) -> list[str]:
+    """Gate for BENCH_resilience.json: overload goodput + crash recovery.
+
+    Both headlines are absolute-floored on the *current* run:
+    ``goodput_ratio`` is a same-process throughput ratio (machine speed
+    cancels; scheduler/core-count noise gets the ~0.8 floor margin
+    under the committed ~1.2x), and ``recovery_bit_identical`` is a
+    hard 1.0 — a diverged recovery is a correctness bug, never noise.
+    The baseline diff additionally catches a goodput collapse that
+    stays above the floor.  Shed counts and recovery wall time are
+    printed informationally.
+    """
+    failures: list[str] = []
+    curr_ratio = current.get("goodput_ratio", 0.0)
+    if not isinstance(curr_ratio, (int, float)) or curr_ratio <= 0:
+        failures.append(
+            "current resilience benchmark carries no positive "
+            "goodput_ratio headline — malformed / stale-schema JSON"
+        )
+        return failures
+    overload = current.get("overload") or {}
+    if overload:
+        print(f"  overload: offered {overload.get('offered_rps', 0):,.0f} rps"
+              f" -> goodput {overload.get('goodput_rps', 0):,.0f} rps, "
+              f"shed {overload.get('shed_overload', 0)} overload / "
+              f"{overload.get('shed_deadline', 0)} deadline, "
+              f"admitted p99 {overload.get('admitted_p99_ms', 0):.2f}ms "
+              f"info-only")
+    recovery = current.get("recovery") or {}
+    if recovery:
+        print(f"  recovery: {recovery.get('crashes', 0)} crash / "
+              f"{recovery.get('recoveries', 0)} respawn in "
+              f"{recovery.get('recovery_seconds', 0) * 1e3:.2f}ms, "
+              f"{recovery.get('faults_fired', 0)} faults fired info-only")
+    base_ratio = baseline.get("goodput_ratio", 0.0)
+    if base_ratio > 0:
+        change = curr_ratio / base_ratio - 1.0
+        marker = "FAIL" if change < -threshold else "ok"
+        print(f"  goodput_ratio {base_ratio:.2f} -> {curr_ratio:.2f} "
+              f"({change:+.1%}) {marker}")
+        if change < -threshold:
+            failures.append(
+                f"goodput_ratio: {base_ratio:.2f} -> {curr_ratio:.2f} "
+                f"({change:+.1%} < -{threshold:.0%})"
+            )
+    for key, floor in sorted(RESILIENCE_FLOORS.items()):
+        value = current.get(key, 0.0)
+        marker = "FAIL" if value < floor else "ok"
+        print(f"  {key} floor {floor:>5.2f}  current {value:>6.2f}  {marker}")
+        if value < floor:
+            failures.append(
+                f"{key}: {value:.2f} below the {floor:.2f} floor "
+                + ("(overload shedding no longer preserves goodput)"
+                   if key == "goodput_ratio" else
+                   "(crash recovery diverged from the fault-free table)")
+            )
+    return failures
+
+
 def check_parallel(
     current: dict, baseline: dict, threshold: float
 ) -> list[str]:
@@ -754,6 +829,8 @@ def main(argv=None) -> int:
         failures = check_publish(current, baseline, args.threshold)
     elif args.kind == "ps":
         failures = check_ps(current, baseline, args.threshold)
+    elif args.kind == "resilience":
+        failures = check_resilience(current, baseline, args.threshold)
     else:
         failures = check_throughput(
             current, baseline, args.threshold, args.strict_eps

@@ -427,12 +427,100 @@ def _cmd_ps(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded fault-injection run + exact-recovery verdict."""
+    import json
+    from pathlib import Path
+
+    from repro.resilience.chaos import run_chaos
+
+    print(f"chaos: seed={args.seed} workers={args.workers} "
+          f"staleness={args.staleness} examples={args.examples:,} "
+          f"sync_every={args.sync_every}")
+    report = run_chaos(
+        seed=args.seed, n_workers=args.workers, staleness=args.staleness,
+        n_examples=args.examples, d=args.d, sync_every=args.sync_every,
+        batch_size=args.batch_size,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+    faults = report["faults"]
+    print(f"faults fired: {faults['fired']} {faults['by_action']} "
+          f"(unfired: {faults['unfired']})")
+    for ev in report["events"]:
+        if ev["event"] == "recover":
+            print(f"  clock {ev['clock']:>3}: worker {ev['worker']} "
+                  f"respawned at round {ev['round']} "
+                  f"({ev['pull_bytes']:,}B full-state pull, "
+                  f"{ev['wall_seconds'] * 1e3:.2f}ms)")
+        else:
+            print(f"  clock {ev['clock']:>3}: worker {ev['worker']} "
+                  f"{ev['event']} at round {ev['round']}")
+    c = report["counters"]
+    print(f"wire: {c['wire_dropped']} dropped, "
+          f"{c['corrupt_rejected']} corrupt-rejected, "
+          f"{c['duplicates_deduped']} duplicates deduped, "
+          f"{c['retries']} retries")
+    print(f"liveness: {c['crashes']} crashes, {c['recoveries']} respawns, "
+          f"{c['heartbeats_missed']} heartbeats missed")
+    cons = report["consistency"]
+    if not cons.get("checked"):
+        print("snapshot consistency: SKIPPED")
+        cons_ok = True
+    elif cons.get("ok"):
+        print(f"snapshot consistency: PASS "
+              f"({cons['snapshots_rebuilt']} snapshots rebuilt, "
+              f"{cons['reads_checked']} mid-fault reads)")
+        cons_ok = True
+    else:
+        print(f"snapshot consistency: FAIL ({cons.get('error')})")
+        cons_ok = False
+    if report["bit_identical"]:
+        print("final table vs fault-free single-stream: BIT-IDENTICAL")
+    else:
+        print(f"final table vs fault-free single-stream: DIVERGED "
+              f"(max |diff| = {report['max_abs_diff']:.3e})")
+    if args.json is not None:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"chaos report -> {args.json}")
+    return 0 if (report["bit_identical"] and cons_ok) else 1
+
+
 def _serving_model(args, backend: str | None):
     """One live model for the serve/loadgen subcommands."""
     factory, kwargs = _parallel_factory(
         args.method, args.budget_kb * 1024, args.seed, backend=backend
     )
     return factory(**kwargs)
+
+
+def _install_graceful_close(server) -> None:
+    """Drain the server when the process exits, however it exits.
+
+    ``SketchServer.close`` is idempotent and bounded, so registering it
+    with ``atexit`` is safe alongside the explicit close on the happy
+    path and the SIGINT (``KeyboardInterrupt``) drain path.
+    """
+    import atexit
+
+    atexit.register(server.close)
+
+
+def _interrupted_drain(server, args) -> int:
+    """SIGINT landed mid-run: drain in-flight reads within a bounded
+    deadline, flush telemetry if a dump path was requested, and exit
+    with the conventional interrupted status."""
+    from pathlib import Path
+
+    from repro.telemetry import to_json
+
+    print("\ninterrupted — draining in-flight requests (10s bound) "
+          "and flushing telemetry", file=sys.stderr)
+    server.close(timeout=10.0)
+    dump = getattr(args, "telemetry_json", None)
+    if dump is not None:
+        Path(dump).write_text(to_json(server.telemetry.snapshot()) + "\n")
+        print(f"telemetry snapshot -> {dump}", file=sys.stderr)
+    return 130
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -467,6 +555,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         publish_every=args.publish_every,
     )
+    _install_graceful_close(server)
     want_trace = args.trace or args.trace_json is not None
     if want_trace:
         trace.clear()
@@ -494,12 +583,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         threading.Thread(target=reader, args=(c, 100 + i), daemon=True)
         for i, c in enumerate(clients)
     ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-    server.training_done.wait(300.0)
-    server.close()
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        server.training_done.wait(300.0)
+        server.close()
+    except KeyboardInterrupt:
+        return _interrupted_drain(server, args)
     if want_trace:
         trace.disable()
         roots = trace.drain()
@@ -572,11 +664,17 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         args.requests, key_space=spec.stream.d, examples=held_out,
         seed=args.seed, mix=mix,
     )
+    shedding = args.max_pending is not None or args.deadline_ms is not None
     server = SketchServer(
         model,
         latency_budget=args.latency_budget_ms * 1e-3,
         max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        default_deadline=(
+            None if args.deadline_ms is None else args.deadline_ms * 1e-3
+        ),
     )
+    _install_graceful_close(server)
     print(f"dataset={spec.name} method={args.method} "
           f"requests={args.requests:,} mode={args.mode} backend={backend}")
     try:
@@ -590,9 +688,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                   f"{elapsed:.2f}s)")
         else:
             # Latencies accumulate in a bounded telemetry histogram
-            # (O(buckets) memory however long the run).
+            # (O(buckets) memory however long the run).  With admission
+            # control on, typed rejections are counted, not raised —
+            # the histogram then reports goodput, not offered load.
+            shed = {} if shedding else None
             lat_hist, elapsed = run_open_loop(
-                server, requests, offered_rps=args.rps, seed=args.seed
+                server, requests, offered_rps=args.rps, seed=args.seed,
+                shed_counts=shed,
             )
             print(f"offered {args.rps:,.0f} req/s, completed "
                   f"{lat_hist.count / elapsed:,.0f} req/s")
@@ -600,6 +702,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                   f"p90={lat_hist.percentile(90) * 1e3:.2f}ms "
                   f"p99={lat_hist.percentile(99) * 1e3:.2f}ms "
                   f"max={lat_hist.max_value * 1e3:.2f}ms")
+            if shed is not None:
+                print(f"admission control: {shed['completed']} completed, "
+                      f"{shed['overload']} shed at admission (Overload), "
+                      f"{shed['deadline']} failed in queue "
+                      f"(DeadlineExceeded)")
         co = server.coalescer.stats()
         sizes = {}
         for hist in co["batch_size_hist"].values():
@@ -609,6 +716,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             mean = sum(s * c for s, c in sizes.items()) / sum(sizes.values())
             print(f"coalesced batch size: mean {mean:.1f}, "
                   f"max {max(sizes)}")
+    except KeyboardInterrupt:
+        return _interrupted_drain(server, args)
     finally:
         server.close()
     return 0
@@ -787,6 +896,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.set_defaults(func=_cmd_ps)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection run against the PS loop (crash / "
+             "stall / drop / duplicate / corrupt), verified to recover "
+             "bit-identically to the fault-free reference",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="drives the fault schedule AND the "
+                            "corruption content — same seed, same chaos")
+    chaos.add_argument("--workers", type=int, default=4)
+    chaos.add_argument("--staleness", type=int, default=0)
+    chaos.add_argument("--examples", type=int, default=600)
+    chaos.add_argument("--d", type=int, default=1200,
+                       help="feature dimension of the synthetic stream")
+    chaos.add_argument("--sync-every", type=int, default=50)
+    chaos.add_argument("--batch-size", type=int, default=50)
+    chaos.add_argument("--heartbeat-timeout", type=int, default=2,
+                       help="scheduler ticks before a silent worker is "
+                            "declared dead and respawned")
+    chaos.add_argument("--json", default=None, metavar="PATH",
+                       help="write the full recovery report to PATH")
+    chaos.set_defaults(func=_cmd_chaos)
+
     def _serving_common(p):
         p.add_argument("--dataset", default="rcv1",
                        choices=("rcv1", "url", "kdda"))
@@ -845,6 +977,14 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--serial", action="store_true",
                          help="bypass the coalescer (serial-scalar "
                               "baseline)")
+    loadgen.add_argument("--max-pending", type=int, default=None,
+                         help="bounded admission queue per op: excess "
+                              "load is shed with a typed Overload "
+                              "(default: unbounded)")
+    loadgen.add_argument("--deadline-ms", type=float, default=None,
+                         help="per-request deadline; requests that "
+                              "lapse in queue fail with "
+                              "DeadlineExceeded at flush time")
     loadgen.set_defaults(func=_cmd_loadgen)
 
     telemetry = sub.add_parser(

@@ -46,10 +46,12 @@ product's rounding (the log-space fold accounting is
 from __future__ import annotations
 
 import math
+import zlib
 
 import numpy as np
 
 __all__ = [
+    "PayloadCorruptionError",
     "PushDelta",
     "PullDelta",
     "SyncPoint",
@@ -58,12 +60,71 @@ __all__ = [
     "encode_pull",
     "apply_pull",
     "full_table_bytes",
+    "payload_crc",
 ]
 
 #: Fixed per-message overhead we account for on the wire: the decay
-#: product, the example count, worker/round ids, and the chunk count
-#: (8 bytes each).  Honest but immaterial next to the chunk payload.
-_HEADER_BYTES = 5 * 8
+#: product, the example count, worker/round ids, the chunk count, and
+#: the CRC32 checksum word (8 bytes each).  Honest but immaterial next
+#: to the chunk payload.
+_HEADER_BYTES = 6 * 8
+
+
+class PayloadCorruptionError(ValueError):
+    """A wire payload failed structural or checksum validation.
+
+    Raised by ``from_payload`` *before* any state is touched: a
+    corrupted delta is rejected at the receiver boundary and the sender
+    retransmits its pristine copy — it is never partially applied.
+    """
+
+
+def payload_crc(fields) -> int:
+    """CRC32 over a wire tuple's fields, in order.
+
+    Arrays contribute their dtype, shape, and raw bytes (so a
+    truncation, a reordering, or a single flipped bit all change the
+    digest); scalars contribute their exact ``repr`` (round-trip exact
+    for Python ints and floats).
+    """
+    crc = 0
+    for f in fields:
+        if isinstance(f, np.ndarray):
+            a = np.ascontiguousarray(f)
+            crc = zlib.crc32(repr((a.dtype.str, a.shape)).encode(), crc)
+            crc = zlib.crc32(a.tobytes(), crc)
+        else:
+            crc = zlib.crc32(repr(f).encode(), crc)
+    return crc
+
+
+def _decode_checked(cls, payload):
+    """Shared ``from_payload`` body: arity check + CRC verify, every
+    failure mode funnelled into :class:`PayloadCorruptionError`."""
+    try:
+        n = len(payload)
+    except TypeError as exc:
+        raise PayloadCorruptionError(
+            f"malformed {cls.__name__} payload: not a sequence ({exc})"
+        ) from exc
+    if n != len(cls.__slots__) + 1:
+        raise PayloadCorruptionError(
+            f"malformed {cls.__name__} payload: {n} fields, expected "
+            f"{len(cls.__slots__) + 1} (incl. checksum)"
+        )
+    fields, crc = payload[:-1], payload[-1]
+    try:
+        expect = payload_crc(fields)
+    except Exception as exc:
+        raise PayloadCorruptionError(
+            f"malformed {cls.__name__} payload: {exc!r}"
+        ) from exc
+    if crc != expect:
+        raise PayloadCorruptionError(
+            f"{cls.__name__} checksum mismatch: payload carries "
+            f"{crc!r}, contents hash to {expect}"
+        )
+    return cls(*fields)
 
 
 def full_table_bytes(model) -> int:
@@ -127,15 +188,19 @@ class PushDelta:
         )
 
     def to_payload(self) -> tuple:
-        """A plain picklable tuple (process-boundary transport)."""
-        return (
+        """A plain picklable tuple (process-boundary transport), CRC32
+        appended so the receiver can reject in-flight corruption."""
+        fields = (
             self.worker_id, self.round_id, self.decay, self.n_examples,
             self.chunk_ids, self.chunks, self.promo_keys, self.n_chunks,
         )
+        return fields + (payload_crc(fields),)
 
     @classmethod
     def from_payload(cls, payload: tuple) -> "PushDelta":
-        return cls(*payload)
+        """Decode and verify; raises :class:`PayloadCorruptionError`
+        on any structural damage or checksum mismatch."""
+        return _decode_checked(cls, payload)
 
 
 class PullDelta:
@@ -158,14 +223,17 @@ class PullDelta:
         return _HEADER_BYTES + self.chunk_ids.nbytes + self.chunks.nbytes
 
     def to_payload(self) -> tuple:
-        return (
+        fields = (
             self.chunk_ids, self.chunks, self.scale, self.fold_log,
             self.t, self.n_chunks,
         )
+        return fields + (payload_crc(fields),)
 
     @classmethod
     def from_payload(cls, payload: tuple) -> "PullDelta":
-        return cls(*payload)
+        """Decode and verify; raises :class:`PayloadCorruptionError`
+        on any structural damage or checksum mismatch."""
+        return _decode_checked(cls, payload)
 
 
 def _check_geometry(model, n_chunks: int) -> None:

@@ -69,6 +69,7 @@ from repro.data.batch import SparseBatch
 from repro.data.partition import partition_batch
 from repro.heap.topk import TopKStore
 from repro.parallel.delta import (
+    PayloadCorruptionError,
     PullDelta,
     PushDelta,
     SyncPoint,
@@ -81,7 +82,16 @@ from repro.parallel.delta import (
 from repro.serving.snapshot import SnapshotManager
 from repro.telemetry import MetricsRegistry, merge_snapshots, trace
 
-__all__ = ["PSWorker", "ParameterServer", "PSHarness"]
+__all__ = ["PSWorker", "ParameterServer", "PSHarness", "SyncTimeout"]
+
+
+class SyncTimeout(RuntimeError):
+    """A push or pull could not be delivered within the retry budget.
+
+    Raised after ``max_retries`` transmission attempts (exponential
+    backoff between them) all failed — the in-process analogue of a
+    sync RPC timing out against a dead or unreachable peer.
+    """
 
 
 def _check_delta_capable(model) -> None:
@@ -225,6 +235,32 @@ class PSWorker:
         does not advance the shipping mark)."""
         return self.registry.delta(self._metrics_mark)
 
+    def recover(self, model, pull: PullDelta) -> None:
+        """Respawn this worker onto ``model`` (a fresh factory build)
+        from a full-state recovery pull.
+
+        The replacement becomes a bit-exact replica of the driver —
+        raw chunk bits, scale, fold accumulator, example clock — and
+        ``rounds_done`` is the durable cursor into ``_round_windows``:
+        a crash loses only the in-flight round's local (never-pushed)
+        updates, and the replay retrains exactly that round onward on
+        the pulled state, so every shard example still lands in the
+        global model exactly once.
+        """
+        _check_delta_capable(model)
+        self.model = model
+        apply_pull(model, pull)
+        model._dirty[:] = False
+        self.sync = SyncPoint(model)
+        if model.heap is not None:
+            # The respawned heap starts empty, like a first boot; local
+            # training re-promotes, and the driver's heap (which folded
+            # every pushed promo log) remains the authoritative top-K.
+            model.heap.enable_promo_log()
+        self.last_pull_round = self.rounds_done
+        self._round_examples = 0
+        self._metrics_mark = self.registry.snapshot()
+
 
 class ParameterServer:
     """The driver: global model + per-worker pull bitmaps."""
@@ -243,6 +279,10 @@ class ParameterServer:
         self._pull_dirty = np.zeros(
             (self.n_workers, model._n_chunks()), dtype=bool
         )
+        #: Highest round sequence number applied per worker — the
+        #: dedup ledger that makes :meth:`apply_push` idempotent when
+        #: the wire layer retransmits (at-least-once delivery).
+        self._applied_round = np.full(self.n_workers, -1, dtype=np.int64)
         self.registry = registry if registry is not None else MetricsRegistry()
         self._m_push_count = self.registry.counter("ps.push.count")
         self._m_push_bytes = self.registry.counter("ps.push.delta_bytes")
@@ -259,10 +299,24 @@ class ParameterServer:
         self._m_pull_count = self.registry.counter("ps.pull.count")
         self._m_pull_bytes = self.registry.counter("ps.pull.bytes")
         self._m_examples = self.registry.counter("ps.examples")
+        self._m_dup_dropped = self.registry.counter("ps.push.duplicates")
 
     def apply_push(self, delta: PushDelta,
-                   metrics_delta: dict | None = None) -> None:
-        """Fold one worker's delta into the global model."""
+                   metrics_delta: dict | None = None) -> bool:
+        """Fold one worker's delta into the global model.
+
+        Idempotent under duplicated delivery: pushes carry a
+        per-worker monotone round sequence number, and a delta at or
+        below the last applied round for its worker is dropped whole
+        (a retransmission racing its own ack; applying it twice would
+        double-count every update it carries).  Returns True when the
+        delta was applied, False when it was deduplicated away.
+        """
+        wid = int(delta.worker_id)
+        if (0 <= wid < self.n_workers
+                and delta.round_id <= self._applied_round[wid]):
+            self._m_dup_dropped.inc()
+            return False
         with trace.span("ps.apply_push", worker=delta.worker_id,
                         round=delta.round_id):
             folded = apply_push(self.model, delta)
@@ -290,8 +344,11 @@ class ParameterServer:
             delta.chunk_ids.size / max(1, delta.n_chunks)
         )
         self._m_examples.inc(delta.n_examples)
+        if 0 <= wid < self.n_workers:
+            self._applied_round[wid] = delta.round_id
         if metrics_delta is not None:
             self.registry.merge_snapshot(metrics_delta)
+        return True
 
     def encode_pull(self, worker_id: int) -> PullDelta:
         """Encode the chunks ``worker_id`` has not seen since its last
@@ -304,6 +361,13 @@ class ParameterServer:
         self._m_pull_count.inc()
         self._m_pull_bytes.inc(pull.nbytes)
         return pull
+
+    def encode_recovery_pull(self, worker_id: int) -> PullDelta:
+        """Full-state pull for a respawned worker: saturate its bitmap
+        first so the encode ships every chunk — replica bootstrap, not
+        the steady-state O(dirty) path."""
+        self._pull_dirty[worker_id, :] = True
+        return self.encode_pull(worker_id)
 
 
 class PSHarness:
@@ -334,6 +398,21 @@ class PSHarness:
         :class:`~repro.serving.snapshot.SnapshotManager`); a final
         publish always lands after the loop so the served model is the
         fully merged one.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan` consulted
+        at the named hook points (``ps.round``, ``ps.push.wire``,
+        ``ps.pull.wire``).  ``None`` (the default) keeps the loop on
+        the exact fault-free fast path — no payload round-trips, no
+        extra branches in the hot code.
+    heartbeat_timeout:
+        Scheduler ticks a worker may miss its heartbeat before the
+        driver declares it dead and respawns it (each loop iteration
+        is one tick; live workers heartbeat by completing rounds).
+    max_retries:
+        Transmission attempts per push/pull before :class:`SyncTimeout`.
+    backoff_base:
+        First retry's modelled backoff in seconds; doubles per attempt
+        (charged to the worker's ``sync_seconds`` track).
     """
 
     def __init__(
@@ -349,11 +428,21 @@ class PSHarness:
         speeds: Sequence[float] | None = None,
         publish_every: int = 1,
         registry: MetricsRegistry | None = None,
+        fault_plan=None,
+        heartbeat_timeout: int = 2,
+        max_retries: int = 6,
+        backoff_base: float = 0.001,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if staleness < 0:
             raise ValueError(f"staleness must be >= 0, got {staleness}")
+        if heartbeat_timeout < 1:
+            raise ValueError(
+                f"heartbeat_timeout must be >= 1, got {heartbeat_timeout}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if speeds is not None:
             speeds = [float(v) for v in speeds]
             if len(speeds) != n_workers:
@@ -372,12 +461,32 @@ class PSHarness:
         self.seed = int(seed)
         self.speeds = speeds or [1.0] * self.n_workers
         self.publish_every = int(publish_every)
+        self.fault_plan = fault_plan
+        self.heartbeat_timeout = int(heartbeat_timeout)
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
         self.registry = registry if registry is not None else MetricsRegistry()
         self._m_staleness = self.registry.histogram(
             "ps.staleness", lo=0.5, hi=128.0, buckets_per_decade=12
         )
         self._m_blocked = self.registry.counter("ps.ssp.blocked")
         self._m_publishes = self.registry.counter("ps.publish.count")
+        self._m_retries = self.registry.counter("ps.retry.count")
+        self._m_backoff = self.registry.histogram(
+            "ps.retry.backoff_seconds", lo=1e-5, hi=100.0
+        )
+        self._m_wire_dropped = self.registry.counter("ps.wire.dropped")
+        self._m_wire_corrupt = self.registry.counter(
+            "ps.wire.corrupt_rejected"
+        )
+        self._m_crashes = self.registry.counter("ps.crash.count")
+        self._m_recoveries = self.registry.counter("ps.recover.count")
+        self._m_heartbeat_missed = self.registry.counter(
+            "ps.heartbeat.missed"
+        )
+        self._m_recovery_seconds = self.registry.histogram(
+            "ps.recover.wall_seconds", lo=1e-6, hi=100.0
+        )
         self.model = None
         self.server: ParameterServer | None = None
         self.manager: SnapshotManager | None = None
@@ -385,6 +494,10 @@ class PSHarness:
         #: One row per (worker, round) sync event, in schedule order —
         #: the raw material for ``BENCH_ps.json``.
         self.history: list[dict] = []
+        #: Fault-lifecycle events (crash / stall / recover), separate
+        #: from ``history`` so the bench aggregations stay untouched.
+        self.events: list[dict] = []
+        self._stall_penalty: list[float] = []
         #: Wall seconds of driver-side work (applying pushes, encoding
         #: pulls, publishing snapshots), serialized on the driver in
         #: the modelled schedule; the worker-side codec halves live in
@@ -423,18 +536,43 @@ class PSHarness:
             for i in range(self.n_workers)
         ]
         self.history = []
+        self.events = []
         self.driver_seconds = 0.0
+        self._stall_penalty = [0.0] * self.n_workers
         s = self.staleness
         active = [i for i in range(self.n_workers)
                   if self.workers[i].n_rounds > 0]
+        #: worker id -> tick of death, awaiting heartbeat-timeout
+        #: detection and respawn.
+        crashed: dict[int, int] = {}
+        clock = 0
         pushes_since_publish = 0
 
         def modeled_finish(i: int) -> float:
             # Completion time of worker i's next round on its own core,
-            # under constant per-round cost 1/speed.
-            return (self.workers[i].rounds_done + 1) / self.speeds[i]
+            # under constant per-round cost 1/speed, plus any injected
+            # stall penalty (a straggler runs late but correct).
+            return (
+                (self.workers[i].rounds_done + 1) / self.speeds[i]
+                + self._stall_penalty[i]
+            )
 
-        while active:
+        while active or crashed:
+            clock += 1
+            if crashed:
+                # Liveness: a worker heartbeats by completing rounds;
+                # one that misses heartbeat_timeout ticks is declared
+                # dead and respawned from the driver's state.
+                self._m_heartbeat_missed.inc(len(crashed))
+                for i, since in sorted(crashed.items()):
+                    if clock - since >= self.heartbeat_timeout:
+                        del crashed[i]
+                        self._recover_worker(i, clock)
+                        if (self.workers[i].rounds_done
+                                < self.workers[i].n_rounds):
+                            active.append(i)
+                if not active:
+                    continue
             min_round = min(self.workers[i].rounds_done for i in active)
             preferred = min(active, key=lambda i: (modeled_finish(i), i))
             eligible = [
@@ -447,6 +585,29 @@ class PSHarness:
                 # bound: a real deployment would stall it here.
                 self._m_blocked.inc()
             worker = self.workers[chosen]
+            if self.fault_plan is not None:
+                ev = self.fault_plan.next_event(
+                    "ps.round", worker=chosen, round=worker.rounds_done
+                )
+                if ev is not None and ev.action == "crash":
+                    active.remove(chosen)
+                    crashed[chosen] = clock
+                    self._m_crashes.inc()
+                    self.events.append({
+                        "event": "crash", "worker": chosen,
+                        "round": worker.rounds_done, "clock": clock,
+                    })
+                    continue
+                if ev is not None and ev.action == "stall":
+                    self._stall_penalty[chosen] += float(ev.param or 1.0)
+                    self.events.append({
+                        "event": "stall", "worker": chosen,
+                        "round": worker.rounds_done, "clock": clock,
+                        "penalty": float(ev.param or 1.0),
+                    })
+                    # Re-schedule: the stalled worker finishes later in
+                    # modelled time, so another worker may now go first.
+                    continue
             stale = worker.rounds_done - min_round
             self._m_staleness.record(stale)
             with trace.span("ps.round", worker=chosen,
@@ -455,7 +616,7 @@ class PSHarness:
                 t0 = perf_counter()
                 delta, metrics_delta = worker.encode_push()
                 t1 = perf_counter()
-                self.server.apply_push(delta, metrics_delta)
+                self._transmit_push(worker, delta, metrics_delta)
                 t2 = perf_counter()
                 sync_dt = t2 - t0
             worker.sync_seconds += t1 - t0
@@ -479,7 +640,7 @@ class PSHarness:
                 t0 = perf_counter()
                 pull = self.server.encode_pull(chosen)
                 t1 = perf_counter()
-                worker.apply_pull(pull)
+                self._deliver_pull(worker, pull)
                 self.driver_seconds += t1 - t0
                 worker.sync_seconds += perf_counter() - t1
                 row["pulled"] = True
@@ -508,6 +669,136 @@ class PSHarness:
             self.manager.publish()
             self._m_publishes.inc()
         return model
+
+    # -- wire transmission under faults ---------------------------------
+    def _backoff(self, worker: PSWorker, attempt: int) -> None:
+        """Model one retry wait: exponential backoff charged to the
+        worker's sync track, counted + histogrammed."""
+        delay = self.backoff_base * (2.0 ** attempt)
+        self._m_retries.inc()
+        self._m_backoff.record(delay)
+        worker.sync_seconds += delay
+
+    def _check_attempts(self, attempt: int, kind: str,
+                        worker_id: int, round_id: int) -> None:
+        if attempt > self.max_retries:
+            raise SyncTimeout(
+                f"{kind} from worker {worker_id} round {round_id} not "
+                f"delivered after {self.max_retries} retries "
+                f"(exponential backoff exhausted)"
+            )
+
+    def _transmit_push(self, worker: PSWorker, delta: PushDelta,
+                       metrics_delta: dict | None) -> None:
+        """Deliver one push to the driver, at-least-once.
+
+        Without a fault plan this is a direct apply (the fault-free
+        fast path ships no payload round-trip).  With one, the delta
+        crosses the wire as its checksummed payload: drops and
+        corruption-rejects retransmit the pristine copy after modelled
+        backoff, and a duplicated delivery is applied twice so the
+        driver's sequence-number dedup is exercised for real.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            self.server.apply_push(delta, metrics_delta)
+            return
+        wire = delta.to_payload()
+        attempt = 0
+        while True:
+            ev = plan.next_event(
+                "ps.push.wire", worker=delta.worker_id,
+                round=delta.round_id, attempt=attempt,
+            )
+            action = ev.action if ev is not None else None
+            if action == "drop":
+                self._m_wire_dropped.inc()
+                self._backoff(worker, attempt)
+                attempt += 1
+                self._check_attempts(
+                    attempt, "push", delta.worker_id, delta.round_id
+                )
+                continue
+            send = plan.corrupt_payload(wire) if action == "corrupt" else wire
+            try:
+                received = PushDelta.from_payload(send)
+            except PayloadCorruptionError:
+                # Receiver-side reject: nothing was applied; NACK and
+                # retransmit the pristine payload.
+                self._m_wire_corrupt.inc()
+                self._backoff(worker, attempt)
+                attempt += 1
+                self._check_attempts(
+                    attempt, "push", delta.worker_id, delta.round_id
+                )
+                continue
+            self.server.apply_push(received, metrics_delta)
+            if action == "duplicate":
+                # The retransmission raced its own ack: the driver sees
+                # the same round twice and must dedup it.
+                self.server.apply_push(PushDelta.from_payload(wire), None)
+            return
+
+    def _deliver_pull(self, worker: PSWorker, pull: PullDelta) -> None:
+        """Deliver one (already encoded) pull to its worker — same
+        retransmit discipline as pushes; the encoded object is retained
+        until applied, so a dropped/corrupted attempt loses nothing."""
+        plan = self.fault_plan
+        if plan is None:
+            worker.apply_pull(pull)
+            return
+        wire = pull.to_payload()
+        attempt = 0
+        while True:
+            ev = plan.next_event(
+                "ps.pull.wire", worker=worker.worker_id,
+                round=worker.rounds_done, attempt=attempt,
+            )
+            action = ev.action if ev is not None else None
+            if action == "drop":
+                self._m_wire_dropped.inc()
+                self._backoff(worker, attempt)
+                attempt += 1
+                self._check_attempts(
+                    attempt, "pull", worker.worker_id, worker.rounds_done
+                )
+                continue
+            send = plan.corrupt_payload(wire) if action == "corrupt" else wire
+            try:
+                received = PullDelta.from_payload(send)
+            except PayloadCorruptionError:
+                self._m_wire_corrupt.inc()
+                self._backoff(worker, attempt)
+                attempt += 1
+                self._check_attempts(
+                    attempt, "pull", worker.worker_id, worker.rounds_done
+                )
+                continue
+            worker.apply_pull(received)
+            return
+
+    def _recover_worker(self, i: int, clock: int) -> None:
+        """Respawn dead worker ``i`` as a bit-exact driver replica.
+
+        The replacement model comes from the same factory, the state
+        from a full-table recovery pull, and the work cursor from the
+        worker's own ``rounds_done`` — recovery therefore replays the
+        in-flight round deterministically and the chaos run converges
+        to the fault-free table in the data-linear regime.
+        """
+        t0 = perf_counter()
+        worker = self.workers[i]
+        pull = self.server.encode_recovery_pull(i)
+        worker.recover(self.factory(**self.factory_kwargs), pull)
+        dt = perf_counter() - t0
+        self.driver_seconds += dt
+        self._m_recoveries.inc()
+        self._m_recovery_seconds.record(dt)
+        self.events.append({
+            "event": "recover", "worker": i, "clock": clock,
+            "round": worker.rounds_done, "wall_seconds": dt,
+            "pull_bytes": pull.nbytes,
+        })
 
     # -- observability ---------------------------------------------------
     def stats(self) -> dict:

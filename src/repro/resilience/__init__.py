@@ -1,0 +1,46 @@
+"""Resilience: deterministic fault injection, recovery, degradation.
+
+The PS loop and serving layer are correctness-obsessed; this package
+makes them *failure*-obsessed too, ahead of the real socket transport
+that will make every failure mode here routine:
+
+* :mod:`~repro.resilience.faults` — a seeded :class:`FaultPlan` of
+  scheduled fault events (worker crashes, stalls, dropped / duplicated
+  / corrupted wire payloads, failing publishes and flushes) consumed
+  at named hook points in ``parallel/ps.py`` and ``serving/``.  Same
+  plan, same seed, same faults — chaos runs are replayable and the
+  chaos suite asserts exact outcomes (bit-identical tables), not just
+  survival.
+* :mod:`~repro.resilience.breaker` — a :class:`CircuitBreaker` with an
+  injectable clock, wrapped around snapshot publication (and reusable
+  for any transport call).
+* :mod:`~repro.resilience.chaos` — the reusable chaos harness behind
+  ``repro chaos`` and ``benchmarks/bench_resilience.py``: runs a
+  seeded fault schedule against the PS loop in the data-linear regime
+  and reports recovery telemetry plus bit-identity against the
+  fault-free single-stream reference.
+
+Recovery rests on three mechanisms living in the layers themselves:
+CRC-checksummed wire payloads rejected before apply
+(:class:`~repro.parallel.delta.PayloadCorruptionError`), per-worker
+round sequence numbers deduping duplicated pushes, and heartbeat-based
+respawn from the driver's state with deterministic shard replay
+(:meth:`~repro.parallel.ps.PSWorker.recover`).
+"""
+
+from repro.resilience.breaker import CircuitBreaker, CircuitOpenError
+from repro.resilience.faults import (
+    FaultEvent,
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FaultEvent",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedFault",
+]

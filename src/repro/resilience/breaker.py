@@ -1,0 +1,119 @@
+"""A small circuit breaker for repeatedly-failing critical sections.
+
+Wraps an operation that can fail transiently (snapshot publication,
+a future transport send) with the classic three-state automaton:
+
+* **closed** — calls flow; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips: :meth:`allow` answers False (callers fail fast with
+  :class:`CircuitOpenError` instead of re-running a doomed operation)
+  until ``reset_timeout`` seconds pass.
+* **half-open** — after the timeout, exactly one probe call is let
+  through; its success closes the breaker, its failure re-opens it
+  (and restarts the timeout).
+
+The clock is injectable so tests drive the state machine without
+sleeping, and every transition lands in the optional telemetry
+registry (``<name>.trips`` / ``<name>.rejected`` / ``<name>.probes``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker", "CircuitOpenError"]
+
+
+class CircuitOpenError(RuntimeError):
+    """Fail-fast rejection: the breaker is open, the call never ran."""
+
+
+class CircuitBreaker:
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_timeout: float = 1.0,
+        clock=time.monotonic,
+        registry=None,
+        name: str = "breaker",
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        if registry is not None:
+            self._m_trips = registry.counter(f"{name}.trips")
+            self._m_rejected = registry.counter(f"{name}.rejected")
+            self._m_probes = registry.counter(f"{name}.probes")
+        else:
+            self._m_trips = self._m_rejected = self._m_probes = None
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  Moving open -> half-open
+        consumes the single probe slot, so concurrent callers see at
+        most one True until the probe reports back."""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self.reset_timeout:
+                    self._state = "half_open"
+                    if self._m_probes is not None:
+                        self._m_probes.inc()
+                    return True
+                if self._m_rejected is not None:
+                    self._m_rejected.inc()
+                return False
+            # half_open: a probe is already in flight.
+            if self._m_rejected is not None:
+                self._m_rejected.inc()
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            tripping = (
+                self._state == "half_open"
+                or (self._state == "closed"
+                    and self._failures >= self.failure_threshold)
+            )
+            if tripping:
+                self._state = "open"
+                self._opened_at = self._clock()
+                if self._m_trips is not None:
+                    self._m_trips.inc()
+
+    def call(self, fn, *args, **kwargs):
+        """Run ``fn`` under the breaker (convenience wrapper)."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"{self.name} is open after {self._failures} consecutive "
+                f"failures; retry after {self.reset_timeout:.3g}s"
+            )
+        try:
+            result = fn(*args, **kwargs)
+        except BaseException:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

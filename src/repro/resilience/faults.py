@@ -1,0 +1,219 @@
+"""Seeded deterministic fault injection.
+
+Failure is an *input* here, not an accident: a :class:`FaultPlan` is a
+seeded schedule of fault events — worker crashes, stalls, dropped /
+duplicated / corrupted wire payloads, failing publishes and flushes —
+consumed at **named hook points** threaded through
+:mod:`repro.parallel.ps` and :mod:`repro.serving`.  Two runs with the
+same plan, seed, and workload replay the same faults at the same
+points, so the chaos suite (``tests/test_resilience.py``) can assert
+exact outcomes (bit-identical final tables, checker acceptance) rather
+than "it didn't crash" — the fault-schedule discipline of eXtreme
+Modelling applied to this codebase.
+
+Hook points and the actions they honour
+---------------------------------------
+===============  =======================  ==========================
+hook             fired by                 actions
+===============  =======================  ==========================
+``ps.round``     ``PSHarness`` before a   ``crash`` (kill worker),
+                 worker trains a round    ``stall`` (slowdown, param
+                                          = modelled seconds)
+``ps.push.wire`` each push transmission   ``drop``, ``corrupt``,
+                 attempt                  ``duplicate``
+``ps.pull.wire`` each pull transmission   ``drop``, ``corrupt``
+                 attempt
+``serve.publish``  ``SnapshotManager``    ``fail`` (raise inside the
+                   before copying state   publish critical section)
+``serve.flush``  coalescer worker before  ``fail`` (raise inside the
+                 the batched kernel call  flush handler)
+===============  =======================  ==========================
+
+Events match on the keyword context the hook supplies (``worker=``,
+``round=``, ``op=``, ...): an event fires when every key it names
+equals the fired context, and is consumed after ``times`` firings.
+Injection sites own the interpretation — a matched ``crash`` raises
+:class:`InjectedCrash`, wire actions transform the payload — and every
+firing is appended to :attr:`FaultPlan.fired`, the raw material of the
+``repro chaos`` recovery report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedFault",
+]
+
+
+class InjectedFault(RuntimeError):
+    """An injected fault surfaced as an exception (``fail`` actions)."""
+
+    def __init__(self, hook: str, action: str, ctx: dict):
+        super().__init__(f"injected {action} at {hook} ({ctx})")
+        self.hook = hook
+        self.action = action
+        self.ctx = ctx
+
+
+class InjectedCrash(InjectedFault):
+    """A worker-kill injection (``crash`` at ``ps.round``)."""
+
+
+class FaultEvent:
+    """One scheduled fault: fire ``action`` at ``hook`` whenever the
+    fired context matches ``match``, at most ``times`` times."""
+
+    __slots__ = ("hook", "action", "match", "times", "param")
+
+    def __init__(self, hook: str, action: str, *,
+                 times: int = 1, param: float | None = None,
+                 match: dict | None = None):
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        self.hook = hook
+        self.action = action
+        self.match = dict(match or {})
+        self.times = int(times)
+        self.param = param
+
+    def matches(self, hook: str, ctx: dict) -> bool:
+        if self.times <= 0 or hook != self.hook:
+            return False
+        return all(k in ctx and ctx[k] == v for k, v in self.match.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FaultEvent({self.hook!r}, {self.action!r}, "
+                f"match={self.match}, times={self.times})")
+
+
+class FaultPlan:
+    """A seeded, ordered schedule of :class:`FaultEvent`\\ s.
+
+    The seed drives only the *content* of corruptions (which byte,
+    which bit); *when* faults fire is fully determined by the event
+    matches — so a plan is replayable and two identical runs observe
+    identical faults.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(self.seed)
+        self.events: list[FaultEvent] = []
+        #: Every firing, in order: ``(hook, action, ctx)`` — the
+        #: injection log the chaos report prints.
+        self.fired: list[tuple[str, str, dict]] = []
+
+    # -- schedule construction ----------------------------------------
+    def add(self, hook: str, action: str, *, times: int = 1,
+            param: float | None = None, **match) -> "FaultPlan":
+        self.events.append(
+            FaultEvent(hook, action, times=times, param=param, match=match)
+        )
+        return self
+
+    def crash_worker(self, worker: int, round: int) -> "FaultPlan":
+        """Kill ``worker`` as it begins global round ``round``."""
+        return self.add("ps.round", "crash", worker=worker, round=round)
+
+    def stall_worker(self, worker: int, round: int,
+                     slowdown: float = 4.0) -> "FaultPlan":
+        """Add ``slowdown`` modelled seconds to ``worker``'s schedule
+        position from round ``round`` on (a straggler, not a death)."""
+        return self.add("ps.round", "stall", param=float(slowdown),
+                        worker=worker, round=round)
+
+    def drop_push(self, worker: int, round: int,
+                  times: int = 1) -> "FaultPlan":
+        return self.add("ps.push.wire", "drop", times=times,
+                        worker=worker, round=round)
+
+    def duplicate_push(self, worker: int, round: int) -> "FaultPlan":
+        return self.add("ps.push.wire", "duplicate",
+                        worker=worker, round=round)
+
+    def corrupt_push(self, worker: int, round: int,
+                     times: int = 1) -> "FaultPlan":
+        return self.add("ps.push.wire", "corrupt", times=times,
+                        worker=worker, round=round)
+
+    def drop_pull(self, worker: int, times: int = 1) -> "FaultPlan":
+        return self.add("ps.pull.wire", "drop", times=times, worker=worker)
+
+    def corrupt_pull(self, worker: int, times: int = 1) -> "FaultPlan":
+        return self.add("ps.pull.wire", "corrupt", times=times,
+                        worker=worker)
+
+    def fail_publish(self, times: int = 1, **match) -> "FaultPlan":
+        return self.add("serve.publish", "fail", times=times, **match)
+
+    def fail_flush(self, times: int = 1, **match) -> "FaultPlan":
+        return self.add("serve.flush", "fail", times=times, **match)
+
+    # -- consumption at hook points ------------------------------------
+    def next_event(self, hook: str, **ctx) -> FaultEvent | None:
+        """Consume and return the first event matching ``(hook, ctx)``,
+        or None.  At most one event fires per call — a retry loop that
+        fires the hook once per attempt drains stacked events in
+        schedule order."""
+        for ev in self.events:
+            if ev.matches(hook, ctx):
+                ev.times -= 1
+                self.fired.append((hook, ev.action, dict(ctx)))
+                return ev
+        return None
+
+    def raise_if(self, hook: str, **ctx) -> None:
+        """Raise for ``fail``/``crash`` events at exception-style hooks."""
+        ev = self.next_event(hook, **ctx)
+        if ev is None:
+            return
+        if ev.action == "crash":
+            raise InjectedCrash(hook, ev.action, ctx)
+        raise InjectedFault(hook, ev.action, ctx)
+
+    # -- payload corruption --------------------------------------------
+    def corrupt_payload(self, payload: tuple) -> tuple:
+        """Return a copy of a wire tuple with one deterministic bit
+        flipped in one array field (or a scalar perturbed when every
+        array is empty).  The original tuple's arrays are never
+        mutated — the sender retains a pristine copy to retransmit."""
+        fields = list(payload)
+        arrays = [
+            i for i, f in enumerate(fields)
+            if isinstance(f, np.ndarray) and f.nbytes > 0
+        ]
+        if arrays:
+            idx = int(self.rng.choice(arrays))
+            buf = fields[idx].copy()
+            flat = buf.view(np.uint8).reshape(-1)
+            pos = int(self.rng.integers(flat.size))
+            flat[pos] ^= np.uint8(1 << int(self.rng.integers(8)))
+            fields[idx] = buf
+        else:
+            nums = [i for i, f in enumerate(fields)
+                    if isinstance(f, (int, float))]
+            idx = int(self.rng.choice(nums))
+            fields[idx] = fields[idx] + 1
+        return tuple(fields)
+
+    # -- reporting -----------------------------------------------------
+    def remaining(self) -> int:
+        """Scheduled firings not yet consumed."""
+        return sum(max(0, ev.times) for ev in self.events)
+
+    def report(self) -> dict:
+        """Counts per fired action plus the un-fired residue."""
+        by_action: dict[str, int] = {}
+        for _, action, _ in self.fired:
+            by_action[action] = by_action.get(action, 0) + 1
+        return {
+            "seed": self.seed,
+            "fired": len(self.fired),
+            "by_action": by_action,
+            "unfired": self.remaining(),
+        }

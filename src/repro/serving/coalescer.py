@@ -33,7 +33,29 @@ import numpy as np
 from repro.data.batch import SparseBatch
 from repro.telemetry import MetricsRegistry, hooks, trace
 
-__all__ = ["MicroBatchCoalescer"]
+__all__ = ["DeadlineExceeded", "MicroBatchCoalescer", "Overload"]
+
+
+class Overload(RuntimeError):
+    """Typed admission rejection: the op's pending queue is full.
+
+    Raised by :meth:`MicroBatchCoalescer.submit_nowait` *at submission
+    time* when ``max_pending`` requests are already queued for the op —
+    load past saturation is shed immediately with this error instead of
+    growing the queue without bound (which converts overload into
+    unbounded latency for every request behind the excess).  Callers
+    treat it as retryable backpressure.
+    """
+
+
+class DeadlineExceeded(TimeoutError):
+    """The request's deadline passed while it waited in the queue.
+
+    Enforced at flush time: a request whose deadline has lapsed is
+    failed with this error and excluded from the batched kernel call —
+    the answer would arrive too late to be useful, so computing it
+    would only steal capacity from requests that can still meet theirs.
+    """
 
 #: Flush trigger classification (see the module docstring).
 _REASONS = ("budget", "max_batch", "drain")
@@ -64,9 +86,10 @@ _OPS = ("predict", "query", "top_k")
 class _Request:
     """One in-flight request (internal)."""
 
-    __slots__ = ("op", "payload", "event", "result", "error", "version", "done_at")
+    __slots__ = ("op", "payload", "event", "result", "error", "version",
+                 "done_at", "deadline")
 
-    def __init__(self, op, payload):
+    def __init__(self, op, payload, deadline=None):
         self.op = op
         self.payload = payload
         self.event = threading.Event()
@@ -74,6 +97,9 @@ class _Request:
         self.error = None
         self.version = -1
         self.done_at = 0.0
+        #: Absolute monotonic instant after which the answer is
+        #: worthless (None: no deadline).  Checked at flush time.
+        self.deadline = deadline
 
     def wait(self, timeout=None):
         """Block until flushed; return ``(result, version)`` or raise."""
@@ -98,6 +124,18 @@ class MicroBatchCoalescer:
     max_batch:
         Flush a queue as soon as it holds this many requests, budget
         notwithstanding.
+    max_pending:
+        Bounded admission queue: at most this many requests may wait
+        per op; the excess is shed at submission with a typed
+        :class:`Overload` (None: unbounded, the legacy behaviour).
+    default_deadline:
+        Relative per-request deadline in seconds applied when a submit
+        does not carry its own; lapsed requests fail with
+        :class:`DeadlineExceeded` at flush time (None: no deadline).
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan`; the
+        ``serve.flush`` hook fires inside the flush critical section,
+        so injected failures exercise the crash-only worker contract.
     registry:
         The :class:`~repro.telemetry.MetricsRegistry` all observability
         lives in (a private one is created when omitted).  The legacy
@@ -113,15 +151,27 @@ class MicroBatchCoalescer:
         *,
         latency_budget: float = 1e-3,
         max_batch: int = 64,
+        max_pending: int | None = None,
+        default_deadline: float | None = None,
+        fault_plan=None,
         registry: MetricsRegistry | None = None,
     ):
         if latency_budget < 0:
             raise ValueError("latency_budget must be >= 0")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None)")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError("default_deadline must be > 0 (or None)")
         self._snapshots = snapshots
         self.latency_budget = float(latency_budget)
         self.max_batch = int(max_batch)
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self.default_deadline = (
+            None if default_deadline is None else float(default_deadline)
+        )
+        self._fault_plan = fault_plan
         self._cond = threading.Condition()
         self._queues = {op: deque() for op in _OPS}
         self._closing = False
@@ -154,6 +204,19 @@ class MicroBatchCoalescer:
         self._m_flush_seconds = {
             op: reg.histogram("serve.flush_seconds", op=op) for op in _OPS
         }
+        self._m_shed = {
+            op: reg.counter("serve.shed", op=op) for op in _OPS
+        }
+        self._m_deadline = {
+            op: reg.counter("serve.deadline_exceeded", op=op) for op in _OPS
+        }
+        self._m_flush_errors = {
+            op: reg.counter("serve.flush_errors", op=op) for op in _OPS
+        }
+        self._m_worker_restarts = reg.counter("serve.worker_restarts")
+        self._start_worker()
+
+    def _start_worker(self) -> None:
         self._worker = threading.Thread(
             target=self._run, name="repro-coalescer", daemon=True
         )
@@ -191,15 +254,39 @@ class MicroBatchCoalescer:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit_nowait(self, op: str, payload) -> _Request:
-        """Enqueue without blocking; caller waits on the returned request."""
+    def submit_nowait(self, op: str, payload,
+                      deadline: float | None = None) -> _Request:
+        """Enqueue without blocking; caller waits on the returned request.
+
+        ``deadline`` is relative seconds from now (falling back to
+        ``default_deadline``); a request still queued when it lapses
+        fails with :class:`DeadlineExceeded` instead of occupying the
+        flush.  Raises :class:`Overload` when the op's queue already
+        holds ``max_pending`` requests — the shed-don't-hang admission
+        contract.
+        """
         if op not in self._queues:
             raise ValueError(f"unknown op {op!r}; expected one of {_OPS}")
-        req = _Request(op, payload)
+        now = time.monotonic()
+        rel = deadline if deadline is not None else self.default_deadline
+        req = _Request(op, payload, None if rel is None else now + rel)
         with self._cond:
             if self._closing:
                 raise RuntimeError("coalescer is closed")
-            self._queues[op].append((time.monotonic(), req))
+            q = self._queues[op]
+            if self.max_pending is not None and len(q) >= self.max_pending:
+                self._m_shed[op].inc()
+                raise Overload(
+                    f"{op} queue full ({self.max_pending} pending); "
+                    f"request shed — retry with backoff"
+                )
+            if not self._worker.is_alive():
+                # Crash-only restart: a worker killed by something the
+                # flush guard could not contain comes back on the next
+                # submission, with the queues intact.
+                self._m_worker_restarts.inc()
+                self._start_worker()
+            q.append((now, req))
             with self.registry.locked():
                 self._m_requests[op].inc()
                 self._m_pending[op].inc()
@@ -246,11 +333,48 @@ class MicroBatchCoalescer:
                     if self._closing:
                         return
                     self._cond.wait(None if deadline is None else deadline - now)
-            self._flush(op, batch, reason)
+            try:
+                self._flush(op, batch, reason)
+            except BaseException as exc:
+                # Crash-only worker: whatever escaped the flush —
+                # snapshot access, telemetry, a raising hook — fails
+                # the batch's remaining waiters and the loop carries
+                # on; the thread itself never dies with requests
+                # queued behind it.
+                self._m_flush_errors[op].inc()
+                self._fail_entries(batch, exc)
+
+    def _fail_entries(self, entries, exc) -> None:
+        """Deliver ``exc`` to every not-yet-completed request."""
+        for _, r in entries:
+            if not r.event.is_set():
+                r.error = exc
+                r.event.set()
 
     def _flush(self, op, entries, reason):
-        n = len(entries)
         start = time.monotonic()
+        # Deadline enforcement first: a lapsed request is failed and
+        # excluded — its answer could no longer be used, so computing
+        # it would only slow the requests that can still make theirs.
+        live = []
+        for enq, r in entries:
+            if r.deadline is not None and start > r.deadline:
+                self._m_deadline[op].inc()
+                r.error = DeadlineExceeded(
+                    f"{op} deadline lapsed {start - r.deadline:.4f}s "
+                    f"before its batch flushed"
+                )
+                r.event.set()
+            else:
+                live.append((enq, r))
+        # One vectorized record for the whole batch's queue waits; the
+        # oldest entry is first, so entries[0] carries the max wait.
+        self._m_queue_wait[op].record_many(
+            [start - enq for enq, _ in entries]
+        )
+        if not live:
+            return
+        n = len(live)
         reg = self.registry
         with reg.locked():
             self._m_flushes[op].inc()
@@ -261,14 +385,15 @@ class MicroBatchCoalescer:
                 size_counter = reg.counter("serve.batch_size", op=op, size=n)
                 sizes[n] = size_counter
             size_counter.inc()
-        # One vectorized record for the whole batch's queue waits; the
-        # oldest entry is first, so entries[0] carries the max wait.
-        self._m_queue_wait[op].record_many(
-            [start - enq for enq, _ in entries]
-        )
-        reqs = [r for _, r in entries]
-        snap = self._snapshots.current
+        reqs = [r for _, r in live]
         try:
+            # Everything that can fail — including reading the current
+            # snapshot — sits inside the guard, so a failure is always
+            # delivered to the batch, never left to kill the worker
+            # with waiters stranded behind it.
+            snap = self._snapshots.current
+            if self._fault_plan is not None:
+                self._fault_plan.raise_if("serve.flush", op=op)
             with trace.span(
                 "serve.flush", op=op, n=n, reason=reason,
                 version=snap.version,
@@ -276,7 +401,13 @@ class MicroBatchCoalescer:
                 results = self._HANDLERS[op](
                     snap.model, [r.payload for r in reqs]
                 )
+            if len(results) != len(reqs):
+                raise RuntimeError(
+                    f"{op} handler returned {len(results)} results for "
+                    f"{len(reqs)} requests"
+                )
         except BaseException as exc:  # propagate to every waiter in the batch
+            self._m_flush_errors[op].inc()
             for r in reqs:
                 r.error = exc
                 r.event.set()
@@ -290,7 +421,7 @@ class MicroBatchCoalescer:
             r.event.set()
         self._m_flush_seconds[op].record(done - start)
         if hooks.on_flush:
-            hooks.flush(op, n, reason, start - entries[0][0], done - start)
+            hooks.flush(op, n, reason, start - live[0][0], done - start)
 
     # ------------------------------------------------------------------
     # Batched handlers — ONE kernel call per flush.
@@ -371,11 +502,39 @@ class MicroBatchCoalescer:
                     op: _hist_summary_ms(h)
                     for op, h in self._m_flush_seconds.items()
                 },
+                "shed": {
+                    op: c._value for op, c in self._m_shed.items()
+                },
+                "deadline_exceeded": {
+                    op: c._value for op, c in self._m_deadline.items()
+                },
+                "flush_errors": {
+                    op: c._value for op, c in self._m_flush_errors.items()
+                },
+                "worker_restarts": self._m_worker_restarts._value,
             }
 
-    def close(self):
-        """Drain all pending requests, then stop the worker thread."""
+    def close(self, timeout: float | None = None):
+        """Drain all pending requests, then stop the worker thread.
+
+        With a ``timeout`` the drain is *bounded*: requests still
+        queued when it expires are failed with a ``TimeoutError``
+        rather than left hanging on a wedged worker.  Idempotent —
+        a second close is a no-op.
+        """
         with self._cond:
             self._closing = True
             self._cond.notify()
-        self._worker.join()
+        self._worker.join(timeout)
+        with self._cond:
+            leftovers = [e for q in self._queues.values() for e in q]
+            for op, q in self._queues.items():
+                if q:
+                    self._m_pending[op].dec(len(q))
+                    q.clear()
+        if leftovers:
+            exc = TimeoutError(
+                f"coalescer closed before flush: {len(leftovers)} queued "
+                f"requests abandoned after {timeout}s drain deadline"
+            )
+            self._fail_entries(leftovers, exc)

@@ -30,6 +30,7 @@ from collections import deque
 import numpy as np
 
 from repro.data.batch import SparseBatch
+from repro.serving.coalescer import DeadlineExceeded, Overload
 from repro.telemetry import Histogram
 
 __all__ = [
@@ -151,6 +152,7 @@ def run_open_loop(
     seed: int = 0,
     histogram: Histogram | None = None,
     reap_every: int = 512,
+    shed_counts: dict | None = None,
 ):
     """Submit ``requests`` on a Poisson arrival schedule at ``offered_rps``.
 
@@ -171,6 +173,14 @@ def run_open_loop(
     Returns ``(histogram, elapsed_seconds)``; read
     ``histogram.percentile(50/90/99)`` / ``histogram.max_value`` /
     ``histogram.count`` for the latency report.
+
+    Pass a dict as ``shed_counts`` to drive a server with admission
+    control past saturation: typed rejections — ``Overload`` at
+    submission, ``DeadlineExceeded`` at flush — are *counted* there
+    (keys ``overload``, ``deadline``, ``completed``) instead of
+    raised, and the histogram records only admitted completions (the
+    goodput view).  Without it, any request error raises — the legacy
+    contract, which an unbounded server's benches rely on.
     """
     if offered_rps <= 0:
         raise ValueError("offered_rps must be > 0")
@@ -180,6 +190,9 @@ def run_open_loop(
     hist = histogram if histogram is not None else latency_histogram(
         "open_loop.latency_seconds"
     )
+    if shed_counts is not None:
+        for key in ("overload", "deadline", "completed"):
+            shed_counts.setdefault(key, 0)
     pending: deque = deque()
     t0 = time.monotonic()
 
@@ -195,7 +208,13 @@ def run_open_loop(
                 req.event.wait()
             pending.popleft()
             if req.error is not None:
+                if shed_counts is not None and isinstance(
+                        req.error, (DeadlineExceeded, Overload)):
+                    shed_counts["deadline"] += 1
+                    continue
                 raise req.error
+            if shed_counts is not None:
+                shed_counts["completed"] += 1
             batch.append(req.done_at - (t0 + at))
         if batch:
             hist.record_many(batch)
@@ -204,7 +223,14 @@ def run_open_loop(
         delay = (t0 + at) - time.monotonic()
         if delay > 0:
             time.sleep(delay)
-        pending.append((at, server.submit_nowait(op, payload)))
+        try:
+            req = server.submit_nowait(op, payload)
+        except Overload:
+            if shed_counts is None:
+                raise
+            shed_counts["overload"] += 1
+            continue
+        pending.append((at, req))
         if len(pending) >= reap_every:
             reap(block=False)
     reap(block=True)

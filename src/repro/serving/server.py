@@ -79,6 +79,18 @@ class SketchServer:
         :class:`~repro.serving.coalescer.MicroBatchCoalescer`).
     publish_every:
         Default number of training batches between snapshot publishes.
+    max_pending, default_deadline:
+        Admission-control knobs forwarded to the coalescer: bounded
+        per-op queues shedding excess load with a typed ``Overload``,
+        and per-request deadlines enforced at flush time.
+    publish_breaker:
+        Optional :class:`~repro.resilience.breaker.CircuitBreaker`
+        around snapshot publication; while it is open the trainer keeps
+        training and readers keep the last good snapshot.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan` threaded
+        into the snapshot manager (``serve.publish``) and coalescer
+        (``serve.flush``) hook points.
     registry:
         The unified :class:`~repro.telemetry.MetricsRegistry` for the
         whole server (training counters, publish timings, coalescer,
@@ -93,6 +105,10 @@ class SketchServer:
         latency_budget: float = 1e-3,
         max_batch: int = 64,
         publish_every: int = 1,
+        max_pending: int | None = None,
+        default_deadline: float | None = None,
+        publish_breaker=None,
+        fault_plan=None,
         registry: MetricsRegistry | None = None,
     ):
         if publish_every < 1:
@@ -100,18 +116,27 @@ class SketchServer:
         self.model = model
         self.publish_every = int(publish_every)
         self.telemetry = registry if registry is not None else MetricsRegistry()
-        self.snapshots = SnapshotManager(model, registry=self.telemetry)
+        self.snapshots = SnapshotManager(
+            model, registry=self.telemetry, breaker=publish_breaker,
+            fault_plan=fault_plan,
+        )
         self.coalescer = MicroBatchCoalescer(
             self.snapshots, latency_budget=latency_budget,
-            max_batch=max_batch, registry=self.telemetry,
+            max_batch=max_batch, max_pending=max_pending,
+            default_deadline=default_deadline, fault_plan=fault_plan,
+            registry=self.telemetry,
         )
         self._serial_lock = threading.Lock()
         self.training_done = threading.Event()
         self._stop_training = threading.Event()
         self._train_thread = None
+        self._closed = False
         self._m_batches = self.telemetry.counter("train.batches")
         self._m_examples = self.telemetry.counter("train.examples")
         self._m_seconds = self.telemetry.counter("train.seconds")
+        self._m_publish_skipped = self.telemetry.counter(
+            "train.publish_errors"
+        )
         self._m_batch_seconds = self.telemetry.histogram(
             "train.batch_seconds"
         )
@@ -140,6 +165,12 @@ class SketchServer:
 
         Blocks until the stream is exhausted (or :meth:`stop_training`
         is set); publishes a final snapshot and sets ``training_done``.
+
+        The trainer is crash-only with respect to publication: a
+        failing publish (injected fault, tripped circuit breaker) is
+        counted in ``train.publish_errors`` and training continues —
+        readers keep the last good snapshot — and ``training_done`` is
+        set no matter how the loop exits.
         """
         pe = self.publish_every if publish_every is None else int(publish_every)
         start = time.monotonic()
@@ -158,11 +189,19 @@ class SketchServer:
                 if hooks.on_batch_end:
                     hooks.batch_end(self.model, len(batch), seconds)
                 if self._m_batches.value % pe == 0:
-                    self.snapshots.publish()
+                    self._publish_guarded()
         finally:
-            self.snapshots.publish()
+            self._publish_guarded()
             self._m_seconds.inc(time.monotonic() - start)
             self.training_done.set()
+
+    def _publish_guarded(self) -> None:
+        """Publish, surviving failure: the trainer must outlive a bad
+        publish (the last good snapshot stays current)."""
+        try:
+            self.snapshots.publish()
+        except Exception:
+            self._m_publish_skipped.inc()
 
     def start_training(self, batches, publish_every: int | None = None):
         """Run :meth:`train` on a background daemon thread."""
@@ -254,7 +293,21 @@ class SketchServer:
                 "coalescer": self.coalescer.stats(),
             }
 
-    def close(self):
-        """Stop training (if running) and drain the coalescer."""
-        self.stop_training(timeout=30.0)
-        self.coalescer.close()
+    def close(self, timeout: float = 30.0):
+        """Graceful, bounded, idempotent shutdown.
+
+        Stops the trainer at the next batch boundary and drains
+        in-flight reads, splitting ``timeout`` across the two phases;
+        requests still queued at the deadline are failed with a
+        ``TimeoutError`` rather than abandoned.  Safe to call twice
+        (and from ``atexit`` / a SIGINT handler — see ``repro serve``
+        / ``repro loadgen``).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        deadline = time.monotonic() + timeout
+        self.stop_training(timeout=timeout)
+        self.coalescer.close(
+            timeout=max(0.1, deadline - time.monotonic())
+        )

@@ -88,14 +88,23 @@ class SnapshotManager:
     observable history the black-box consistency checker replays.
     """
 
-    def __init__(self, model, *, registry: MetricsRegistry | None = None):
+    def __init__(self, model, *, registry: MetricsRegistry | None = None,
+                 breaker=None, fault_plan=None):
         self._model = model
         self._lock = threading.Lock()
+        #: Optional :class:`~repro.resilience.breaker.CircuitBreaker`.
+        #: While it is open, :meth:`publish` fails fast with
+        #: :class:`~repro.resilience.breaker.CircuitOpenError` instead
+        #: of re-running a publish path that keeps failing — readers
+        #: continue on the last good snapshot, which stays swapped in.
+        self.breaker = breaker
+        self._fault_plan = fault_plan
         #: Unified telemetry registry (shared with the owning server
         #: when one is passed in, so ``stats()`` reads one cut).
         self.registry = registry if registry is not None else MetricsRegistry()
         self._m_publishes = self.registry.counter("publish.count")
         self._m_publish_seconds = self.registry.histogram("publish.seconds")
+        self._m_publish_errors = self.registry.counter("publish.errors")
         #: Incremental-publish observability: the last publish's dirty
         #: fraction (1.0 on rebases/full copies) and the cumulative
         #: number of 256-bucket chunks copied across all publishes.
@@ -139,10 +148,39 @@ class SnapshotManager:
         serializes publishers, it does **not** protect the model-side
         copy from a concurrent ``fit_batch`` (see the module
         docstring's threading contract).
+
+        A failing publish is atomic: the chain state (``current``,
+        ``publish_log``, the incremental ``prev`` link) is only mutated
+        after the copy succeeded, so readers keep the last good
+        snapshot and the next attempt re-publishes from scratch.  With
+        a :attr:`breaker` attached, repeated failures trip it and
+        subsequent calls fail fast with ``CircuitOpenError`` until the
+        reset timeout admits a probe.
         """
+        if self.breaker is not None and not self.breaker.allow():
+            from repro.resilience.breaker import CircuitOpenError
+
+            self._m_publish_errors.inc()
+            raise CircuitOpenError(
+                "publish breaker is open; serving continues on the last "
+                "good snapshot"
+            )
+        try:
+            return self._publish_locked()
+        except BaseException:
+            self._m_publish_errors.inc()
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+
+    def _publish_locked(self) -> Snapshot:
         with self._lock:
             start = perf_counter()
             version = 0 if self._current is None else self._current.version + 1
+            if self._fault_plan is not None:
+                # Injected *before* the copy: a failed publish must
+                # never expose partial state.
+                self._fault_plan.raise_if("serve.publish", version=version)
             with trace.span("publish", version=version):
                 if self._incremental:
                     model, stats = self._model.snapshot_incremental(
@@ -165,6 +203,8 @@ class SnapshotManager:
             seconds = perf_counter() - start
             self._m_publishes.inc()
             self._m_publish_seconds.record(seconds)
+            if self.breaker is not None:
+                self.breaker.record_success()
             if hooks.on_publish:
                 hooks.publish(snap.version, snap.t, seconds)
             return snap

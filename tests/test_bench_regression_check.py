@@ -463,6 +463,65 @@ class TestPSGate:
         assert any("baseline" in f for f in failures)
 
 
+# ----------------------------------------------------------------------
+# Resilience gate (--kind resilience, PR 10)
+# ----------------------------------------------------------------------
+def _resilience_doc(goodput=1.2, recovered=1.0):
+    return {
+        "workload": {"n_requests": 2000},
+        "overload": {
+            "saturation_rps": 9_000.0,
+            "offered_rps": 18_000.0,
+            "goodput_rps": 9_000.0 * goodput,
+            "goodput_ratio": goodput,
+            "shed_overload": 150,
+            "shed_deadline": 3,
+            "admitted_p99_ms": 25.0,
+        },
+        "recovery": {
+            "bit_identical": recovered == 1.0,
+            "recovery_bit_identical": recovered,
+            "recovery_seconds": 0.0008,
+            "crashes": 1,
+            "recoveries": 1,
+            "faults_fired": 7,
+        },
+        "goodput_ratio": goodput,
+        "recovery_bit_identical": recovered,
+    }
+
+
+class TestResilienceGate:
+    def test_identical_runs_pass(self):
+        doc = _resilience_doc()
+        assert check_regression.check_resilience(doc, doc, 0.30) == []
+
+    def test_goodput_below_floor_fails_even_with_agreeing_baseline(self):
+        low = _resilience_doc(goodput=0.6)
+        failures = check_regression.check_resilience(low, low, 0.30)
+        assert any("goodput_ratio" in f and "floor" in f for f in failures)
+
+    def test_goodput_collapse_vs_baseline_fails_above_the_floor(self):
+        # 1.6 -> 0.9 stays above the 0.8 floor but is a >30% collapse.
+        failures = check_regression.check_resilience(
+            _resilience_doc(goodput=0.9), _resilience_doc(goodput=1.6), 0.30
+        )
+        assert any("goodput_ratio" in f for f in failures)
+
+    def test_diverged_recovery_is_never_noise(self):
+        # bit-identity is binary: a 0.0 fails regardless of baseline.
+        bad = _resilience_doc(recovered=0.0)
+        failures = check_regression.check_resilience(bad, bad, 0.99)
+        assert any("recovery_bit_identical" in f for f in failures)
+        assert any("diverged" in f for f in failures)
+
+    def test_empty_current_cannot_pass_vacuously(self):
+        failures = check_regression.check_resilience(
+            {"workload": {}}, _resilience_doc(), 0.30
+        )
+        assert failures
+
+
 def _telemetry_doc(wm=0.995, heap=0.99):
     return {
         "workload": {"dataset": "x"},
@@ -541,6 +600,14 @@ class TestGatesPolicyFile:
             policy["publish"]["floors"]
         )
         assert check_regression.PS_FLOORS == policy["ps"]["floors"]
+        assert check_regression.RESILIENCE_FLOORS == (
+            policy["resilience"]["floors"]
+        )
+
+    def test_resilience_recovery_floor_is_binary(self):
+        policy = self._policy()
+        floors = policy["resilience"]["floors"]
+        assert floors["recovery_bit_identical"] == 1.0
 
     def test_telemetry_floor_is_the_three_percent_contract(self):
         policy = self._policy()

@@ -1,0 +1,357 @@
+"""Chaos suite: deterministic fault injection and exact recovery.
+
+The resilience contracts, asserted exactly (not "it didn't crash"):
+
+* A seeded :class:`FaultPlan` replays the same faults at the same hook
+  points — two identical chaos runs fire identical schedules and land
+  identical counters.
+* Under a schedule covering **every fault family** — worker crash,
+  stall, duplicated push, corrupted payloads, dropped wire messages —
+  the data-linear PS run converges to a final table **bit-identical**
+  to fault-free single-stream training, at ``s = 0`` and ``s = 2``.
+* Every snapshot published *during* the faulty run passes the black-box
+  consistency checker, and the SSP staleness invariant holds throughout.
+* The wire layer: corruption is always detected and never applied,
+  duplicates are deduped by sequence number, and an undeliverable
+  message raises a typed :class:`SyncTimeout` after the retry budget.
+* Serving degrades gracefully: bounded admission sheds with a typed
+  :class:`Overload`, lapsed deadlines fail with
+  :class:`DeadlineExceeded`, a tripped circuit breaker keeps readers on
+  the last good snapshot, and the coalescer worker is crash-only.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.wm_sketch import WMSketch
+from repro.data.batch import SparseBatch, iter_batches
+from repro.data.synthetic import SyntheticStream
+from repro.learning.schedules import ConstantSchedule
+from repro.parallel.ps import PSHarness, SyncTimeout
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    FaultPlan,
+    InjectedFault,
+)
+from repro.resilience.chaos import ConstGradLoss, default_chaos_plan, run_chaos
+from repro.serving import DeadlineExceeded, Overload, SketchServer
+from repro.serving.loadgen import run_open_loop
+from repro.serving.snapshot import SnapshotManager
+
+
+# ----------------------------------------------------------------------
+# FaultPlan mechanics
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_match_requires_every_key_and_respects_times(self):
+        plan = FaultPlan(seed=1)
+        plan.add("ps.push.wire", "drop", times=2, worker=1, round=0)
+        assert plan.next_event("ps.push.wire", worker=0, round=0) is None
+        assert plan.next_event("ps.pull.wire", worker=1, round=0) is None
+        ev1 = plan.next_event("ps.push.wire", worker=1, round=0, attempt=0)
+        ev2 = plan.next_event("ps.push.wire", worker=1, round=0, attempt=1)
+        assert ev1 is not None and ev2 is not None
+        assert plan.next_event("ps.push.wire", worker=1, round=0) is None
+        assert plan.remaining() == 0
+        assert plan.report()["by_action"] == {"drop": 2}
+
+    def test_corruption_is_seeded_and_nonmutating(self):
+        payload = (np.arange(8, dtype=np.float64), 3, 1.5)
+        orig = payload[0].copy()
+        a = FaultPlan(seed=9).corrupt_payload(payload)
+        b = FaultPlan(seed=9).corrupt_payload(payload)
+        assert np.array_equal(payload[0], orig)  # sender copy pristine
+        assert np.array_equal(np.asarray(a[0]), np.asarray(b[0]))
+        assert not np.array_equal(np.asarray(a[0]), orig)
+        assert a[1:] == payload[1:]  # only one field touched
+
+    def test_empty_plan_fires_nothing(self):
+        plan = FaultPlan(seed=9)
+        assert plan.next_event("ps.round", worker=0, round=0) is None
+        assert plan.report() == {
+            "seed": 9, "fired": 0, "by_action": {}, "unfired": 0,
+        }
+
+
+# ----------------------------------------------------------------------
+# Chaos: bit-identity + checker acceptance + SSP invariants
+# ----------------------------------------------------------------------
+CHAOS_KW = dict(n_examples=400, d=900, sync_every=50, batch_size=50)
+
+
+class TestChaos:
+    @pytest.mark.parametrize("staleness", [0, 2])
+    def test_bit_identical_and_consistent_under_full_schedule(
+        self, staleness
+    ):
+        report = run_chaos(seed=3, staleness=staleness, **CHAOS_KW)
+        # The headline: recovery is exact, not approximate.
+        assert report["bit_identical"]
+        assert report["max_abs_diff"] == 0.0
+        # Every push-side fault family actually fired.
+        fired = report["faults"]["by_action"]
+        for action in ("crash", "stall", "duplicate", "corrupt", "drop"):
+            assert fired.get(action, 0) >= 1, f"{action} never fired"
+        c = report["counters"]
+        assert c["crashes"] == 1
+        assert c["recoveries"] == 1
+        assert c["duplicates_deduped"] >= 1
+        assert c["corrupt_rejected"] >= 1
+        assert c["wire_dropped"] >= 1
+        assert c["retries"] >= c["wire_dropped"]
+        # Every snapshot published mid-fault is a sequential state.
+        assert report["consistency"]["ok"], report["consistency"]
+        assert report["consistency"]["snapshots_rebuilt"] == report["publishes"]
+        assert report["recovery_seconds"]["count"] == 1
+
+    def test_chaos_is_deterministic(self):
+        a = run_chaos(seed=11, staleness=0, **CHAOS_KW)
+        b = run_chaos(seed=11, staleness=0, **CHAOS_KW)
+        assert a["faults"] == b["faults"]
+        assert a["counters"] == b["counters"]
+        strip = lambda evs: [
+            {k: v for k, v in e.items() if k != "wall_seconds"} for e in evs
+        ]
+        assert strip(a["events"]) == strip(b["events"])
+
+    def test_ssp_invariant_and_exactly_once_rounds_under_faults(self):
+        s = 2
+        kwargs = dict(
+            width=64, depth=4, loss=ConstGradLoss(), lambda_=0.0,
+            learning_rate=ConstantSchedule(0.0625), seed=9, heap_capacity=0,
+        )
+        examples = SyntheticStream(
+            d=900, n_signal=50, avg_nnz=15, seed=34
+        ).materialize(400)
+        harness = PSHarness(
+            WMSketch, kwargs, n_workers=4, staleness=s, sync_every=50,
+            batch_size=50, seed=3, publish_every=2,
+            fault_plan=default_chaos_plan(7, n_workers=4),
+        )
+        harness.fit(SparseBatch.from_examples(examples))
+        assert max(row["staleness"] for row in harness.history) <= s
+        # Crash + replay must not lose or double-train any round.
+        seen = [(row["worker"], row["round"]) for row in harness.history]
+        assert len(seen) == len(set(seen))
+        for w in range(4):
+            rounds = sorted(r for i, r in seen if i == w)
+            assert rounds == list(range(1, len(rounds) + 1))
+
+    def test_undeliverable_push_times_out(self):
+        kwargs = dict(
+            width=64, depth=2, loss=ConstGradLoss(), lambda_=0.0,
+            learning_rate=ConstantSchedule(0.0625), seed=9, heap_capacity=0,
+        )
+        examples = SyntheticStream(
+            d=400, n_signal=30, avg_nnz=10, seed=5
+        ).materialize(100)
+        plan = FaultPlan(seed=0)
+        plan.drop_push(0, 0, times=50)  # beyond any retry budget
+        harness = PSHarness(
+            WMSketch, kwargs, n_workers=2, staleness=0, sync_every=25,
+            batch_size=25, seed=1, fault_plan=plan, max_retries=3,
+            publish_every=0,
+        )
+        with pytest.raises(SyncTimeout):
+            harness.fit(SparseBatch.from_examples(examples))
+        # The retry budget was actually spent (with modelled backoff).
+        snap = harness.registry.snapshot()
+        assert snap["counters"]["ps.wire.dropped"] == 4  # attempts 0..3
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_state_machine_with_fake_clock(self):
+        clk = [0.0]
+        br = CircuitBreaker(
+            failure_threshold=2, reset_timeout=10.0, clock=lambda: clk[0]
+        )
+        assert br.state == "closed" and br.allow()
+        br.record_failure()
+        assert br.state == "closed"
+        br.record_failure()
+        assert br.state == "open"
+        assert not br.allow()
+        clk[0] = 9.9
+        assert not br.allow()
+        clk[0] = 10.0
+        assert br.allow()           # the single half-open probe
+        assert br.state == "half_open"
+        assert not br.allow()       # concurrent probes rejected
+        br.record_success()
+        assert br.state == "closed" and br.allow()
+
+    def test_half_open_failure_reopens(self):
+        clk = [0.0]
+        br = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=lambda: clk[0]
+        )
+        br.record_failure()
+        clk[0] = 5.0
+        assert br.allow()
+        br.record_failure()
+        assert br.state == "open"
+        assert not br.allow()
+
+    def test_publish_breaker_keeps_last_good_snapshot(self):
+        model = WMSketch(128, 2, seed=0, heap_capacity=0)
+        stream = SyntheticStream(d=500, n_signal=40, avg_nnz=10, seed=2)
+        batches = list(iter_batches(stream.materialize(128), 32))
+        clk = [0.0]
+        plan = FaultPlan(seed=0)
+        plan.fail_publish(times=1, version=1)
+        plan.fail_publish(times=1, version=1)  # the retry fails too
+        mgr = SnapshotManager(
+            model,
+            breaker=CircuitBreaker(
+                failure_threshold=2, reset_timeout=30.0,
+                clock=lambda: clk[0],
+            ),
+            fault_plan=plan,
+        )
+        assert mgr.current.version == 0
+        model.fit_batch(batches[0])
+        with pytest.raises(InjectedFault):
+            mgr.publish()
+        assert mgr.current.version == 0  # atomic failure: v0 stays served
+        with pytest.raises(InjectedFault):
+            mgr.publish()
+        assert mgr.breaker.state == "open"
+        # Open breaker: fail fast, readers keep the last good snapshot.
+        with pytest.raises(CircuitOpenError):
+            mgr.publish()
+        assert mgr.current.version == 0
+        assert mgr.publish_log == [(0, 0)]
+        # Reset timeout admits one probe; the fault schedule is spent,
+        # so it succeeds and closes the breaker.
+        clk[0] = 30.0
+        snap = mgr.publish()
+        assert snap.version == 1 and snap.t == model.t
+        assert mgr.breaker.state == "closed"
+        # The failed attempts never broke the chain: the probe's
+        # snapshot answers identically to a fresh full copy.
+        keys = np.arange(0, 500, 13, dtype=np.int64)
+        np.testing.assert_array_equal(
+            snap.model.query_many(keys), model.snapshot().query_many(keys)
+        )
+
+
+# ----------------------------------------------------------------------
+# Serving degradation: shedding, deadlines, crash-only worker
+# ----------------------------------------------------------------------
+def _served_model():
+    model = WMSketch(128, 2, seed=0, heap_capacity=16)
+    stream = SyntheticStream(d=600, n_signal=40, avg_nnz=10, seed=3)
+    for batch in iter_batches(stream.materialize(192), 64):
+        model.fit_batch(batch)
+    return model
+
+
+KEYS = np.array([3, 17, 40], dtype=np.int64)
+
+
+class TestServingDegradation:
+    def test_overload_sheds_past_max_pending(self):
+        server = SketchServer(
+            _served_model(), latency_budget=10.0, max_batch=64,
+            max_pending=4,
+        )
+        try:
+            held = [server.submit_nowait("query", KEYS) for _ in range(4)]
+            with pytest.raises(Overload):
+                server.submit_nowait("query", KEYS)
+            # Other ops have their own bound — not collaterally shed.
+            server.submit_nowait("top_k", 4)
+        finally:
+            server.close(timeout=5.0)
+        # Admitted requests were still answered (drain on close).
+        for req in held:
+            result, version = req.wait(1.0)
+            assert result.shape == KEYS.shape
+        assert server.coalescer.stats()["shed"]["query"] == 1
+
+    def test_deadline_enforced_at_flush(self):
+        server = SketchServer(
+            _served_model(), latency_budget=0.15, max_batch=64,
+            default_deadline=0.01,
+        )
+        try:
+            req = server.submit_nowait("query", KEYS)
+            with pytest.raises(DeadlineExceeded):
+                req.wait(5.0)
+            # A roomy per-request deadline overrides the default.
+            ok = server.coalescer.submit_nowait("query", KEYS, deadline=5.0)
+            result, _ = ok.wait(5.0)
+            assert result.shape == KEYS.shape
+        finally:
+            server.close(timeout=5.0)
+        stats = server.coalescer.stats()
+        assert stats["deadline_exceeded"]["query"] == 1
+
+    def test_injected_flush_failure_hits_all_waiters_worker_survives(self):
+        plan = FaultPlan(seed=0)
+        plan.fail_flush(times=1, op="query")
+        server = SketchServer(
+            _served_model(), latency_budget=0.02, max_batch=64,
+            fault_plan=plan,
+        )
+        try:
+            a = server.submit_nowait("query", KEYS)
+            b = server.submit_nowait("query", KEYS)
+            for req in (a, b):
+                with pytest.raises(InjectedFault):
+                    req.wait(5.0)
+            # Crash-only: the worker is alive and the next flush serves.
+            result, _ = server.request("query", KEYS, timeout=5.0)
+            assert result.shape == KEYS.shape
+        finally:
+            server.close(timeout=5.0)
+        assert server.coalescer.stats()["flush_errors"]["query"] >= 1
+
+    def test_dead_worker_restarts_on_submit(self):
+        server = SketchServer(_served_model(), latency_budget=0.01)
+        try:
+            dead = threading.Thread(target=lambda: None)
+            dead.start()
+            dead.join()
+            # Simulate a worker lost to something the guards never saw.
+            server.coalescer._worker = dead
+            result, _ = server.request("query", KEYS, timeout=5.0)
+            assert result.shape == KEYS.shape
+        finally:
+            server.close(timeout=5.0)
+        assert server.coalescer.stats()["worker_restarts"] == 1
+
+    def test_close_is_idempotent_and_rejects_new_work(self):
+        server = SketchServer(_served_model(), latency_budget=0.01)
+        server.close(timeout=5.0)
+        server.close(timeout=5.0)
+        with pytest.raises(RuntimeError):
+            server.submit_nowait("query", KEYS)
+
+    def test_open_loop_counts_shed_instead_of_raising(self):
+        server = SketchServer(
+            _served_model(), latency_budget=0.05, max_batch=8,
+            max_pending=2, default_deadline=0.5,
+        )
+        requests = [("query", KEYS)] * 300
+        shed = {}
+        try:
+            hist, _ = run_open_loop(
+                server, requests, offered_rps=20000.0, seed=1,
+                shed_counts=shed,
+            )
+        finally:
+            server.close(timeout=5.0)
+        assert shed["overload"] + shed["deadline"] + shed["completed"] == 300
+        assert shed["overload"] > 0          # saturation actually shed
+        assert shed["completed"] > 0         # and goodput survived
+        assert hist.count == shed["completed"]

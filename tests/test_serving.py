@@ -228,6 +228,34 @@ class TestCoalescer:
         finally:
             server.close()
 
+    def test_raising_flush_hook_leaves_worker_alive(self):
+        """Regression: a registered ``on_flush`` profiling hook that
+        raises fires *after* results are delivered, so the batch's
+        waiters still get their answers — and the worker thread
+        survives (crash-only loop) to serve the next submission."""
+        from repro.telemetry import hooks
+
+        def bad_hook(op, batch_size, reason, queue_wait, seconds):
+            raise RuntimeError("profiler exploded")
+
+        server = self._server(latency_budget=5e-3)
+        hooks.on_flush.append(bad_hook)
+        try:
+            keys = np.array([2, 5], dtype=np.int64)
+            result, version = server.request("query", keys, timeout=5.0)
+            assert result.shape == keys.shape and version == 0
+            hooks.on_flush.remove(bad_hook)
+            # Deterministically alive: the very next request is served
+            # by the same crash-only worker (no restart needed).
+            assert server.coalescer._worker.is_alive()
+            result, _ = server.request("query", keys, timeout=5.0)
+            assert result.shape == keys.shape
+            assert server.coalescer.stats()["worker_restarts"] == 0
+        finally:
+            if bad_hook in hooks.on_flush:
+                hooks.on_flush.remove(bad_hook)
+            server.close()
+
     def test_close_drains_pending(self):
         server = self._server(latency_budget=60.0)
         req = server.submit_nowait("query", np.array([1], dtype=np.int64))
